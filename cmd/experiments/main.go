@@ -1,0 +1,185 @@
+// Command experiments regenerates the data behind every figure in the
+// paper's evaluation. Each subcommand prints a TSV table (or an ASCII
+// diagram) to stdout.
+//
+// Usage:
+//
+//	experiments [flags] fig1|fig2a|fig2b|fig3|fig4|fig5|quantum|all
+//
+// Flags:
+//
+//	-sets N     task sets per data point (default: scaled-down defaults)
+//	-horizon H  slots simulated per set in the Figure 2 measurement
+//	-full       use the paper's full protocol (1000 sets/point, 10⁶-slot
+//	            horizons) — slow, hours of CPU
+//	-seed S     base RNG seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pfair/internal/experiments"
+)
+
+func main() {
+	sets := flag.Int("sets", 0, "task sets per data point (0 = default)")
+	horizon := flag.Int64("horizon", 0, "slots per set for fig2 (0 = default)")
+	full := flag.Bool("full", false, "run the paper's full protocol (slow)")
+	seed := flag.Int64("seed", 0, "base RNG seed (0 = default)")
+	measured := flag.Bool("measured", false, "fig3/fig4: measure scheduling costs on this machine first (the paper's methodology) instead of the calibrated default models")
+	flag.Parse()
+
+	cmd := "all"
+	if flag.NArg() > 0 {
+		cmd = flag.Arg(0)
+	}
+
+	f2 := experiments.DefaultFig2Config()
+	f3 := experiments.DefaultFig3Config()
+	qs := experiments.DefaultQuantumSweepConfig()
+	if *full {
+		f2.SetsPerN = 1000
+		f2.Horizon = 1000000
+		f3.SetsPerStep = 1000
+		qs.Sets = 1000
+	}
+	if *sets > 0 {
+		f2.SetsPerN = *sets
+		f3.SetsPerStep = *sets
+		qs.Sets = *sets
+	}
+	if *horizon > 0 {
+		f2.Horizon = *horizon
+	}
+	if *seed != 0 {
+		f2.Seed = *seed
+		f3.Seed = *seed
+		qs.Seed = *seed
+	}
+
+	run := func(name string, fn func()) {
+		if cmd == name || cmd == "all" {
+			fn()
+		}
+	}
+	known := map[string]bool{"fig1": true, "fig2a": true, "fig2b": true, "fig3": true, "fig4": true, "fig5": true, "quantum": true, "response": true, "sync": true, "fairness": true, "all": true}
+	if !known[cmd] {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", cmd)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run("fig1", func() {
+		fmt.Print(experiments.Fig1a())
+		fmt.Println()
+		fmt.Print(experiments.Fig1b())
+		fmt.Println()
+	})
+	run("fig2a", func() {
+		fmt.Println("# Figure 2(a): per-invocation scheduling cost on one processor")
+		fmt.Println("# N\tEDF_ns\tEDF_relerr\tPD2_ns\tPD2_relerr")
+		for _, p := range experiments.Fig2a(f2) {
+			fmt.Printf("%d\t%.1f\t%.3f\t%.1f\t%.3f\n", p.N, p.EDFNanos, p.EDFRelErr, p.PD2Nanos, p.PD2RelErr)
+		}
+		fmt.Println()
+	})
+	run("fig2b", func() {
+		fmt.Println("# Figure 2(b): PD² per-slot cost on 2/4/8/16 processors")
+		fmt.Println("# M\tN\tPD2_ns\trelerr")
+		for _, p := range experiments.Fig2b(f2) {
+			fmt.Printf("%d\t%d\t%.1f\t%.3f\n", p.M, p.N, p.PD2Nanos, p.RelErr)
+		}
+		fmt.Println()
+	})
+	runFig34 := func(fig4 bool) {
+		if *measured {
+			models := experiments.MeasureCostModels(f2)
+			f3.Models = &models
+			fmt.Printf("# measured cost models: S_EDF(n)=%.2f+%.4f·n  S_PD2(m,n)=%.2f+%.4f·n+%.2f·(m−1) µs\n",
+				models.EDFBase, models.EDFPerTask, models.PD2Base, models.PD2PerTask, models.PD2PerProc)
+		}
+		data := experiments.Fig3(f3)
+		for _, n := range f3.Ns {
+			if fig4 {
+				fmt.Printf("# Figure 4: schedulability-loss fractions, N=%d\n", n)
+				fmt.Println("# mean_util\tloss_pfair\tloss_edf\tloss_ff")
+				for _, p := range data[n] {
+					fmt.Printf("%.4f\t%.4f\t%.4f\t%.4f\n", p.MeanUtil, p.LossPfair, p.LossEDF, p.LossFF)
+				}
+			} else {
+				fmt.Printf("# Figure 3: minimum processors for schedulability, N=%d\n", n)
+				fmt.Println("# total_util\tPD2\trelerr\tEDF-FF\trelerr")
+				for _, p := range data[n] {
+					fmt.Printf("%.2f\t%.2f\t%.3f\t%.2f\t%.3f\n", p.TotalUtil, p.PD2Procs, p.PD2RelErr, p.FFProcs, p.FFRelErr)
+				}
+				if x := experiments.Crossover(data[n]); x > 0 {
+					fmt.Printf("# crossover (PD2 catches EDF-FF) near total utilization %.1f\n", x)
+				}
+			}
+			fmt.Println()
+		}
+	}
+	run("fig3", func() { runFig34(false) })
+	run("fig4", func() { runFig34(true) })
+	run("fig5", func() {
+		res := experiments.Fig5(90)
+		fmt.Print(res.Trace)
+		fmt.Println("# component misses without reweighting:")
+		for _, m := range res.Misses {
+			fmt.Printf("#   %s/%s job %d missed deadline %d\n", m.Supertask, m.Component, m.Job, m.Deadline)
+		}
+		fmt.Printf("# component misses with 1/p_min reweighting: %d\n", len(res.ReweightedMisses))
+		fmt.Println()
+	})
+	run("response", func() {
+		rc := experiments.DefaultResponseConfig()
+		if *sets > 0 {
+			rc.Sets = *sets
+		}
+		if *seed != 0 {
+			rc.Seed = *seed
+		}
+		fmt.Println("# Section 2 claim: early release improves response times at light load")
+		fmt.Println("# load\tpfair_resp\terfair_resp\tspeedup")
+		for _, p := range experiments.ResponseTimes(rc) {
+			fmt.Printf("%.2f\t%.2f\t%.2f\t%.3f\n", p.Load, p.PfairResponse, p.ERfairResponse, p.Speedup)
+		}
+		fmt.Println()
+	})
+	run("fairness", func() {
+		fc := experiments.DefaultFairnessConfig()
+		if *seed != 0 {
+			fc.Seed = *seed
+		}
+		fmt.Println("# Equation (1) quantified: worst lag excursions on one near-saturated workload")
+		fmt.Println("# scheduler\tmax_lag\tmin_lag\tmisses")
+		for _, p := range experiments.Fairness(fc) {
+			fmt.Printf("%s\t%.3f\t%.3f\t%d\n", p.Scheduler, p.MaxLag, p.MinLag, p.Misses)
+		}
+		fmt.Println()
+	})
+	run("sync", func() {
+		sc := experiments.DefaultSyncConfig()
+		if *sets > 0 {
+			sc.Sets = *sets
+		}
+		if *seed != 0 {
+			sc.Seed = *seed
+		}
+		fmt.Println("# Section 5.1: resource sharing — PD²+quantum-boundary locks vs partitioned RM+MPCP")
+		fmt.Println("# cs_us\tpfair_procs\tmpcp_procs\tmpcp_unschedulable")
+		for _, p := range experiments.SyncComparison(sc) {
+			fmt.Printf("%d\t%.2f\t%.2f\t%d/%d\n", p.CSLengthUS, p.PfairProcs, p.MPCPProcs, p.MPCPFailures, sc.Sets)
+		}
+		fmt.Println()
+	})
+	run("quantum", func() {
+		fmt.Println("# Section 4 trade-off: quantum size vs schedulability loss")
+		fmt.Println("# q_us\tPD2_procs\trounding_loss\toverhead_loss\tinfeasible")
+		for _, p := range experiments.QuantumSweep(qs) {
+			fmt.Printf("%d\t%.2f\t%.3f\t%.3f\t%d\n", p.QuantumUS, p.PD2Procs, p.RoundingLoss, p.OverheadLoss, p.Infeasible)
+		}
+	})
+}

@@ -1,0 +1,141 @@
+// Command pfairsim schedules a task set with a chosen algorithm and prints
+// the resulting schedule, counters, and (optionally) the Pfair window
+// layout of each task.
+//
+// Tasks are given as name:cost/period triples, e.g.
+//
+//	pfairsim -m 2 -alg pd2 -slots 24 A:2/3 B:2/3 C:2/3
+//
+// Flags:
+//
+//	-m N       processors (default 1)
+//	-alg A     pd2 | pd | pf | epdf (default pd2)
+//	-er        early-release (ERfair) eligibility
+//	-slots T   slots to simulate (default two hyperperiods)
+//	-windows   also print each task's subtask windows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pfair/internal/core"
+	"pfair/internal/task"
+	"pfair/internal/trace"
+)
+
+func main() {
+	m := flag.Int("m", 1, "number of processors")
+	algName := flag.String("alg", "pd2", "scheduling algorithm: pd2|pd|pf|epdf")
+	er := flag.Bool("er", false, "early-release (ERfair) eligibility")
+	slots := flag.Int64("slots", 0, "slots to simulate (0 = two hyperperiods)")
+	windows := flag.Bool("windows", false, "print subtask windows per task")
+	flag.Parse()
+
+	var alg core.Algorithm
+	switch strings.ToLower(*algName) {
+	case "pd2":
+		alg = core.PD2
+	case "pd":
+		alg = core.PD
+	case "pf":
+		alg = core.PF
+	case "epdf":
+		alg = core.EPDF
+	default:
+		fatal("unknown algorithm %q", *algName)
+	}
+
+	if flag.NArg() == 0 {
+		fatal("no tasks given; expected name:cost/period arguments")
+	}
+	var set task.Set
+	for _, arg := range flag.Args() {
+		t, err := parseTask(arg)
+		if err != nil {
+			fatal("%v", err)
+		}
+		set = append(set, t)
+	}
+	if err := set.Validate(); err != nil {
+		fatal("%v", err)
+	}
+
+	horizon := *slots
+	if horizon <= 0 {
+		horizon = 2 * set.Hyperperiod()
+		if horizon > 10000 {
+			horizon = 10000
+		}
+	}
+
+	if *windows {
+		for _, t := range set {
+			fmt.Printf("windows of %v:\n", t)
+			pat := core.NewPattern(t.Cost, t.Period)
+			last := 2 * t.Cost
+			fmt.Print(trace.Windows(pat, 1, last))
+			fmt.Println()
+		}
+	}
+
+	s := core.NewScheduler(*m, alg, core.Options{EarlyRelease: *er})
+	rec := trace.NewRecorder()
+	s.OnSlot(rec.Record)
+	for _, t := range set {
+		if err := s.Join(t); err != nil {
+			fatal("admitting %v: %v (total weight %v on %d processors)", t, err, set.TotalWeight(), *m)
+		}
+	}
+	s.RunUntil(horizon)
+	s.FinishMisses(horizon)
+
+	names := make([]string, len(set))
+	for i, t := range set {
+		names[i] = t.Name
+	}
+	fmt.Printf("%s on %d processor(s), %d slots (digits = processor):\n", alg, *m, horizon)
+	to := horizon
+	if to > 120 {
+		to = 120
+		fmt.Printf("(showing first %d slots)\n", to)
+	}
+	fmt.Print(rec.Render(0, to, names...))
+
+	st := s.Stats()
+	fmt.Printf("\nallocations=%d context-switches=%d preemptions=%d migrations=%d misses=%d\n",
+		st.Allocations, st.ContextSwitches, st.Preemptions, st.Migrations, len(st.Misses))
+	for i, miss := range st.Misses {
+		if i == 10 {
+			fmt.Printf("  … %d more\n", len(st.Misses)-10)
+			break
+		}
+		fmt.Printf("  miss: %s subtask %d deadline %d scheduled %d\n", miss.Task, miss.Subtask, miss.Deadline, miss.ScheduledAt)
+	}
+}
+
+// parseTask parses "name:cost/period".
+func parseTask(s string) (*task.Task, error) {
+	var name string
+	var e, p int64
+	colon := strings.IndexByte(s, ':')
+	if colon <= 0 {
+		return nil, fmt.Errorf("bad task %q: want name:cost/period", s)
+	}
+	name = s[:colon]
+	if _, err := fmt.Sscanf(s[colon+1:], "%d/%d", &e, &p); err != nil {
+		return nil, fmt.Errorf("bad task %q: want name:cost/period", s)
+	}
+	t := &task.Task{Name: name, Cost: e, Period: p}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestParseTask(t *testing.T) {
+	tk, err := parseTask("video:2/3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.Name != "video" || tk.Cost != 2 || tk.Period != 3 {
+		t.Fatalf("parsed %+v", tk)
+	}
+	for _, bad := range []string{"", "noval", ":2/3", "a:2", "a:x/y", "a:0/3", "a:4/3"} {
+		if _, err := parseTask(bad); err == nil {
+			t.Errorf("parseTask(%q) accepted", bad)
+		}
+	}
+}

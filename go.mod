@@ -1,0 +1,3 @@
+module pfair
+
+go 1.22

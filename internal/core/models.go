@@ -1,0 +1,84 @@
+package core
+
+import "fmt"
+
+// This file provides ready-made ReleaseModel implementations for the task
+// classes of Section 2: sporadic tasks (minimum rather than exact job
+// separation) and scripted intra-sporadic behaviour.
+
+// SporadicModel delays whole jobs: job j is released Gap(j) slots after
+// its earliest permitted time, so consecutive releases are separated by at
+// least the period — the classic sporadic model, which the IS model
+// generalizes. All subtasks of a job share its delay.
+type SporadicModel struct {
+	// Gap returns the extra separation before job j ≥ 1 (0 for a
+	// punctual release). It must be non-negative. Gaps accumulate: a
+	// late job shifts all later jobs.
+	Gap func(job int64) int64
+	// Cost is the task's per-job cost e, needed to map subtasks to jobs.
+	Cost int64
+
+	memo []int64 // memo[j-1] = cumulative offset of job j
+}
+
+// NewSporadicModel returns a sporadic release model for a task with the
+// given per-job cost.
+func NewSporadicModel(cost int64, gap func(job int64) int64) *SporadicModel {
+	if cost <= 0 {
+		panic("core: sporadic model needs a positive cost")
+	}
+	return &SporadicModel{Gap: gap, Cost: cost}
+}
+
+// Offset implements ReleaseModel: subtask i belongs to job ⌈i/e⌉ and
+// carries that job's cumulative delay.
+func (m *SporadicModel) Offset(i int64) int64 {
+	job := (i-1)/m.Cost + 1
+	for int64(len(m.memo)) < job {
+		j := int64(len(m.memo)) + 1
+		g := int64(0)
+		if m.Gap != nil {
+			g = m.Gap(j)
+			if g < 0 {
+				panic(fmt.Sprintf("core: negative sporadic gap %d for job %d", g, j))
+			}
+		}
+		prev := int64(0)
+		if j > 1 {
+			prev = m.memo[j-2]
+		}
+		m.memo = append(m.memo, prev+g)
+	}
+	return m.memo[job-1]
+}
+
+// Earliness implements ReleaseModel (sporadic tasks are never early).
+func (m *SporadicModel) Earliness(int64) int64 { return 0 }
+
+// ScriptModel is a ReleaseModel driven by explicit per-subtask tables,
+// convenient for constructing exact scenarios (such as Figure 1(b)) and
+// for tests.
+type ScriptModel struct {
+	// Offsets maps a subtask index to its cumulative IS delay θ(i);
+	// missing indices inherit the largest offset at a smaller index
+	// (offsets are non-decreasing).
+	Offsets map[int64]int64
+	// Early maps a subtask index to its earliness.
+	Early map[int64]int64
+}
+
+// Offset implements ReleaseModel.
+func (m *ScriptModel) Offset(i int64) int64 {
+	best := int64(0)
+	for k, v := range m.Offsets {
+		if k <= i && v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Earliness implements ReleaseModel.
+func (m *ScriptModel) Earliness(i int64) int64 {
+	return m.Early[i]
+}

@@ -1,0 +1,175 @@
+// Package core implements the paper's primary contribution: Pfair
+// scheduling of recurrent real-time tasks on multiprocessors.
+//
+// It provides the subtask algebra of Section 2 (windows, pseudo-releases
+// and pseudo-deadlines, b-bits, group deadlines, lags), the optimal global
+// schedulers PF, PD, and PD² plus the naive EPDF baseline, the
+// work-conserving ERfair variant, the intra-sporadic (IS) task model, and
+// the dynamic join/leave/reweight rules.
+//
+// # Model
+//
+// Time is divided into unit-length slots; slot t is the interval [t, t+1).
+// A periodic task T with integer cost e = T.Cost and period p = T.Period has
+// weight wt(T) = e/p and is divided into quantum-length subtasks T₁, T₂, ….
+// Subtask Tᵢ must execute within its window
+//
+//	w(Tᵢ) = [r(Tᵢ), d(Tᵢ)),  r(Tᵢ) = ⌊(i−1)·p/e⌋,  d(Tᵢ) = ⌈i·p/e⌉,
+//
+// or the Pfair condition −1 < lag(T, t) < 1 (Equation (1)) is violated.
+package core
+
+import (
+	"fmt"
+
+	"pfair/internal/rational"
+)
+
+// Pattern captures the Pfair window structure of a task with cost e and
+// period p. All subtask parameters are pure functions of (e, p, i); the
+// struct memoizes the group deadlines of the first e subtasks, since the
+// pattern repeats with period p in time every e subtasks:
+//
+//	r(Tᵢ₊ₑ) = r(Tᵢ) + p, d(Tᵢ₊ₑ) = d(Tᵢ) + p, b(Tᵢ₊ₑ) = b(Tᵢ),
+//	D(Tᵢ₊ₑ) = D(Tᵢ) + p.
+type Pattern struct {
+	e, p int64
+	// gd[i-1] is the group deadline of subtask i, for 1 ≤ i ≤ e, computed
+	// lazily on first use (heavy tasks only).
+	gd []int64
+}
+
+// NewPattern returns the window pattern for a task with the given cost and
+// period. It panics unless 0 < cost ≤ period.
+func NewPattern(cost, period int64) *Pattern {
+	if cost <= 0 || period < cost {
+		panic(fmt.Sprintf("core: invalid pattern %d/%d", cost, period))
+	}
+	return &Pattern{e: cost, p: period}
+}
+
+// Cost returns the per-job execution cost e.
+func (pt *Pattern) Cost() int64 { return pt.e }
+
+// Period returns the period p.
+func (pt *Pattern) Period() int64 { return pt.p }
+
+// Weight returns wt(T) = e/p.
+func (pt *Pattern) Weight() rational.Rat { return rational.New(pt.e, pt.p) }
+
+// Heavy reports whether wt(T) ≥ 1/2.
+func (pt *Pattern) Heavy() bool {
+	return !rational.New(pt.e, pt.p).Less(rational.New(1, 2))
+}
+
+// Release returns the pseudo-release r(Tᵢ) = ⌊(i−1)·p/e⌋ of subtask i ≥ 1.
+func (pt *Pattern) Release(i int64) int64 {
+	return rational.FloorDiv((i-1)*pt.p, pt.e)
+}
+
+// Deadline returns the pseudo-deadline d(Tᵢ) = ⌈i·p/e⌉ of subtask i ≥ 1.
+// Tᵢ must be scheduled in [Release(i), Deadline(i)).
+func (pt *Pattern) Deadline(i int64) int64 {
+	return rational.CeilDiv(i*pt.p, pt.e)
+}
+
+// WindowLength returns |w(Tᵢ)| = d(Tᵢ) − r(Tᵢ).
+func (pt *Pattern) WindowLength(i int64) int64 {
+	return pt.Deadline(i) - pt.Release(i)
+}
+
+// BBit returns b(Tᵢ): 1 if Tᵢ's window overlaps Tᵢ₊₁'s window and 0
+// otherwise. Consecutive windows overlap by exactly one slot iff
+// r(Tᵢ₊₁) = d(Tᵢ) − 1, which holds iff i·p is not a multiple of e.
+func (pt *Pattern) BBit(i int64) int {
+	if (i*pt.p)%pt.e != 0 {
+		return 1
+	}
+	return 0
+}
+
+// GroupDeadline returns D(Tᵢ), the time by which a cascade of forced
+// allocations starting at Tᵢ must end: the earliest t ≥ d(Tᵢ) such that for
+// some k ≥ i either (t = d(Tₖ) ∧ b(Tₖ) = 0) or (t+1 = d(Tₖ) ∧ |w(Tₖ)| = 3).
+//
+// Group deadlines only matter for heavy tasks (weight ≥ 1/2, whose windows
+// have length two or three); for light tasks PD² defines D(Tᵢ) = 0.
+func (pt *Pattern) GroupDeadline(i int64) int64 {
+	if !pt.Heavy() {
+		return 0
+	}
+	// Reduce to the first period using D(Tᵢ₊ₑ) = D(Tᵢ) + p.
+	cycles := (i - 1) / pt.e
+	base := i - cycles*pt.e // in [1, e]
+	if pt.gd == nil {
+		pt.gd = make([]int64, pt.e)
+		for k := range pt.gd {
+			pt.gd[k] = -1
+		}
+	}
+	if pt.gd[base-1] < 0 {
+		pt.gd[base-1] = pt.groupDeadlineSlow(base)
+	}
+	return pt.gd[base-1] + cycles*pt.p
+}
+
+// GroupDeadlineClosed returns D(Tᵢ) by the closed form: the group
+// deadlines of a heavy task of weight e/p are exactly the subtask
+// deadlines of the complementary task of weight (p−e)/p, so
+//
+//	D(Tᵢ) = ⌈k·p/(p−e)⌉ for the smallest k with that value ≥ d(Tᵢ),
+//	i.e. k = ⌈d(Tᵢ)·(p−e)/p⌉.
+//
+// Intuitively, the complement's subtasks mark the slots the cascade must
+// leave free. Weight-1 tasks have no complement and D(Tᵢ) = d(Tᵢ). The
+// memoized iterative walk (GroupDeadline) is the ground truth;
+// TestQuickGroupDeadlineClosedForm checks the two agree everywhere.
+func (pt *Pattern) GroupDeadlineClosed(i int64) int64 {
+	if !pt.Heavy() {
+		return 0
+	}
+	comp := pt.p - pt.e
+	if comp == 0 {
+		return pt.Deadline(i) // weight 1: every b-bit is 0
+	}
+	d := pt.Deadline(i)
+	k := rational.CeilDiv(d*comp, pt.p)
+	return rational.CeilDiv(k*pt.p, comp)
+}
+
+// groupDeadlineSlow walks the subtask sequence to apply the definition
+// directly. For a heavy task every window has length 2 or 3, and a cascade
+// ends within one period, so the walk terminates within e+1 steps.
+func (pt *Pattern) groupDeadlineSlow(i int64) int64 {
+	di := pt.Deadline(i)
+	for k := i; ; k++ {
+		if pt.WindowLength(k) == 3 && pt.Deadline(k)-1 >= di {
+			return pt.Deadline(k) - 1
+		}
+		if pt.BBit(k) == 0 {
+			return pt.Deadline(k)
+		}
+		if k > i+pt.e+1 {
+			panic(fmt.Sprintf("core: group deadline walk did not terminate for %d/%d subtask %d", pt.e, pt.p, i))
+		}
+	}
+}
+
+// JobIndex returns the 1-based index of the job containing subtask i: job j
+// consists of subtasks (j−1)·e+1 … j·e.
+func (pt *Pattern) JobIndex(i int64) int64 {
+	return (i-1)/pt.e + 1
+}
+
+// FirstOfJob reports whether subtask i is the first subtask of its job.
+// Under ERfair scheduling only non-first subtasks may be released early,
+// because early release is defined within a job (Section 2).
+func (pt *Pattern) FirstOfJob(i int64) bool {
+	return (i-1)%pt.e == 0
+}
+
+// Lag returns lag(T, t) = wt(T)·t − allocated for a task that has received
+// the given number of quanta by time t, as an exact rational.
+func (pt *Pattern) Lag(t, allocated int64) rational.Rat {
+	return rational.New(pt.e*t-allocated*pt.p, pt.p)
+}

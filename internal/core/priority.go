@@ -1,0 +1,163 @@
+package core
+
+import "fmt"
+
+// Algorithm selects the Pfair priority rule used to order subtasks with
+// eligible work. All four algorithms prioritize subtasks on an
+// earliest-pseudo-deadline-first basis and differ only in tie-breaking
+// (Section 2: "Selecting appropriate tie-breaks turns out to be the most
+// important concern in designing correct Pfair algorithms").
+type Algorithm int
+
+const (
+	// PD2 breaks deadline ties by b-bit (1 first), then by later group
+	// deadline. PD² is the most efficient of the three known optimal
+	// Pfair algorithms and the paper's subject.
+	PD2 Algorithm = iota
+	// PD is the earlier optimal algorithm of Baruah, Gehrke, and Plaxton.
+	// It applies PD²'s rules followed by further tie-breaks
+	// (heavy-before-light, then larger weight first). Any refinement of
+	// PD²'s rules remains optimal, since PD² permits remaining ties to be
+	// broken arbitrarily; PD is included as the costlier baseline.
+	PD
+	// PF is the original optimal algorithm of Baruah et al. [5]: deadline
+	// ties are broken by lexicographic comparison of the successive
+	// b-bits, recursing to successor subtasks while both bits are 1.
+	PF
+	// EPDF uses the earliest-pseudo-deadline-first rule with no
+	// tie-breaks. It is NOT optimal on more than two processors; a
+	// regression test pins a feasible set it misses, motivating the
+	// tie-break machinery.
+	EPDF
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case PD2:
+		return "PD2"
+	case PD:
+		return "PD"
+	case PF:
+		return "PF"
+	case EPDF:
+		return "EPDF"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// prio is the priority-relevant view of a ready subtask. The scheduler
+// fills one per task when the task's current subtask changes.
+type prio struct {
+	deadline int64
+	bbit     int
+	group    int64 // group deadline (0 for light tasks)
+	pat      *Pattern
+	index    int64 // subtask index, for PF's recursive comparison
+	offset   int64 // IS offset θ(i), shifts PF's recursive deadlines
+	id       int   // stable task id: final deterministic tie-break
+}
+
+// less reports whether a has strictly higher priority than b under alg.
+// The final comparison on task id makes the order total and deterministic.
+func less(alg Algorithm, a, b *prio) bool {
+	if a.deadline != b.deadline {
+		return a.deadline < b.deadline
+	}
+	switch alg {
+	case EPDF:
+		// No tie-breaks.
+	case PD2:
+		if a.bbit != b.bbit {
+			return a.bbit > b.bbit
+		}
+		if a.bbit == 1 && a.group != b.group {
+			return a.group > b.group
+		}
+	case PD:
+		if a.bbit != b.bbit {
+			return a.bbit > b.bbit
+		}
+		if a.bbit == 1 && a.group != b.group {
+			return a.group > b.group
+		}
+		ah, bh := a.pat.Heavy(), b.pat.Heavy()
+		if ah != bh {
+			return ah
+		}
+		if c := a.pat.Weight().Cmp(b.pat.Weight()); c != 0 {
+			return c > 0
+		}
+	case PF:
+		if c := pfCompare(a.pat, a.index, a.offset, b.pat, b.index, b.offset, pfMaxDepth); c != 0 {
+			return c > 0
+		}
+	}
+	return a.id < b.id
+}
+
+// SubtaskRef identifies one subtask of a task pattern for priority
+// comparison by external simulators (e.g. the variable-quantum study in
+// internal/sim).
+type SubtaskRef struct {
+	Pat    *Pattern
+	Index  int64 // 1-based subtask index
+	Offset int64 // absolute window shift (join time + IS delay)
+	ID     int   // stable task id for the final deterministic tie-break
+}
+
+// Less reports whether subtask a has strictly higher priority than b under
+// the given algorithm. It is the exported form of the scheduler's internal
+// comparison.
+func Less(alg Algorithm, a, b SubtaskRef) bool {
+	return less(alg, refPrio(a), refPrio(b))
+}
+
+func refPrio(r SubtaskRef) *prio {
+	group := int64(0)
+	if r.Pat.Heavy() {
+		group = r.Offset + r.Pat.GroupDeadline(r.Index)
+	}
+	return &prio{
+		deadline: r.Offset + r.Pat.Deadline(r.Index),
+		bbit:     r.Pat.BBit(r.Index),
+		group:    group,
+		pat:      r.Pat,
+		index:    r.Index,
+		offset:   r.Offset,
+		id:       r.ID,
+	}
+}
+
+// pfMaxDepth bounds PF's recursive b-bit comparison. Two tasks can only
+// remain tied beyond every window boundary if their weights and phases
+// coincide, in which case their order is irrelevant to optimality and the
+// id tie-break applies. The bound is generous: a tie chain breaks at the
+// first b-bit of 0, and every task has one within each period.
+const pfMaxDepth = 1 << 14
+
+// pfCompare returns +1 if subtask i of pattern a has higher PF priority
+// than subtask j of pattern b, −1 for the converse, and 0 for a full tie.
+// Deadlines are compared in absolute time (shifted by the IS offsets).
+func pfCompare(a *Pattern, i, aoff int64, b *Pattern, j, boff int64, depth int) int {
+	for ; depth > 0; depth-- {
+		da, db := a.Deadline(i)+aoff, b.Deadline(j)+boff
+		if da != db {
+			if da < db {
+				return 1
+			}
+			return -1
+		}
+		ba, bb := a.BBit(i), b.BBit(j)
+		if ba != bb {
+			if ba > bb {
+				return 1
+			}
+			return -1
+		}
+		if ba == 0 {
+			return 0 // both end their overlap chains here: tie
+		}
+		i, j = i+1, j+1
+	}
+	return 0
+}

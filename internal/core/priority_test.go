@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mkPrio(pat *Pattern, i int64, id int) *prio {
+	group := int64(0)
+	if pat.Heavy() {
+		group = pat.GroupDeadline(i)
+	}
+	return &prio{
+		deadline: pat.Deadline(i),
+		bbit:     pat.BBit(i),
+		group:    group,
+		pat:      pat,
+		index:    i,
+		id:       id,
+	}
+}
+
+func TestPD2DeadlineFirst(t *testing.T) {
+	a := mkPrio(NewPattern(1, 3), 1, 0) // d=3
+	b := mkPrio(NewPattern(1, 2), 1, 1) // d=2
+	if !less(PD2, b, a) || less(PD2, a, b) {
+		t.Error("earlier deadline must win under PD2")
+	}
+}
+
+func TestPD2BBitTieBreak(t *testing.T) {
+	// Both deadlines are 2; 8/11's T1 has b=1, 1/2's T1 has b=0.
+	a := mkPrio(NewPattern(8, 11), 1, 0)
+	b := mkPrio(NewPattern(1, 2), 1, 1)
+	if a.deadline != b.deadline {
+		t.Fatalf("test setup: deadlines differ (%d vs %d)", a.deadline, b.deadline)
+	}
+	if a.bbit != 1 || b.bbit != 0 {
+		t.Fatalf("test setup: b-bits %d, %d", a.bbit, b.bbit)
+	}
+	if !less(PD2, a, b) || less(PD2, b, a) {
+		t.Error("b-bit 1 must beat b-bit 0 on a deadline tie")
+	}
+}
+
+func TestPD2GroupDeadlineTieBreak(t *testing.T) {
+	// Two heavy tasks with equal deadline and b=1 but different group
+	// deadlines: 8/11 T1 (d=2, D=4) vs 2/3 T1 (d=2, D=3).
+	a := mkPrio(NewPattern(8, 11), 1, 0)
+	b := mkPrio(NewPattern(2, 3), 1, 1)
+	if a.deadline != b.deadline || a.bbit != b.bbit {
+		t.Fatalf("test setup: d=(%d,%d) b=(%d,%d)", a.deadline, b.deadline, a.bbit, b.bbit)
+	}
+	if a.group == b.group {
+		t.Fatalf("test setup: equal group deadlines %d", a.group)
+	}
+	later, earlier := a, b
+	if b.group > a.group {
+		later, earlier = b, a
+	}
+	if !less(PD2, later, earlier) || less(PD2, earlier, later) {
+		t.Error("later group deadline must win on a (d, b) tie")
+	}
+}
+
+func TestIDBreaksFullTies(t *testing.T) {
+	for _, alg := range []Algorithm{PD2, PD, PF, EPDF} {
+		a := mkPrio(NewPattern(2, 3), 1, 0)
+		b := mkPrio(NewPattern(2, 3), 1, 1)
+		if !less(alg, a, b) || less(alg, b, a) {
+			t.Errorf("%s: id tie-break not total/antisymmetric", alg)
+		}
+	}
+}
+
+func TestPFCompare(t *testing.T) {
+	// Same first deadline and b-bit, but the chains diverge later: 8/11
+	// keeps b=1 through T7 while 3/4 hits b=0 at T3. Walk: both have
+	// d(T1)=2 b=1; next deadlines d(T2): 8/11→3, 3/4→3; b: 8/11→1,
+	// 3/4→1; T3: d: 8/11→5, 3/4→4 ⇒ 3/4's chain has the earlier
+	// deadline and wins.
+	a := NewPattern(8, 11)
+	b := NewPattern(3, 4)
+	if got := pfCompare(a, 1, 0, b, 1, 0, pfMaxDepth); got != -1 {
+		t.Errorf("pfCompare(8/11, 3/4) = %d, want -1", got)
+	}
+	if got := pfCompare(b, 1, 0, a, 1, 0, pfMaxDepth); got != 1 {
+		t.Errorf("pfCompare(3/4, 8/11) = %d, want 1", got)
+	}
+	// Identical patterns tie.
+	if got := pfCompare(a, 1, 0, NewPattern(8, 11), 1, 0, pfMaxDepth); got != 0 {
+		t.Errorf("pfCompare(identical) = %d, want 0", got)
+	}
+	// Offsets shift absolute deadlines.
+	if got := pfCompare(a, 1, 1, NewPattern(8, 11), 1, 0, pfMaxDepth); got != -1 {
+		t.Errorf("pfCompare(shifted) = %d, want -1", got)
+	}
+}
+
+// TestQuickLessIsStrictWeakOrder: for each algorithm, less is
+// irreflexive and antisymmetric, and full ties resolve by id — properties
+// the heap relies on.
+func TestQuickLessIsStrictWeakOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ps := make([]*prio, 3)
+		for k := range ps {
+			p := int64(1 + r.Intn(12))
+			e := int64(1 + r.Intn(int(p)))
+			ps[k] = mkPrio(NewPattern(e, p), int64(1+r.Intn(6)), k)
+		}
+		for _, alg := range []Algorithm{PD2, PD, PF, EPDF} {
+			for _, a := range ps {
+				if less(alg, a, a) {
+					return false // reflexive
+				}
+				for _, b := range ps {
+					if a != b && less(alg, a, b) && less(alg, b, a) {
+						return false // symmetric
+					}
+					if a != b && !less(alg, a, b) && !less(alg, b, a) {
+						return false // incomparable: id must decide
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for alg, want := range map[Algorithm]string{PD2: "PD2", PD: "PD", PF: "PF", EPDF: "EPDF", Algorithm(9): "Algorithm(9)"} {
+		if got := alg.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

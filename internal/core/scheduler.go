@@ -1,0 +1,579 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"pfair/internal/heap"
+	"pfair/internal/rational"
+	"pfair/internal/task"
+)
+
+// ReleaseModel customizes when a task's subtasks arrive, implementing the
+// intra-sporadic (IS) model of Section 2. The zero behaviour (a nil model)
+// is a periodic task: every subtask is released exactly on its Pfair window.
+type ReleaseModel interface {
+	// Offset returns the cumulative IS delay θ(i) ≥ 0 of subtask i. It
+	// must be non-decreasing in i. A positive jump between i−1 and i means
+	// subtask i arrived late (e.g. a delayed network packet); its whole
+	// window — release, deadline, group deadline — shifts right by θ(i).
+	Offset(i int64) int64
+	// Earliness returns how many slots before its (shifted) Pfair release
+	// subtask i becomes eligible, modelling early/bursty arrivals. The
+	// deadline is NOT advanced: an early packet's deadline stays where it
+	// would have been had the packet arrived on time (Section 2).
+	Earliness(i int64) int64
+}
+
+// Periodic is the nil ReleaseModel made explicit: no delays, no earliness.
+type Periodic struct{}
+
+// Offset implements ReleaseModel.
+func (Periodic) Offset(int64) int64 { return 0 }
+
+// Earliness implements ReleaseModel.
+func (Periodic) Earliness(int64) int64 { return 0 }
+
+// Options configures a Scheduler.
+type Options struct {
+	// EarlyRelease enables the work-conserving ERfair variant: a subtask
+	// that is not the first of its job becomes eligible as soon as its
+	// predecessor completes, possibly before its Pfair release.
+	EarlyRelease bool
+	// NoAffinity disables the assignment rule that keeps a task scheduled
+	// in consecutive slots on the same processor. The paper's preemption
+	// bound min(E−1, P−E) per job relies on affinity being on; the flag
+	// exists for the ablation benchmark.
+	NoAffinity bool
+}
+
+// Assignment records one processor allocation in one slot.
+type Assignment struct {
+	Proc    int
+	Task    string
+	Subtask int64
+}
+
+// Miss records a subtask that could not be scheduled within its window.
+type Miss struct {
+	Task     string
+	Subtask  int64
+	Deadline int64
+	// ScheduledAt is the slot in which the subtask was eventually
+	// (tardily) scheduled, or −1 if it never was before the horizon.
+	ScheduledAt int64
+}
+
+// Tardiness returns by how many slots the subtask completed late, or −1 if
+// it never completed.
+func (m Miss) Tardiness() int64 {
+	if m.ScheduledAt < 0 {
+		return -1
+	}
+	return m.ScheduledAt + 1 - m.Deadline
+}
+
+// Stats aggregates counters over a run.
+type Stats struct {
+	// Slots is the number of scheduler invocations (one per slot).
+	Slots int64
+	// Allocations is the total number of quanta handed to tasks.
+	Allocations int64
+	// ContextSwitches counts slot boundaries at which a processor begins
+	// executing a task different from the one it executed in the
+	// previous slot (starting after an idle slot counts too).
+	ContextSwitches int64
+	// Migrations counts allocations on a different processor than the
+	// task's previous allocation.
+	Migrations int64
+	// Preemptions counts slot boundaries at which a task with an
+	// in-progress job ran in the previous slot but not the current one.
+	Preemptions int64
+	// Misses lists every subtask deadline violation detected.
+	Misses []Miss
+}
+
+type tstate struct {
+	task  *task.Task
+	pat   *Pattern
+	model ReleaseModel
+	id    int
+
+	joinedAt int64
+	index    int64 // current (next unscheduled) subtask, 1-based
+	pr       prio  // cached priority of the current subtask
+	deadline int64 // absolute deadline of the current subtask
+	elig     int64 // earliest slot the current subtask may run
+	missed   bool  // current subtask already recorded as missed
+	// earlyRelease overrides the scheduler-wide ERfair option for this
+	// task when non-nil (mixed Pfair/ERfair systems).
+	earlyRelease *bool
+
+	readyItem *heap.Item[*tstate]
+	pendItem  *heap.Item[*tstate]
+
+	allocated int64
+	lastProc  int
+	lastSlot  int64
+
+	// Parameters of the most recently scheduled subtask, for the
+	// Section 2 leave rules.
+	hasScheduled  bool
+	lastSchedDead int64
+	lastSchedB    int
+	lastSchedGrp  int64
+
+	leaving bool
+	leaveAt int64
+	rejoin  *task.Task // replacement task for Reweight, joined at leaveAt
+	// rejoinReserved records that the reweight's weight delta was already
+	// added to the scheduler's total at request time (upward reweights
+	// reserve capacity so concurrent joins cannot oversubscribe it).
+	rejoinReserved bool
+}
+
+// Scheduler is a global Pfair/ERfair scheduler for m processors. It
+// allocates processor time slot by slot: in each slot the m highest-priority
+// eligible subtasks (under the configured Algorithm) are selected, so a task
+// may migrate between slots but never runs in parallel with itself.
+//
+// The ready and release queues are binary heaps, matching the
+// implementation whose overhead Section 4 measures.
+type Scheduler struct {
+	m    int
+	alg  Algorithm
+	opts Options
+
+	now    int64
+	nextID int
+	tasks  map[string]*tstate
+	order  []*tstate // join order, for deterministic iteration
+	weight *rational.Acc
+
+	ready   *heap.Heap[*tstate] // eligible subtasks, by priority
+	pending *heap.Heap[*tstate] // future subtasks, by eligibility time
+
+	procPrev []*tstate // task run in the previous slot, per processor
+	leaves   []*tstate // tasks with a pending departure
+
+	stats  Stats
+	onSlot func(t int64, assigned []Assignment)
+
+	selBuf    []*tstate
+	assignBuf []Assignment
+}
+
+// NewScheduler returns a scheduler for m ≥ 1 processors using the given
+// algorithm.
+func NewScheduler(m int, alg Algorithm, opts Options) *Scheduler {
+	if m < 1 {
+		panic("core: scheduler needs at least one processor")
+	}
+	s := &Scheduler{
+		m:        m,
+		alg:      alg,
+		opts:     opts,
+		tasks:    make(map[string]*tstate),
+		weight:   rational.NewAcc(),
+		procPrev: make([]*tstate, m),
+	}
+	s.ready = heap.New(func(a, b *tstate) bool { return less(s.alg, &a.pr, &b.pr) })
+	s.pending = heap.New(func(a, b *tstate) bool {
+		if a.elig != b.elig {
+			return a.elig < b.elig
+		}
+		return a.id < b.id
+	})
+	return s
+}
+
+// Now returns the current slot: the next call to Step schedules slot Now().
+func (s *Scheduler) Now() int64 { return s.now }
+
+// Processors returns m.
+func (s *Scheduler) Processors() int { return s.m }
+
+// TotalWeight returns the exact current total weight of all admitted tasks.
+func (s *Scheduler) TotalWeight() *rational.Acc { return s.weight.Clone() }
+
+// OnSlot registers a callback invoked after every slot with the slot index
+// and its assignments. The assignment slice is reused; callbacks must copy
+// it to retain it.
+func (s *Scheduler) OnSlot(fn func(t int64, assigned []Assignment)) { s.onSlot = fn }
+
+// Stats returns the counters accumulated so far.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// Join admits a task at the current time. Per Section 2, a task may join
+// whenever the feasibility condition Σ wt(T) ≤ M (Equation (2)) continues
+// to hold. The task's first subtask is released at the current slot (plus
+// any model offset).
+func (s *Scheduler) Join(t *task.Task) error { return s.JoinModel(t, nil) }
+
+// JoinModel admits a task with an explicit IS release model.
+func (s *Scheduler) JoinModel(t *task.Task, model ReleaseModel) error {
+	return s.admit(t, model, true, true)
+}
+
+// JoinEarlyRelease admits a task with a per-task early-release override,
+// supporting mixed Pfair/ERfair systems (Anderson & Srinivasan [4]): some
+// tasks may be scheduled eagerly within their jobs while others keep
+// strict Pfair eligibility, independent of the scheduler-wide
+// Options.EarlyRelease default. Optimality is unaffected — early release
+// only widens eligibility, never the windows.
+func (s *Scheduler) JoinEarlyRelease(t *task.Task, model ReleaseModel, earlyRelease bool) error {
+	if err := s.admit(t, model, true, true); err != nil {
+		return err
+	}
+	er := earlyRelease
+	s.tasks[t.Name].earlyRelease = &er
+	s.refreshSubtask(s.tasks[t.Name])
+	// Requeue under the corrected eligibility.
+	st := s.tasks[t.Name]
+	if st.readyItem != nil {
+		s.ready.Remove(st.readyItem)
+		st.readyItem = nil
+	}
+	if st.pendItem != nil {
+		s.pending.Remove(st.pendItem)
+		st.pendItem = nil
+	}
+	s.enqueue(st)
+	return nil
+}
+
+// earlyReleaseOn reports whether st schedules eagerly: its own override if
+// set, else the scheduler-wide option.
+func (s *Scheduler) earlyReleaseOn(st *tstate) bool {
+	if st.earlyRelease != nil {
+		return *st.earlyRelease
+	}
+	return s.opts.EarlyRelease
+}
+
+// admit installs a task. addWeight controls whether the task's weight is
+// added to the running total (false when a Reweight already reserved it);
+// check controls whether Equation (2) gates the admission (false for
+// Reweight re-joins, which were validated at request time).
+func (s *Scheduler) admit(t *task.Task, model ReleaseModel, addWeight, check bool) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if _, dup := s.tasks[t.Name]; dup {
+		return fmt.Errorf("core: task %q already in system", t.Name)
+	}
+	w := t.Weight()
+	if check && s.weight.Clone().Add(w).CmpInt(int64(s.m)) > 0 {
+		return fmt.Errorf("core: admitting %v would violate Σwt ≤ %d (current Σwt = %v)", t, s.m, s.weight)
+	}
+	st := &tstate{
+		task:     t,
+		pat:      NewPattern(t.Cost, t.Period),
+		model:    model,
+		id:       s.nextID,
+		joinedAt: s.now,
+		index:    1,
+		lastProc: -1,
+		lastSlot: -1,
+	}
+	s.nextID++
+	if addWeight {
+		s.weight.Add(w)
+	}
+	s.tasks[t.Name] = st
+	s.order = append(s.order, st)
+	s.refreshSubtask(st)
+	s.enqueue(st)
+	return nil
+}
+
+// offset returns the absolute window shift of subtask i: join time plus the
+// IS delay θ(i).
+func (st *tstate) offsetOf(i int64) int64 {
+	off := st.joinedAt
+	if st.model != nil {
+		d := st.model.Offset(i)
+		if d < 0 {
+			panic(fmt.Sprintf("core: negative IS offset %d for %s subtask %d", d, st.task.Name, i))
+		}
+		off += d
+	}
+	return off
+}
+
+// refreshSubtask recomputes the cached parameters (release, deadline,
+// b-bit, group deadline, eligibility) for st's current subtask.
+func (st2 *Scheduler) refreshSubtask(st *tstate) {
+	i := st.index
+	off := st.offsetOf(i)
+	release := off + st.pat.Release(i)
+	st.deadline = off + st.pat.Deadline(i)
+
+	group := int64(0)
+	if st.pat.Heavy() {
+		group = off + st.pat.GroupDeadline(i)
+	}
+	st.pr = prio{
+		deadline: st.deadline,
+		bbit:     st.pat.BBit(i),
+		group:    group,
+		pat:      st.pat,
+		index:    i,
+		offset:   off,
+		id:       st.id,
+	}
+
+	elig := release
+	if st.model != nil {
+		e := st.model.Earliness(i)
+		if e < 0 {
+			panic(fmt.Sprintf("core: negative earliness %d for %s subtask %d", e, st.task.Name, i))
+		}
+		elig -= e
+	}
+	if st2.earlyReleaseOn(st) && !st.pat.FirstOfJob(i) {
+		// ERfair: eligible as soon as the predecessor completes.
+		elig = st.lastSlot + 1
+	}
+	// A subtask can never run before its predecessor, before the task
+	// joined, or before the current slot.
+	if elig < st.lastSlot+1 {
+		elig = st.lastSlot + 1
+	}
+	if elig < st.joinedAt {
+		elig = st.joinedAt
+	}
+	st.elig = elig
+	st.missed = false
+}
+
+// enqueue places st in the ready or pending queue according to its
+// eligibility.
+func (s *Scheduler) enqueue(st *tstate) {
+	if st.elig <= s.now {
+		st.readyItem = s.ready.Push(st)
+	} else {
+		st.pendItem = s.pending.Push(st)
+	}
+}
+
+// Step schedules one slot and advances time. It returns the slot's
+// assignments; the slice is reused by subsequent calls.
+func (s *Scheduler) Step() []Assignment {
+	t := s.now
+	s.applyLeaves(t)
+
+	// Release: move every subtask whose eligibility has arrived.
+	for s.pending.Len() > 0 && s.pending.Peek().elig <= t {
+		st := s.pending.Pop()
+		st.pendItem = nil
+		st.readyItem = s.ready.Push(st)
+	}
+
+	// Select the m highest-priority eligible subtasks.
+	sel := s.selBuf[:0]
+	for len(sel) < s.m && s.ready.Len() > 0 {
+		st := s.ready.Pop()
+		st.readyItem = nil
+		if st.deadline <= t && !st.missed {
+			// The window has closed; the subtask runs tardily.
+			st.missed = true
+			s.stats.Misses = append(s.stats.Misses, Miss{
+				Task:        st.task.Name,
+				Subtask:     st.index,
+				Deadline:    st.deadline,
+				ScheduledAt: t,
+			})
+		}
+		sel = append(sel, st)
+	}
+	s.selBuf = sel
+
+	// Count preemptions: a task that ran in slot t−1, has an in-progress
+	// job, and was not selected for slot t.
+	for _, prev := range s.procPrev {
+		if prev == nil || prev.lastSlot != t-1 {
+			continue
+		}
+		selected := false
+		for _, st := range sel {
+			if st == prev {
+				selected = true
+				break
+			}
+		}
+		if !selected && s.tasks[prev.task.Name] == prev && !prev.pat.FirstOfJob(prev.index) {
+			s.stats.Preemptions++
+		}
+	}
+
+	// Assign processors. First pass: affinity — a task that ran in the
+	// previous slot keeps its processor so that continuing execution does
+	// not count as a context switch (the optimization behind the paper's
+	// min(E−1, P−E) preemption bound).
+	assigned := s.assignBuf[:0]
+	procNew := make([]*tstate, s.m)
+	taken := make([]bool, s.m)
+	if !s.opts.NoAffinity {
+		for _, st := range sel {
+			if st.lastSlot == t-1 && st.lastProc >= 0 && !taken[st.lastProc] {
+				procNew[st.lastProc] = st
+				taken[st.lastProc] = true
+			}
+		}
+	}
+	// Second pass: place the rest, preferring each task's previous
+	// processor if free (cuts migrations after short gaps), else the
+	// first free processor.
+	for _, st := range sel {
+		if st.lastSlot == t-1 && !s.opts.NoAffinity && st.lastProc >= 0 && procNew[st.lastProc] == st {
+			continue
+		}
+		proc := -1
+		if st.lastProc >= 0 && st.lastProc < s.m && !taken[st.lastProc] {
+			proc = st.lastProc
+		} else {
+			for k := 0; k < s.m; k++ {
+				if !taken[k] {
+					proc = k
+					break
+				}
+			}
+		}
+		procNew[proc] = st
+		taken[proc] = true
+	}
+
+	// Commit allocations and counters.
+	for k := 0; k < s.m; k++ {
+		st := procNew[k]
+		if st == nil {
+			continue
+		}
+		if s.procPrev[k] != st {
+			s.stats.ContextSwitches++
+		}
+		if st.lastProc >= 0 && st.lastProc != k {
+			s.stats.Migrations++
+		}
+		st.allocated++
+		st.lastProc = k
+		st.lastSlot = t
+		st.hasScheduled = true
+		st.lastSchedDead = st.deadline
+		st.lastSchedB = st.pr.bbit
+		st.lastSchedGrp = st.pr.group
+		s.stats.Allocations++
+		assigned = append(assigned, Assignment{Proc: k, Task: st.task.Name, Subtask: st.index})
+
+		// Advance to the next subtask.
+		st.index++
+		s.refreshSubtask(st)
+		st.pendItem = s.pending.Push(st)
+	}
+	s.assignBuf = assigned
+	s.procPrev = procNew
+	s.stats.Slots++
+	s.now = t + 1
+
+	if s.onSlot != nil {
+		s.onSlot(t, assigned)
+	}
+	return assigned
+}
+
+// RunUntil steps the scheduler until Now() == horizon.
+func (s *Scheduler) RunUntil(horizon int64) {
+	for s.now < horizon {
+		s.Step()
+	}
+}
+
+// FinishMisses appends, to the recorded stats, a miss for every admitted
+// subtask whose deadline is at or before the horizon but which was never
+// scheduled. Call it once after the final RunUntil to account for work the
+// simulation ended on.
+func (s *Scheduler) FinishMisses(horizon int64) {
+	for _, st := range s.order {
+		if s.tasks[st.task.Name] != st {
+			continue // departed
+		}
+		if st.deadline <= horizon && !st.missed {
+			s.stats.Misses = append(s.stats.Misses, Miss{
+				Task:        st.task.Name,
+				Subtask:     st.index,
+				Deadline:    st.deadline,
+				ScheduledAt: -1,
+			})
+			st.missed = true
+		}
+	}
+}
+
+// Lag returns the task's exact lag wt(T)·(now − join) − allocated at the
+// current time. It is meaningful for periodic tasks (nil or zero-offset
+// models); for IS tasks the fluid reference shifts with each delay and
+// per-subtask deadlines are the correctness notion instead.
+func (s *Scheduler) Lag(name string) (rational.Rat, error) {
+	st, ok := s.tasks[name]
+	if !ok {
+		return rational.Zero(), fmt.Errorf("core: no task %q", name)
+	}
+	return st.pat.Lag(s.now-st.joinedAt, st.allocated), nil
+}
+
+// Tasks returns the names of all currently admitted tasks in join order.
+func (s *Scheduler) Tasks() []string {
+	names := make([]string, 0, len(s.tasks))
+	for _, st := range s.order {
+		if s.tasks[st.task.Name] == st {
+			names = append(names, st.task.Name)
+		}
+	}
+	return names
+}
+
+// applyLeaves removes tasks whose departure time has arrived and admits
+// any Reweight replacements.
+func (s *Scheduler) applyLeaves(t int64) {
+	if len(s.leaves) == 0 {
+		return
+	}
+	kept := s.leaves[:0]
+	var rejoins []*tstate
+	for _, st := range s.leaves {
+		if st.leaveAt > t {
+			kept = append(kept, st)
+			continue
+		}
+		if st.readyItem != nil {
+			s.ready.Remove(st.readyItem)
+			st.readyItem = nil
+		}
+		if st.pendItem != nil {
+			s.pending.Remove(st.pendItem)
+			st.pendItem = nil
+		}
+		if !st.rejoinReserved {
+			// An upward Reweight already swapped the weights at request
+			// time; everything else is subtracted on departure.
+			s.weight.Sub(st.task.Weight())
+		}
+		delete(s.tasks, st.task.Name)
+		if st.rejoin != nil {
+			rejoins = append(rejoins, st)
+		}
+	}
+	s.leaves = kept
+	// Sort rejoins for determinism, then admit. Re-joins bypass the
+	// admission check: they were validated (and, if upward, reserved)
+	// when the Reweight was requested.
+	sort.Slice(rejoins, func(i, j int) bool { return rejoins[i].rejoin.Name < rejoins[j].rejoin.Name })
+	for _, st := range rejoins {
+		if err := s.admit(st.rejoin, nil, !st.rejoinReserved, false); err != nil {
+			// Unreachable: the departed task owned the name and the
+			// parameters were validated at request time.
+			panic(fmt.Sprintf("core: reweight re-join failed: %v", err))
+		}
+	}
+}

@@ -1,0 +1,387 @@
+// Package edf implements uniprocessor earliest-deadline-first scheduling:
+// an event-driven simulator with preemption and context-switch accounting,
+// the exact utilization-based schedulability test, and constant-bandwidth
+// servers (CBS) for temporal isolation.
+//
+// EDF is the per-processor scheduler of the paper's EDF-FF partitioning
+// baseline (Section 3). The simulator's ready queue is a binary heap, as in
+// the implementation whose per-invocation overhead Figure 2(a) measures.
+// The scheduler is invoked on job releases, completions, and server-budget
+// exhaustions; between events the running job executes undisturbed, so —
+// unlike the slot-based Pfair schedulers — invocation counts are
+// proportional to the number of jobs, not to elapsed time.
+//
+// Each task may declare an ActualCost function that makes some jobs run
+// longer than the declared worst case. Plain EDF has no temporal isolation:
+// such an overrun steals time from other tasks and causes them to miss
+// deadlines. Wrapping the misbehaving task in a CBS (Section 5.3, after
+// Abeni & Buttazzo [1]) restores isolation: whenever the job consumes its
+// budget, the budget is replenished and the job's deadline postponed by the
+// server period, pushing the excess into time reserved for later jobs.
+package edf
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"pfair/internal/heap"
+	"pfair/internal/task"
+)
+
+// CBS configures a constant-bandwidth server for one task: the task may
+// consume Budget time units per Period of server bandwidth.
+type CBS struct {
+	Budget int64
+	Period int64
+}
+
+// Utilization returns the server's bandwidth Budget/Period.
+func (c CBS) Utilization() float64 { return float64(c.Budget) / float64(c.Period) }
+
+// Config describes one task admitted to the simulator.
+type Config struct {
+	Task *task.Task
+	// ActualCost, if non-nil, returns the real execution demand of the
+	// job with the given 1-based index. A value larger than Task.Cost
+	// models a misbehaving or faulty task. Nil means every job consumes
+	// exactly Task.Cost.
+	ActualCost func(job int64) int64
+	// Server, if non-nil, runs the task inside a constant-bandwidth
+	// server instead of raw EDF.
+	Server *CBS
+}
+
+// Miss records a job that completed (or was still pending) after its
+// deadline.
+type Miss struct {
+	Task     string
+	Job      int64
+	Deadline int64
+	// FinishedAt is the completion time, or −1 if the job was still
+	// unfinished at the horizon.
+	FinishedAt int64
+}
+
+// Lateness returns how late the job finished, or −1 if it never did.
+func (m Miss) Lateness() int64 {
+	if m.FinishedAt < 0 {
+		return -1
+	}
+	return m.FinishedAt - m.Deadline
+}
+
+// Stats aggregates counters over a run.
+type Stats struct {
+	Jobs            int64 // jobs released
+	Completed       int64
+	Preemptions     int64
+	ContextSwitches int64
+	Invocations     int64 // scheduler decisions
+	Postponements   int64 // CBS deadline postponements
+	Misses          []Miss
+	// SchedulingTime is the accumulated wall-clock time spent inside
+	// scheduler decisions, when measurement is enabled.
+	SchedulingTime time.Duration
+}
+
+type tstate struct {
+	cfg         Config
+	nextRelease int64
+	nextJob     int64 // 1-based index of the next job to release
+
+	// CBS server state (Abeni & Buttazzo): a single deadline and budget
+	// shared by all of the task's jobs, which are served FIFO. Only the
+	// head job competes under EDF, with the server's deadline.
+	budget      int64
+	srvDeadline int64
+	head        *job
+	backlog     []*job
+}
+
+type job struct {
+	ts        *tstate
+	index     int64
+	release   int64
+	deadline  int64 // EDF priority: own deadline, or the server's
+	orig      int64 // the job's own deadline, for miss accounting
+	remaining int64
+	missed    bool
+}
+
+// Simulator is an event-driven uniprocessor EDF scheduler. Time units are
+// abstract; the experiments use microseconds.
+type Simulator struct {
+	now      int64
+	tasks    map[string]*tstate
+	ready    *heap.Heap[*job]
+	releases *heap.Heap[*tstate]
+	running  *job
+	stats    Stats
+	measure  bool
+}
+
+// NewSimulator returns an empty simulator at time 0.
+func NewSimulator() *Simulator {
+	s := &Simulator{tasks: make(map[string]*tstate)}
+	s.ready = heap.New(jobLess)
+	s.releases = heap.New(func(a, b *tstate) bool {
+		if a.nextRelease != b.nextRelease {
+			return a.nextRelease < b.nextRelease
+		}
+		return a.cfg.Task.Name < b.cfg.Task.Name
+	})
+	return s
+}
+
+func jobLess(a, b *job) bool {
+	if a.deadline != b.deadline {
+		return a.deadline < b.deadline
+	}
+	if a.ts.cfg.Task.Name != b.ts.cfg.Task.Name {
+		return a.ts.cfg.Task.Name < b.ts.cfg.Task.Name
+	}
+	return a.index < b.index
+}
+
+// MeasureOverhead enables wall-clock timing of scheduler decisions,
+// accumulated in Stats.SchedulingTime and divided by Stats.Invocations to
+// reproduce Figure 2(a).
+func (s *Simulator) MeasureOverhead(on bool) { s.measure = on }
+
+// Add admits a task (synchronous first release at time 0). It must be
+// called before Run.
+func (s *Simulator) Add(cfg Config) error {
+	if err := cfg.Task.Validate(); err != nil {
+		return err
+	}
+	if _, dup := s.tasks[cfg.Task.Name]; dup {
+		return fmt.Errorf("edf: task %q already added", cfg.Task.Name)
+	}
+	if srv := cfg.Server; srv != nil && (srv.Budget <= 0 || srv.Period < srv.Budget) {
+		return fmt.Errorf("edf: invalid CBS %+v for %s", *srv, cfg.Task.Name)
+	}
+	ts := &tstate{cfg: cfg, nextRelease: 0, nextJob: 1}
+	if cfg.Server != nil {
+		ts.budget = cfg.Server.Budget
+	}
+	s.tasks[cfg.Task.Name] = ts
+	s.releases.Push(ts)
+	return nil
+}
+
+// Schedulable reports whether a set of (well-behaved, unserved) implicit-
+// deadline periodic tasks is schedulable under uniprocessor EDF: the exact
+// Liu & Layland condition Σ e/p ≤ 1.
+func Schedulable(set task.Set) bool {
+	return set.Feasible(1)
+}
+
+// Stats returns the counters accumulated so far.
+func (s *Simulator) Stats() Stats { return s.stats }
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() int64 { return s.now }
+
+// Run advances the simulation to the horizon. Jobs still incomplete at the
+// horizon with deadlines at or before it are recorded as misses.
+func (s *Simulator) Run(horizon int64) {
+	const inf = math.MaxInt64
+	for s.now < horizon {
+		nextRel := int64(inf)
+		if s.releases.Len() > 0 {
+			nextRel = s.releases.Peek().nextRelease
+		}
+		// Next running-job event: completion or CBS budget exhaustion.
+		event := int64(inf)
+		exhaust := false
+		if s.running != nil {
+			runLen := s.running.remaining
+			if srv := s.running.ts.cfg.Server; srv != nil && s.running.ts.budget < runLen {
+				runLen = s.running.ts.budget
+				exhaust = true
+			}
+			event = s.now + runLen
+		}
+		t := min3(nextRel, event, horizon)
+		s.advance(t)
+		if t == horizon && t != event {
+			// Releases exactly at the horizon fall outside the
+			// simulated window [0, horizon).
+			break
+		}
+		if t == event {
+			if exhaust {
+				s.exhaustBudget()
+			} else {
+				s.complete()
+			}
+		}
+		if t == nextRel && t < horizon {
+			s.releaseDue()
+		}
+		s.dispatch()
+		if t == horizon {
+			break
+		}
+	}
+	s.finishMisses(horizon)
+}
+
+func min3(a, b, c int64) int64 {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}
+
+// advance moves time forward, executing the running job.
+func (s *Simulator) advance(to int64) {
+	if s.running != nil {
+		delta := to - s.now
+		s.running.remaining -= delta
+		if s.running.ts.cfg.Server != nil {
+			s.running.ts.budget -= delta
+		}
+	}
+	s.now = to
+}
+
+// releaseDue releases every job whose time has come and re-arms the
+// release timers.
+func (s *Simulator) releaseDue() {
+	for s.releases.Len() > 0 && s.releases.Peek().nextRelease <= s.now {
+		ts := s.releases.Pop()
+		cost := ts.cfg.Task.Cost
+		if ts.cfg.ActualCost != nil {
+			cost = ts.cfg.ActualCost(ts.nextJob)
+			if cost <= 0 {
+				cost = 1
+			}
+		}
+		orig := ts.nextRelease + ts.cfg.Task.Period
+		j := &job{
+			ts:        ts,
+			index:     ts.nextJob,
+			release:   ts.nextRelease,
+			deadline:  orig,
+			orig:      orig,
+			remaining: cost,
+		}
+		s.stats.Jobs++
+		ts.nextJob++
+		ts.nextRelease += ts.cfg.Task.Period
+		s.releases.Push(ts)
+
+		if srv := ts.cfg.Server; srv != nil {
+			if ts.head != nil {
+				// Server busy: queue behind the head, FIFO.
+				ts.backlog = append(ts.backlog, j)
+				continue
+			}
+			// Server idle: if the leftover budget, consumed at the
+			// server bandwidth from now, would overrun the current
+			// server deadline (c_s ≥ (d_s − r)·Q/P), start a fresh
+			// period; otherwise reuse the current deadline and budget.
+			if ts.budget*srv.Period >= (ts.srvDeadline-s.now)*srv.Budget {
+				ts.srvDeadline = s.now + srv.Period
+				ts.budget = srv.Budget
+			}
+			j.deadline = ts.srvDeadline
+			ts.head = j
+		}
+		s.ready.Push(j)
+	}
+}
+
+// complete retires the running job and, for served tasks, promotes the
+// next backlog job to server head.
+func (s *Simulator) complete() {
+	j := s.running
+	s.running = nil
+	s.stats.Completed++
+	if s.now > j.orig && !j.missed {
+		j.missed = true
+		s.stats.Misses = append(s.stats.Misses, Miss{
+			Task: j.ts.cfg.Task.Name, Job: j.index, Deadline: j.orig, FinishedAt: s.now,
+		})
+	}
+	ts := j.ts
+	if ts.cfg.Server != nil {
+		ts.head = nil
+		if len(ts.backlog) > 0 {
+			next := ts.backlog[0]
+			ts.backlog = ts.backlog[1:]
+			next.deadline = ts.srvDeadline
+			ts.head = next
+			s.ready.Push(next)
+		}
+	}
+}
+
+// exhaustBudget applies the CBS rule to the running (head) job: replenish
+// the budget and postpone the server deadline by the server period. The
+// job keeps the processor unless a ready job now beats its demoted
+// deadline.
+func (s *Simulator) exhaustBudget() {
+	j := s.running
+	srv := j.ts.cfg.Server
+	j.ts.budget = srv.Budget
+	j.ts.srvDeadline += srv.Period
+	j.deadline = j.ts.srvDeadline
+	s.stats.Postponements++
+}
+
+// dispatch is the scheduler invocation: ensure the processor runs the
+// earliest-deadline job among the running and ready ones.
+func (s *Simulator) dispatch() {
+	var start time.Time
+	if s.measure {
+		start = time.Now()
+	}
+	s.stats.Invocations++
+	if s.ready.Len() > 0 {
+		top := s.ready.Peek()
+		switch {
+		case s.running == nil:
+			s.ready.Pop()
+			s.running = top
+			s.stats.ContextSwitches++
+		case jobLess(top, s.running):
+			s.ready.Pop()
+			s.ready.Push(s.running)
+			s.stats.Preemptions++
+			s.stats.ContextSwitches++
+			s.running = top
+		}
+	}
+	if s.measure {
+		s.stats.SchedulingTime += time.Since(start)
+	}
+}
+
+// finishMisses records jobs still incomplete at the horizon whose own
+// deadlines fell at or before it.
+func (s *Simulator) finishMisses(horizon int64) {
+	record := func(j *job) {
+		if j != nil && !j.missed && j.orig <= horizon {
+			j.missed = true
+			s.stats.Misses = append(s.stats.Misses, Miss{
+				Task: j.ts.cfg.Task.Name, Job: j.index, Deadline: j.orig, FinishedAt: -1,
+			})
+		}
+	}
+	record(s.running)
+	for _, it := range s.ready.Items() {
+		record(it.Value)
+	}
+	for _, ts := range s.tasks {
+		for _, j := range ts.backlog {
+			record(j)
+		}
+	}
+}

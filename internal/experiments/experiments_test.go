@@ -1,0 +1,346 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"pfair/internal/overhead"
+	"pfair/internal/taskgen"
+)
+
+func TestFig1aContent(t *testing.T) {
+	out := Fig1a()
+	for _, want := range []string{
+		"wt = 8/11",
+		"T1   |==         ", // window [0,2)
+		"T8   |         ==", // window [9,11)
+		"b(T8)=0",
+		"D(T3)=8",
+		"D(T7)=11",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig1a missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig1bContent(t *testing.T) {
+	out := Fig1b()
+	if !strings.Contains(out, "T5   |      ==") {
+		t.Errorf("Fig1b missing shifted T5 window:\n%s", out)
+	}
+}
+
+// TestFig2aShape: measured per-invocation costs are positive and PD²'s
+// grows with the task count (the paper's headline trend). Wall-clock
+// measurements are noisy, so only endpoint ordering is asserted.
+func TestFig2aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing measurement")
+	}
+	cfg := Fig2Config{Ns: []int{15, 500}, SetsPerN: 5, Horizon: 5000, Seed: 1}
+	points := Fig2a(cfg)
+	if len(points) != 2 {
+		t.Fatalf("points: %d", len(points))
+	}
+	for _, p := range points {
+		if p.PD2Nanos <= 0 || p.EDFNanos <= 0 {
+			t.Fatalf("non-positive measurement: %+v", p)
+		}
+	}
+	if points[1].PD2Nanos <= points[0].PD2Nanos {
+		t.Errorf("PD2 overhead did not grow with N: %v → %v", points[0].PD2Nanos, points[1].PD2Nanos)
+	}
+}
+
+// TestFig2bShape: for a fixed task count, PD²'s per-slot cost grows with
+// the processor count (scheduling decisions are made sequentially by one
+// scheduler — the paper's Figure 2(b) trend).
+func TestFig2bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing measurement")
+	}
+	cfg := Fig2Config{Ns: []int{200}, SetsPerN: 5, Horizon: 5000, Seed: 1}
+	points := Fig2b(cfg)
+	if len(points) != 4 {
+		t.Fatalf("points: %d", len(points))
+	}
+	byM := map[int]float64{}
+	for _, p := range points {
+		byM[p.M] = p.PD2Nanos
+	}
+	if byM[16] <= byM[2] {
+		t.Errorf("PD2 overhead did not grow from 2 to 16 processors: %v → %v", byM[2], byM[16])
+	}
+}
+
+// TestFig3Shape pins the qualitative content of Figure 3 for N = 50: the
+// two schemes coincide at the lowest utilizations, EDF-FF needs fewer
+// processors in the middle of the sweep, and PD² catches up (crossover)
+// in the upper part — with both always at least the overhead-free bound.
+func TestFig3Shape(t *testing.T) {
+	cfg := Fig3Config{Ns: []int{50}, Steps: 12, SetsPerStep: 25, Seed: 2}
+	points := Fig3(cfg)[50]
+	if len(points) != 12 {
+		t.Fatalf("points: %d", len(points))
+	}
+	// (1) Near-identical at the lowest utilization.
+	first := points[0]
+	if diff := first.PD2Procs - first.FFProcs; diff > 0.5 || diff < -0.5 {
+		t.Errorf("low-utilization gap too large: PD2=%v FF=%v", first.PD2Procs, first.FFProcs)
+	}
+	// (2) EDF-FF strictly better somewhere in the middle.
+	ffBetter := false
+	for _, p := range points[2:9] {
+		if p.FFProcs < p.PD2Procs-0.3 {
+			ffBetter = true
+		}
+	}
+	if !ffBetter {
+		t.Error("EDF-FF never clearly better in the mid-range; Figure 3's middle section missing")
+	}
+	// (3) PD² at least matches EDF-FF somewhere in the upper third.
+	pd2Matches := false
+	for _, p := range points[8:] {
+		if p.PD2Procs <= p.FFProcs+0.05 {
+			pd2Matches = true
+		}
+	}
+	if !pd2Matches {
+		t.Error("PD² never caught EDF-FF at high utilization; crossover missing")
+	}
+	// (4) Monotone resource demand and sane bounds.
+	for i := 1; i < len(points); i++ {
+		if points[i].PD2Procs < points[i-1].PD2Procs-0.5 || points[i].FFProcs < points[i-1].FFProcs-0.5 {
+			t.Errorf("processor demand decreased along the sweep at step %d", i)
+		}
+	}
+	for _, p := range points {
+		if p.PD2Procs < p.TotalUtil || p.FFProcs < p.TotalUtil {
+			t.Errorf("processor count below the utilization lower bound: %+v", p)
+		}
+	}
+}
+
+// TestFig4Shape: the loss decomposition behaves as the paper describes —
+// PD²'s overhead fraction shrinks as utilization grows (fixed per-task
+// rounding amortizes over more utilization), EDF inflation stays small
+// throughout, and packing loss is the dominant EDF-FF term at high
+// utilization.
+func TestFig4Shape(t *testing.T) {
+	cfg := Fig3Config{Ns: []int{50}, Steps: 10, SetsPerStep: 25, Seed: 2}
+	points := Fig3(cfg)[50]
+	first, last := points[0], points[len(points)-1]
+	if !(last.LossPfair < first.LossPfair) {
+		t.Errorf("Pfair loss did not shrink with utilization: %v → %v", first.LossPfair, last.LossPfair)
+	}
+	for _, p := range points {
+		if p.LossEDF > 0.1 {
+			t.Errorf("EDF system-overhead loss implausibly high: %+v", p)
+		}
+		if p.LossPfair < 0 || p.LossFF < 0 {
+			t.Errorf("negative loss: %+v", p)
+		}
+	}
+	if !(last.LossFF > last.LossEDF) {
+		t.Errorf("at high utilization packing loss (%v) should dominate EDF overhead loss (%v)", last.LossFF, last.LossEDF)
+	}
+}
+
+// TestFig5Content: the unreweighted run reproduces T's miss at time 10;
+// the reweighted run is clean; the trace renders all five rows.
+func TestFig5Content(t *testing.T) {
+	res := Fig5(90)
+	if len(res.Misses) == 0 {
+		t.Fatal("no component miss")
+	}
+	if res.Misses[0].Component != "T" || res.Misses[0].Deadline != 10 {
+		t.Errorf("first miss %+v, want T at 10", res.Misses[0])
+	}
+	if len(res.ReweightedMisses) != 0 {
+		t.Errorf("reweighted run missed: %+v", res.ReweightedMisses[0])
+	}
+	for _, row := range []string{"V |", "W |", "X |", "Y |", "S |"} {
+		if !strings.Contains(res.Trace, row) {
+			t.Errorf("trace missing row %q:\n%s", row, res.Trace)
+		}
+	}
+}
+
+// TestQuantumSweepShape: the Section 4 trade-off — rounding loss grows
+// with the quantum, per-quantum overhead loss shrinks, and the processor
+// demand is U-shaped with an interior optimum.
+func TestQuantumSweepShape(t *testing.T) {
+	cfg := DefaultQuantumSweepConfig()
+	cfg.Sets = 20
+	points := QuantumSweep(cfg)
+	if len(points) != len(cfg.QuantaUS) {
+		t.Fatalf("points: %d", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].RoundingLoss < points[i-1].RoundingLoss-1e-9 {
+			t.Errorf("rounding loss not nondecreasing in quantum size at %dus", points[i].QuantumUS)
+		}
+		if points[i].OverheadLoss > points[i-1].OverheadLoss+1e-9 {
+			t.Errorf("overhead loss not nonincreasing in quantum size at %dus", points[i].QuantumUS)
+		}
+	}
+	// U-shape: the best interior point beats both extremes.
+	best := points[0].PD2Procs
+	bestIdx := 0
+	for i, p := range points {
+		if p.PD2Procs > 0 && (best == 0 || p.PD2Procs < best) {
+			best, bestIdx = p.PD2Procs, i
+		}
+	}
+	if bestIdx == 0 || bestIdx == len(points)-1 {
+		t.Errorf("no interior optimum: best at index %d (%dus)", bestIdx, points[bestIdx].QuantumUS)
+	}
+}
+
+func TestDefaultConfigs(t *testing.T) {
+	f2 := DefaultFig2Config()
+	if len(f2.Ns) == 0 || f2.SetsPerN <= 0 || f2.Horizon <= 0 {
+		t.Error("bad Fig2 defaults")
+	}
+	f3 := DefaultFig3Config()
+	if len(f3.Ns) == 0 || f3.Steps < 2 {
+		t.Error("bad Fig3 defaults")
+	}
+	if DefaultSchedPD2(1, 100) <= 0 || DefaultSchedEDF(100) <= 0 {
+		t.Error("bad scheduling-cost models")
+	}
+}
+
+// TestResponseTimesERfairHelps: the Section 2 claim — early release
+// improves mean job response times, most visibly at light load. ERfair
+// must never be meaningfully slower, and must be strictly faster at the
+// lightest load.
+func TestResponseTimesERfairHelps(t *testing.T) {
+	cfg := DefaultResponseConfig()
+	cfg.Sets = 10
+	cfg.Horizon = 2000
+	points := ResponseTimes(cfg)
+	if len(points) != len(cfg.Loads) {
+		t.Fatalf("points: %d", len(points))
+	}
+	for _, p := range points {
+		if p.PfairResponse <= 0 || p.ERfairResponse <= 0 {
+			t.Fatalf("degenerate point: %+v", p)
+		}
+		if p.ERfairResponse > p.PfairResponse*1.02 {
+			t.Errorf("ERfair slower at load %.1f: %v vs %v", p.Load, p.ERfairResponse, p.PfairResponse)
+		}
+	}
+	if first := points[0]; first.Speedup < 1.05 {
+		t.Errorf("no response-time benefit at the lightest load: speedup %.3f", first.Speedup)
+	}
+}
+
+// TestSyncComparison: the Section 5.1 claim — as critical sections grow,
+// partitioned RM+MPCP systems increasingly become unschedulable at ANY
+// processor count (blocking exceeds slack), while PD² with
+// quantum-boundary locking degrades gracefully by a fraction of a
+// processor.
+func TestSyncComparison(t *testing.T) {
+	cfg := DefaultSyncConfig()
+	cfg.Sets = 8
+	points := SyncComparison(cfg)
+	if len(points) != len(cfg.CSLengths) {
+		t.Fatalf("points: %d", len(points))
+	}
+	first, last := points[0], points[len(points)-1]
+	if first.MPCPFailures != 0 {
+		t.Errorf("MPCP failing already at %dµs sections", first.CSLengthUS)
+	}
+	if last.MPCPFailures <= first.MPCPFailures {
+		t.Errorf("MPCP failures did not grow with section length: %d → %d",
+			first.MPCPFailures, last.MPCPFailures)
+	}
+	// Pfair never fails and grows by at most ~1.5 processors across a
+	// 100× section-length range.
+	if last.PfairProcs > first.PfairProcs+1.5 {
+		t.Errorf("Pfair+qlock degraded too much: %v → %v", first.PfairProcs, last.PfairProcs)
+	}
+	for _, p := range points {
+		if p.PfairProcs <= 0 {
+			t.Errorf("degenerate Pfair point: %+v", p)
+		}
+	}
+}
+
+// TestFairness makes Equation (1) quantitative: PD² keeps every lag
+// strictly inside (−1, 1); ERfair preserves the upper bound (no task falls
+// a full quantum behind) while running ahead when capacity is idle; WRR
+// violates the bound.
+func TestFairness(t *testing.T) {
+	points := Fairness(DefaultFairnessConfig())
+	if len(points) != 3 {
+		t.Fatalf("points: %d", len(points))
+	}
+	byName := map[string]FairnessPoint{}
+	for _, p := range points {
+		byName[p.Scheduler] = p
+	}
+	pd2 := byName["PD2"]
+	if pd2.MaxLag >= 1 || pd2.MinLag <= -1 {
+		t.Errorf("PD2 lag excursions [%v, %v] violate (−1, 1)", pd2.MinLag, pd2.MaxLag)
+	}
+	if pd2.Misses != 0 {
+		t.Errorf("PD2 missed %d", pd2.Misses)
+	}
+	er := byName["ERfair-PD2"]
+	if er.MaxLag >= 1 {
+		t.Errorf("ERfair max lag %v ≥ 1 (deadline bound broken)", er.MaxLag)
+	}
+	if er.Misses != 0 {
+		t.Errorf("ERfair missed %d", er.Misses)
+	}
+	if er.MinLag > pd2.MinLag {
+		t.Errorf("ERfair should run at least as far ahead as PD2: %v vs %v", er.MinLag, pd2.MinLag)
+	}
+	wrrP := byName["WRR"]
+	if wrrP.MaxLag < 1 && wrrP.MinLag > -1 {
+		t.Errorf("WRR stayed Pfair on a near-saturated set ([%v, %v]); expected violations", wrrP.MinLag, wrrP.MaxLag)
+	}
+}
+
+// TestFitLine checks the regression helper on exact data.
+func TestFitLine(t *testing.T) {
+	i, s := fitLine([]float64{0, 1, 2, 3}, []float64{1, 3, 5, 7})
+	if i < 0.999 || i > 1.001 || s < 1.999 || s > 2.001 {
+		t.Errorf("fitLine = (%v, %v), want (1, 2)", i, s)
+	}
+	if i, s := fitLine(nil, nil); i != 0 || s != 0 {
+		t.Errorf("empty fit = (%v, %v)", i, s)
+	}
+	if i, s := fitLine([]float64{2, 2}, []float64{3, 5}); i != 4 || s != 0 {
+		t.Errorf("degenerate fit = (%v, %v), want mean 4", i, s)
+	}
+}
+
+// TestMeasuredParamsPipeline runs the paper's measure-then-analyze
+// methodology end to end at a tiny scale: measured cost models plug into
+// a Figure 3 evaluation and produce sane processor counts.
+func TestMeasuredParamsPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing measurement")
+	}
+	cfg := Fig2Config{Ns: []int{15, 100}, SetsPerN: 3, Horizon: 3000, Seed: 1}
+	models := MeasureCostModels(cfg)
+	if models.SchedEDF(100) < 1 || models.SchedPD2(4, 100) < 1 {
+		t.Fatalf("degenerate models: %+v", models)
+	}
+	g := taskgen.New(77)
+	set := g.SetCapped("T", 50, 8, 0.9, Fig3PeriodsUS)
+	delays := g.CacheDelays(set, 100)
+	params := MeasuredParams(models, len(set), delays)
+	_, pd2, ff := overhead.ComputeLosses(set, params)
+	if pd2.Processors < set.MinProcessors() || ff.Processors < set.MinProcessors() {
+		t.Errorf("measured-params counts below the lower bound: pd2=%d ff=%d base=%d",
+			pd2.Processors, ff.Processors, set.MinProcessors())
+	}
+	if pd2.Processors > 3*set.MinProcessors() {
+		t.Errorf("measured-params PD2 count implausible: %d", pd2.Processors)
+	}
+}

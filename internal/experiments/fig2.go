@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"time"
+
+	"pfair/internal/core"
+	"pfair/internal/edf"
+	"pfair/internal/stats"
+	"pfair/internal/task"
+	"pfair/internal/taskgen"
+)
+
+// Fig2Config scales the Figure 2 measurement. The paper's full protocol is
+// SetsPerN = 1000 and Horizon = 1e6; the defaults below finish in seconds
+// and show the same trends.
+type Fig2Config struct {
+	Ns       []int // task counts (paper: 15..1000)
+	SetsPerN int
+	Horizon  int64 // slots simulated per set
+	Seed     int64
+}
+
+// DefaultFig2Config returns the scaled-down defaults.
+func DefaultFig2Config() Fig2Config {
+	return Fig2Config{
+		Ns:       []int{15, 30, 50, 75, 100, 250, 500, 750, 1000},
+		SetsPerN: 10,
+		Horizon:  20000,
+		Seed:     1,
+	}
+}
+
+// Fig2aPoint is one x-position of Figure 2(a): mean per-invocation
+// scheduling cost on one processor, in nanoseconds (the paper reports µs
+// on a 933 MHz machine; shape, not scale, is the reproduction target).
+type Fig2aPoint struct {
+	N            int
+	EDFNanos     float64
+	EDFRelErr    float64 // 99% CI half-width / mean
+	PD2Nanos     float64
+	PD2RelErr    float64
+	EDFPerSecond float64 // invocations per simulated slot, for context
+}
+
+// Fig2a measures the mean per-invocation cost of the EDF and PD²
+// schedulers on one processor over random task sets with total utilization
+// at most one.
+func Fig2a(cfg Fig2Config) []Fig2aPoint {
+	var out []Fig2aPoint
+	for _, n := range cfg.Ns {
+		g := taskgen.New(cfg.Seed + int64(n))
+		var edfNs, pd2Ns, edfInvPerSlot stats.Sample
+		for s := 0; s < cfg.SetsPerN; s++ {
+			set := g.SetMaxUtil("T", n, 1.0, taskgen.DefaultPeriodsSlots)
+			if v, ok := measureEDF(set, cfg.Horizon); ok {
+				edfNs.Add(v.nanosPerInvocation)
+				edfInvPerSlot.Add(v.invocationsPerSlot)
+			}
+			pd2Ns.Add(measurePD2(set, 1, cfg.Horizon))
+		}
+		out = append(out, Fig2aPoint{
+			N:            n,
+			EDFNanos:     edfNs.Mean(),
+			EDFRelErr:    edfNs.RelErr99(),
+			PD2Nanos:     pd2Ns.Mean(),
+			PD2RelErr:    pd2Ns.RelErr99(),
+			EDFPerSecond: edfInvPerSlot.Mean(),
+		})
+	}
+	return out
+}
+
+// Fig2bPoint is one (m, N) cell of Figure 2(b).
+type Fig2bPoint struct {
+	M        int
+	N        int
+	PD2Nanos float64
+	RelErr   float64
+}
+
+// Fig2b measures PD²'s per-invocation cost on 2, 4, 8, and 16 processors.
+func Fig2b(cfg Fig2Config) []Fig2bPoint {
+	var out []Fig2bPoint
+	for _, m := range []int{2, 4, 8, 16} {
+		for _, n := range cfg.Ns {
+			g := taskgen.New(cfg.Seed + int64(1000*m+n))
+			var pd2Ns stats.Sample
+			for s := 0; s < cfg.SetsPerN; s++ {
+				set := g.SetMaxUtil("T", n, float64(m), taskgen.DefaultPeriodsSlots)
+				pd2Ns.Add(measurePD2(set, m, cfg.Horizon))
+			}
+			out = append(out, Fig2bPoint{M: m, N: n, PD2Nanos: pd2Ns.Mean(), RelErr: pd2Ns.RelErr99()})
+		}
+	}
+	return out
+}
+
+// measurePD2 returns the mean wall-clock nanoseconds per PD² invocation
+// (one invocation per slot) over the horizon.
+func measurePD2(set task.Set, m int, horizon int64) float64 {
+	s := core.NewScheduler(m, core.PD2, core.Options{})
+	for _, t := range set {
+		if err := s.Join(t); err != nil {
+			// SetMaxUtil keeps Σu ≤ m up to rounding; skip any task the
+			// rounding pushed over.
+			continue
+		}
+	}
+	start := time.Now()
+	s.RunUntil(horizon)
+	elapsed := time.Since(start)
+	return float64(elapsed.Nanoseconds()) / float64(horizon)
+}
+
+type edfMeasurement struct {
+	nanosPerInvocation float64
+	invocationsPerSlot float64
+}
+
+// measureEDF returns the mean wall-clock nanoseconds per EDF scheduler
+// invocation over the horizon.
+func measureEDF(set task.Set, horizon int64) (edfMeasurement, bool) {
+	s := edf.NewSimulator()
+	s.MeasureOverhead(true)
+	for _, t := range set {
+		if err := s.Add(edf.Config{Task: t}); err != nil {
+			return edfMeasurement{}, false
+		}
+	}
+	s.Run(horizon)
+	st := s.Stats()
+	if st.Invocations == 0 {
+		return edfMeasurement{}, false
+	}
+	return edfMeasurement{
+		nanosPerInvocation: float64(st.SchedulingTime.Nanoseconds()) / float64(st.Invocations),
+		invocationsPerSlot: float64(st.Invocations) / float64(horizon),
+	}, true
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"pfair/internal/overhead"
+	"pfair/internal/stats"
+	"pfair/internal/task"
+	"pfair/internal/taskgen"
+)
+
+// QuantumPoint is one quantum size in the Section 4 trade-off sweep.
+type QuantumPoint struct {
+	QuantumUS int64
+	// PD2Procs is the mean minimum processor count at this quantum.
+	PD2Procs float64
+	// RoundingLoss is the mean weight added purely by rounding execution
+	// costs up to whole quanta (larger quanta → more rounding loss).
+	RoundingLoss float64
+	// OverheadLoss is the mean weight added by Equation (3) inflation
+	// (smaller quanta → more per-quantum overhead).
+	OverheadLoss float64
+	// Infeasible counts sets where some task's inflated weight exceeded
+	// one at this quantum.
+	Infeasible int
+}
+
+// QuantumSweepConfig scales the sweep.
+type QuantumSweepConfig struct {
+	N         int
+	TotalUtil float64
+	Sets      int
+	QuantaUS  []int64
+	Seed      int64
+}
+
+// DefaultQuantumSweepConfig returns defaults spanning 100 µs to 10 ms.
+func DefaultQuantumSweepConfig() QuantumSweepConfig {
+	return QuantumSweepConfig{
+		N:         50,
+		TotalUtil: 8,
+		Sets:      40,
+		QuantaUS:  []int64{100, 200, 500, 1000, 2000, 5000, 10000},
+		Seed:      3,
+	}
+}
+
+// QuantumSweep quantifies the trade-off the paper describes: shrinking the
+// quantum reduces rounding loss but multiplies per-quantum scheduling and
+// switching overhead; growing it does the reverse. "These trade-offs must
+// be carefully analyzed to determine an optimal quantum size."
+func QuantumSweep(cfg QuantumSweepConfig) []QuantumPoint {
+	var out []QuantumPoint
+	for _, q := range cfg.QuantaUS {
+		g := taskgen.New(cfg.Seed) // same seed: identical sets across quanta
+		var procs, rounding, inflation stats.Sample
+		infeasible := 0
+		for s := 0; s < cfg.Sets; s++ {
+			set := g.Set("T", cfg.N, cfg.TotalUtil, taskgen.DefaultPeriodsUS)
+			delays := g.CacheDelays(set, 100)
+			params := PaperParams(cfg.N, delays)
+			params.Quantum = q
+			res := minProcsAtQuantum(set, params)
+			if res.Processors < 0 {
+				infeasible++
+				continue
+			}
+			procs.AddInt(int64(res.Processors))
+			rounding.Add(res.roundingLoss)
+			inflation.Add(res.inflationLoss)
+		}
+		out = append(out, QuantumPoint{
+			QuantumUS:    q,
+			PD2Procs:     procs.Mean(),
+			RoundingLoss: rounding.Mean(),
+			OverheadLoss: inflation.Mean(),
+			Infeasible:   infeasible,
+		})
+	}
+	return out
+}
+
+type quantumResult struct {
+	Processors    int
+	roundingLoss  float64
+	inflationLoss float64
+}
+
+// minProcsAtQuantum mirrors overhead.MinProcsPD2 but additionally splits
+// the added weight into inflation (Equation (3)) and rounding (cost →
+// whole quanta) components. Periods in the default menu are multiples of
+// every quantum in the sweep.
+func minProcsAtQuantum(set task.Set, p overhead.Params) quantumResult {
+	m := int(set.TotalWeight().Ceil())
+	if m < 1 {
+		m = 1
+	}
+	for round := 0; round < 32; round++ {
+		s := p.SchedPD2(m, len(set))
+		baseU, inflU, roundU := 0.0, 0.0, 0.0
+		need := 0.0
+		ok := true
+		for _, t := range set {
+			infl, _, good := overhead.InflatePD2(t.Cost, t.Period, p, s, p.CacheDelay(t))
+			if !good {
+				ok = false
+				break
+			}
+			w := overhead.PD2Weight(infl, t.Period, p.Quantum).Float()
+			baseU += t.Utilization()
+			inflU += float64(infl-t.Cost) / float64(t.Period)
+			roundU += w - float64(infl)/float64(t.Period)
+			need += w
+		}
+		if !ok {
+			return quantumResult{Processors: -1}
+		}
+		needM := int(need)
+		if float64(needM) < need {
+			needM++
+		}
+		if needM < 1 {
+			needM = 1
+		}
+		if needM == m {
+			return quantumResult{Processors: m, roundingLoss: roundU, inflationLoss: inflU}
+		}
+		m = needM
+	}
+	return quantumResult{Processors: m}
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pfair/internal/mpcp"
+	"pfair/internal/qlock"
+	"pfair/internal/rational"
+	"pfair/internal/stats"
+	"pfair/internal/task"
+	"pfair/internal/taskgen"
+)
+
+// Section 5.1 argues that Pfair's tight synchrony makes synchronization
+// cheap — critical sections are simply kept inside quantum boundaries —
+// while partitioned systems need heavyweight protocols (MPCP, defined
+// only for RM) whose blocking terms erode schedulability. This experiment
+// quantifies the claim: the same resource-sharing workloads are costed
+// under both schemes and the minimum processor counts compared.
+
+// SyncPoint is one critical-section length in the sweep.
+type SyncPoint struct {
+	// CSLengthUS is the critical-section length in µs.
+	CSLengthUS int64
+	// PfairProcs is the mean minimum processors under PD² with
+	// quantum-boundary locking (costs inflated by the deferral and
+	// blocking bounds of internal/qlock).
+	PfairProcs float64
+	// MPCPProcs is the mean minimum processors under partitioned RM
+	// with MPCP blocking accounted in the response-time test.
+	MPCPProcs float64
+	// MPCPFailures counts sets no processor count could schedule under
+	// RM+MPCP (blocking pushed some response time past its period).
+	MPCPFailures int
+}
+
+// SyncConfig scales the sweep.
+type SyncConfig struct {
+	N         int
+	TotalUtil float64
+	Resources int
+	Sets      int
+	CSLengths []int64 // µs
+	QuantumUS int64
+	Seed      int64
+}
+
+// DefaultSyncConfig returns a moderate workload: 24 tasks at total
+// utilization 6 sharing 4 resources, critical sections from 10 µs to
+// 1 ms.
+func DefaultSyncConfig() SyncConfig {
+	return SyncConfig{
+		N:         24,
+		TotalUtil: 6,
+		Resources: 4,
+		Sets:      20,
+		CSLengths: []int64{10, 50, 100, 500, 1000},
+		QuantumUS: 1000,
+		Seed:      9,
+	}
+}
+
+// SyncComparison runs the sweep.
+func SyncComparison(cfg SyncConfig) []SyncPoint {
+	var out []SyncPoint
+	for _, cs := range cfg.CSLengths {
+		g := taskgen.New(cfg.Seed)
+		var pf, mp stats.Sample
+		failures := 0
+		for s := 0; s < cfg.Sets; s++ {
+			set := g.SetCapped("T", cfg.N, cfg.TotalUtil, 0.8, Fig3PeriodsUS)
+			// Every task gets one critical section of length cs on a
+			// round-robin-chosen resource.
+			res := make([]string, len(set))
+			for i := range set {
+				res[i] = fmt.Sprintf("R%d", i%cfg.Resources)
+			}
+			pf.AddInt(int64(pfairSyncProcs(set, res, cs, cfg.QuantumUS)))
+			if m, ok := mpcpProcs(set, res, cs); ok {
+				mp.AddInt(int64(m))
+			} else {
+				failures++
+			}
+		}
+		out = append(out, SyncPoint{
+			CSLengthUS:   cs,
+			PfairProcs:   pf.Mean(),
+			MPCPProcs:    mp.Mean(),
+			MPCPFailures: failures,
+		})
+	}
+	return out
+}
+
+// pfairSyncProcs computes the minimum processors for PD² with
+// quantum-boundary locking: each task's cost is inflated by its per-job
+// synchronization overhead — one deferral (≤ cs − 1) plus the lock wait
+// bound (m−1)·cs — and the resulting quantum-rounded weights are summed.
+// The bound depends on m, so the count iterates to self-consistency.
+func pfairSyncProcs(set task.Set, res []string, cs, quantum int64) int {
+	m := int(set.TotalWeight().Ceil())
+	if m < 1 {
+		m = 1
+	}
+	for round := 0; round < 16; round++ {
+		total := rational.NewAcc()
+		overhead := qlock.MaxDeferral(cs, quantum) + qlock.MaxBlocking(m, cs)
+		for _, t := range set {
+			e := t.Cost + overhead
+			if e > t.Period {
+				e = t.Period
+			}
+			total.Add(rational.New(rational.CeilDiv(e, quantum), t.Period/quantum))
+		}
+		need := int(total.Ceil())
+		if need < 1 {
+			need = 1
+		}
+		if need == m {
+			return m
+		}
+		m = need
+	}
+	return m
+}
+
+// mpcpProcs finds the minimum processors for partitioned RM with MPCP by
+// greedy first-fit: each task (decreasing utilization) goes to the first
+// processor where the WHOLE system — remote blocking is global — remains
+// schedulable; a new processor opens when none accepts. ok=false when a
+// task is unschedulable even on a fresh processor of an otherwise empty
+// continuation (its blocking exceeds its slack at any count).
+func mpcpProcs(set task.Set, res []string, cs int64) (int, bool) {
+	ordered := set.SortByUtilizationDecreasing()
+	resOf := map[string]string{}
+	for i, t := range set {
+		resOf[t.Name] = res[i]
+	}
+	sys := &mpcp.System{}
+	procs := 0
+	for _, t := range ordered {
+		sec := []mpcp.CS{{Resource: resOf[t.Name], Length: minInt64(cs, t.Cost)}}
+		placed := false
+		for p := 0; p < procs && !placed; p++ {
+			sys.Tasks = append(sys.Tasks, mpcp.TaskSpec{Task: t, Proc: p, Sections: sec})
+			if sys.Schedulable() {
+				placed = true
+			} else {
+				sys.Tasks = sys.Tasks[:len(sys.Tasks)-1]
+			}
+		}
+		if !placed {
+			sys.Tasks = append(sys.Tasks, mpcp.TaskSpec{Task: t, Proc: procs, Sections: sec})
+			procs++
+			if !sys.Schedulable() {
+				return 0, false
+			}
+		}
+	}
+	return procs, true
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,188 @@
+package heap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intHeap() *Heap[int] {
+	return New(func(a, b int) bool { return a < b })
+}
+
+func TestPushPopSorted(t *testing.T) {
+	h := intHeap()
+	in := []int{5, 3, 8, 1, 9, 2, 7, 4, 6, 0}
+	for _, v := range in {
+		h.Push(v)
+	}
+	if h.Len() != len(in) {
+		t.Fatalf("Len = %d, want %d", h.Len(), len(in))
+	}
+	for want := 0; want < len(in); want++ {
+		if got := h.Peek(); got != want {
+			t.Fatalf("Peek = %d, want %d", got, want)
+		}
+		if got := h.Pop(); got != want {
+			t.Fatalf("Pop = %d, want %d", got, want)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len after drain = %d", h.Len())
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	h := intHeap()
+	for _, v := range []int{3, 1, 3, 1, 2, 2} {
+		h.Push(v)
+	}
+	want := []int{1, 1, 2, 2, 3, 3}
+	for _, w := range want {
+		if got := h.Pop(); got != w {
+			t.Fatalf("Pop = %d, want %d", got, w)
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	h := intHeap()
+	items := make([]*Item[int], 0, 10)
+	for v := 0; v < 10; v++ {
+		items = append(items, h.Push(v))
+	}
+	h.Remove(items[0]) // remove min
+	h.Remove(items[9]) // remove max
+	h.Remove(items[5]) // remove middle
+	h.Remove(items[5]) // double-remove is a no-op
+	if items[5].Index() != -1 {
+		t.Errorf("removed item index = %d, want -1", items[5].Index())
+	}
+	var got []int
+	for h.Len() > 0 {
+		got = append(got, h.Pop())
+	}
+	want := []int{1, 2, 3, 4, 6, 7, 8}
+	if len(got) != len(want) {
+		t.Fatalf("drained %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drained %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFix(t *testing.T) {
+	type job struct{ deadline int }
+	h := New(func(a, b *job) bool { return a.deadline < b.deadline })
+	a := &job{10}
+	b := &job{20}
+	c := &job{30}
+	ia := h.Push(a)
+	h.Push(b)
+	h.Push(c)
+	// Postpone a's deadline past everything; b should become the min.
+	a.deadline = 40
+	h.Fix(ia)
+	if got := h.Pop(); got != b {
+		t.Fatalf("after Fix, Pop = %+v, want b", got)
+	}
+	if got := h.Pop(); got != c {
+		t.Fatalf("Pop = %+v, want c", got)
+	}
+	if got := h.Pop(); got != a {
+		t.Fatalf("Pop = %+v, want a", got)
+	}
+}
+
+func TestFixRemovedPanics(t *testing.T) {
+	h := intHeap()
+	it := h.Push(1)
+	h.Remove(it)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fix of removed item did not panic")
+		}
+	}()
+	h.Fix(it)
+}
+
+func TestQuickHeapSort(t *testing.T) {
+	f := func(vals []int) bool {
+		h := intHeap()
+		for _, v := range vals {
+			h.Push(v)
+		}
+		got := make([]int, 0, len(vals))
+		for h.Len() > 0 {
+			got = append(got, h.Pop())
+		}
+		want := append([]int(nil), vals...)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRandomRemovals interleaves pushes, pops, and removals and checks
+// the heap invariant (every pop is ≤ all remaining elements) throughout.
+func TestQuickRandomRemovals(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := intHeap()
+		var live []*Item[int]
+		for op := 0; op < 300; op++ {
+			switch {
+			case h.Len() == 0 || r.Intn(3) == 0:
+				live = append(live, h.Push(r.Intn(100)))
+			case r.Intn(2) == 0 && len(live) > 0:
+				// Remove a random live item.
+				k := r.Intn(len(live))
+				h.Remove(live[k])
+				live = append(live[:k], live[k+1:]...)
+			default:
+				min := h.Pop()
+				// Locate and drop from live, verifying minimality.
+				idx := -1
+				for k, it := range live {
+					if it.Index() == -1 && it.Value == min && idx == -1 {
+						idx = k
+					}
+					if it.Index() >= 0 && it.Value < min {
+						return false // popped value was not the minimum
+					}
+				}
+				if idx >= 0 {
+					live = append(live[:idx], live[idx+1:]...)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	h := intHeap()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		h.Push(r.Intn(1 << 20))
+		if h.Len() > 1024 {
+			h.Pop()
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package mpcp implements blocking analysis for the multiprocessor
+// priority ceiling protocol (MPCP) of Rajkumar, Sha, and Lehoczky [33],
+// the synchronization protocol Section 5.1 names as the state of the art
+// for partitioned systems — and only for RM-scheduled ones ("to the best
+// of our knowledge, no multiprocessor synchronization protocols have been
+// developed for partitioned systems with EDF").
+//
+// Model: tasks are partitioned onto processors and scheduled by RM; each
+// job executes a fixed list of non-nested critical sections. A resource is
+// local when all of its users share a processor (plain priority-ceiling
+// rules apply) and global otherwise (global critical sections execute at a
+// boosted ceiling priority and waiting tasks suspend in priority order).
+//
+// The blocking bound implemented here is the standard conservative
+// decomposition of the classical MPCP analysis:
+//
+//   - local PCP blocking: one critical section of a lower-priority local
+//     task whose resource ceiling reaches the task (the uniprocessor PCP
+//     term);
+//   - local boost blocking: each of the task's suspensions (one per global
+//     request, plus its release) lets lower-priority local tasks run one
+//     boosted global section;
+//   - remote blocking, per global request: one lower-priority holder's
+//     section on the resource plus one section per higher-priority remote
+//     user of the resource.
+//
+// It is conservative (no response-time iteration on remote segments) and
+// sufficient: the returned blocking terms can be added into the RM
+// response-time recurrence, which AnalyzeSystem does. Tests validate
+// hand-worked examples and monotonicity properties, and the experiments
+// package uses it for the Section 5.1 comparison against Pfair's
+// quantum-boundary locking.
+package mpcp
+
+import (
+	"fmt"
+	"sort"
+
+	"pfair/internal/task"
+)
+
+// CS is one critical-section requirement of a task: each job holds
+// Resource for Length time units once.
+type CS struct {
+	Resource string
+	Length   int64
+}
+
+// TaskSpec couples a task with its processor assignment and critical
+// sections.
+type TaskSpec struct {
+	Task     *task.Task
+	Proc     int
+	Sections []CS
+}
+
+// System is a partitioned RM system with shared resources.
+type System struct {
+	Tasks []TaskSpec
+}
+
+// Validate checks processor indices, section lengths, and name
+// uniqueness.
+func (s *System) Validate() error {
+	names := map[string]bool{}
+	for _, ts := range s.Tasks {
+		if err := ts.Task.Validate(); err != nil {
+			return err
+		}
+		if names[ts.Task.Name] {
+			return fmt.Errorf("mpcp: duplicate task %q", ts.Task.Name)
+		}
+		names[ts.Task.Name] = true
+		if ts.Proc < 0 {
+			return fmt.Errorf("mpcp: task %q on negative processor", ts.Task.Name)
+		}
+		var total int64
+		for _, cs := range ts.Sections {
+			if cs.Length <= 0 {
+				return fmt.Errorf("mpcp: task %q has non-positive section on %q", ts.Task.Name, cs.Resource)
+			}
+			total += cs.Length
+		}
+		if total > ts.Task.Cost {
+			return fmt.Errorf("mpcp: task %q critical sections (%d) exceed its cost (%d)", ts.Task.Name, total, ts.Task.Cost)
+		}
+	}
+	return nil
+}
+
+// Global reports whether the resource is used from more than one
+// processor.
+func (s *System) Global(resource string) bool {
+	proc := -1
+	for _, ts := range s.Tasks {
+		for _, cs := range ts.Sections {
+			if cs.Resource != resource {
+				continue
+			}
+			if proc < 0 {
+				proc = ts.Proc
+			} else if proc != ts.Proc {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// higherPriority reports whether a outranks b under RM (shorter period;
+// name tie-break).
+func higherPriority(a, b *task.Task) bool {
+	if a.Period != b.Period {
+		return a.Period < b.Period
+	}
+	return a.Name < b.Name
+}
+
+// Blocking returns the worst-case per-job blocking term B for the named
+// task under MPCP.
+func (s *System) Blocking(name string) (int64, error) {
+	var me *TaskSpec
+	for i := range s.Tasks {
+		if s.Tasks[i].Task.Name == name {
+			me = &s.Tasks[i]
+		}
+	}
+	if me == nil {
+		return 0, fmt.Errorf("mpcp: no task %q", name)
+	}
+
+	// Ceilings of local resources: the highest priority (shortest
+	// period) among local users.
+	localCeiling := map[string]int64{} // resource -> min period among users
+	for _, ts := range s.Tasks {
+		for _, cs := range ts.Sections {
+			if s.Global(cs.Resource) {
+				continue
+			}
+			if p, ok := localCeiling[cs.Resource]; !ok || ts.Task.Period < p {
+				localCeiling[cs.Resource] = ts.Task.Period
+			}
+		}
+	}
+
+	// (1) Local PCP blocking: one section of a lower-priority local task
+	// on a local resource whose ceiling is at least my priority.
+	var localPCP int64
+	// (2) Boost blocking pieces: the longest global section of each
+	// lower-priority local task.
+	var maxLowerBoost int64
+	for _, ts := range s.Tasks {
+		if ts.Proc != me.Proc || ts.Task.Name == me.Task.Name || higherPriority(ts.Task, me.Task) {
+			continue
+		}
+		for _, cs := range ts.Sections {
+			if s.Global(cs.Resource) {
+				if cs.Length > maxLowerBoost {
+					maxLowerBoost = cs.Length
+				}
+				continue
+			}
+			if localCeiling[cs.Resource] <= me.Task.Period && cs.Length > localPCP {
+				localPCP = cs.Length
+			}
+		}
+	}
+
+	// My global requests.
+	var globalReqs int64
+	for _, cs := range me.Sections {
+		if s.Global(cs.Resource) {
+			globalReqs++
+		}
+	}
+	boost := (globalReqs + 1) * maxLowerBoost
+
+	// (3) Remote blocking per global request.
+	var remote int64
+	for _, cs := range me.Sections {
+		if !s.Global(cs.Resource) {
+			continue
+		}
+		var lowerMax, higherSum int64
+		for _, ts := range s.Tasks {
+			if ts.Task.Name == me.Task.Name || ts.Proc == me.Proc {
+				continue
+			}
+			for _, other := range ts.Sections {
+				if other.Resource != cs.Resource {
+					continue
+				}
+				if higherPriority(ts.Task, me.Task) {
+					higherSum += other.Length
+				} else if other.Length > lowerMax {
+					lowerMax = other.Length
+				}
+			}
+		}
+		remote += lowerMax + higherSum
+	}
+
+	return localPCP + boost + remote, nil
+}
+
+// ResponseTimes runs the RM response-time analysis with MPCP blocking:
+//
+//	R = e + B + Σ_{higher-priority, same processor} ⌈R/pⱼ⌉·eⱼ
+//
+// It returns each task's response time in input order (−1 if divergent)
+// and whether every task meets its period.
+func (s *System) ResponseTimes() (map[string]int64, bool, error) {
+	if err := s.Validate(); err != nil {
+		return nil, false, err
+	}
+	byProc := map[int][]TaskSpec{}
+	for _, ts := range s.Tasks {
+		byProc[ts.Proc] = append(byProc[ts.Proc], ts)
+	}
+	resp := make(map[string]int64, len(s.Tasks))
+	ok := true
+	for _, group := range byProc {
+		sort.SliceStable(group, func(i, j int) bool {
+			return higherPriority(group[i].Task, group[j].Task)
+		})
+		for i, ts := range group {
+			b, err := s.Blocking(ts.Task.Name)
+			if err != nil {
+				return nil, false, err
+			}
+			r := ts.Task.Cost + b
+			for {
+				demand := ts.Task.Cost + b
+				for _, h := range group[:i] {
+					demand += ((r + h.Task.Period - 1) / h.Task.Period) * h.Task.Cost
+				}
+				if demand == r {
+					break
+				}
+				r = demand
+				if r > ts.Task.Period {
+					break
+				}
+			}
+			if r > ts.Task.Period {
+				r = -1
+				ok = false
+			}
+			resp[ts.Task.Name] = r
+		}
+	}
+	return resp, ok, nil
+}
+
+// Schedulable reports whether the partitioned system passes the analysis.
+func (s *System) Schedulable() bool {
+	_, ok, err := s.ResponseTimes()
+	return err == nil && ok
+}

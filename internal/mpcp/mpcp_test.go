@@ -1,0 +1,203 @@
+package mpcp
+
+import (
+	"testing"
+
+	"pfair/internal/task"
+)
+
+// twoProcSystem builds a reference system used by several tests:
+//
+//	proc 0: hi (1,4), lo (2,10)  — lo holds local resource L for 1
+//	proc 1: rem (2,8)            — rem and hi share global resource G
+func twoProcSystem() *System {
+	return &System{Tasks: []TaskSpec{
+		{Task: task.New("hi", 1, 4), Proc: 0, Sections: []CS{{Resource: "G", Length: 1}}},
+		{Task: task.New("lo", 2, 10), Proc: 0, Sections: []CS{{Resource: "L", Length: 1}}},
+		{Task: task.New("rem", 2, 8), Proc: 1, Sections: []CS{{Resource: "G", Length: 2}}},
+	}}
+}
+
+func TestGlobalDetection(t *testing.T) {
+	s := twoProcSystem()
+	if !s.Global("G") {
+		t.Error("G used from two processors should be global")
+	}
+	if s.Global("L") {
+		t.Error("L used from one processor should be local")
+	}
+	if s.Global("absent") {
+		t.Error("unused resource should not be global")
+	}
+}
+
+func TestBlockingHandWorked(t *testing.T) {
+	s := twoProcSystem()
+	// hi: local PCP — L's ceiling is lo's period (10) > hi's period (4),
+	// so L cannot block hi: localPCP = 0. Lower local task lo has no
+	// global sections: boost = 0. hi's one global request on G: remote =
+	// lower-priority remote holder rem's section (2) + no higher remote
+	// users = 2. B(hi) = 2.
+	b, err := s.Blocking("hi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 2 {
+		t.Errorf("B(hi) = %d, want 2", b)
+	}
+	// lo: local PCP — no lower-priority local tasks at all: 0. boost 0.
+	// lo has no global sections: remote 0. B(lo) = 0.
+	b, err = s.Blocking("lo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 0 {
+		t.Errorf("B(lo) = %d, want 0", b)
+	}
+	// rem: alone on proc 1: local terms 0. One global request on G:
+	// remote = max lower holder (none lower: hi has period 4 < 8, so hi
+	// is higher → higherSum = 1) + 0 = 1. B(rem) = 1.
+	b, err = s.Blocking("rem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 1 {
+		t.Errorf("B(rem) = %d, want 1", b)
+	}
+}
+
+func TestLocalPCPBlocking(t *testing.T) {
+	// hi and lo share local resource L; lo's section can block hi once.
+	s := &System{Tasks: []TaskSpec{
+		{Task: task.New("hi", 2, 6), Proc: 0, Sections: []CS{{Resource: "L", Length: 1}}},
+		{Task: task.New("lo", 3, 12), Proc: 0, Sections: []CS{{Resource: "L", Length: 2}}},
+	}}
+	b, err := s.Blocking("hi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 2 {
+		t.Errorf("B(hi) = %d, want 2 (lo's section)", b)
+	}
+}
+
+func TestBoostBlocking(t *testing.T) {
+	// lo's GLOBAL section can preempt hi at boosted priority during each
+	// of hi's suspensions; hi has one global request → (1+1)·len = 4.
+	s := &System{Tasks: []TaskSpec{
+		{Task: task.New("hi", 2, 8), Proc: 0, Sections: []CS{{Resource: "G1", Length: 1}}},
+		{Task: task.New("lo", 3, 16), Proc: 0, Sections: []CS{{Resource: "G2", Length: 2}}},
+		{Task: task.New("r1", 1, 9), Proc: 1, Sections: []CS{{Resource: "G1", Length: 1}}},
+		{Task: task.New("r2", 1, 20), Proc: 1, Sections: []CS{{Resource: "G2", Length: 1}}},
+	}}
+	b, err := s.Blocking("hi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// boost = (1+1)·2 = 4; remote on G1 = higher remote r1's 1 → 1.
+	if b != 5 {
+		t.Errorf("B(hi) = %d, want 5", b)
+	}
+}
+
+func TestResponseTimesWithBlocking(t *testing.T) {
+	s := twoProcSystem()
+	resp, ok, err := s.ResponseTimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("reference system should be schedulable")
+	}
+	// hi: e=1 + B=2 = 3 ≤ 4.
+	if resp["hi"] != 3 {
+		t.Errorf("R(hi) = %d, want 3", resp["hi"])
+	}
+	// lo: e=2 + B=0 + interference from hi: R=2+0+⌈R/4⌉·1 → 3 → 3 ✓.
+	if resp["lo"] != 3 {
+		t.Errorf("R(lo) = %d, want 3", resp["lo"])
+	}
+	// rem: e=2 + B=1 = 3 ≤ 8, alone on proc 1.
+	if resp["rem"] != 3 {
+		t.Errorf("R(rem) = %d, want 3", resp["rem"])
+	}
+}
+
+func TestBlockingMakesUnschedulable(t *testing.T) {
+	// Without sharing this fits; a long remote section breaks it.
+	build := func(remoteLen int64) *System {
+		return &System{Tasks: []TaskSpec{
+			{Task: task.New("a", 2, 4), Proc: 0, Sections: []CS{{Resource: "G", Length: 1}}},
+			{Task: task.New("b", 6, 12), Proc: 1, Sections: []CS{{Resource: "G", Length: remoteLen}}},
+		}}
+	}
+	if !build(1).Schedulable() {
+		t.Fatal("short sections should be schedulable")
+	}
+	if build(4).Schedulable() {
+		t.Fatal("a 4-unit remote section pushes R(a) = 2+4 = 6 > 4")
+	}
+}
+
+// TestMonotonicity: adding a remote user of a shared resource never
+// decreases anyone's blocking.
+func TestMonotonicity(t *testing.T) {
+	base := twoProcSystem()
+	bHi, _ := base.Blocking("hi")
+	grown := twoProcSystem()
+	grown.Tasks = append(grown.Tasks, TaskSpec{
+		Task: task.New("rem2", 1, 6), Proc: 1, Sections: []CS{{Resource: "G", Length: 1}},
+	})
+	bHi2, err := grown.Blocking("hi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bHi2 < bHi {
+		t.Errorf("blocking decreased when a remote user joined: %d → %d", bHi, bHi2)
+	}
+}
+
+func TestNoSharingNoBlocking(t *testing.T) {
+	s := &System{Tasks: []TaskSpec{
+		{Task: task.New("a", 1, 4), Proc: 0},
+		{Task: task.New("b", 2, 8), Proc: 0},
+		{Task: task.New("c", 3, 9), Proc: 1},
+	}}
+	for _, name := range []string{"a", "b", "c"} {
+		b, err := s.Blocking(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b != 0 {
+			t.Errorf("B(%s) = %d, want 0 without shared resources", name, b)
+		}
+	}
+	if !s.Schedulable() {
+		t.Error("independent fitting system should be schedulable")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := &System{Tasks: []TaskSpec{
+		{Task: task.New("a", 1, 4), Proc: 0, Sections: []CS{{Resource: "R", Length: 2}}},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("sections exceeding cost accepted")
+	}
+	dup := &System{Tasks: []TaskSpec{
+		{Task: task.New("a", 1, 4), Proc: 0},
+		{Task: task.New("a", 1, 5), Proc: 1},
+	}}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	neg := &System{Tasks: []TaskSpec{
+		{Task: task.New("a", 1, 4), Proc: -1},
+	}}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative processor accepted")
+	}
+	if _, err := (&System{}).Blocking("ghost"); err == nil {
+		t.Error("unknown task accepted")
+	}
+}

@@ -1,0 +1,318 @@
+package overhead
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pfair/internal/rational"
+	"pfair/internal/task"
+	"pfair/internal/taskgen"
+)
+
+// paperParams mirrors the Section 4 experimental constants with a flat
+// (m-independent) PD² scheduling cost for unit tests.
+func paperParams(d int64) Params {
+	return Params{
+		Quantum:       1000,
+		ContextSwitch: 5,
+		SchedEDF:      1,
+		SchedPD2:      func(m, n int) int64 { return 3 },
+		CacheDelay:    func(*task.Task) int64 { return d },
+	}
+}
+
+func TestInflateEDF(t *testing.T) {
+	p := paperParams(33)
+	// e' = e + 2(S+C) + maxD = 100 + 2*6 + 40 = 152.
+	if got := InflateEDF(100, p, 40); got != 152 {
+		t.Errorf("InflateEDF = %d, want 152", got)
+	}
+	// No preemptable tasks on the processor: maxD = 0.
+	if got := InflateEDF(100, p, 0); got != 112 {
+		t.Errorf("InflateEDF = %d, want 112", got)
+	}
+}
+
+func TestInflatePD2HandWorked(t *testing.T) {
+	p := paperParams(0)
+	// Task e=1500 µs, p=10000 µs (10 quanta), S=3, C=5, D=20.
+	// Iter 1 from e'=1500: E=2, preempts=min(1, 8)=1,
+	//   e' = 1500 + 2*3 + 5 + 1*(5+20) = 1536. E stays 2 → converged.
+	got, iters, ok := InflatePD2(1500, 10000, p, 3, 20)
+	if !ok {
+		t.Fatal("inflation rejected")
+	}
+	if got != 1536 {
+		t.Errorf("InflatePD2 = %d, want 1536", got)
+	}
+	if iters < 2 {
+		t.Errorf("iters = %d, want at least 2 (initial + confirm)", iters)
+	}
+}
+
+func TestInflatePD2CrossesQuantum(t *testing.T) {
+	p := paperParams(0)
+	// e=995 in 2-quantum period: E=1 initially, overhead pushes e' past
+	// one quantum, raising E to 2 and the preemption term with it.
+	got, _, ok := InflatePD2(995, 2000, p, 3, 50)
+	if !ok {
+		t.Fatal("rejected")
+	}
+	// Round 1: E=1, preempts=min(0,1)=0 → e'=995+3+5=1003.
+	// Round 2: E=2, preempts=min(1,0)=0 → e'=995+6+5=1006. Stable.
+	if got != 1006 {
+		t.Errorf("InflatePD2 = %d, want 1006", got)
+	}
+}
+
+func TestInflatePD2Infeasible(t *testing.T) {
+	p := paperParams(0)
+	// A full-weight task cannot absorb any overhead.
+	if _, _, ok := InflatePD2(1000, 1000, p, 3, 10); ok {
+		t.Error("weight-1 task accepted despite overhead")
+	}
+}
+
+func TestInflatePD2PanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for period not a multiple of the quantum")
+		}
+	}()
+	InflatePD2(100, 1500, paperParams(0), 3, 0)
+}
+
+func TestPD2Weight(t *testing.T) {
+	// 1536 µs in 1 ms quanta = 2 quanta per 10 slots → 1/5.
+	if got := PD2Weight(1536, 10000, 1000); !got.Equal(rational.New(1, 5)) {
+		t.Errorf("PD2Weight = %v, want 1/5", got)
+	}
+}
+
+// TestInflationConvergence reproduces the Section 4 observation: over
+// random task sets the fixed point converges within a handful of
+// iterations (the paper says "usually within five").
+func TestInflationConvergence(t *testing.T) {
+	g := taskgen.New(99)
+	p := paperParams(0)
+	worst := 0
+	for trial := 0; trial < 50; trial++ {
+		set := g.Set("T", 50, 5.0, taskgen.DefaultPeriodsUS)
+		delays := g.CacheDelays(set, 100)
+		for _, tk := range set {
+			_, iters, ok := InflatePD2(tk.Cost, tk.Period, p, 3, delays[tk.Name])
+			if !ok {
+				continue
+			}
+			if iters > worst {
+				worst = iters
+			}
+		}
+	}
+	if worst > 8 {
+		t.Errorf("worst-case fixed-point iterations = %d, expected a handful", worst)
+	}
+	if worst == 0 {
+		t.Error("no inflation was exercised")
+	}
+}
+
+// TestQuickInflationIsSound: the returned e′ always covers the right-hand
+// side of Equation (3) evaluated at e′ — the soundness condition even when
+// the recurrence oscillated.
+func TestQuickInflationIsSound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := paperParams(0)
+		pq := int64(2 + r.Intn(1000))
+		per := pq * p.Quantum
+		e := 1 + r.Int63n(per)
+		sPD2 := int64(r.Intn(20))
+		d := int64(r.Intn(150))
+		got, _, ok := InflatePD2(e, per, p, sPD2, d)
+		if !ok {
+			return true
+		}
+		eq := rational.CeilDiv(got, p.Quantum)
+		preempts := eq - 1
+		if pq-eq < preempts {
+			preempts = pq - eq
+		}
+		rhs := e + eq*sPD2 + p.ContextSwitch + preempts*(p.ContextSwitch+d)
+		if got < rhs {
+			t.Logf("e=%d per=%d s=%d d=%d: e'=%d < rhs=%d", e, per, sPD2, d, got, rhs)
+			return false
+		}
+		return got >= e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinProcsPD2Smoke(t *testing.T) {
+	g := taskgen.New(7)
+	set := g.Set("T", 50, 5.0, taskgen.DefaultPeriodsUS)
+	delays := g.CacheDelays(set, 100)
+	p := Params{
+		Quantum:       1000,
+		ContextSwitch: 5,
+		SchedEDF:      1,
+		SchedPD2:      func(m, n int) int64 { return int64(2 + m/4) },
+		CacheDelay:    func(t *task.Task) int64 { return delays[t.Name] },
+	}
+	res := MinProcsPD2(set, p)
+	if res.Processors < set.MinProcessors() {
+		t.Errorf("PD² with overheads needs %d < overhead-free bound %d", res.Processors, set.MinProcessors())
+	}
+	if res.Processors > 3*set.MinProcessors()+2 {
+		t.Errorf("PD² needs implausibly many processors: %d (base %d)", res.Processors, set.MinProcessors())
+	}
+	if res.InflatedUtil <= res.BaseUtil {
+		t.Error("inflation did not increase utilization")
+	}
+	if res.Iterations < 1 {
+		t.Error("no iterations recorded")
+	}
+}
+
+func TestMinProcsEDFFFSmoke(t *testing.T) {
+	g := taskgen.New(8)
+	set := g.Set("T", 50, 5.0, taskgen.DefaultPeriodsUS)
+	delays := g.CacheDelays(set, 100)
+	p := paperParams(0)
+	p.CacheDelay = func(t *task.Task) int64 { return delays[t.Name] }
+	res := MinProcsEDFFF(set, p)
+	if res.Processors < set.MinProcessors() {
+		t.Errorf("EDF-FF needs %d < lower bound %d", res.Processors, set.MinProcessors())
+	}
+	if res.InflatedUtil <= res.BaseUtil {
+		t.Error("inflation did not increase utilization")
+	}
+}
+
+// TestLowUtilizationBothNearIdeal: when per-task utilizations are tiny,
+// both schemes need close to the ideal processor count — the left edge of
+// Figure 3 where the curves coincide.
+func TestLowUtilizationBothNearIdeal(t *testing.T) {
+	g := taskgen.New(9)
+	set := g.Set("T", 50, 1.8, taskgen.DefaultPeriodsUS) // mean util 0.036
+	delays := g.CacheDelays(set, 100)
+	p := paperParams(0)
+	p.CacheDelay = func(t *task.Task) int64 { return delays[t.Name] }
+	pd2 := MinProcsPD2(set, p)
+	ff := MinProcsEDFFF(set, p)
+	if pd2.Processors > 4 || ff.Processors > 4 {
+		t.Errorf("low-utilization set needs pd2=%d ff=%d processors; both should be near 2",
+			pd2.Processors, ff.Processors)
+	}
+}
+
+// TestComputeLossesDecomposition: losses are non-negative and the EDF-FF
+// split adds up: inflated util + stranded capacity = platform.
+func TestComputeLossesDecomposition(t *testing.T) {
+	g := taskgen.New(10)
+	set := g.Set("T", 50, 8.0, taskgen.DefaultPeriodsUS)
+	delays := g.CacheDelays(set, 100)
+	p := paperParams(0)
+	p.CacheDelay = func(t *task.Task) int64 { return delays[t.Name] }
+	l, pd2, ff := ComputeLosses(set, p)
+	if pd2.Processors <= 0 || ff.Processors <= 0 {
+		t.Fatalf("unschedulable: %+v %+v", pd2, ff)
+	}
+	if l.Pfair < 0 || l.EDF < 0 || l.FF < 0 {
+		t.Errorf("negative loss: %+v", l)
+	}
+	sum := (ff.InflatedUtil-ff.BaseUtil)/float64(ff.Processors) +
+		(float64(ff.Processors)-ff.InflatedUtil)/float64(ff.Processors)
+	if got := l.EDF + l.FF; got < sum-1e-9 || got > sum+1e-9 {
+		t.Errorf("loss split does not decompose: %v vs %v", got, sum)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := paperParams(0)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := good
+	bad.Quantum = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero quantum accepted")
+	}
+	bad = good
+	bad.SchedPD2 = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("nil SchedPD2 accepted")
+	}
+	bad = good
+	bad.ContextSwitch = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative cost accepted")
+	}
+}
+
+// TestMinProcsPD2Infeasible: a task whose inflated weight exceeds one at
+// this quantum makes the whole computation report -1.
+func TestMinProcsPD2Infeasible(t *testing.T) {
+	set := task.Set{task.New("hog", 996, 1000)} // inflation pushes past the 1-quantum period
+	p := paperParams(50)
+	res := MinProcsPD2(set, p)
+	if res.Processors != -1 {
+		t.Errorf("Processors = %d, want -1 (inflation exceeds the period)", res.Processors)
+	}
+}
+
+// TestMinProcsEDFFFInfeasible: EDF inflation can also exceed a period.
+func TestMinProcsEDFFFInfeasible(t *testing.T) {
+	set := task.Set{task.New("hog", 995, 1000)}
+	p := paperParams(0) // e' = 995 + 2(1+5) = 1007 > 1000
+	res := MinProcsEDFFF(set, p)
+	if res.Processors != -1 {
+		t.Errorf("Processors = %d, want -1", res.Processors)
+	}
+}
+
+// TestMinProcsPD2ValidatePanics covers the parameter guard.
+func TestMinProcsPD2ValidatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for invalid params")
+		}
+	}()
+	MinProcsPD2(task.Set{task.New("a", 1, 1000)}, Params{})
+}
+
+// TestMinProcsEDFFFValidatePanics covers the parameter guard.
+func TestMinProcsEDFFFValidatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for invalid params")
+		}
+	}()
+	MinProcsEDFFF(task.Set{task.New("a", 1, 1000)}, Params{})
+}
+
+// TestMinProcsPD2GrowingS: a scheduling-cost model that grows with m makes
+// the self-consistency loop iterate upward and still converge.
+func TestMinProcsPD2GrowingS(t *testing.T) {
+	g := taskgen.New(21)
+	set := g.SetCapped("T", 60, 20, 0.8, []int64{50000, 100000, 500000})
+	p := Params{
+		Quantum:       1000,
+		ContextSwitch: 5,
+		SchedEDF:      1,
+		SchedPD2:      func(m, n int) int64 { return int64(2 + m) },
+		CacheDelay:    func(*task.Task) int64 { return 30 },
+	}
+	res := MinProcsPD2(set, p)
+	if res.Processors < 20 {
+		t.Errorf("Processors = %d, want ≥ the overhead-free bound 20", res.Processors)
+	}
+	// Self-consistency: recomputing at the returned count agrees.
+	s := p.SchedPD2(res.Processors, len(set))
+	if s <= 2 {
+		t.Fatal("model not exercised")
+	}
+}

@@ -1,0 +1,35 @@
+package partition_test
+
+import (
+	"fmt"
+
+	"pfair/internal/partition"
+	"pfair/internal/rational"
+	"pfair/internal/task"
+)
+
+// ExamplePack shows Section 3's motivating example: three tasks of weight
+// 2/3 cannot be partitioned onto two processors, even though their total
+// weight is exactly 2.
+func ExamplePack() {
+	set := task.Set{task.New("A", 2, 3), task.New("B", 2, 3), task.New("C", 2, 3)}
+	a := partition.Pack(set, 2, partition.FirstFit, partition.EDFTest)
+	fmt.Println("placed everything:", a.OK())
+	n, _ := partition.MinProcessorsExact(set, partition.EDFTest)
+	fmt.Println("exact minimum processors:", n)
+	fmt.Println("Pfair minimum processors:", set.MinProcessors())
+	// Output:
+	// placed everything: false
+	// exact minimum processors: 3
+	// Pfair minimum processors: 2
+}
+
+// ExampleLopezBound evaluates the worst-case achievable utilization of
+// EDF partitioning from Lopez et al.: (βM+1)/(β+1) with β = ⌊1/umax⌋.
+func ExampleLopezBound() {
+	fmt.Println(partition.LopezBound(4, rational.One()))
+	fmt.Println(partition.LopezBound(4, rational.New(1, 3)))
+	// Output:
+	// 5/2
+	// 13/4
+}

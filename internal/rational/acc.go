@@ -1,0 +1,101 @@
+package rational
+
+import "math/big"
+
+// Acc is an exact arbitrary-precision rational accumulator.
+//
+// Rat deliberately restricts itself to int64 components, which is safe for
+// per-task quantities (a task's lags and window bounds have denominators
+// dividing its period). Sums across a task *set* — the Σ wt(T) of the
+// feasibility condition (2) — have denominators near the lcm of all
+// periods, which overflows int64 for realistic sets of hundreds of tasks
+// with co-prime periods. Acc holds such sums exactly using math/big.
+//
+// The zero value is not usable; construct with NewAcc.
+type Acc struct {
+	v big.Rat
+}
+
+// NewAcc returns an accumulator holding zero.
+func NewAcc() *Acc { return &Acc{} }
+
+// Add adds r to the accumulator and returns it for chaining.
+func (a *Acc) Add(r Rat) *Acc {
+	var t big.Rat
+	t.SetFrac64(r.Num(), r.Den())
+	a.v.Add(&a.v, &t)
+	return a
+}
+
+// Sub subtracts r from the accumulator and returns it for chaining.
+func (a *Acc) Sub(r Rat) *Acc {
+	var t big.Rat
+	t.SetFrac64(r.Num(), r.Den())
+	a.v.Sub(&a.v, &t)
+	return a
+}
+
+// AddAcc adds another accumulator's value.
+func (a *Acc) AddAcc(b *Acc) *Acc {
+	a.v.Add(&a.v, &b.v)
+	return a
+}
+
+// Clone returns an independent copy.
+func (a *Acc) Clone() *Acc {
+	c := NewAcc()
+	c.v.Set(&a.v)
+	return c
+}
+
+// Cmp compares the accumulated value with r: −1 if less, 0 if equal, +1 if
+// greater.
+func (a *Acc) Cmp(r Rat) int {
+	var t big.Rat
+	t.SetFrac64(r.Num(), r.Den())
+	return a.v.Cmp(&t)
+}
+
+// CmpInt compares the accumulated value with the integer n.
+func (a *Acc) CmpInt(n int64) int {
+	var t big.Rat
+	t.SetInt64(n)
+	return a.v.Cmp(&t)
+}
+
+// Sign returns the sign of the accumulated value.
+func (a *Acc) Sign() int { return a.v.Sign() }
+
+// Ceil returns ⌈value⌉. It panics if the result does not fit in int64
+// (impossible for task-weight sums, which are bounded by the task count).
+func (a *Acc) Ceil() int64 {
+	num := a.v.Num()
+	den := a.v.Denom()
+	var q, m big.Int
+	q.QuoRem(num, den, &m)
+	if m.Sign() != 0 && num.Sign() > 0 {
+		q.Add(&q, big.NewInt(1))
+	}
+	if !q.IsInt64() {
+		panic("rational: Acc.Ceil overflows int64")
+	}
+	return q.Int64()
+}
+
+// Float returns the nearest float64 for reporting.
+func (a *Acc) Float() float64 {
+	f, _ := a.v.Float64()
+	return f
+}
+
+// String renders the exact value.
+func (a *Acc) String() string { return a.v.RatString() }
+
+// Rat returns the value as an int64 Rat if it fits, with ok reporting
+// whether it did.
+func (a *Acc) Rat() (r Rat, ok bool) {
+	if !a.v.Num().IsInt64() || !a.v.Denom().IsInt64() {
+		return Zero(), false
+	}
+	return New(a.v.Num().Int64(), a.v.Denom().Int64()), true
+}

@@ -1,0 +1,296 @@
+// Package rational implements exact arithmetic on rational numbers with
+// int64 numerators and denominators.
+//
+// Pfair scheduling theory is stated in terms of exact task weights
+// wt(T) = e/p and exact per-slot lags lag(T, t) = wt(T)·t − allocated(T, t).
+// The correctness condition −1 < lag < 1 (Equation (1) of the paper) is a
+// strict inequality on rationals; evaluating it in floating point can
+// misclassify schedules whose lag touches the bound. Every lag and weight
+// computation in this repository therefore uses this package.
+//
+// Values are kept in lowest terms with a positive denominator, so Rat is
+// comparable with == and usable as a map key. Arithmetic panics on overflow
+// rather than silently wrapping: task parameters in all experiments are tiny
+// (periods ≤ 10⁶, horizons ≤ 10⁹), so an overflow is a programming error,
+// not an input condition.
+package rational
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Rat is an exact rational number. The zero value is 0/1, i.e. zero.
+type Rat struct {
+	num int64 // may be negative; zero iff the value is zero
+	den int64 // always > 0; 1 when num == 0
+}
+
+// New returns the rational num/den in lowest terms. It panics if den == 0.
+func New(num, den int64) Rat {
+	if den == 0 {
+		panic("rational: zero denominator")
+	}
+	if den < 0 {
+		num, den = -num, -den
+	}
+	if num == 0 {
+		return Rat{0, 1}
+	}
+	g := gcd(abs(num), den)
+	return Rat{num / g, den / g}
+}
+
+// FromInt returns the rational n/1.
+func FromInt(n int64) Rat { return Rat{n, 1} }
+
+// Zero returns the rational 0.
+func Zero() Rat { return Rat{0, 1} }
+
+// One returns the rational 1.
+func One() Rat { return Rat{1, 1} }
+
+// Num returns the numerator in lowest terms (sign carried here).
+func (r Rat) Num() int64 { return r.normalized().num }
+
+// Den returns the denominator in lowest terms (always positive).
+func (r Rat) Den() int64 { return r.normalized().den }
+
+// normalized maps the zero value Rat{} to the canonical 0/1.
+func (r Rat) normalized() Rat {
+	if r.den == 0 {
+		return Rat{0, 1}
+	}
+	return r
+}
+
+// Add returns r + s.
+func (r Rat) Add(s Rat) Rat {
+	r, s = r.normalized(), s.normalized()
+	// r.num/r.den + s.num/s.den over the lcm denominator.
+	g := gcd(r.den, s.den)
+	ld := mulCheck(r.den/g, s.den)
+	a := mulCheck(r.num, s.den/g)
+	b := mulCheck(s.num, r.den/g)
+	return New(addCheck(a, b), ld)
+}
+
+// Sub returns r − s.
+func (r Rat) Sub(s Rat) Rat { return r.Add(s.Neg()) }
+
+// Neg returns −r.
+func (r Rat) Neg() Rat { r = r.normalized(); return Rat{-r.num, r.den} }
+
+// Mul returns r · s.
+func (r Rat) Mul(s Rat) Rat {
+	r, s = r.normalized(), s.normalized()
+	// Cross-reduce before multiplying to keep intermediates small.
+	g1 := gcd(abs(r.num), s.den)
+	g2 := gcd(abs(s.num), r.den)
+	num := mulCheck(r.num/g1, s.num/g2)
+	den := mulCheck(r.den/g2, s.den/g1)
+	return New(num, den)
+}
+
+// MulInt returns r · n.
+func (r Rat) MulInt(n int64) Rat { return r.Mul(FromInt(n)) }
+
+// Div returns r / s. It panics if s is zero.
+func (r Rat) Div(s Rat) Rat {
+	s = s.normalized()
+	if s.num == 0 {
+		panic("rational: division by zero")
+	}
+	return r.Mul(Rat{s.den, s.num}.canon())
+}
+
+// canon restores the positive-denominator invariant after an inversion.
+func (r Rat) canon() Rat {
+	if r.den < 0 {
+		return Rat{-r.num, -r.den}
+	}
+	return r
+}
+
+// Cmp returns −1, 0, or +1 according to whether r < s, r == s, or r > s.
+func (r Rat) Cmp(s Rat) int {
+	r, s = r.normalized(), s.normalized()
+	// Compare r.num·s.den with s.num·r.den using 128-bit products so the
+	// comparison itself cannot overflow.
+	lhsHi, lhsLo := mul128(r.num, s.den)
+	rhsHi, rhsLo := mul128(s.num, r.den)
+	switch {
+	case lhsHi < rhsHi:
+		return -1
+	case lhsHi > rhsHi:
+		return 1
+	case lhsLo < rhsLo:
+		return -1
+	case lhsLo > rhsLo:
+		return 1
+	}
+	return 0
+}
+
+// Less reports whether r < s.
+func (r Rat) Less(s Rat) bool { return r.Cmp(s) < 0 }
+
+// LessEq reports whether r ≤ s.
+func (r Rat) LessEq(s Rat) bool { return r.Cmp(s) <= 0 }
+
+// Equal reports whether r == s.
+func (r Rat) Equal(s Rat) bool { return r.Cmp(s) == 0 }
+
+// Sign returns −1, 0, or +1 according to the sign of r.
+func (r Rat) Sign() int {
+	r = r.normalized()
+	switch {
+	case r.num < 0:
+		return -1
+	case r.num > 0:
+		return 1
+	}
+	return 0
+}
+
+// IsZero reports whether r is zero.
+func (r Rat) IsZero() bool { return r.normalized().num == 0 }
+
+// Floor returns ⌊r⌋.
+func (r Rat) Floor() int64 {
+	r = r.normalized()
+	q := r.num / r.den
+	if r.num%r.den != 0 && r.num < 0 {
+		q--
+	}
+	return q
+}
+
+// Ceil returns ⌈r⌉.
+func (r Rat) Ceil() int64 {
+	r = r.normalized()
+	q := r.num / r.den
+	if r.num%r.den != 0 && r.num > 0 {
+		q++
+	}
+	return q
+}
+
+// Float returns the nearest float64 (for reporting only — never used in
+// scheduling decisions).
+func (r Rat) Float() float64 {
+	r = r.normalized()
+	return float64(r.num) / float64(r.den)
+}
+
+// String renders r as "num/den", or just "num" for integers.
+func (r Rat) String() string {
+	r = r.normalized()
+	if r.den == 1 {
+		return fmt.Sprintf("%d", r.num)
+	}
+	return fmt.Sprintf("%d/%d", r.num, r.den)
+}
+
+// Sum returns the sum of rs, or zero for an empty slice.
+func Sum(rs []Rat) Rat {
+	total := Zero()
+	for _, r := range rs {
+		total = total.Add(r)
+	}
+	return total
+}
+
+// FloorDiv returns ⌊a/b⌋ for b > 0, exact for all int64 a.
+func FloorDiv(a, b int64) int64 {
+	if b <= 0 {
+		panic("rational: FloorDiv requires b > 0")
+	}
+	q := a / b
+	if a%b != 0 && a < 0 {
+		q--
+	}
+	return q
+}
+
+// CeilDiv returns ⌈a/b⌉ for b > 0, exact for all int64 a.
+func CeilDiv(a, b int64) int64 {
+	if b <= 0 {
+		panic("rational: CeilDiv requires b > 0")
+	}
+	q := a / b
+	if a%b != 0 && a > 0 {
+		q++
+	}
+	return q
+}
+
+// GCD returns the greatest common divisor of a and b (gcd(0,0) = 0).
+func GCD(a, b int64) int64 { return gcd(abs(a), abs(b)) }
+
+// LCM returns the least common multiple of a and b. It panics on overflow.
+func LCM(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	a, b = abs(a), abs(b)
+	return mulCheck(a/gcd(a, b), b)
+}
+
+func abs(a int64) int64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func addCheck(a, b int64) int64 {
+	s := a + b
+	if (a > 0 && b > 0 && s <= 0) || (a < 0 && b < 0 && s >= 0) {
+		panic("rational: int64 overflow in addition")
+	}
+	return s
+}
+
+func mulCheck(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if p/b != a {
+		panic("rational: int64 overflow in multiplication")
+	}
+	return p
+}
+
+// mul128 returns the signed 128-bit product a·b as (hi, lo) in two's
+// complement, suitable for lexicographic comparison.
+func mul128(a, b int64) (hi int64, lo uint64) {
+	neg := false
+	ua, ub := uint64(a), uint64(b)
+	if a < 0 {
+		ua = uint64(-a)
+		neg = !neg
+	}
+	if b < 0 {
+		ub = uint64(-b)
+		neg = !neg
+	}
+	h, l := bits.Mul64(ua, ub)
+	if neg {
+		// Two's complement negate the 128-bit value (h, l).
+		l = ^l + 1
+		h = ^h
+		if l == 0 {
+			h++
+		}
+	}
+	return int64(h), l
+}

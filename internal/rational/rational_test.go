@@ -1,0 +1,316 @@
+package rational
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewReduces(t *testing.T) {
+	cases := []struct {
+		num, den         int64
+		wantNum, wantDen int64
+	}{
+		{2, 4, 1, 2},
+		{8, 11, 8, 11},
+		{-2, 4, -1, 2},
+		{2, -4, -1, 2},
+		{-2, -4, 1, 2},
+		{0, 5, 0, 1},
+		{0, -5, 0, 1},
+		{6, 3, 2, 1},
+		{45, 45, 1, 1},
+	}
+	for _, c := range cases {
+		r := New(c.num, c.den)
+		if r.Num() != c.wantNum || r.Den() != c.wantDen {
+			t.Errorf("New(%d,%d) = %d/%d, want %d/%d", c.num, c.den, r.Num(), r.Den(), c.wantNum, c.wantDen)
+		}
+	}
+}
+
+func TestNewPanicsOnZeroDen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(1, 0) did not panic")
+		}
+	}()
+	New(1, 0)
+}
+
+func TestZeroValueIsZero(t *testing.T) {
+	var r Rat
+	if !r.IsZero() {
+		t.Error("zero value Rat is not zero")
+	}
+	if got := r.Add(New(1, 2)); !got.Equal(New(1, 2)) {
+		t.Errorf("0 + 1/2 = %v", got)
+	}
+	if r.String() != "0" {
+		t.Errorf("zero value String = %q", r.String())
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	half := New(1, 2)
+	third := New(1, 3)
+	if got := half.Add(third); !got.Equal(New(5, 6)) {
+		t.Errorf("1/2 + 1/3 = %v, want 5/6", got)
+	}
+	if got := half.Sub(third); !got.Equal(New(1, 6)) {
+		t.Errorf("1/2 - 1/3 = %v, want 1/6", got)
+	}
+	if got := half.Mul(third); !got.Equal(New(1, 6)) {
+		t.Errorf("1/2 * 1/3 = %v, want 1/6", got)
+	}
+	if got := half.Div(third); !got.Equal(New(3, 2)) {
+		t.Errorf("(1/2) / (1/3) = %v, want 3/2", got)
+	}
+	if got := half.Neg(); !got.Equal(New(-1, 2)) {
+		t.Errorf("-(1/2) = %v", got)
+	}
+	if got := third.MulInt(6); !got.Equal(FromInt(2)) {
+		t.Errorf("1/3 * 6 = %v, want 2", got)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("division by zero did not panic")
+		}
+	}()
+	One().Div(Zero())
+}
+
+func TestCmp(t *testing.T) {
+	cases := []struct {
+		a, b Rat
+		want int
+	}{
+		{New(1, 2), New(1, 3), 1},
+		{New(1, 3), New(1, 2), -1},
+		{New(2, 4), New(1, 2), 0},
+		{New(-1, 2), New(1, 2), -1},
+		{New(-1, 2), New(-1, 3), -1},
+		{Zero(), Zero(), 0},
+		{New(8, 11), New(3, 4), -1}, // 0.7272… < 0.75
+		{FromInt(math.MaxInt64 / 2), FromInt(math.MaxInt64/2 - 1), 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Cmp(c.b); got != c.want {
+			t.Errorf("Cmp(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestCmpNoOverflow uses denominators near the int64 limit where a naive
+// cross-multiplication would overflow.
+func TestCmpNoOverflow(t *testing.T) {
+	big := int64(3037000499) // ~sqrt(MaxInt64)
+	a := New(big, big+1)
+	b := New(big-1, big)
+	// a = big/(big+1), b = (big-1)/big; a - b = 1/(big(big+1)) > 0.
+	if got := a.Cmp(b); got != 1 {
+		t.Errorf("Cmp near overflow = %d, want 1", got)
+	}
+	if got := b.Cmp(a); got != -1 {
+		t.Errorf("reverse Cmp near overflow = %d, want -1", got)
+	}
+}
+
+func TestFloorCeil(t *testing.T) {
+	cases := []struct {
+		r           Rat
+		floor, ceil int64
+	}{
+		{New(7, 2), 3, 4},
+		{New(-7, 2), -4, -3},
+		{New(6, 2), 3, 3},
+		{New(-6, 2), -3, -3},
+		{Zero(), 0, 0},
+		{New(1, 1000), 0, 1},
+		{New(-1, 1000), -1, 0},
+	}
+	for _, c := range cases {
+		if got := c.r.Floor(); got != c.floor {
+			t.Errorf("Floor(%v) = %d, want %d", c.r, got, c.floor)
+		}
+		if got := c.r.Ceil(); got != c.ceil {
+			t.Errorf("Ceil(%v) = %d, want %d", c.r, got, c.ceil)
+		}
+	}
+}
+
+func TestFloorCeilDiv(t *testing.T) {
+	for a := int64(-20); a <= 20; a++ {
+		for b := int64(1); b <= 7; b++ {
+			wantF := int64(math.Floor(float64(a) / float64(b)))
+			wantC := int64(math.Ceil(float64(a) / float64(b)))
+			if got := FloorDiv(a, b); got != wantF {
+				t.Errorf("FloorDiv(%d,%d) = %d, want %d", a, b, got, wantF)
+			}
+			if got := CeilDiv(a, b); got != wantC {
+				t.Errorf("CeilDiv(%d,%d) = %d, want %d", a, b, got, wantC)
+			}
+		}
+	}
+}
+
+func TestGCDLCM(t *testing.T) {
+	if got := GCD(12, 18); got != 6 {
+		t.Errorf("GCD(12,18) = %d", got)
+	}
+	if got := GCD(0, 5); got != 5 {
+		t.Errorf("GCD(0,5) = %d", got)
+	}
+	if got := GCD(-12, 18); got != 6 {
+		t.Errorf("GCD(-12,18) = %d", got)
+	}
+	if got := LCM(4, 6); got != 12 {
+		t.Errorf("LCM(4,6) = %d", got)
+	}
+	if got := LCM(0, 6); got != 0 {
+		t.Errorf("LCM(0,6) = %d", got)
+	}
+	if got := LCM(7, 13); got != 91 {
+		t.Errorf("LCM(7,13) = %d", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := New(8, 11).String(); s != "8/11" {
+		t.Errorf("String = %q", s)
+	}
+	if s := New(4, 2).String(); s != "2" {
+		t.Errorf("String = %q", s)
+	}
+	if s := New(-1, 2).String(); s != "-1/2" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestSum(t *testing.T) {
+	rs := []Rat{New(1, 2), New(1, 3), New(1, 6)}
+	if got := Sum(rs); !got.Equal(One()) {
+		t.Errorf("Sum = %v, want 1", got)
+	}
+	if got := Sum(nil); !got.IsZero() {
+		t.Errorf("Sum(nil) = %v, want 0", got)
+	}
+}
+
+// randRat generates rationals with moderate components so quick-check
+// arithmetic cannot overflow even after a few combined operations.
+func randRat(r *rand.Rand) Rat {
+	num := r.Int63n(2000001) - 1000000
+	den := r.Int63n(1000000) + 1
+	return New(num, den)
+}
+
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randRat(r), randRat(r)
+		return a.Add(b).Equal(b.Add(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAddAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randRat(r), randRat(r), randRat(r)
+		return a.Add(b).Add(c).Equal(a.Add(b.Add(c)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMulDistributes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randRat(r), randRat(r), randRat(r)
+		return a.Mul(b.Add(c)).Equal(a.Mul(b).Add(a.Mul(c)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randRat(r), randRat(r)
+		return a.Add(b).Sub(b).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCmpMatchesFloat(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randRat(r), randRat(r)
+		fa, fb := a.Float(), b.Float()
+		if math.Abs(fa-fb) < 1e-9 {
+			return true // too close for float comparison to be trustworthy
+		}
+		want := 1
+		if fa < fb {
+			want = -1
+		}
+		return a.Cmp(b) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFloorCeilConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randRat(r)
+		fl, ce := a.Floor(), a.Ceil()
+		if a.Den() == 1 {
+			return fl == ce && fl == a.Num()
+		}
+		return ce == fl+1 && FromInt(fl).Less(a) && a.Less(FromInt(ce))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDivMulRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randRat(r), randRat(r)
+		if b.IsZero() {
+			return true
+		}
+		return a.Div(b).Mul(b).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	x, y := New(8, 11), New(7, 13)
+	for i := 0; i < b.N; i++ {
+		_ = x.Add(y)
+	}
+}
+
+func BenchmarkCmp(b *testing.B) {
+	x, y := New(8, 11), New(7, 13)
+	for i := 0; i < b.N; i++ {
+		_ = x.Cmp(y)
+	}
+}

@@ -1,0 +1,263 @@
+// Package rm implements uniprocessor rate-monotonic (RM) fixed-priority
+// scheduling: the Liu–Layland and hyperbolic utilization bounds, the exact
+// response-time (time-demand) schedulability test of Lehoczky, Sha, and
+// Ding [25], and a preemptive fixed-priority simulator.
+//
+// The paper discusses RM as the other popular partitioning companion
+// (RM-FF, Section 3) and notes its drawbacks: the guaranteed multiprocessor
+// utilization under RM-FF is only 41% (Oh & Baker [30]), and using the
+// exact test instead of the 69% utilization bound turns partitioning into a
+// variable-sized-bin-packing problem. This package provides both tests so
+// internal/partition can exhibit exactly that trade-off.
+package rm
+
+import (
+	"math"
+	"sort"
+
+	"pfair/internal/heap"
+	"pfair/internal/task"
+)
+
+// LiuLaylandBound returns the classic utilization bound n·(2^{1/n} − 1) for
+// n tasks; any set with Σu below it is RM-schedulable. The bound tends to
+// ln 2 ≈ 0.693 as n grows.
+func LiuLaylandBound(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+}
+
+// SchedulableLL applies the Liu–Layland sufficient test.
+func SchedulableLL(set task.Set) bool {
+	return set.TotalUtilization() <= LiuLaylandBound(len(set))+1e-12
+}
+
+// SchedulableHyperbolic applies the (tighter, still sufficient) hyperbolic
+// bound of Bini et al.: Π (uᵢ + 1) ≤ 2.
+func SchedulableHyperbolic(set task.Set) bool {
+	prod := 1.0
+	for _, t := range set {
+		prod *= t.Utilization() + 1
+	}
+	return prod <= 2+1e-12
+}
+
+// byRM returns the set sorted rate-monotonically: shorter period = higher
+// priority, ties by name for determinism.
+func byRM(set task.Set) task.Set {
+	c := set.Clone()
+	sort.SliceStable(c, func(i, j int) bool {
+		if c[i].Period != c[j].Period {
+			return c[i].Period < c[j].Period
+		}
+		return c[i].Name < c[j].Name
+	})
+	return c
+}
+
+// ResponseTimes runs the exact response-time analysis: for each task (in RM
+// priority order) it solves the recurrence
+//
+//	R = e + Σ_{j higher priority} ⌈R/pⱼ⌉·eⱼ
+//
+// by fixed-point iteration. It returns the worst-case response time of each
+// task in the same order as the input set, and whether every response time
+// is within its task's period. Tasks whose recurrence diverges past their
+// period get response −1.
+func ResponseTimes(set task.Set) (responses []int64, schedulable bool) {
+	ordered := byRM(set)
+	resp := make(map[string]int64, len(set))
+	schedulable = true
+	for i, t := range ordered {
+		r := t.Cost
+		for {
+			demand := t.Cost
+			for _, h := range ordered[:i] {
+				demand += ((r + h.Period - 1) / h.Period) * h.Cost
+			}
+			if demand == r {
+				break
+			}
+			r = demand
+			if r > t.Period {
+				r = -1
+				schedulable = false
+				break
+			}
+		}
+		resp[t.Name] = r
+	}
+	responses = make([]int64, len(set))
+	for i, t := range set {
+		responses[i] = resp[t.Name]
+	}
+	return responses, schedulable
+}
+
+// Schedulable applies the exact test.
+func Schedulable(set task.Set) bool {
+	_, ok := ResponseTimes(set)
+	return ok
+}
+
+// Miss records a job finishing after its deadline in the simulator.
+type Miss struct {
+	Task     string
+	Job      int64
+	Deadline int64
+	// FinishedAt is the completion time, or −1 if unfinished at the
+	// horizon.
+	FinishedAt int64
+}
+
+// Stats aggregates simulator counters.
+type Stats struct {
+	Jobs            int64
+	Completed       int64
+	Preemptions     int64
+	ContextSwitches int64
+	Misses          []Miss
+}
+
+type tstate struct {
+	t           *task.Task
+	nextRelease int64
+	nextJob     int64
+}
+
+type job struct {
+	ts        *tstate
+	index     int64
+	deadline  int64
+	remaining int64
+	missed    bool
+}
+
+// Simulator is an event-driven preemptive fixed-priority (RM) simulator
+// with synchronous first releases, used to cross-validate the analytical
+// tests (the critical-instant theorem makes the synchronous pattern the
+// worst case).
+type Simulator struct {
+	now      int64
+	ready    *heap.Heap[*job]
+	releases *heap.Heap[*tstate]
+	running  *job
+	stats    Stats
+}
+
+// NewSimulator returns an empty simulator at time 0.
+func NewSimulator(set task.Set) *Simulator {
+	s := &Simulator{}
+	s.ready = heap.New(func(a, b *job) bool {
+		if a.ts.t.Period != b.ts.t.Period {
+			return a.ts.t.Period < b.ts.t.Period
+		}
+		if a.ts.t.Name != b.ts.t.Name {
+			return a.ts.t.Name < b.ts.t.Name
+		}
+		return a.index < b.index
+	})
+	s.releases = heap.New(func(a, b *tstate) bool {
+		if a.nextRelease != b.nextRelease {
+			return a.nextRelease < b.nextRelease
+		}
+		return a.t.Name < b.t.Name
+	})
+	for _, t := range set {
+		s.releases.Push(&tstate{t: t, nextJob: 1})
+	}
+	return s
+}
+
+// Stats returns the counters accumulated so far.
+func (s *Simulator) Stats() Stats { return s.stats }
+
+// Run advances the simulation to the horizon.
+func (s *Simulator) Run(horizon int64) {
+	const inf = math.MaxInt64
+	for s.now < horizon {
+		nextRel := int64(inf)
+		if s.releases.Len() > 0 {
+			nextRel = s.releases.Peek().nextRelease
+		}
+		event := int64(inf)
+		if s.running != nil {
+			event = s.now + s.running.remaining
+		}
+		t := nextRel
+		if event < t {
+			t = event
+		}
+		if horizon < t {
+			t = horizon
+		}
+		if s.running != nil {
+			s.running.remaining -= t - s.now
+		}
+		s.now = t
+		if t == horizon && t != event {
+			break
+		}
+		if t == event {
+			j := s.running
+			s.running = nil
+			s.stats.Completed++
+			if s.now > j.deadline && !j.missed {
+				j.missed = true
+				s.stats.Misses = append(s.stats.Misses, Miss{Task: j.ts.t.Name, Job: j.index, Deadline: j.deadline, FinishedAt: s.now})
+			}
+		}
+		if t == nextRel && t < horizon {
+			for s.releases.Len() > 0 && s.releases.Peek().nextRelease <= s.now {
+				ts := s.releases.Pop()
+				s.ready.Push(&job{
+					ts:        ts,
+					index:     ts.nextJob,
+					deadline:  ts.nextRelease + ts.t.Period,
+					remaining: ts.t.Cost,
+				})
+				s.stats.Jobs++
+				ts.nextJob++
+				ts.nextRelease += ts.t.Period
+				s.releases.Push(ts)
+			}
+		}
+		s.dispatch()
+		if t == horizon {
+			break
+		}
+	}
+	// Account jobs cut off by the horizon.
+	record := func(j *job) {
+		if j != nil && !j.missed && j.deadline <= horizon {
+			j.missed = true
+			s.stats.Misses = append(s.stats.Misses, Miss{Task: j.ts.t.Name, Job: j.index, Deadline: j.deadline, FinishedAt: -1})
+		}
+	}
+	record(s.running)
+	for _, it := range s.ready.Items() {
+		record(it.Value)
+	}
+}
+
+func (s *Simulator) dispatch() {
+	if s.ready.Len() == 0 {
+		return
+	}
+	top := s.ready.Peek()
+	switch {
+	case s.running == nil:
+		s.ready.Pop()
+		s.running = top
+		s.stats.ContextSwitches++
+	case top.ts.t.Period < s.running.ts.t.Period ||
+		(top.ts.t.Period == s.running.ts.t.Period && top.ts.t.Name < s.running.ts.t.Name):
+		s.ready.Pop()
+		s.ready.Push(s.running)
+		s.stats.Preemptions++
+		s.stats.ContextSwitches++
+		s.running = top
+	}
+}

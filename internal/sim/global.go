@@ -1,0 +1,189 @@
+// Package sim provides multiprocessor scheduling simulators that sit
+// outside the Pfair framework of internal/core: slot-based global EDF and
+// global RM (to reproduce the Dhall effect the paper cites as the reason
+// naive global scheduling was abandoned), and the variable-length-quantum
+// Pfair variant whose deadline misses Section 4 poses as an open problem.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"pfair/internal/heap"
+	"pfair/internal/task"
+)
+
+// Policy selects the global job-level priority rule.
+type Policy int
+
+const (
+	// GlobalEDF prioritizes jobs by absolute deadline. Dhall and Liu
+	// showed it can miss deadlines at arbitrarily low utilization on
+	// multiprocessors [13].
+	GlobalEDF Policy = iota
+	// GlobalRM prioritizes jobs by their task's period (fixed priority),
+	// with the same pathology.
+	GlobalRM
+)
+
+func (p Policy) String() string {
+	switch p {
+	case GlobalEDF:
+		return "global-EDF"
+	case GlobalRM:
+		return "global-RM"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// JobMiss records a job that did not complete by its deadline.
+type JobMiss struct {
+	Task     string
+	Job      int64
+	Deadline int64
+}
+
+// GlobalStats aggregates a global-scheduling run.
+type GlobalStats struct {
+	Jobs      int64
+	Completed int64
+	Misses    []JobMiss
+}
+
+type gtask struct {
+	t           *task.Task
+	nextRelease int64
+	nextJob     int64
+	// Outstanding jobs, FIFO; only the head is schedulable (a task
+	// cannot run in parallel with itself).
+	queue []*gjob
+}
+
+type gjob struct {
+	ts        *gtask
+	index     int64
+	deadline  int64
+	remaining int64
+	missed    bool
+}
+
+// RunGlobal simulates synchronous periodic tasks on m processors under
+// slot-quantized global EDF or RM: each slot, the m highest-priority
+// eligible jobs run (at most one slot of one job per task per slot). It
+// records every job-deadline miss up to the horizon.
+func RunGlobal(set task.Set, m int, pol Policy, horizon int64) GlobalStats {
+	var stats GlobalStats
+	less := func(a, b *gjob) bool {
+		switch pol {
+		case GlobalRM:
+			if a.ts.t.Period != b.ts.t.Period {
+				return a.ts.t.Period < b.ts.t.Period
+			}
+		default:
+			if a.deadline != b.deadline {
+				return a.deadline < b.deadline
+			}
+		}
+		if a.ts.t.Name != b.ts.t.Name {
+			return a.ts.t.Name < b.ts.t.Name
+		}
+		return a.index < b.index
+	}
+
+	tasks := make([]*gtask, len(set))
+	for i, t := range set {
+		tasks[i] = &gtask{t: t, nextJob: 1}
+	}
+
+	ready := heap.New(less) // heads of task queues with remaining work
+	for slot := int64(0); slot < horizon; slot++ {
+		// Release jobs due this slot.
+		for _, ts := range tasks {
+			for ts.nextRelease <= slot {
+				j := &gjob{
+					ts:        ts,
+					index:     ts.nextJob,
+					deadline:  ts.nextRelease + ts.t.Period,
+					remaining: ts.t.Cost,
+				}
+				stats.Jobs++
+				if len(ts.queue) == 0 {
+					ready.Push(j)
+				}
+				ts.queue = append(ts.queue, j)
+				ts.nextJob++
+				ts.nextRelease += ts.t.Period
+			}
+		}
+		// Record misses as deadlines pass.
+		for _, ts := range tasks {
+			for _, j := range ts.queue {
+				if !j.missed && j.deadline <= slot {
+					j.missed = true
+					stats.Misses = append(stats.Misses, JobMiss{Task: ts.t.Name, Job: j.index, Deadline: j.deadline})
+				}
+			}
+		}
+		// Run the m highest-priority heads.
+		var ran []*gjob
+		for len(ran) < m && ready.Len() > 0 {
+			ran = append(ran, ready.Pop())
+		}
+		for _, j := range ran {
+			j.remaining--
+			if j.remaining == 0 {
+				stats.Completed++
+				ts := j.ts
+				ts.queue = ts.queue[1:]
+				if len(ts.queue) > 0 {
+					ready.Push(ts.queue[0])
+				}
+			} else {
+				ready.Push(j)
+			}
+		}
+	}
+	// Jobs still pending with expired deadlines.
+	for _, ts := range tasks {
+		for _, j := range ts.queue {
+			if !j.missed && j.deadline <= horizon {
+				j.missed = true
+				stats.Misses = append(stats.Misses, JobMiss{Task: ts.t.Name, Job: j.index, Deadline: j.deadline})
+			}
+		}
+	}
+	return stats
+}
+
+// DhallSet constructs the classic Dhall-effect workload for m processors:
+// m light tasks of utilization 1/light and one heavy task of utilization
+// just under one. Its total utilization is ≈ m/light + 1, far below m, yet
+// global EDF and RM both miss the heavy task's deadlines.
+func DhallSet(m int, light int64) task.Set {
+	set := make(task.Set, 0, m+1)
+	for i := 0; i < m; i++ {
+		set = append(set, task.New(fmt.Sprintf("light%d", i), 1, light))
+	}
+	// Heavy task: cost = 10·light, period = 10·light + 1.
+	set = append(set, task.New("heavy", 10*light, 10*light+1))
+	return set
+}
+
+// MaxLateness returns the largest completion lateness implied by the
+// misses (for reporting; unfinished jobs count as at least one slot late).
+func (g GlobalStats) MaxLateness(horizon int64) int64 {
+	max := int64(math.MinInt64)
+	if len(g.Misses) == 0 {
+		return 0
+	}
+	for _, m := range g.Misses {
+		l := horizon - m.Deadline
+		if l > max {
+			max = l
+		}
+	}
+	if max < 1 {
+		max = 1
+	}
+	return max
+}

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pfair/internal/core"
+	"pfair/internal/rational"
+	"pfair/internal/task"
+)
+
+// TestDhallEffect reproduces the phenomenon the paper cites from Dhall and
+// Liu [13]: global EDF and global RM can miss deadlines at arbitrarily low
+// utilization — m tiny tasks plus one heavy task defeat both — while PD²
+// schedules the same set without misses.
+func TestDhallEffect(t *testing.T) {
+	for _, m := range []int{2, 4, 8} {
+		set := DhallSet(m, 10)
+		// Total utilization ≈ m/10 + 1, i.e. an ever-smaller fraction of
+		// the m-processor platform as m grows.
+		if u := set.TotalUtilization(); u > 1.01+float64(m)/10 {
+			t.Fatalf("Dhall set not low-utilization: %v on %d", u, m)
+		}
+		horizon := set.Hyperperiod()
+		if horizon > 200000 {
+			horizon = 200000
+		}
+		for _, pol := range []Policy{GlobalEDF, GlobalRM} {
+			st := RunGlobal(set, m, pol, horizon)
+			missedHeavy := false
+			for _, miss := range st.Misses {
+				if miss.Task == "heavy" {
+					missedHeavy = true
+				}
+			}
+			if !missedHeavy {
+				t.Errorf("m=%d %v: heavy task met all deadlines; Dhall effect not reproduced", m, pol)
+			}
+			if st.MaxLateness(horizon) <= 0 {
+				t.Errorf("m=%d %v: lateness not positive", m, pol)
+			}
+		}
+		// PD² handles it (Equation (2) holds comfortably).
+		s := core.NewScheduler(m, core.PD2, core.Options{})
+		for _, tk := range set {
+			if err := s.Join(tk); err != nil {
+				t.Fatalf("join: %v", err)
+			}
+		}
+		s.RunUntil(horizon)
+		s.FinishMisses(horizon)
+		if n := len(s.Stats().Misses); n != 0 {
+			t.Errorf("m=%d: PD² missed %d deadlines on the Dhall set", m, n)
+		}
+	}
+}
+
+// TestGlobalSchedulersFineWhenLight: at genuinely low per-task utilization
+// with headroom, global EDF behaves (the pathology needs the heavy task).
+func TestGlobalSchedulersFineWhenLight(t *testing.T) {
+	var set task.Set
+	for i := 0; i < 8; i++ {
+		set = append(set, task.New(fmt.Sprintf("T%d", i), 1, 10))
+	}
+	st := RunGlobal(set, 2, GlobalEDF, 2000)
+	if len(st.Misses) != 0 {
+		t.Fatalf("light global-EDF set missed: %+v", st.Misses[0])
+	}
+	if st.Jobs == 0 || st.Completed == 0 {
+		t.Fatal("no work simulated")
+	}
+}
+
+// TestGlobalUniprocessorMatchesEDF: on one processor, global EDF is plain
+// EDF and never misses below full utilization.
+func TestGlobalUniprocessorMatchesEDF(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		var set task.Set
+		budget := rational.NewAcc()
+		for i := 0; i < 6; i++ {
+			p := int64(2 + r.Intn(12))
+			e := int64(1 + r.Intn(int(p)))
+			w := rational.New(e, p)
+			if budget.Clone().Add(w).CmpInt(1) > 0 {
+				continue
+			}
+			budget.Add(w)
+			set = append(set, task.New(fmt.Sprintf("T%d", i), e, p))
+		}
+		if len(set) == 0 {
+			continue
+		}
+		st := RunGlobal(set, 1, GlobalEDF, 3000)
+		if len(st.Misses) != 0 {
+			t.Fatalf("uniprocessor global EDF missed on %v: %+v", set, st.Misses[0])
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if GlobalEDF.String() != "global-EDF" || GlobalRM.String() != "global-RM" {
+		t.Error("Policy.String mismatch")
+	}
+	if Policy(5).String() != "Policy(5)" {
+		t.Error("unknown Policy.String mismatch")
+	}
+	if Aligned.String() != "aligned" || Variable.String() != "variable" {
+		t.Error("QuantumMode.String mismatch")
+	}
+}
+
+// variableQuantaWorkload regenerates the pinned counterexample found by
+// randomized search (see TestVariableQuantaMisses): four tasks with total
+// weight exactly 2, with some jobs completing below their declared cost.
+func variableQuantaWorkload() ([]VQTask, int, int64, int64) {
+	const q = 10
+	r := rand.New(rand.NewSource(767))
+	m := 2 + r.Intn(3)
+	var set task.Set
+	budget := rational.NewAcc()
+	for i := 0; i < 14; i++ {
+		p := int64(2 + r.Intn(7))
+		e := int64(1 + r.Intn(int(p)))
+		w := rational.New(e, p)
+		if budget.Clone().Add(w).CmpInt(int64(m)) > 0 {
+			continue
+		}
+		budget.Add(w)
+		set = append(set, task.New(fmt.Sprintf("T%d", len(set)), e, p))
+	}
+	seeds := make([]int64, len(set))
+	for i := range seeds {
+		seeds[i] = r.Int63()
+	}
+	vts := make([]VQTask, len(set))
+	for i, tk := range set {
+		tk := tk
+		js := seeds[i]
+		vts[i] = VQTask{Task: tk, ActualTicks: func(job int64) int64 {
+			rr := rand.New(rand.NewSource(js + job*7919))
+			if rr.Intn(3) == 0 {
+				a := tk.Cost*q - 1 - rr.Int63n(tk.Cost*q/2+1)
+				if a < 1 {
+					a = 1
+				}
+				return a
+			}
+			return tk.Cost * q
+		}}
+	}
+	horizon := set.Hyperperiod() * q * 4
+	return vts, m, int64(q), horizon
+}
+
+// TestVariableQuantaMisses demonstrates the Section 4 open problem: a
+// fully-utilized set that standard (aligned, padded) PD² schedules without
+// misses loses deadlines once early completions are allowed to start the
+// next quantum immediately and boundaries drift across processors.
+func TestVariableQuantaMisses(t *testing.T) {
+	vts, m, q, horizon := variableQuantaWorkload()
+	if len(vts) != 4 || m != 2 {
+		t.Fatalf("pinned workload changed shape: %d tasks, m=%d", len(vts), m)
+	}
+	aligned := RunQuanta(vts, m, q, horizon, Aligned)
+	if n := len(aligned.Misses); n != 0 {
+		t.Fatalf("aligned quanta missed %d deadlines: %+v", n, aligned.Misses[0])
+	}
+	variable := RunQuanta(vts, m, q, horizon, Variable)
+	if len(variable.Misses) == 0 {
+		t.Fatal("variable quanta met all deadlines; counterexample no longer reproduces")
+	}
+}
+
+// TestAlignedNeverMisses: with full declared costs or early completions,
+// aligned PD² keeps every job deadline whenever Σ weight ≤ M.
+func TestAlignedNeverMisses(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	const q = 10
+	for trial := 0; trial < 15; trial++ {
+		m := 1 + r.Intn(3)
+		var set task.Set
+		budget := rational.NewAcc()
+		for i := 0; i < 8; i++ {
+			p := int64(2 + r.Intn(7))
+			e := int64(1 + r.Intn(int(p)))
+			w := rational.New(e, p)
+			if budget.Clone().Add(w).CmpInt(int64(m)) > 0 {
+				continue
+			}
+			budget.Add(w)
+			set = append(set, task.New(fmt.Sprintf("T%d", len(set)), e, p))
+		}
+		if len(set) == 0 {
+			continue
+		}
+		vts := make([]VQTask, len(set))
+		for i, tk := range set {
+			tk := tk
+			short := r.Intn(2) == 0
+			vts[i] = VQTask{Task: tk, ActualTicks: func(job int64) int64 {
+				if short && job%2 == 0 {
+					return tk.Cost*q - q/2
+				}
+				return tk.Cost * q
+			}}
+		}
+		horizon := set.Hyperperiod() * q * 3
+		if horizon > 300000 {
+			horizon = 300000
+		}
+		res := RunQuanta(vts, m, q, horizon, Aligned)
+		if n := len(res.Misses); n != 0 {
+			t.Fatalf("trial %d: aligned missed %d (first %+v) on %v", trial, n, res.Misses[0], set)
+		}
+		if res.Completed == 0 {
+			t.Fatal("nothing completed")
+		}
+	}
+}
+
+// TestVariableFullCostsEquivalent: when every job consumes its full
+// declared cost there is nothing to truncate, so Variable behaves exactly
+// like Aligned and misses nothing.
+func TestVariableFullCostsEquivalent(t *testing.T) {
+	set := task.Set{task.New("A", 2, 3), task.New("B", 2, 3), task.New("C", 2, 3)}
+	vts := make([]VQTask, len(set))
+	for i, tk := range set {
+		vts[i] = VQTask{Task: tk}
+	}
+	const q = 10
+	horizon := int64(3 * q * 20)
+	for _, mode := range []QuantumMode{Aligned, Variable} {
+		res := RunQuanta(vts, 2, q, horizon, mode)
+		if len(res.Misses) != 0 {
+			t.Fatalf("%v missed with full costs: %+v", mode, res.Misses[0])
+		}
+		if res.Completed == 0 {
+			t.Fatalf("%v completed nothing", mode)
+		}
+	}
+}

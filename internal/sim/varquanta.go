@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"math"
+	"sort"
+
+	"pfair/internal/core"
+	"pfair/internal/task"
+)
+
+// This file studies the open problem Section 4 closes with: Pfair
+// optimality requires execution costs to be multiples of the quantum, so
+// sub-quantum work must be padded. "A more flexible approach is to allow a
+// new quantum to begin immediately on a processor if a task completes
+// execution on that processor before the next quantum boundary. However,
+// with this change, quanta vary in length and may no longer align across
+// all processors. It is easy to show that allowing such variable-length
+// quanta can result in missed deadlines."
+//
+// RunQuanta simulates both policies on a fine-grained clock: Aligned pads
+// every early completion to the next global quantum boundary (the standard
+// Pfair model — never misses when Σ declared weight ≤ M), while Variable
+// starts the processor's next quantum immediately, letting boundaries
+// drift. Tests exhibit a feasible set that misses only under Variable.
+
+// QuantumMode selects the padding policy.
+type QuantumMode int
+
+const (
+	// Aligned pads early completions to the next global boundary.
+	Aligned QuantumMode = iota
+	// Variable begins the next quantum immediately on early completion.
+	Variable
+)
+
+func (m QuantumMode) String() string {
+	if m == Aligned {
+		return "aligned"
+	}
+	return "variable"
+}
+
+// VQTask pairs a declared Pfair task (cost and period in quanta) with its
+// actual per-job demand in ticks (1 quantum = Quantum ticks). ActualTicks
+// nil means every job consumes its full declared cost.
+type VQTask struct {
+	Task *task.Task
+	// ActualTicks returns the true execution demand of the 1-based job
+	// index, in ticks; it must be in [1, Cost·Quantum].
+	ActualTicks func(job int64) int64
+}
+
+// VQResult reports job-level deadline behaviour.
+type VQResult struct {
+	Completed int64
+	Misses    []JobMiss // Deadline in ticks
+}
+
+type vqState struct {
+	t       *task.Task
+	pat     *core.Pattern
+	actual  func(job int64) int64
+	id      int
+	idx     int64 // current subtask (1-based)
+	job     int64 // current job (1-based)
+	jobRem  int64 // remaining actual ticks of the current job
+	running bool
+	q       int64
+}
+
+// eligibleAt returns the earliest tick the current subtask may start.
+func (s *vqState) eligibleAt() int64 {
+	return s.pat.Release(s.idx) * s.q
+}
+
+func (s *vqState) deadlineTicks() int64 {
+	return s.job * s.t.Period * s.q
+}
+
+// startJob initializes job j's demand.
+func (s *vqState) startJob(j int64) {
+	s.job = j
+	s.idx = (j-1)*s.t.Cost + 1
+	rem := s.t.Cost * s.q
+	if s.actual != nil {
+		rem = s.actual(j)
+		if rem < 1 {
+			rem = 1
+		}
+		if max := s.t.Cost * s.q; rem > max {
+			rem = max
+		}
+	}
+	s.jobRem = rem
+}
+
+// RunQuanta simulates the task set on m processors under PD² priorities
+// with the given quantum size (in ticks) and padding mode, until the
+// horizon (in ticks). Tasks are synchronous and periodic.
+func RunQuanta(tasks []VQTask, m int, quantum, horizon int64, mode QuantumMode) VQResult {
+	var res VQResult
+	states := make([]*vqState, len(tasks))
+	for i, vt := range tasks {
+		st := &vqState{
+			t:      vt.Task,
+			pat:    core.NewPattern(vt.Task.Cost, vt.Task.Period),
+			actual: vt.ActualTicks,
+			id:     i,
+			q:      quantum,
+		}
+		st.startJob(1)
+		states[i] = st
+	}
+
+	// busyUntil[k] < 0 means processor k is idle; otherwise it frees at
+	// that tick, running busyTask[k] for busyLen[k] ticks.
+	busyUntil := make([]int64, m)
+	busyTask := make([]*vqState, m)
+	for k := range busyUntil {
+		busyUntil[k] = -1
+	}
+
+	now := int64(0)
+	for now < horizon {
+		// Retire runs completing at `now`.
+		for k := 0; k < m; k++ {
+			if busyUntil[k] >= 0 && busyUntil[k] <= now {
+				busyTask[k].running = false
+				busyUntil[k] = -1
+				busyTask[k] = nil
+			}
+		}
+
+		// Dispatch idle processors: repeatedly give the highest-priority
+		// eligible subtask to the lowest-indexed idle processor. Under
+		// Aligned, quanta may only begin on global boundaries.
+		for mode == Variable || now%quantum == 0 {
+			proc := -1
+			for k := 0; k < m; k++ {
+				if busyUntil[k] < 0 {
+					proc = k
+					break
+				}
+			}
+			if proc < 0 {
+				break
+			}
+			var best *vqState
+			for _, st := range states {
+				if st.running || st.eligibleAt() > now {
+					continue
+				}
+				if best == nil || core.Less(core.PD2,
+					core.SubtaskRef{Pat: st.pat, Index: st.idx, ID: st.id},
+					core.SubtaskRef{Pat: best.pat, Index: best.idx, ID: best.id}) {
+					best = st
+				}
+			}
+			if best == nil {
+				break
+			}
+			run := quantum
+			if best.jobRem < run {
+				run = best.jobRem
+			}
+			best.running = true
+			// Apply the run's effects now; the processor-free event only
+			// clears the reservation.
+			best.jobRem -= run
+			if best.jobRem == 0 {
+				finish := now + run
+				if finish > best.deadlineTicks() {
+					res.Misses = append(res.Misses, JobMiss{Task: best.t.Name, Job: best.job, Deadline: best.deadlineTicks()})
+				}
+				res.Completed++
+				best.startJob(best.job + 1)
+			} else {
+				best.idx++
+			}
+			busyUntil[proc] = now + run
+			busyTask[proc] = best
+		}
+
+		// Advance to the next event: a processor freeing, or a future
+		// eligibility arriving for an idle processor.
+		next := int64(math.MaxInt64)
+		anyIdle := false
+		for k := 0; k < m; k++ {
+			if busyUntil[k] >= 0 {
+				if busyUntil[k] < next {
+					next = busyUntil[k]
+				}
+			} else {
+				anyIdle = true
+			}
+		}
+		if anyIdle {
+			for _, st := range states {
+				if st.running {
+					continue
+				}
+				e := st.eligibleAt()
+				if mode == Aligned {
+					// Aligned starts happen on the lattice anyway.
+					e = alignUp(e, quantum)
+				}
+				if e > now && e < next {
+					next = e
+				}
+			}
+			if mode == Aligned {
+				// An idle aligned processor re-evaluates at the next
+				// boundary (a mid-quantum completion elsewhere cannot
+				// start work before it).
+				b := alignUp(now+1, quantum)
+				if b < next {
+					next = b
+				}
+			}
+		}
+		if next <= now {
+			next = now + 1
+		}
+		now = next
+	}
+
+	// Pending jobs with expired deadlines at the horizon.
+	for _, st := range states {
+		if st.jobRem > 0 && st.deadlineTicks() <= horizon {
+			res.Misses = append(res.Misses, JobMiss{Task: st.t.Name, Job: st.job, Deadline: st.deadlineTicks()})
+		}
+	}
+	sort.Slice(res.Misses, func(i, j int) bool {
+		if res.Misses[i].Deadline != res.Misses[j].Deadline {
+			return res.Misses[i].Deadline < res.Misses[j].Deadline
+		}
+		return res.Misses[i].Task < res.Misses[j].Task
+	})
+	return res
+}
+
+func alignUp(t, quantum int64) int64 {
+	r := t % quantum
+	if r == 0 {
+		return t
+	}
+	return t + quantum - r
+}

@@ -1,0 +1,226 @@
+// Package supertask implements the supertasking approach of Section 5.5
+// (after Moir and Ramamurthy [29]): a set of component tasks is bound to a
+// single processor and represented in the Pfair scheduler by one supertask
+// competing with their cumulative weight. Whenever the supertask receives a
+// quantum, an internal scheduler — EDF here, as in the Holman–Anderson
+// analysis [16] — picks which component runs.
+//
+// Supertasking combines the benefits of Pfair scheduling and partitioning
+// (both are special cases), but it is not safe as-is: component deadlines
+// can be missed even though the supertask receives its full entitlement,
+// because the entitlement may arrive at the wrong instants. Figure 5's
+// two-processor counterexample is reproduced in the tests. Holman and
+// Anderson showed that inflating the supertask's weight by 1/p_min, where
+// p_min is the smallest component period, restores the guarantee; the
+// Reweighted mode applies exactly that inflation.
+package supertask
+
+import (
+	"fmt"
+
+	"pfair/internal/core"
+	"pfair/internal/rational"
+	"pfair/internal/task"
+)
+
+// Supertask is a named bundle of component tasks bound to one processor.
+type Supertask struct {
+	Name       string
+	Components task.Set
+}
+
+// Weight returns the cumulative component weight. An error is returned if
+// the exact sum does not fit in an int64 rational (component sets are
+// small, so this is unexpected) or exceeds one.
+func (s *Supertask) Weight() (rational.Rat, error) {
+	acc := rational.NewAcc()
+	for _, c := range s.Components {
+		acc.Add(c.Weight())
+	}
+	return accWeight(acc, s.Name)
+}
+
+// ReweightedWeight returns the Holman–Anderson inflated weight: cumulative
+// weight + 1/p_min. For EDF-internal supertasks this inflation is
+// sufficient to guarantee all component deadlines [16].
+func (s *Supertask) ReweightedWeight() (rational.Rat, error) {
+	if len(s.Components) == 0 {
+		return rational.Zero(), fmt.Errorf("supertask %s: no components", s.Name)
+	}
+	pmin := s.Components[0].Period
+	for _, c := range s.Components[1:] {
+		if c.Period < pmin {
+			pmin = c.Period
+		}
+	}
+	acc := rational.NewAcc()
+	for _, c := range s.Components {
+		acc.Add(c.Weight())
+	}
+	acc.Add(rational.New(1, pmin))
+	return accWeight(acc, s.Name)
+}
+
+func accWeight(acc *rational.Acc, name string) (rational.Rat, error) {
+	w, ok := acc.Rat()
+	if !ok {
+		return rational.Zero(), fmt.Errorf("supertask %s: weight does not reduce to an int64 rational", name)
+	}
+	if rational.One().Less(w) {
+		return rational.Zero(), fmt.Errorf("supertask %s: cumulative weight %v exceeds one processor", name, w)
+	}
+	if w.Sign() <= 0 {
+		return rational.Zero(), fmt.Errorf("supertask %s: empty weight", name)
+	}
+	return w, nil
+}
+
+// ComponentMiss records a component job that was not complete by its
+// deadline.
+type ComponentMiss struct {
+	Supertask string
+	Component string
+	Job       int64
+	Deadline  int64
+}
+
+// Result aggregates a System run.
+type Result struct {
+	// Scheduler carries the global PD² counters (global misses here mean
+	// the supertask itself missed a window, which PD² never does while
+	// Equation (2) holds).
+	Scheduler core.Stats
+	// ComponentMisses lists component-level deadline violations — the
+	// failure mode supertasking introduces.
+	ComponentMisses []ComponentMiss
+	// Served counts quanta delivered to each supertask.
+	Served map[string]int64
+	// Wasted counts supertask quanta that arrived when no component had
+	// released, unfinished work.
+	Wasted map[string]int64
+}
+
+type compState struct {
+	t         *task.Task
+	completed int64 // fully finished jobs
+	rem       int64 // remaining quanta of the head job (completed+1)
+	missed    map[int64]bool
+}
+
+func (c *compState) headJob() int64        { return c.completed + 1 }
+func (c *compState) headRelease() int64    { return c.completed * c.t.Period }
+func (c *compState) headDeadline() int64   { return (c.completed + 1) * c.t.Period }
+func (c *compState) released(t int64) bool { return c.headRelease() <= t }
+
+type sstate struct {
+	st    *Supertask
+	comps []*compState
+}
+
+// System couples a global PD² (or other Pfair) scheduler with supertask
+// internal scheduling.
+type System struct {
+	sched  *core.Scheduler
+	supers map[string]*sstate
+	res    Result
+}
+
+// NewSystem returns a system on m processors under the given Pfair
+// algorithm.
+func NewSystem(m int, alg core.Algorithm) *System {
+	sys := &System{
+		sched:  core.NewScheduler(m, alg, core.Options{}),
+		supers: make(map[string]*sstate),
+	}
+	sys.res.Served = make(map[string]int64)
+	sys.res.Wasted = make(map[string]int64)
+	return sys
+}
+
+// AddTask admits an ordinary migrating Pfair task.
+func (sys *System) AddTask(t *task.Task) error { return sys.sched.Join(t) }
+
+// AddSupertask admits a supertask competing with its cumulative weight, or
+// with the Holman–Anderson inflated weight when reweighted is true.
+func (sys *System) AddSupertask(st *Supertask, reweighted bool) error {
+	if _, dup := sys.supers[st.Name]; dup {
+		return fmt.Errorf("supertask %q already added", st.Name)
+	}
+	if err := st.Components.Validate(); err != nil {
+		return err
+	}
+	w, err := st.Weight()
+	if reweighted {
+		w, err = st.ReweightedWeight()
+	}
+	if err != nil {
+		return err
+	}
+	if err := sys.sched.Join(task.New(st.Name, w.Num(), w.Den())); err != nil {
+		return err
+	}
+	ss := &sstate{st: st}
+	for _, c := range st.Components {
+		ss.comps = append(ss.comps, &compState{t: c, rem: c.Cost, missed: map[int64]bool{}})
+	}
+	sys.supers[st.Name] = ss
+	return nil
+}
+
+// Run simulates the system for the given number of slots and returns the
+// accumulated result. It may be called repeatedly to extend a run.
+func (sys *System) Run(horizon int64) Result {
+	for sys.sched.Now() < horizon {
+		t := sys.sched.Now()
+		assigned := sys.sched.Step()
+		served := map[string]bool{}
+		for _, a := range assigned {
+			if ss, ok := sys.supers[a.Task]; ok {
+				served[a.Task] = true
+				sys.res.Served[a.Task]++
+				sys.serve(ss, t)
+			}
+		}
+		// Component deadlines pass at the end of the slot.
+		for _, ss := range sys.supers {
+			for _, c := range ss.comps {
+				for c.rem > 0 && c.headDeadline() <= t+1 && !c.missed[c.headJob()] {
+					c.missed[c.headJob()] = true
+					sys.res.ComponentMisses = append(sys.res.ComponentMisses, ComponentMiss{
+						Supertask: ss.st.Name, Component: c.t.Name,
+						Job: c.headJob(), Deadline: c.headDeadline(),
+					})
+					break
+				}
+			}
+		}
+		_ = served
+	}
+	sys.res.Scheduler = sys.sched.Stats()
+	return sys.res
+}
+
+// serve delivers one quantum to the supertask's internal EDF scheduler:
+// among components with a released, unfinished head job, the earliest head
+// deadline (ties by name) runs.
+func (sys *System) serve(ss *sstate, t int64) {
+	var pick *compState
+	for _, c := range ss.comps {
+		if c.rem <= 0 || !c.released(t) {
+			continue
+		}
+		if pick == nil || c.headDeadline() < pick.headDeadline() ||
+			(c.headDeadline() == pick.headDeadline() && c.t.Name < pick.t.Name) {
+			pick = c
+		}
+	}
+	if pick == nil {
+		sys.res.Wasted[ss.st.Name]++
+		return
+	}
+	pick.rem--
+	if pick.rem == 0 {
+		pick.completed++
+		pick.rem = pick.t.Cost
+	}
+}

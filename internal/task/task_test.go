@@ -1,0 +1,185 @@
+package task
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pfair/internal/rational"
+)
+
+func TestNewValidates(t *testing.T) {
+	tk := New("T", 8, 11)
+	if tk.Cost != 8 || tk.Period != 11 {
+		t.Fatalf("New stored %d/%d", tk.Cost, tk.Period)
+	}
+	for _, bad := range []struct{ e, p int64 }{{0, 5}, {-1, 5}, {6, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", bad.e, bad.p)
+				}
+			}()
+			New("bad", bad.e, bad.p)
+		}()
+	}
+}
+
+func TestWeightAndHeavy(t *testing.T) {
+	cases := []struct {
+		e, p  int64
+		heavy bool
+	}{
+		{8, 11, true},    // 0.727
+		{1, 2, true},     // exactly 1/2 is heavy
+		{1, 3, false},    // light
+		{2, 3, true},     // heavy
+		{1, 45, false},   // very light
+		{5, 5, true},     // weight 1
+		{49, 100, false}, // just under 1/2
+	}
+	for _, c := range cases {
+		tk := New("T", c.e, c.p)
+		if got := tk.Weight(); !got.Equal(rational.New(c.e, c.p)) {
+			t.Errorf("Weight(%d/%d) = %v", c.e, c.p, got)
+		}
+		if got := tk.Heavy(); got != c.heavy {
+			t.Errorf("Heavy(%d/%d) = %v, want %v", c.e, c.p, got, c.heavy)
+		}
+	}
+}
+
+func TestSetTotals(t *testing.T) {
+	s := Set{New("A", 2, 3), New("B", 2, 3), New("C", 2, 3)}
+	if got := s.TotalWeight(); got.CmpInt(2) != 0 {
+		t.Errorf("TotalWeight = %v, want 2", got)
+	}
+	if got := s.MinProcessors(); got != 2 {
+		t.Errorf("MinProcessors = %d, want 2", got)
+	}
+	if !s.Feasible(2) {
+		t.Error("set should be feasible on 2 processors")
+	}
+	if s.Feasible(1) {
+		t.Error("set should not be feasible on 1 processor")
+	}
+	if got := s.Hyperperiod(); got != 3 {
+		t.Errorf("Hyperperiod = %d, want 3", got)
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	s := Set{New("A", 1, 4), New("B", 1, 6), New("C", 1, 10)}
+	if got := s.Hyperperiod(); got != 60 {
+		t.Errorf("Hyperperiod = %d, want 60", got)
+	}
+	if got := (Set{}).Hyperperiod(); got != 1 {
+		t.Errorf("empty Hyperperiod = %d, want 1", got)
+	}
+}
+
+func TestMaxUtilization(t *testing.T) {
+	s := Set{New("A", 1, 4), New("B", 3, 5), New("C", 1, 2)}
+	if got := s.MaxUtilization(); !got.Equal(rational.New(3, 5)) {
+		t.Errorf("MaxUtilization = %v, want 3/5", got)
+	}
+	if got := (Set{}).MaxUtilization(); !got.IsZero() {
+		t.Errorf("empty MaxUtilization = %v, want 0", got)
+	}
+}
+
+func TestValidateDuplicates(t *testing.T) {
+	s := Set{New("A", 1, 2), New("A", 1, 3)}
+	if err := s.Validate(); err == nil {
+		t.Error("Validate accepted duplicate names")
+	}
+	s = Set{New("A", 1, 2), New("B", 1, 3)}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Validate rejected valid set: %v", err)
+	}
+}
+
+func TestSorts(t *testing.T) {
+	s := Set{New("A", 1, 10), New("B", 5, 6), New("C", 1, 10), New("D", 2, 8)}
+	byPeriod := s.SortByPeriodDecreasing()
+	wantP := []string{"A", "C", "D", "B"}
+	for i, n := range wantP {
+		if byPeriod[i].Name != n {
+			t.Fatalf("SortByPeriodDecreasing order %v", byPeriod)
+		}
+	}
+	byUtil := s.SortByUtilizationDecreasing()
+	wantU := []string{"B", "D", "A", "C"} // 5/6, 1/4, 1/10, 1/10
+	for i, n := range wantU {
+		if byUtil[i].Name != n {
+			t.Fatalf("SortByUtilizationDecreasing order %v", byUtil)
+		}
+	}
+	// Originals untouched.
+	if s[0].Name != "A" || s[3].Name != "D" {
+		t.Error("sort mutated the receiver")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Periodic.String() != "periodic" || Sporadic.String() != "sporadic" || IntraSporadic.String() != "intra-sporadic" {
+		t.Error("Kind.String mismatch")
+	}
+	if Kind(42).String() != "Kind(42)" {
+		t.Error("unknown Kind.String mismatch")
+	}
+}
+
+// TestQuickTotalWeightMatchesFloat cross-checks the exact rational total
+// against float accumulation on random sets.
+func TestQuickTotalWeightMatchesFloat(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		s := make(Set, 0, n)
+		for i := 0; i < n; i++ {
+			p := int64(1 + r.Intn(100))
+			e := int64(1 + r.Intn(int(p)))
+			s = append(s, &Task{Name: "t", Cost: e, Period: p})
+		}
+		exact := s.TotalWeight().Float()
+		approx := s.TotalUtilization()
+		diff := exact - approx
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMinProcessorsFeasibility: the set is always feasible on
+// MinProcessors() and never on one fewer.
+func TestQuickMinProcessorsFeasibility(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		s := make(Set, 0, n)
+		for i := 0; i < n; i++ {
+			p := int64(1 + r.Intn(50))
+			e := int64(1 + r.Intn(int(p)))
+			s = append(s, &Task{Name: "t", Cost: e, Period: p})
+		}
+		m := s.MinProcessors()
+		if !s.Feasible(m) {
+			return false
+		}
+		if m > 0 && s.Feasible(m-1) {
+			// Feasible on m-1 means ceil was not minimal — only valid
+			// when total weight is an exact integer ≤ m-1, which would
+			// make MinProcessors return that integer. So this is a bug.
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,181 @@
+package taskgen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUUniFastSumsToTotal(t *testing.T) {
+	g := New(1)
+	for _, n := range []int{1, 2, 10, 100} {
+		us := g.UUniFast(n, 3.5, 0)
+		sum := 0.0
+		for _, u := range us {
+			if u < 0 {
+				t.Fatalf("negative utilization %v", u)
+			}
+			sum += u
+		}
+		if math.Abs(sum-3.5) > 1e-9 {
+			t.Errorf("n=%d: sum = %v, want 3.5", n, sum)
+		}
+	}
+	if got := g.UUniFast(0, 1, 0); got != nil {
+		t.Errorf("UUniFast(0) = %v, want nil", got)
+	}
+}
+
+func TestUUniFastCap(t *testing.T) {
+	g := New(2)
+	for trial := 0; trial < 50; trial++ {
+		us := g.UUniFast(4, 2.0, 1.0)
+		for _, u := range us {
+			if u > 1.0+1e-12 {
+				t.Fatalf("capped draw produced %v > 1", u)
+			}
+		}
+	}
+}
+
+func TestSetProperties(t *testing.T) {
+	g := New(3)
+	set := g.Set("T", 100, 10.0, DefaultPeriodsUS)
+	if len(set) != 100 {
+		t.Fatalf("generated %d tasks", len(set))
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatalf("invalid set: %v", err)
+	}
+	u := set.TotalUtilization()
+	// Integer rounding perturbs the total; it must stay in the ballpark.
+	if u < 8.0 || u > 12.0 {
+		t.Errorf("total utilization %v strayed from target 10", u)
+	}
+	for _, tk := range set {
+		if tk.Period%1000 != 0 {
+			t.Fatalf("period %d not a quantum multiple", tk.Period)
+		}
+	}
+}
+
+func TestSetReproducible(t *testing.T) {
+	a := New(42).Set("T", 50, 5, DefaultPeriodsSlots)
+	b := New(42).Set("T", 50, 5, DefaultPeriodsSlots)
+	for i := range a {
+		if a[i].Cost != b[i].Cost || a[i].Period != b[i].Period {
+			t.Fatal("same seed produced different sets")
+		}
+	}
+	c := New(43).Set("T", 50, 5, DefaultPeriodsSlots)
+	same := true
+	for i := range a {
+		if a[i].Cost != c[i].Cost || a[i].Period != c[i].Period {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sets")
+	}
+}
+
+func TestSetMaxUtil(t *testing.T) {
+	g := New(5)
+	for trial := 0; trial < 30; trial++ {
+		set := g.SetMaxUtil("T", 20, 1.0, DefaultPeriodsSlots)
+		// Rounding can push the total slightly above the draw, but the
+		// draw itself is ≤ 1.
+		if u := set.TotalUtilization(); u > 1.3 {
+			t.Errorf("total utilization %v far above the max", u)
+		}
+	}
+}
+
+func TestCacheDelaysDistribution(t *testing.T) {
+	g := New(6)
+	set := g.Set("T", 4000, 40, DefaultPeriodsUS)
+	ds := g.CacheDelays(set, 100)
+	if len(ds) != len(set) {
+		t.Fatalf("got %d delays for %d tasks", len(ds), len(set))
+	}
+	sum := 0.0
+	for _, d := range ds {
+		if d < 0 || d > 100 {
+			t.Fatalf("delay %d outside [0, 100]", d)
+		}
+		sum += float64(d)
+	}
+	mean := sum / float64(len(ds))
+	// The density 2(1−x/100)/100 has mean 100/3 ≈ 33.3 (the paper's
+	// stated mean); with 4000 samples the sample mean is within ±2.
+	if mean < 31 || mean < 0 || mean > 36 {
+		t.Errorf("mean cache delay %v, want ≈ 33.3", mean)
+	}
+}
+
+func TestQuickSetWithinBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		g := New(seed)
+		set := g.Set("T", 30, 3, DefaultPeriodsSlots)
+		for _, tk := range set {
+			if tk.Cost < 1 || tk.Cost > tk.Period {
+				return false
+			}
+		}
+		return len(set) == 30
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUUniFastRepair: totals near n·cap force the headroom-proportional
+// repair path; the total must still be exact and every value capped.
+func TestUUniFastRepair(t *testing.T) {
+	g := New(9)
+	for trial := 0; trial < 20; trial++ {
+		us := g.UUniFast(5, 4.6, 1.0) // mean 0.92: resampling almost always fails
+		sum := 0.0
+		for _, u := range us {
+			if u > 1.0+1e-9 {
+				t.Fatalf("repaired value %v > cap", u)
+			}
+			sum += u
+		}
+		if math.Abs(sum-4.6) > 1e-6 {
+			t.Fatalf("repaired total %v, want 4.6", sum)
+		}
+	}
+}
+
+// TestUUniFastInfeasibleCapPanics: total > n·cap cannot be satisfied.
+func TestUUniFastInfeasibleCapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for total > n·cap")
+		}
+	}()
+	New(1).UUniFast(3, 4.0, 1.0)
+}
+
+// TestSetCappedRespectsCap: generated utilizations honor the cap after
+// integer rounding (up to the rounding granularity of the largest period).
+func TestSetCappedRespectsCap(t *testing.T) {
+	g := New(12)
+	set := g.SetCapped("T", 40, 20, 0.6, DefaultPeriodsSlots)
+	for _, tk := range set {
+		if tk.Utilization() > 0.6+0.11 { // rounding can add ≤ 1/period
+			t.Fatalf("task %v exceeds the cap", tk)
+		}
+	}
+}
+
+// TestSetEmptyPeriodsPanics covers the guard.
+func TestSetEmptyPeriodsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for empty period menu")
+		}
+	}()
+	New(1).Set("T", 3, 1, nil)
+}

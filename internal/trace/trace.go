@@ -1,0 +1,128 @@
+// Package trace renders Pfair window layouts and schedules as ASCII
+// diagrams in the style of the paper's Figures 1 and 5: one row per
+// subtask (windows) or per task (schedules), one column per slot.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pfair/internal/core"
+)
+
+// Windows renders the windows of subtasks first..last of a pattern, one
+// row per subtask, with a slot ruler. offset shifts all windows (pass an
+// IS offset function's values via WindowsIS for per-subtask shifts).
+func Windows(pat *core.Pattern, first, last int64) string {
+	return WindowsIS(pat, first, last, func(int64) int64 { return 0 })
+}
+
+// WindowsIS renders IS-shifted windows: subtask i's window moves right by
+// offset(i).
+func WindowsIS(pat *core.Pattern, first, last int64, offset func(i int64) int64) string {
+	if first < 1 || last < first {
+		panic("trace: invalid subtask range")
+	}
+	end := pat.Deadline(last) + offset(last)
+	var b strings.Builder
+	writeRuler(&b, "      ", end)
+	for i := first; i <= last; i++ {
+		r := pat.Release(i) + offset(i)
+		d := pat.Deadline(i) + offset(i)
+		fmt.Fprintf(&b, "T%-3d |", i)
+		for t := int64(0); t < end; t++ {
+			switch {
+			case t >= r && t < d:
+				b.WriteByte('=')
+			default:
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// Recorder captures a schedule via core.Scheduler.OnSlot and renders it.
+type Recorder struct {
+	rows  map[string][]byte
+	order []string
+	slots int64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{rows: map[string][]byte{}}
+}
+
+// Record is an OnSlot callback: each assignment paints the task's row with
+// the processor digit at the slot column.
+func (r *Recorder) Record(t int64, assigned []core.Assignment) {
+	if t+1 > r.slots {
+		r.slots = t + 1
+	}
+	for _, a := range assigned {
+		row, ok := r.rows[a.Task]
+		if !ok {
+			r.order = append(r.order, a.Task)
+		}
+		for int64(len(row)) <= t {
+			row = append(row, '.')
+		}
+		c := byte('0' + a.Proc%10)
+		if a.Proc > 9 {
+			c = '+'
+		}
+		row[t] = c
+		r.rows[a.Task] = row
+	}
+}
+
+// Render draws slots [from, to) with one row per task (in first-appearance
+// order; pass names to fix the order and include never-scheduled tasks).
+func (r *Recorder) Render(from, to int64, names ...string) string {
+	if len(names) == 0 {
+		names = append([]string(nil), r.order...)
+		sort.Strings(names)
+	}
+	var b strings.Builder
+	width := 0
+	for _, n := range names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	writeRuler(&b, strings.Repeat(" ", width+2), to-from)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-*s |", width, n)
+		row := r.rows[n]
+		for t := from; t < to; t++ {
+			if t >= 0 && t < int64(len(row)) {
+				b.WriteByte(row[t])
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// writeRuler prints a tens/units slot ruler after the given left margin.
+func writeRuler(b *strings.Builder, margin string, width int64) {
+	b.WriteString(margin)
+	for t := int64(0); t < width; t++ {
+		if t%10 == 0 {
+			fmt.Fprintf(b, "%d", (t/10)%10)
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	b.WriteByte('\n')
+	b.WriteString(margin)
+	for t := int64(0); t < width; t++ {
+		fmt.Fprintf(b, "%d", t%10)
+	}
+	b.WriteByte('\n')
+}

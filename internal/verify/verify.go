@@ -1,0 +1,155 @@
+// Package verify independently validates recorded multiprocessor
+// schedules against the definitions of Section 2. It shares no code with
+// the scheduler's own bookkeeping: it recomputes windows, allocations,
+// and lags from the raw (slot, processor, task, subtask) trace, so a bug
+// in the scheduler's internal state cannot hide itself. The core test
+// suites run every property-test schedule through this validator.
+//
+// Checks:
+//
+//   - capacity: at most M allocations per slot, one task per processor;
+//   - no intra-slot parallelism: a task at most once per slot;
+//   - sequence: each task's subtasks appear in order 1, 2, 3, … with no
+//     gaps or repeats;
+//   - windows: every subtask runs inside [r(Tᵢ), d(Tᵢ)) shifted by its
+//     offset (unless tardiness is explicitly allowed);
+//   - Pfairness: −1 < lag(T, t) < 1 after every slot (periodic tasks);
+//   - completion: no subtask with a deadline inside the horizon is left
+//     unscheduled.
+package verify
+
+import (
+	"fmt"
+
+	"pfair/internal/core"
+	"pfair/internal/rational"
+	"pfair/internal/task"
+)
+
+// Slot is one slot of a recorded schedule.
+type Slot struct {
+	Time     int64
+	Assigned []core.Assignment
+}
+
+// Recorder accumulates a schedule in the OnSlot callback shape.
+type Recorder struct {
+	Slots []Slot
+}
+
+// Record implements the core.Scheduler OnSlot signature.
+func (r *Recorder) Record(t int64, assigned []core.Assignment) {
+	cp := make([]core.Assignment, len(assigned))
+	copy(cp, assigned)
+	r.Slots = append(r.Slots, Slot{Time: t, Assigned: cp})
+}
+
+// Options configures which checks apply.
+type Options struct {
+	// Processors is M; capacity checks use it.
+	Processors int
+	// Horizon is the number of simulated slots; completion checks use it.
+	Horizon int64
+	// AllowTardy disables the window and completion checks (overload
+	// traces legitimately run subtasks late).
+	AllowTardy bool
+	// SkipLag disables the Pfair lag check (use for ERfair and IS
+	// schedules, whose lag bounds differ from Equation (1)).
+	SkipLag bool
+	// Offsets optionally gives each task's per-subtask window shift
+	// (join time + IS delay). Nil means synchronous periodic (offset 0).
+	Offsets map[string]func(i int64) int64
+}
+
+// Check validates the trace of the given task set and returns every
+// violation found (nil means the schedule is valid).
+func Check(set task.Set, slots []Slot, opts Options) []error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	pats := make(map[string]*core.Pattern, len(set))
+	for _, t := range set {
+		pats[t.Name] = core.NewPattern(t.Cost, t.Period)
+	}
+	offset := func(name string, i int64) int64 {
+		if opts.Offsets == nil || opts.Offsets[name] == nil {
+			return 0
+		}
+		return opts.Offsets[name](i)
+	}
+
+	next := make(map[string]int64, len(set)) // expected next subtask
+	alloc := make(map[string]int64, len(set))
+	for _, t := range set {
+		next[t.Name] = 1
+	}
+	one := rational.One()
+
+	prevTime := int64(-1)
+	for _, s := range slots {
+		if s.Time <= prevTime {
+			fail("slot times not strictly increasing at %d", s.Time)
+		}
+		prevTime = s.Time
+		if opts.Processors > 0 && len(s.Assigned) > opts.Processors {
+			fail("slot %d: %d allocations on %d processors", s.Time, len(s.Assigned), opts.Processors)
+		}
+		procs := map[int]bool{}
+		tasks := map[string]bool{}
+		for _, a := range s.Assigned {
+			if procs[a.Proc] {
+				fail("slot %d: processor %d assigned twice", s.Time, a.Proc)
+			}
+			procs[a.Proc] = true
+			if opts.Processors > 0 && (a.Proc < 0 || a.Proc >= opts.Processors) {
+				fail("slot %d: processor %d out of range", s.Time, a.Proc)
+			}
+			if tasks[a.Task] {
+				fail("slot %d: task %s scheduled in parallel with itself", s.Time, a.Task)
+			}
+			tasks[a.Task] = true
+
+			pat, ok := pats[a.Task]
+			if !ok {
+				fail("slot %d: unknown task %s", s.Time, a.Task)
+				continue
+			}
+			if want := next[a.Task]; a.Subtask != want {
+				fail("slot %d: task %s ran subtask %d, expected %d", s.Time, a.Task, a.Subtask, want)
+			}
+			next[a.Task] = a.Subtask + 1
+			alloc[a.Task]++
+
+			if !opts.AllowTardy {
+				off := offset(a.Task, a.Subtask)
+				r := off + pat.Release(a.Subtask)
+				d := off + pat.Deadline(a.Subtask)
+				if s.Time < r || s.Time >= d {
+					fail("slot %d: subtask %s/%d outside window [%d,%d)", s.Time, a.Task, a.Subtask, r, d)
+				}
+			}
+		}
+		if !opts.SkipLag {
+			for name, pat := range pats {
+				lag := pat.Lag(s.Time+1, alloc[name])
+				if !lag.Less(one) || !one.Neg().Less(lag) {
+					fail("slot %d: task %s lag %v outside (-1, 1)", s.Time, name, lag)
+				}
+			}
+		}
+	}
+
+	if !opts.AllowTardy && opts.Horizon > 0 {
+		for _, t := range set {
+			pat := pats[t.Name]
+			i := next[t.Name]
+			if off := offset(t.Name, i); off+pat.Deadline(i) <= opts.Horizon {
+				fail("subtask %s/%d (deadline %d) never scheduled before horizon %d",
+					t.Name, i, off+pat.Deadline(i), opts.Horizon)
+			}
+		}
+	}
+	return errs
+}

@@ -1,0 +1,248 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pfair/internal/core"
+	"pfair/internal/rational"
+	"pfair/internal/task"
+)
+
+func runAndCheck(t *testing.T, set task.Set, m int, horizon int64, opts Options) []error {
+	t.Helper()
+	s := core.NewScheduler(m, core.PD2, core.Options{})
+	var rec Recorder
+	s.OnSlot(rec.Record)
+	for _, tk := range set {
+		if err := s.Join(tk); err != nil {
+			t.Fatalf("join %v: %v", tk, err)
+		}
+	}
+	s.RunUntil(horizon)
+	opts.Processors = m
+	opts.Horizon = horizon
+	return Check(set, rec.Slots, opts)
+}
+
+// TestValidSchedulePasses: real PD² schedules pass every check.
+func TestValidSchedulePasses(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 12; trial++ {
+		m := 1 + r.Intn(3)
+		var set task.Set
+		budget := rational.NewAcc()
+		for i := 0; i < 6; i++ {
+			p := int64(2 + r.Intn(10))
+			e := int64(1 + r.Intn(int(p)))
+			w := rational.New(e, p)
+			if budget.Clone().Add(w).CmpInt(int64(m)) > 0 {
+				continue
+			}
+			budget.Add(w)
+			set = append(set, task.New(fmt.Sprintf("T%d", i), e, p))
+		}
+		if len(set) == 0 {
+			continue
+		}
+		if errs := runAndCheck(t, set, m, 2000, Options{}); len(errs) != 0 {
+			t.Fatalf("trial %d: valid schedule rejected: %v", trial, errs[0])
+		}
+	}
+}
+
+// corrupt applies a named mutation to a valid trace and expects the
+// validator to object.
+func TestCorruptionsDetected(t *testing.T) {
+	set := task.Set{task.New("A", 2, 3), task.New("B", 1, 3), task.New("C", 1, 2)}
+	s := core.NewScheduler(2, core.PD2, core.Options{})
+	var rec Recorder
+	s.OnSlot(rec.Record)
+	for _, tk := range set {
+		if err := s.Join(tk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const horizon = 60
+	s.RunUntil(horizon)
+	base := rec.Slots
+
+	clone := func() []Slot {
+		out := make([]Slot, len(base))
+		for i, sl := range base {
+			cp := make([]core.Assignment, len(sl.Assigned))
+			copy(cp, sl.Assigned)
+			out[i] = Slot{Time: sl.Time, Assigned: cp}
+		}
+		return out
+	}
+	opts := Options{Processors: 2, Horizon: horizon}
+
+	cases := []struct {
+		name   string
+		mutate func([]Slot) []Slot
+	}{
+		{"drop an allocation", func(sl []Slot) []Slot {
+			for i := range sl {
+				if len(sl[i].Assigned) > 0 {
+					sl[i].Assigned = sl[i].Assigned[1:]
+					return sl
+				}
+			}
+			return sl
+		}},
+		{"duplicate a processor", func(sl []Slot) []Slot {
+			for i := range sl {
+				if len(sl[i].Assigned) >= 2 {
+					sl[i].Assigned[1].Proc = sl[i].Assigned[0].Proc
+					return sl
+				}
+			}
+			return sl
+		}},
+		{"run a task in parallel", func(sl []Slot) []Slot {
+			for i := range sl {
+				if len(sl[i].Assigned) >= 2 {
+					sl[i].Assigned[1].Task = sl[i].Assigned[0].Task
+					sl[i].Assigned[1].Subtask = sl[i].Assigned[0].Subtask + 1
+					return sl
+				}
+			}
+			return sl
+		}},
+		{"skip a subtask", func(sl []Slot) []Slot {
+			sl[0].Assigned[0].Subtask += 5
+			return sl
+		}},
+		{"out-of-range processor", func(sl []Slot) []Slot {
+			sl[0].Assigned[0].Proc = 9
+			return sl
+		}},
+		{"unknown task", func(sl []Slot) []Slot {
+			sl[0].Assigned[0].Task = "ghost"
+			return sl
+		}},
+		{"non-increasing time", func(sl []Slot) []Slot {
+			if len(sl) > 1 {
+				sl[1].Time = sl[0].Time
+			}
+			return sl
+		}},
+	}
+	for _, c := range cases {
+		if errs := Check(set, c.mutate(clone()), opts); len(errs) == 0 {
+			t.Errorf("%s: validator accepted the corrupted trace", c.name)
+		}
+	}
+}
+
+// TestLagViolationDetected: starving a task trips the Pfairness check even
+// when every individual assignment looks plausible.
+func TestLagViolationDetected(t *testing.T) {
+	set := task.Set{task.New("A", 1, 2)}
+	// A receives nothing for 4 slots: lag reaches 2.
+	slots := []Slot{
+		{Time: 0}, {Time: 1}, {Time: 2}, {Time: 3},
+	}
+	errs := Check(set, slots, Options{Processors: 1, Horizon: 4})
+	if len(errs) == 0 {
+		t.Fatal("starvation passed the lag check")
+	}
+}
+
+// TestCompletionCheck: a trace that simply ends early is caught by the
+// horizon completion check.
+func TestCompletionCheck(t *testing.T) {
+	set := task.Set{task.New("A", 1, 2)}
+	slots := []Slot{{Time: 0, Assigned: []core.Assignment{{Proc: 0, Task: "A", Subtask: 1}}}}
+	errs := Check(set, slots, Options{Processors: 1, Horizon: 10, SkipLag: true})
+	if len(errs) == 0 {
+		t.Fatal("missing subtasks passed the completion check")
+	}
+	// With AllowTardy (overload semantics) the same trace passes.
+	if errs := Check(set, slots, Options{Processors: 1, Horizon: 10, SkipLag: true, AllowTardy: true}); len(errs) != 0 {
+		t.Fatalf("tardy-allowed check failed: %v", errs[0])
+	}
+}
+
+// TestOffsetsShiftWindows: IS traces validate against shifted windows.
+func TestOffsetsShiftWindows(t *testing.T) {
+	set := task.Set{task.New("A", 1, 2)}
+	// Subtask 2's window shifts by 3: [2,4) → [5,7).
+	off := map[string]func(int64) int64{
+		"A": func(i int64) int64 {
+			if i >= 2 {
+				return 3
+			}
+			return 0
+		},
+	}
+	slots := []Slot{
+		{Time: 0, Assigned: []core.Assignment{{Proc: 0, Task: "A", Subtask: 1}}},
+		{Time: 5, Assigned: []core.Assignment{{Proc: 0, Task: "A", Subtask: 2}}},
+	}
+	errs := Check(set, slots, Options{Processors: 1, Horizon: 6, Offsets: off, SkipLag: true})
+	if len(errs) != 0 {
+		t.Fatalf("shifted schedule rejected: %v", errs[0])
+	}
+	// Without the offsets the same trace violates subtask 2's window.
+	errs = Check(set, slots, Options{Processors: 1, Horizon: 6, SkipLag: true})
+	if len(errs) == 0 {
+		t.Fatal("unshifted check accepted an out-of-window run")
+	}
+}
+
+// TestAllAlgorithmsCrossValidated runs PD, PF, and ERfair-PD² schedules
+// through the independent validator (ERfair and tardy traces relax the
+// window/lag checks that do not define them).
+func TestAllAlgorithmsCrossValidated(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 6; trial++ {
+		m := 1 + r.Intn(3)
+		var set task.Set
+		budget := rational.NewAcc()
+		for i := 0; i < 6; i++ {
+			p := int64(2 + r.Intn(10))
+			e := int64(1 + r.Intn(int(p)))
+			w := rational.New(e, p)
+			if budget.Clone().Add(w).CmpInt(int64(m)) > 0 {
+				continue
+			}
+			budget.Add(w)
+			set = append(set, task.New(fmt.Sprintf("T%d", i), e, p))
+		}
+		if len(set) == 0 {
+			continue
+		}
+		for _, alg := range []core.Algorithm{core.PD, core.PF} {
+			s := core.NewScheduler(m, alg, core.Options{})
+			var rec Recorder
+			s.OnSlot(rec.Record)
+			for _, tk := range set {
+				if err := s.Join(tk); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s.RunUntil(1500)
+			if errs := Check(set, rec.Slots, Options{Processors: m, Horizon: 1500}); len(errs) != 0 {
+				t.Fatalf("trial %d %v: %v", trial, alg, errs[0])
+			}
+		}
+		// ERfair: windows and Equation (1) lags do not apply (subtasks
+		// legitimately run before their pseudo-releases), but structure,
+		// capacity, and sequence still must.
+		s := core.NewScheduler(m, core.PD2, core.Options{EarlyRelease: true})
+		var rec Recorder
+		s.OnSlot(rec.Record)
+		for _, tk := range set {
+			if err := s.Join(tk); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.RunUntil(1500)
+		if errs := Check(set, rec.Slots, Options{Processors: m, SkipLag: true, AllowTardy: true}); len(errs) != 0 {
+			t.Fatalf("trial %d ERfair: %v", trial, errs[0])
+		}
+	}
+}

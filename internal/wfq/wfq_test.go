@@ -1,0 +1,243 @@
+package wfq
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleFlowFIFO(t *testing.T) {
+	flows := []Flow{{Name: "a", Weight: 1}}
+	packets := []Packet{
+		{Flow: "a", Arrival: 0, Length: 3},
+		{Flow: "a", Arrival: 0, Length: 2},
+		{Flow: "a", Arrival: 1, Length: 1},
+	}
+	for _, pol := range []Policy{WFQ, WF2Q} {
+		deps, err := Schedule(flows, packets, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(deps) != 3 {
+			t.Fatalf("%v: %d departures", pol, len(deps))
+		}
+		wantOrder := []int{0, 1, 2}
+		wantFinish := []int64{3, 5, 6}
+		for i, d := range deps {
+			if d.Packet != wantOrder[i] || d.Finish != wantFinish[i] {
+				t.Errorf("%v departure %d = %+v, want pkt %d finish %d", pol, i, d, wantOrder[i], wantFinish[i])
+			}
+		}
+	}
+}
+
+func TestGPSEqualSplit(t *testing.T) {
+	flows := []Flow{{Name: "a", Weight: 1}, {Name: "b", Weight: 1}}
+	packets := []Packet{
+		{Flow: "a", Arrival: 0, Length: 1},
+		{Flow: "b", Arrival: 0, Length: 1},
+	}
+	fin, err := GPSFinishTimes(flows, packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range fin {
+		if math.Abs(f-2.0) > 1e-6 {
+			t.Errorf("GPS finish[%d] = %v, want 2.0", i, f)
+		}
+	}
+}
+
+func TestGPSWeightedSplit(t *testing.T) {
+	flows := []Flow{{Name: "a", Weight: 3}, {Name: "b", Weight: 1}}
+	packets := []Packet{
+		{Flow: "a", Arrival: 0, Length: 3},
+		{Flow: "b", Arrival: 0, Length: 1},
+	}
+	fin, err := GPSFinishTimes(flows, packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both drain at t=4: a at rate 3/4 (3/0.75 = 4), b at rate 1/4.
+	if math.Abs(fin[0]-4) > 1e-6 || math.Abs(fin[1]-4) > 1e-6 {
+		t.Errorf("GPS finishes = %v, want [4 4]", fin)
+	}
+}
+
+// TestFinishWithinGPSBound: the classic delay bound — every packet's real
+// finish under WFQ and WF²Q is at most its GPS finish plus one maximum
+// packet length.
+func TestFinishWithinGPSBound(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		nf := 2 + r.Intn(4)
+		flows := make([]Flow, nf)
+		for i := range flows {
+			flows[i] = Flow{Name: fmt.Sprintf("f%d", i), Weight: int64(1 + r.Intn(5))}
+		}
+		var packets []Packet
+		var lmax int64
+		tme := int64(0)
+		for i := 0; i < 12; i++ {
+			tme += int64(r.Intn(3))
+			l := int64(1 + r.Intn(6))
+			if l > lmax {
+				lmax = l
+			}
+			packets = append(packets, Packet{
+				Flow: flows[r.Intn(nf)].Name, Arrival: tme, Length: l,
+			})
+		}
+		gps, err := GPSFinishTimes(flows, packets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pol := range []Policy{WFQ, WF2Q} {
+			deps, err := Schedule(flows, packets, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(deps) != len(packets) {
+				t.Fatalf("trial %d %v: served %d of %d", trial, pol, len(deps), len(packets))
+			}
+			for _, d := range deps {
+				if float64(d.Finish) > gps[d.Packet]+float64(lmax)+1e-6 {
+					t.Errorf("trial %d %v: packet %d finished %d, GPS %v + Lmax %d",
+						trial, pol, d.Packet, d.Finish, gps[d.Packet], lmax)
+				}
+			}
+		}
+	}
+}
+
+// TestWF2QLimitsBurstLead reproduces the WF²Q paper's motivating scenario:
+// a weight-half flow with a backlog of packets. WFQ serves a long burst of
+// that flow first (its service runs far ahead of GPS); WF²Q's eligibility
+// rule interleaves it with the light flows, exactly as Pfair windows
+// prevent a subtask from running before its pseudo-release.
+func TestWF2QLimitsBurstLead(t *testing.T) {
+	flows := []Flow{{Name: "f0", Weight: 10}}
+	var packets []Packet
+	for i := 0; i < 11; i++ {
+		packets = append(packets, Packet{Flow: "f0", Arrival: 0, Length: 1})
+	}
+	for i := 1; i <= 10; i++ {
+		name := fmt.Sprintf("f%02d", i)
+		flows = append(flows, Flow{Name: name, Weight: 1})
+		packets = append(packets, Packet{Flow: name, Arrival: 0, Length: 1})
+	}
+	countBurst := func(pol Policy) int {
+		deps, err := Schedule(flows, packets, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		burst := 0
+		for _, d := range deps {
+			if packets[d.Packet].Flow != "f0" {
+				break
+			}
+			burst++
+		}
+		return burst
+	}
+	wfqBurst := countBurst(WFQ)
+	wf2qBurst := countBurst(WF2Q)
+	if wfqBurst < 9 {
+		t.Errorf("WFQ initial f0 burst = %d, expected ≥ 9", wfqBurst)
+	}
+	if wf2qBurst > 2 {
+		t.Errorf("WF2Q initial f0 burst = %d, expected ≤ 2 (eligibility interleaves)", wf2qBurst)
+	}
+}
+
+// TestQuickWorkConservation: the server never idles while packets are
+// queued — total makespan equals total length when everything arrives at
+// time zero, and every packet is served exactly once.
+func TestQuickWorkConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nf := 1 + r.Intn(4)
+		flows := make([]Flow, nf)
+		for i := range flows {
+			flows[i] = Flow{Name: fmt.Sprintf("f%d", i), Weight: int64(1 + r.Intn(4))}
+		}
+		n := 1 + r.Intn(10)
+		var packets []Packet
+		var total int64
+		for i := 0; i < n; i++ {
+			l := int64(1 + r.Intn(5))
+			total += l
+			packets = append(packets, Packet{Flow: flows[r.Intn(nf)].Name, Arrival: 0, Length: l})
+		}
+		for _, pol := range []Policy{WFQ, WF2Q} {
+			deps, err := Schedule(flows, packets, pol)
+			if err != nil || len(deps) != n {
+				return false
+			}
+			seen := map[int]bool{}
+			var last int64
+			for _, d := range deps {
+				if seen[d.Packet] {
+					return false
+				}
+				seen[d.Packet] = true
+				if d.Finish > last {
+					last = d.Finish
+				}
+			}
+			if last != total {
+				t.Logf("%v: makespan %d, want %d", pol, last, total)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Schedule([]Flow{{Name: "a", Weight: 0}}, nil, WFQ); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := Schedule([]Flow{{Name: "a", Weight: 1}, {Name: "a", Weight: 2}}, nil, WFQ); err == nil {
+		t.Error("duplicate flow accepted")
+	}
+	if _, err := Schedule([]Flow{{Name: "a", Weight: 1}}, []Packet{{Flow: "b", Length: 1}}, WFQ); err == nil {
+		t.Error("unknown flow accepted")
+	}
+	if _, err := Schedule([]Flow{{Name: "a", Weight: 1}}, []Packet{{Flow: "a", Length: 0}}, WFQ); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := GPSFinishTimes([]Flow{{Name: "a", Weight: -1}}, nil); err == nil {
+		t.Error("negative weight accepted by GPS")
+	}
+	if WFQ.String() != "WFQ" || WF2Q.String() != "WF2Q" {
+		t.Error("Policy.String mismatch")
+	}
+}
+
+// TestIdlePeriodsReset: packets separated by idle gaps are each served
+// promptly on arrival.
+func TestIdlePeriodsReset(t *testing.T) {
+	flows := []Flow{{Name: "a", Weight: 1}, {Name: "b", Weight: 1}}
+	packets := []Packet{
+		{Flow: "a", Arrival: 0, Length: 2},
+		{Flow: "b", Arrival: 100, Length: 2},
+	}
+	for _, pol := range []Policy{WFQ, WF2Q} {
+		deps, err := Schedule(flows, packets, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if deps[0].Start != 0 || deps[0].Finish != 2 {
+			t.Errorf("%v first departure %+v", pol, deps[0])
+		}
+		if deps[1].Start != 100 || deps[1].Finish != 102 {
+			t.Errorf("%v second departure %+v", pol, deps[1])
+		}
+	}
+}

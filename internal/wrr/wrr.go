@@ -1,0 +1,155 @@
+// Package wrr implements a classic weighted round-robin (WRR) global
+// multiprocessor scheduler, the general-purpose-OS algorithm Section 4
+// relates Pfair to: "PD² can be thought of as a deadline-based variant of
+// the weighted round-robin algorithm."
+//
+// Under WRR, ready tasks sit in a circular queue; when a task reaches the
+// front it runs for a burst proportional to its weight (here: its cost e,
+// so over one full cycle every task receives its period's worth of work)
+// and returns to the tail. WRR provides long-run proportional shares with
+// O(1) scheduling decisions, but it ignores deadlines entirely: a task's
+// allocation within a cycle may arrive arbitrarily late, so tasks with
+// tight windows miss deadlines on sets PD² schedules trivially. The tests
+// exhibit this, making concrete what PD²'s deadline-based priorities and
+// tie-breaks buy over the round-robin heritage.
+package wrr
+
+import (
+	"fmt"
+
+	"pfair/internal/task"
+)
+
+// Miss records a job that did not complete by its deadline.
+type Miss struct {
+	Task     string
+	Job      int64
+	Deadline int64
+}
+
+// Stats aggregates a run.
+type Stats struct {
+	Slots           int64
+	Allocations     int64
+	ContextSwitches int64
+	Misses          []Miss
+}
+
+type wstate struct {
+	t *task.Task
+	// burst is the remaining quanta of the task's current turn.
+	burst int64
+	// Job bookkeeping against the periodic deadline lattice.
+	completed int64 // fully finished jobs
+	rem       int64 // remaining quanta of the head job
+	missed    map[int64]bool
+}
+
+func (w *wstate) headDeadline() int64 { return (w.completed + 1) * w.t.Period }
+func (w *wstate) headRelease() int64  { return w.completed * w.t.Period }
+
+// Scheduler is a slot-quantized global WRR scheduler on m processors.
+type Scheduler struct {
+	m      int
+	queue  []*wstate // circular ready order; front runs first
+	now    int64
+	stats  Stats
+	prev   map[*wstate]bool
+	onSlot func(t int64, allocated []string)
+	buf    []string
+}
+
+// OnSlot registers a callback invoked after every slot with the names of
+// the tasks that received a quantum. The slice is reused across calls.
+func (s *Scheduler) OnSlot(fn func(t int64, allocated []string)) { s.onSlot = fn }
+
+// NewScheduler returns a WRR scheduler for m processors over the given
+// synchronous periodic set.
+func NewScheduler(m int, set task.Set) (*Scheduler, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("wrr: need at least one processor")
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Scheduler{m: m, prev: map[*wstate]bool{}}
+	for _, t := range set {
+		s.queue = append(s.queue, &wstate{t: t, burst: t.Cost, rem: t.Cost, missed: map[int64]bool{}})
+	}
+	return s, nil
+}
+
+// Step schedules one slot: the first m queue entries with released,
+// unfinished work run; a task whose burst is exhausted rotates to the
+// tail with a fresh burst.
+func (s *Scheduler) Step() {
+	t := s.now
+	var running []*wstate
+	for _, w := range s.queue {
+		if len(running) == s.m {
+			break
+		}
+		if w.rem > 0 && w.headRelease() <= t {
+			running = append(running, w)
+		}
+	}
+	cur := map[*wstate]bool{}
+	for _, w := range running {
+		cur[w] = true
+		if !s.prev[w] {
+			s.stats.ContextSwitches++
+		}
+		w.rem--
+		w.burst--
+		s.stats.Allocations++
+		if w.rem == 0 {
+			// Job complete; next job's work becomes available at its
+			// release.
+			w.completed++
+			w.rem = w.t.Cost
+		}
+		if w.burst == 0 {
+			s.rotate(w)
+		}
+	}
+	// Deadline misses: the head job is released and incomplete past its
+	// deadline (a caught-up task's head job is unreleased, so the
+	// release check excludes it).
+	for _, w := range s.queue {
+		if w.headDeadline() <= t+1 && w.headRelease() <= t && !w.missed[w.completed+1] {
+			w.missed[w.completed+1] = true
+			s.stats.Misses = append(s.stats.Misses, Miss{Task: w.t.Name, Job: w.completed + 1, Deadline: w.headDeadline()})
+		}
+	}
+	s.prev = cur
+	s.stats.Slots++
+	s.now++
+	if s.onSlot != nil {
+		s.buf = s.buf[:0]
+		for _, w := range running {
+			s.buf = append(s.buf, w.t.Name)
+		}
+		s.onSlot(t, s.buf)
+	}
+}
+
+// rotate moves w to the tail of the queue and recharges its burst.
+func (s *Scheduler) rotate(w *wstate) {
+	for i, q := range s.queue {
+		if q == w {
+			s.queue = append(append(s.queue[:i], s.queue[i+1:]...), w)
+			break
+		}
+	}
+	w.burst = w.t.Cost
+}
+
+// RunUntil steps to the horizon.
+func (s *Scheduler) RunUntil(horizon int64) {
+	for s.now < horizon {
+		s.Step()
+	}
+}
+
+// Stats returns the accumulated counters.
+func (s *Scheduler) Stats() Stats { return s.stats }

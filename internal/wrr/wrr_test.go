@@ -1,0 +1,123 @@
+package wrr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pfair/internal/core"
+	"pfair/internal/rational"
+	"pfair/internal/task"
+)
+
+func TestSingleTaskMeetsDeadlines(t *testing.T) {
+	s, err := NewScheduler(1, task.Set{task.New("T", 2, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(100)
+	if n := len(s.Stats().Misses); n != 0 {
+		t.Fatalf("lone task missed %d deadlines under WRR", n)
+	}
+	if s.Stats().Allocations != 40 {
+		t.Fatalf("allocations = %d, want 40", s.Stats().Allocations)
+	}
+}
+
+// TestProportionalShare: over a long run, each task's allocation tracks
+// its weight (the property WRR does provide).
+func TestProportionalShare(t *testing.T) {
+	set := task.Set{task.New("A", 1, 4), task.New("B", 1, 2), task.New("C", 1, 4)}
+	s, err := NewScheduler(1, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 4000
+	s.RunUntil(horizon)
+	// Σwt = 1: the processor is always busy, and shares track weights.
+	if got := s.Stats().Allocations; got != horizon {
+		t.Fatalf("allocations = %d, want %d", got, horizon)
+	}
+}
+
+// TestWRRMissesWherePD2Succeeds: the paper's point — WRR has the right
+// long-run shares but no notion of deadlines, so it misses on feasible
+// sets PD² schedules. A task with a long period and large cost hogs the
+// processor for its whole burst, starving a short-period task.
+func TestWRRMissesWherePD2Succeeds(t *testing.T) {
+	set := task.Set{
+		task.New("short", 1, 4),  // needs a quantum every 4 slots
+		task.New("long", 12, 16), // WRR burst of 12 consecutive slots
+	}
+	if set.TotalWeight().CmpInt(1) > 0 {
+		t.Fatal("setup: set must be feasible on one processor")
+	}
+	s, err := NewScheduler(1, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(320)
+	wrrMisses := len(s.Stats().Misses)
+	if wrrMisses == 0 {
+		t.Fatal("WRR met all deadlines; expected burst-induced misses")
+	}
+
+	p := core.NewScheduler(1, core.PD2, core.Options{})
+	for _, tk := range set {
+		if err := p.Join(tk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.RunUntil(320)
+	p.FinishMisses(320)
+	if n := len(p.Stats().Misses); n != 0 {
+		t.Fatalf("PD² missed %d deadlines on the same set", n)
+	}
+}
+
+// TestQuickWRRNeverOverAllocates: a task never receives more quanta than
+// released work allows.
+func TestQuickWRRNeverOverAllocates(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		m := 1 + r.Intn(3)
+		var set task.Set
+		budget := rational.NewAcc()
+		for i := 0; i < 6; i++ {
+			p := int64(2 + r.Intn(12))
+			e := int64(1 + r.Intn(int(p)))
+			w := rational.New(e, p)
+			if budget.Clone().Add(w).CmpInt(int64(m)) > 0 {
+				continue
+			}
+			budget.Add(w)
+			set = append(set, task.New(fmt.Sprintf("T%d", i), e, p))
+		}
+		if len(set) == 0 {
+			continue
+		}
+		s, err := NewScheduler(m, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const horizon = 1000
+		s.RunUntil(horizon)
+		// Released work by the horizon bounds total allocations.
+		var released int64
+		for _, tk := range set {
+			released += (horizon/tk.Period + 1) * tk.Cost
+		}
+		if got := s.Stats().Allocations; got > released {
+			t.Fatalf("allocated %d > released %d", got, released)
+		}
+	}
+}
+
+func TestNewSchedulerValidation(t *testing.T) {
+	if _, err := NewScheduler(0, task.Set{task.New("T", 1, 2)}); err == nil {
+		t.Error("zero processors accepted")
+	}
+	if _, err := NewScheduler(1, task.Set{task.New("T", 1, 2), task.New("T", 1, 3)}); err == nil {
+		t.Error("duplicate names accepted")
+	}
+}

@@ -1,0 +1,92 @@
+// Package pfair is a from-scratch Go implementation of proportionate-fair
+// (Pfair) multiprocessor real-time scheduling, reproducing Srinivasan,
+// Holman, Anderson, and Baruah, "The Case for Fair Multiprocessor
+// Scheduling" (IPDPS 2003).
+//
+// It provides the PD², PD, and PF optimal Pfair schedulers (plus the naive
+// EPDF baseline), the work-conserving ERfair variant, the intra-sporadic
+// task model, dynamic task joins/leaves/reweighting, supertasking, and the
+// partitioned-scheduling machinery the paper compares against (uniprocessor
+// EDF and RM, bin-packing heuristics, and the Equation (3) overhead
+// accounting).
+//
+// This package is a thin facade over the implementation packages under
+// internal/; it re-exports the types needed for the common "schedule a
+// task set and inspect the result" workflow:
+//
+//	s := pfair.NewScheduler(2, pfair.PD2, pfair.Options{})
+//	s.Join(pfair.NewTask("A", 2, 3)) // cost 2, period 3 → weight 2/3
+//	s.Join(pfair.NewTask("B", 2, 3))
+//	s.Join(pfair.NewTask("C", 2, 3)) // Σwt = 2: infeasible for ANY partitioning
+//	s.RunUntil(3000)
+//	fmt.Println(len(s.Stats().Misses)) // 0 — PD² is optimal
+//
+// The examples/ directory contains runnable programs for the paper's
+// motivating scenarios, and cmd/experiments regenerates every figure of
+// its evaluation section.
+package pfair
+
+import (
+	"pfair/internal/core"
+	"pfair/internal/rational"
+	"pfair/internal/task"
+)
+
+// Task is a recurrent real-time task with integer cost and period.
+type Task = task.Task
+
+// Set is an ordered collection of tasks.
+type Set = task.Set
+
+// NewTask returns a periodic task with the given name, cost, and period.
+// It panics unless 0 < cost ≤ period.
+func NewTask(name string, cost, period int64) *Task { return task.New(name, cost, period) }
+
+// Weight is an exact rational number (task weights, lags).
+type Weight = rational.Rat
+
+// Algorithm selects the Pfair priority rule.
+type Algorithm = core.Algorithm
+
+// The Pfair scheduling algorithms. PD2 is the paper's subject and the most
+// efficient optimal algorithm; PD and PF are the earlier optimal
+// algorithms; EPDF (earliest-pseudo-deadline-first with no tie-breaks) is
+// not optimal for more than two processors.
+const (
+	PD2  = core.PD2
+	PD   = core.PD
+	PF   = core.PF
+	EPDF = core.EPDF
+)
+
+// Options configures a Scheduler (ERfair eligibility, affinity).
+type Options = core.Options
+
+// Scheduler is a global Pfair/ERfair multiprocessor scheduler.
+type Scheduler = core.Scheduler
+
+// NewScheduler returns a scheduler for m processors under the given
+// algorithm.
+func NewScheduler(m int, alg Algorithm, opts Options) *Scheduler {
+	return core.NewScheduler(m, alg, opts)
+}
+
+// Assignment records one processor allocation in one slot.
+type Assignment = core.Assignment
+
+// Miss records a subtask scheduled (or abandoned) after its window closed.
+type Miss = core.Miss
+
+// Stats aggregates scheduling counters over a run.
+type Stats = core.Stats
+
+// ReleaseModel customizes subtask arrivals (the intra-sporadic model).
+type ReleaseModel = core.ReleaseModel
+
+// Pattern exposes the Pfair subtask algebra of a cost/period pair:
+// windows, b-bits, group deadlines, and lags.
+type Pattern = core.Pattern
+
+// NewPattern returns the window pattern for a task with the given cost and
+// period.
+func NewPattern(cost, period int64) *Pattern { return core.NewPattern(cost, period) }

@@ -1,0 +1,48 @@
+package pfair_test
+
+import (
+	"testing"
+
+	"pfair"
+)
+
+// TestQuickstart exercises the facade end to end: the doc-comment example
+// must keep working.
+func TestQuickstart(t *testing.T) {
+	s := pfair.NewScheduler(2, pfair.PD2, pfair.Options{})
+	for _, tk := range []*pfair.Task{
+		pfair.NewTask("A", 2, 3), pfair.NewTask("B", 2, 3), pfair.NewTask("C", 2, 3),
+	} {
+		if err := s.Join(tk); err != nil {
+			t.Fatalf("join: %v", err)
+		}
+	}
+	s.RunUntil(3000)
+	s.FinishMisses(3000)
+	if n := len(s.Stats().Misses); n != 0 {
+		t.Fatalf("quickstart set missed %d deadlines", n)
+	}
+	if s.Stats().Allocations != 3000*2 {
+		t.Fatalf("full-utilization set left idle slots: %d allocations", s.Stats().Allocations)
+	}
+}
+
+func TestFacadeTypes(t *testing.T) {
+	pat := pfair.NewPattern(8, 11)
+	if pat.Deadline(1) != 2 || pat.GroupDeadline(3) != 8 {
+		t.Error("pattern algebra mismatch through the facade")
+	}
+	tk := pfair.NewTask("T", 1, 2)
+	if tk.Utilization() != 0.5 || !tk.Heavy() {
+		t.Error("task helpers mismatch through the facade")
+	}
+	var set pfair.Set = []*pfair.Task{tk}
+	if set.MinProcessors() != 1 {
+		t.Error("set helpers mismatch through the facade")
+	}
+	for _, alg := range []pfair.Algorithm{pfair.PD2, pfair.PD, pfair.PF, pfair.EPDF} {
+		if alg.String() == "" {
+			t.Error("algorithm stringer empty")
+		}
+	}
+}
