@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test race bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the scheduler hot-path benchmarks and writes BENCH_core.json
+# (name, ns/op, allocs/op per benchmark) for machine consumption.
+bench:
+	sh scripts/bench.sh BENCH_core.json
+
+check: build test race bench

@@ -11,14 +11,17 @@
 //	-sets N     task sets per data point (default: scaled-down defaults)
 //	-horizon H  slots simulated per set in the Figure 2 measurement
 //	-full       use the paper's full protocol (1000 sets/point, 10⁶-slot
-//	            horizons) — slow, hours of CPU
+//	            horizons) — hours of CPU serially, divided by -workers
 //	-seed S     base RNG seed
+//	-workers N  goroutines per sweep (default: one per CPU; 1 = the old
+//	            serial harness). Output is byte-identical for any value.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"pfair/internal/experiments"
 )
@@ -28,6 +31,7 @@ func main() {
 	horizon := flag.Int64("horizon", 0, "slots per set for fig2 (0 = default)")
 	full := flag.Bool("full", false, "run the paper's full protocol (slow)")
 	seed := flag.Int64("seed", 0, "base RNG seed (0 = default)")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines per sweep (1 = serial)")
 	measured := flag.Bool("measured", false, "fig3/fig4: measure scheduling costs on this machine first (the paper's methodology) instead of the calibrated default models")
 	flag.Parse()
 
@@ -58,6 +62,9 @@ func main() {
 		f3.Seed = *seed
 		qs.Seed = *seed
 	}
+	f2.Workers = *workers
+	f3.Workers = *workers
+	qs.Workers = *workers
 
 	run := func(name string, fn func()) {
 		if cmd == name || cmd == "all" {
@@ -78,20 +85,10 @@ func main() {
 		fmt.Println()
 	})
 	run("fig2a", func() {
-		fmt.Println("# Figure 2(a): per-invocation scheduling cost on one processor")
-		fmt.Println("# N\tEDF_ns\tEDF_relerr\tPD2_ns\tPD2_relerr")
-		for _, p := range experiments.Fig2a(f2) {
-			fmt.Printf("%d\t%.1f\t%.3f\t%.1f\t%.3f\n", p.N, p.EDFNanos, p.EDFRelErr, p.PD2Nanos, p.PD2RelErr)
-		}
-		fmt.Println()
+		experiments.RenderFig2a(os.Stdout, experiments.Fig2a(f2))
 	})
 	run("fig2b", func() {
-		fmt.Println("# Figure 2(b): PD² per-slot cost on 2/4/8/16 processors")
-		fmt.Println("# M\tN\tPD2_ns\trelerr")
-		for _, p := range experiments.Fig2b(f2) {
-			fmt.Printf("%d\t%d\t%.1f\t%.3f\n", p.M, p.N, p.PD2Nanos, p.RelErr)
-		}
-		fmt.Println()
+		experiments.RenderFig2b(os.Stdout, experiments.Fig2b(f2))
 	})
 	runFig34 := func(fig4 bool) {
 		if *measured {
@@ -101,37 +98,16 @@ func main() {
 				models.EDFBase, models.EDFPerTask, models.PD2Base, models.PD2PerTask, models.PD2PerProc)
 		}
 		data := experiments.Fig3(f3)
-		for _, n := range f3.Ns {
-			if fig4 {
-				fmt.Printf("# Figure 4: schedulability-loss fractions, N=%d\n", n)
-				fmt.Println("# mean_util\tloss_pfair\tloss_edf\tloss_ff")
-				for _, p := range data[n] {
-					fmt.Printf("%.4f\t%.4f\t%.4f\t%.4f\n", p.MeanUtil, p.LossPfair, p.LossEDF, p.LossFF)
-				}
-			} else {
-				fmt.Printf("# Figure 3: minimum processors for schedulability, N=%d\n", n)
-				fmt.Println("# total_util\tPD2\trelerr\tEDF-FF\trelerr")
-				for _, p := range data[n] {
-					fmt.Printf("%.2f\t%.2f\t%.3f\t%.2f\t%.3f\n", p.TotalUtil, p.PD2Procs, p.PD2RelErr, p.FFProcs, p.FFRelErr)
-				}
-				if x := experiments.Crossover(data[n]); x > 0 {
-					fmt.Printf("# crossover (PD2 catches EDF-FF) near total utilization %.1f\n", x)
-				}
-			}
-			fmt.Println()
+		if fig4 {
+			experiments.RenderFig4(os.Stdout, f3.Ns, data)
+		} else {
+			experiments.RenderFig3(os.Stdout, f3.Ns, data)
 		}
 	}
 	run("fig3", func() { runFig34(false) })
 	run("fig4", func() { runFig34(true) })
 	run("fig5", func() {
-		res := experiments.Fig5(90)
-		fmt.Print(res.Trace)
-		fmt.Println("# component misses without reweighting:")
-		for _, m := range res.Misses {
-			fmt.Printf("#   %s/%s job %d missed deadline %d\n", m.Supertask, m.Component, m.Job, m.Deadline)
-		}
-		fmt.Printf("# component misses with 1/p_min reweighting: %d\n", len(res.ReweightedMisses))
-		fmt.Println()
+		experiments.RenderFig5(os.Stdout, experiments.Fig5Workers(90, *workers))
 	})
 	run("response", func() {
 		rc := experiments.DefaultResponseConfig()
@@ -141,24 +117,16 @@ func main() {
 		if *seed != 0 {
 			rc.Seed = *seed
 		}
-		fmt.Println("# Section 2 claim: early release improves response times at light load")
-		fmt.Println("# load\tpfair_resp\terfair_resp\tspeedup")
-		for _, p := range experiments.ResponseTimes(rc) {
-			fmt.Printf("%.2f\t%.2f\t%.2f\t%.3f\n", p.Load, p.PfairResponse, p.ERfairResponse, p.Speedup)
-		}
-		fmt.Println()
+		rc.Workers = *workers
+		experiments.RenderResponse(os.Stdout, experiments.ResponseTimes(rc))
 	})
 	run("fairness", func() {
 		fc := experiments.DefaultFairnessConfig()
 		if *seed != 0 {
 			fc.Seed = *seed
 		}
-		fmt.Println("# Equation (1) quantified: worst lag excursions on one near-saturated workload")
-		fmt.Println("# scheduler\tmax_lag\tmin_lag\tmisses")
-		for _, p := range experiments.Fairness(fc) {
-			fmt.Printf("%s\t%.3f\t%.3f\t%d\n", p.Scheduler, p.MaxLag, p.MinLag, p.Misses)
-		}
-		fmt.Println()
+		fc.Workers = *workers
+		experiments.RenderFairness(os.Stdout, experiments.Fairness(fc))
 	})
 	run("sync", func() {
 		sc := experiments.DefaultSyncConfig()
@@ -168,18 +136,10 @@ func main() {
 		if *seed != 0 {
 			sc.Seed = *seed
 		}
-		fmt.Println("# Section 5.1: resource sharing — PD²+quantum-boundary locks vs partitioned RM+MPCP")
-		fmt.Println("# cs_us\tpfair_procs\tmpcp_procs\tmpcp_unschedulable")
-		for _, p := range experiments.SyncComparison(sc) {
-			fmt.Printf("%d\t%.2f\t%.2f\t%d/%d\n", p.CSLengthUS, p.PfairProcs, p.MPCPProcs, p.MPCPFailures, sc.Sets)
-		}
-		fmt.Println()
+		sc.Workers = *workers
+		experiments.RenderSync(os.Stdout, experiments.SyncComparison(sc), sc.Sets)
 	})
 	run("quantum", func() {
-		fmt.Println("# Section 4 trade-off: quantum size vs schedulability loss")
-		fmt.Println("# q_us\tPD2_procs\trounding_loss\toverhead_loss\tinfeasible")
-		for _, p := range experiments.QuantumSweep(qs) {
-			fmt.Printf("%d\t%.2f\t%.3f\t%.3f\t%d\n", p.QuantumUS, p.PD2Procs, p.RoundingLoss, p.OverheadLoss, p.Infeasible)
-		}
+		experiments.RenderQuantum(os.Stdout, experiments.QuantumSweep(qs))
 	})
 }

@@ -129,6 +129,8 @@ func (s *Scheduler) FailProcessors(k int) int {
 	}
 	s.m -= k
 	s.procPrev = s.procPrev[:s.m]
+	s.procNext = s.procNext[:s.m]
+	s.taken = s.taken[:s.m]
 	// Tasks whose last allocation was on a removed processor migrate.
 	for _, st := range s.order {
 		if st.lastProc >= s.m {

@@ -34,18 +34,100 @@ import (
 //	D(Tᵢ₊ₑ) = D(Tᵢ) + p.
 type Pattern struct {
 	e, p int64
-	// gd[i-1] is the group deadline of subtask i, for 1 ≤ i ≤ e, computed
-	// lazily on first use (heavy tasks only).
+	// heavy and weight are fixed at construction: the scheduler's priority
+	// comparator (PD's heavy-before-light and weight tie-breaks) runs
+	// inside heap sift operations, where rebuilding rationals per call
+	// dominated the PD hot path.
+	heavy  bool
+	weight rational.Rat
+	// release/deadline/bbit tables for the first period, indexed by i−1
+	// for 1 ≤ i ≤ e; all three repeat every e subtasks shifted by p. Built
+	// at construction when e ≤ patternTableMax, nil otherwise (the direct
+	// formulas remain the fallback).
+	release  []int64
+	deadline []int64
+	bbit     []uint8
+	// gd[i-1] is the group deadline of subtask i, for 1 ≤ i ≤ e (heavy
+	// tasks only): filled at construction alongside the other tables, or
+	// lazily on first use for patterns too large to tabulate.
 	gd []int64
 }
 
+// patternTableMax bounds the per-period tables: a pattern with cost above
+// it (three int64 tables ≈ 100 KiB) falls back to the direct formulas and
+// the lazy group-deadline memo. Every workload in the paper's experiments
+// has costs well below the bound.
+const patternTableMax = 4096
+
 // NewPattern returns the window pattern for a task with the given cost and
 // period. It panics unless 0 < cost ≤ period.
+//
+// Patterns with cost ≤ patternTableMax are immutable after construction
+// and safe for concurrent readers; larger patterns memoize group deadlines
+// lazily and must not be shared across goroutines.
 func NewPattern(cost, period int64) *Pattern {
 	if cost <= 0 || period < cost {
 		panic(fmt.Sprintf("core: invalid pattern %d/%d", cost, period))
 	}
-	return &Pattern{e: cost, p: period}
+	pt := &Pattern{
+		e:      cost,
+		p:      period,
+		heavy:  2*cost >= period,
+		weight: rational.New(cost, period),
+	}
+	if cost <= patternTableMax {
+		pt.release = make([]int64, cost)
+		pt.deadline = make([]int64, cost)
+		pt.bbit = make([]uint8, cost)
+		for i := int64(1); i <= cost; i++ {
+			pt.release[i-1] = rational.FloorDiv((i-1)*period, cost)
+			pt.deadline[i-1] = rational.CeilDiv(i*period, cost)
+			if (i*period)%cost != 0 {
+				pt.bbit[i-1] = 1
+			}
+		}
+		if pt.heavy {
+			pt.fillGroupDeadlines()
+		}
+	}
+	return pt
+}
+
+// fillGroupDeadlines tabulates D(Tᵢ) for the first period in O(e) by a
+// backward pass. Writing E(j) for the first cascade event at or after
+// subtask j — the earliest k ≥ j with |w(Tₖ)| = 3 (event d(Tₖ)−1) or
+// b(Tₖ) = 0 (event d(Tₖ)) — the definition reduces to
+//
+//	D(Tᵢ) = d(Tᵢ) if b(Tᵢ) = 0, else E(i+1),
+//
+// because for a heavy task d is strictly increasing, so the walk's guard
+// d(Tₖ)−1 ≥ d(Tᵢ) holds automatically for every k > i and can never hold
+// at k = i. E satisfies E(j) = event(j) if one occurs at j, else E(j+1),
+// and b(Tₑ) = 0 grounds the recurrence within the period.
+// groupDeadlineSlow remains the executable ground truth; the tests check
+// the two agree.
+func (pt *Pattern) fillGroupDeadlines() {
+	e := pt.e
+	pt.gd = make([]int64, e)
+	ev := make([]int64, e+1) // ev[j-1] = E(j)
+	for j := e; j >= 1; j-- {
+		d := pt.deadline[j-1]
+		switch {
+		case d-pt.release[j-1] == 3:
+			ev[j-1] = d - 1
+		case pt.bbit[j-1] == 0:
+			ev[j-1] = d
+		default:
+			ev[j-1] = ev[j] // safe: b(Tₑ) = 0, so j < e here
+		}
+	}
+	for i := int64(1); i <= e; i++ {
+		if pt.bbit[i-1] == 0 {
+			pt.gd[i-1] = pt.deadline[i-1]
+		} else {
+			pt.gd[i-1] = ev[i]
+		}
+	}
 }
 
 // Cost returns the per-job execution cost e.
@@ -55,21 +137,27 @@ func (pt *Pattern) Cost() int64 { return pt.e }
 func (pt *Pattern) Period() int64 { return pt.p }
 
 // Weight returns wt(T) = e/p.
-func (pt *Pattern) Weight() rational.Rat { return rational.New(pt.e, pt.p) }
+func (pt *Pattern) Weight() rational.Rat { return pt.weight }
 
 // Heavy reports whether wt(T) ≥ 1/2.
-func (pt *Pattern) Heavy() bool {
-	return !rational.New(pt.e, pt.p).Less(rational.New(1, 2))
-}
+func (pt *Pattern) Heavy() bool { return pt.heavy }
 
 // Release returns the pseudo-release r(Tᵢ) = ⌊(i−1)·p/e⌋ of subtask i ≥ 1.
 func (pt *Pattern) Release(i int64) int64 {
+	if pt.release != nil {
+		cycles := (i - 1) / pt.e
+		return pt.release[i-1-cycles*pt.e] + cycles*pt.p
+	}
 	return rational.FloorDiv((i-1)*pt.p, pt.e)
 }
 
 // Deadline returns the pseudo-deadline d(Tᵢ) = ⌈i·p/e⌉ of subtask i ≥ 1.
 // Tᵢ must be scheduled in [Release(i), Deadline(i)).
 func (pt *Pattern) Deadline(i int64) int64 {
+	if pt.deadline != nil {
+		cycles := (i - 1) / pt.e
+		return pt.deadline[i-1-cycles*pt.e] + cycles*pt.p
+	}
 	return rational.CeilDiv(i*pt.p, pt.e)
 }
 
@@ -82,6 +170,10 @@ func (pt *Pattern) WindowLength(i int64) int64 {
 // otherwise. Consecutive windows overlap by exactly one slot iff
 // r(Tᵢ₊₁) = d(Tᵢ) − 1, which holds iff i·p is not a multiple of e.
 func (pt *Pattern) BBit(i int64) int {
+	if pt.bbit != nil {
+		cycles := (i - 1) / pt.e
+		return int(pt.bbit[i-1-cycles*pt.e])
+	}
 	if (i*pt.p)%pt.e != 0 {
 		return 1
 	}
@@ -95,13 +187,14 @@ func (pt *Pattern) BBit(i int64) int {
 // Group deadlines only matter for heavy tasks (weight ≥ 1/2, whose windows
 // have length two or three); for light tasks PD² defines D(Tᵢ) = 0.
 func (pt *Pattern) GroupDeadline(i int64) int64 {
-	if !pt.Heavy() {
+	if !pt.heavy {
 		return 0
 	}
 	// Reduce to the first period using D(Tᵢ₊ₑ) = D(Tᵢ) + p.
 	cycles := (i - 1) / pt.e
 	base := i - cycles*pt.e // in [1, e]
 	if pt.gd == nil {
+		// Lazy fallback for patterns above patternTableMax.
 		pt.gd = make([]int64, pt.e)
 		for k := range pt.gd {
 			pt.gd[k] = -1

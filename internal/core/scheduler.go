@@ -109,8 +109,19 @@ type tstate struct {
 	// task when non-nil (mixed Pfair/ERfair systems).
 	earlyRelease *bool
 
+	// readyItem and pendItem are allocated once at admission and reused
+	// for every queue insertion (heap.PushItem), keeping the per-slot loop
+	// allocation-free. Item.Index() < 0 means "not currently queued".
 	readyItem *heap.Item[*tstate]
 	pendItem  *heap.Item[*tstate]
+
+	// selSlot is the last slot in which this task was selected to run — a
+	// generation flag that turns the preemption scan's membership test
+	// over sel into an O(1) field comparison.
+	selSlot int64
+	// departed marks a tstate removed from the system (applyLeaves), so
+	// stale procPrev references can be detected without a map lookup.
+	departed bool
 
 	allocated int64
 	lastProc  int
@@ -161,6 +172,11 @@ type Scheduler struct {
 
 	selBuf    []*tstate
 	assignBuf []Assignment
+	// procNext and taken are the assignment scratch for the current slot,
+	// allocated once and cleared per Step; procNext swaps with procPrev at
+	// commit so no per-slot allocation occurs.
+	procNext []*tstate
+	taken    []bool
 }
 
 // NewScheduler returns a scheduler for m ≥ 1 processors using the given
@@ -176,6 +192,8 @@ func NewScheduler(m int, alg Algorithm, opts Options) *Scheduler {
 		tasks:    make(map[string]*tstate),
 		weight:   rational.NewAcc(),
 		procPrev: make([]*tstate, m),
+		procNext: make([]*tstate, m),
+		taken:    make([]bool, m),
 	}
 	s.ready = heap.New(func(a, b *tstate) bool { return less(s.alg, &a.pr, &b.pr) })
 	s.pending = heap.New(func(a, b *tstate) bool {
@@ -230,13 +248,11 @@ func (s *Scheduler) JoinEarlyRelease(t *task.Task, model ReleaseModel, earlyRele
 	s.refreshSubtask(s.tasks[t.Name])
 	// Requeue under the corrected eligibility.
 	st := s.tasks[t.Name]
-	if st.readyItem != nil {
+	if st.readyItem.Index() >= 0 {
 		s.ready.Remove(st.readyItem)
-		st.readyItem = nil
 	}
-	if st.pendItem != nil {
+	if st.pendItem.Index() >= 0 {
 		s.pending.Remove(st.pendItem)
-		st.pendItem = nil
 	}
 	s.enqueue(st)
 	return nil
@@ -275,7 +291,10 @@ func (s *Scheduler) admit(t *task.Task, model ReleaseModel, addWeight, check boo
 		index:    1,
 		lastProc: -1,
 		lastSlot: -1,
+		selSlot:  -1,
 	}
+	st.readyItem = heap.NewItem(st)
+	st.pendItem = heap.NewItem(st)
 	s.nextID++
 	if addWeight {
 		s.weight.Add(w)
@@ -351,9 +370,9 @@ func (st2 *Scheduler) refreshSubtask(st *tstate) {
 // eligibility.
 func (s *Scheduler) enqueue(st *tstate) {
 	if st.elig <= s.now {
-		st.readyItem = s.ready.Push(st)
+		s.ready.PushItem(st.readyItem)
 	} else {
-		st.pendItem = s.pending.Push(st)
+		s.pending.PushItem(st.pendItem)
 	}
 }
 
@@ -366,15 +385,14 @@ func (s *Scheduler) Step() []Assignment {
 	// Release: move every subtask whose eligibility has arrived.
 	for s.pending.Len() > 0 && s.pending.Peek().elig <= t {
 		st := s.pending.Pop()
-		st.pendItem = nil
-		st.readyItem = s.ready.Push(st)
+		s.ready.PushItem(st.readyItem)
 	}
 
 	// Select the m highest-priority eligible subtasks.
 	sel := s.selBuf[:0]
 	for len(sel) < s.m && s.ready.Len() > 0 {
 		st := s.ready.Pop()
-		st.readyItem = nil
+		st.selSlot = t
 		if st.deadline <= t && !st.missed {
 			// The window has closed; the subtask runs tardily.
 			st.missed = true
@@ -390,19 +408,14 @@ func (s *Scheduler) Step() []Assignment {
 	s.selBuf = sel
 
 	// Count preemptions: a task that ran in slot t−1, has an in-progress
-	// job, and was not selected for slot t.
+	// job, and was not selected for slot t. The selSlot generation flag
+	// replaces the former O(m·|sel|) membership scan, and the departed
+	// flag the former per-processor map lookup.
 	for _, prev := range s.procPrev {
 		if prev == nil || prev.lastSlot != t-1 {
 			continue
 		}
-		selected := false
-		for _, st := range sel {
-			if st == prev {
-				selected = true
-				break
-			}
-		}
-		if !selected && s.tasks[prev.task.Name] == prev && !prev.pat.FirstOfJob(prev.index) {
+		if prev.selSlot != t && !prev.departed && !prev.pat.FirstOfJob(prev.index) {
 			s.stats.Preemptions++
 		}
 	}
@@ -412,8 +425,12 @@ func (s *Scheduler) Step() []Assignment {
 	// not count as a context switch (the optimization behind the paper's
 	// min(E−1, P−E) preemption bound).
 	assigned := s.assignBuf[:0]
-	procNew := make([]*tstate, s.m)
-	taken := make([]bool, s.m)
+	procNew := s.procNext
+	taken := s.taken
+	for k := range procNew {
+		procNew[k] = nil
+		taken[k] = false
+	}
 	if !s.opts.NoAffinity {
 		for _, st := range sel {
 			if st.lastSlot == t-1 && st.lastProc >= 0 && !taken[st.lastProc] {
@@ -469,10 +486,10 @@ func (s *Scheduler) Step() []Assignment {
 		// Advance to the next subtask.
 		st.index++
 		s.refreshSubtask(st)
-		st.pendItem = s.pending.Push(st)
+		s.pending.PushItem(st.pendItem)
 	}
 	s.assignBuf = assigned
-	s.procPrev = procNew
+	s.procPrev, s.procNext = procNew, s.procPrev
 	s.stats.Slots++
 	s.now = t + 1
 
@@ -495,8 +512,8 @@ func (s *Scheduler) RunUntil(horizon int64) {
 // simulation ended on.
 func (s *Scheduler) FinishMisses(horizon int64) {
 	for _, st := range s.order {
-		if s.tasks[st.task.Name] != st {
-			continue // departed
+		if st.departed {
+			continue
 		}
 		if st.deadline <= horizon && !st.missed {
 			s.stats.Misses = append(s.stats.Misses, Miss{
@@ -526,7 +543,7 @@ func (s *Scheduler) Lag(name string) (rational.Rat, error) {
 func (s *Scheduler) Tasks() []string {
 	names := make([]string, 0, len(s.tasks))
 	for _, st := range s.order {
-		if s.tasks[st.task.Name] == st {
+		if !st.departed {
 			names = append(names, st.task.Name)
 		}
 	}
@@ -546,13 +563,11 @@ func (s *Scheduler) applyLeaves(t int64) {
 			kept = append(kept, st)
 			continue
 		}
-		if st.readyItem != nil {
+		if st.readyItem.Index() >= 0 {
 			s.ready.Remove(st.readyItem)
-			st.readyItem = nil
 		}
-		if st.pendItem != nil {
+		if st.pendItem.Index() >= 0 {
 			s.pending.Remove(st.pendItem)
-			st.pendItem = nil
 		}
 		if !st.rejoinReserved {
 			// An upward Reweight already swapped the weights at request
@@ -560,6 +575,7 @@ func (s *Scheduler) applyLeaves(t int64) {
 			s.weight.Sub(st.task.Weight())
 		}
 		delete(s.tasks, st.task.Name)
+		st.departed = true
 		if st.rejoin != nil {
 			rejoins = append(rejoins, st)
 		}

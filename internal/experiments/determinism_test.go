@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The parallel harness's core guarantee: for a fixed seed, the rendered
+// TSV output is byte-identical for every worker count, because each trial
+// owns a SubSeed-derived generator and a result slot, and slots are folded
+// in index order. These tests pin that guarantee for the three sweeps the
+// CLI exposes with nontrivial fan-out (fig2a uses the deterministic
+// work-proxy measurement mode — wall-clock timings are never
+// reproducible, parallel or not).
+
+func fig2aTSV(workers int) string {
+	cfg := Fig2Config{
+		Ns:            []int{15, 50},
+		SetsPerN:      6,
+		Horizon:       2000,
+		Seed:          1,
+		Workers:       workers,
+		Deterministic: true,
+	}
+	var b strings.Builder
+	RenderFig2a(&b, Fig2a(cfg))
+	return b.String()
+}
+
+func fig3TSV(workers int) string {
+	cfg := Fig3Config{Ns: []int{50}, Steps: 4, SetsPerStep: 8, Seed: 2, Workers: workers}
+	var b strings.Builder
+	RenderFig3(&b, cfg.Ns, Fig3(cfg))
+	return b.String()
+}
+
+func quantumTSV(workers int) string {
+	cfg := QuantumSweepConfig{
+		N:         30,
+		TotalUtil: 5,
+		Sets:      8,
+		QuantaUS:  []int64{500, 1000, 2000},
+		Seed:      3,
+		Workers:   workers,
+	}
+	var b strings.Builder
+	RenderQuantum(&b, QuantumSweep(cfg))
+	return b.String()
+}
+
+func assertIdenticalAcrossWorkers(t *testing.T, name string, render func(workers int) string) {
+	t.Helper()
+	serial := render(1)
+	if len(serial) == 0 || !strings.Contains(serial, "\t") {
+		t.Fatalf("%s: serial render produced no table:\n%s", name, serial)
+	}
+	for _, workers := range []int{2, 3, 4} {
+		if got := render(workers); got != serial {
+			t.Errorf("%s: workers=%d output differs from serial.\nserial:\n%s\nworkers=%d:\n%s",
+				name, workers, serial, workers, got)
+		}
+	}
+}
+
+func TestFig2aDeterministicAcrossWorkers(t *testing.T) {
+	assertIdenticalAcrossWorkers(t, "fig2a", fig2aTSV)
+}
+
+func TestFig3DeterministicAcrossWorkers(t *testing.T) {
+	assertIdenticalAcrossWorkers(t, "fig3", fig3TSV)
+}
+
+func TestQuantumDeterministicAcrossWorkers(t *testing.T) {
+	assertIdenticalAcrossWorkers(t, "quantum", quantumTSV)
+}
+
+// TestQuantumSetsIdenticalAcrossQuanta pins the property the sweep's
+// seeding scheme must preserve: the task sets at every quantum size are
+// the same, so the curve isolates the quantum's effect (trial seeds must
+// not include the quantum index).
+func TestQuantumSetsIdenticalAcrossQuanta(t *testing.T) {
+	cfg := QuantumSweepConfig{
+		N: 20, TotalUtil: 4, Sets: 5,
+		QuantaUS: []int64{1000}, Seed: 7, Workers: 2,
+	}
+	a := QuantumSweep(cfg)
+	cfg.QuantaUS = []int64{1000, 2000}
+	b := QuantumSweep(cfg)
+	if a[0] != b[0] {
+		t.Errorf("first-quantum point changed when the sweep grew: %+v vs %+v", a[0], b[0])
+	}
+}
+
+// TestFig5WorkersIdentical: the fan-out variant returns the same result.
+func TestFig5WorkersIdentical(t *testing.T) {
+	serial := Fig5Workers(90, 1)
+	par := Fig5Workers(90, 3)
+	if serial.Trace != par.Trace || len(serial.Misses) != len(par.Misses) ||
+		len(serial.ReweightedMisses) != len(par.ReweightedMisses) {
+		t.Error("Fig5Workers(…, 3) differs from serial run")
+	}
+}
+
+// TestFairnessWorkersIdentical: all three variant rows, in fixed order,
+// regardless of fan-out.
+func TestFairnessWorkersIdentical(t *testing.T) {
+	cfg := DefaultFairnessConfig()
+	serial := Fairness(cfg)
+	cfg.Workers = 3
+	par := Fairness(cfg)
+	if len(serial) != len(par) {
+		t.Fatalf("row count differs: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Errorf("row %d differs: %+v vs %+v", i, serial[i], par[i])
+		}
+	}
+}
+
+// TestResponseSyncWorkersIdentical covers the two remaining sweeps at a
+// small scale.
+func TestResponseSyncWorkersIdentical(t *testing.T) {
+	rc := ResponseConfig{M: 2, N: 8, Loads: []float64{0.4}, Sets: 4, Horizon: 500, Seed: 5}
+	var a, b strings.Builder
+	RenderResponse(&a, ResponseTimes(rc))
+	rc.Workers = 4
+	RenderResponse(&b, ResponseTimes(rc))
+	if a.String() != b.String() {
+		t.Errorf("response output differs:\n%s\nvs\n%s", a.String(), b.String())
+	}
+
+	sc := SyncConfig{N: 12, TotalUtil: 3, Resources: 2, Sets: 4, CSLengths: []int64{100}, QuantumUS: 1000, Seed: 9}
+	a.Reset()
+	b.Reset()
+	RenderSync(&a, SyncComparison(sc), sc.Sets)
+	sc.Workers = 4
+	RenderSync(&b, SyncComparison(sc), sc.Sets)
+	if a.String() != b.String() {
+		t.Errorf("sync output differs:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

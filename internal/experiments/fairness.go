@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"pfair/internal/core"
+	"pfair/internal/parallel"
 	"pfair/internal/rational"
 	"pfair/internal/task"
 	"pfair/internal/taskgen"
@@ -36,6 +37,10 @@ type FairnessConfig struct {
 	Total   float64
 	Horizon int64
 	Seed    int64
+	// Workers runs the three scheduler variants concurrently when > 1;
+	// each variant simulates its own scheduler over the same (read-only)
+	// task set, so the output is identical for any worker count.
+	Workers int
 }
 
 // DefaultFairnessConfig returns a near-saturated 2-processor workload
@@ -44,57 +49,72 @@ func DefaultFairnessConfig() FairnessConfig {
 	return FairnessConfig{M: 2, N: 8, Total: 1.9, Horizon: 5000, Seed: 11}
 }
 
-// Fairness runs the comparison on one generated set.
+// Fairness runs the comparison on one generated set. The three scheduler
+// variants are independent simulations over the same read-only set, so
+// they fan out across the worker pool; results are folded in the fixed
+// PD2, ERfair, WRR order.
 func Fairness(cfg FairnessConfig) []FairnessPoint {
 	g := taskgen.New(cfg.Seed)
 	set := g.Set("T", cfg.N, cfg.Total, []int64{10, 15, 20, 30, 60})
+
+	results := make([]*FairnessPoint, 3)
+	parallel.For(cfg.Workers, len(results), func(v int) {
+		switch v {
+		case 0:
+			results[v] = fairnessPD2(set, cfg, "PD2", false)
+		case 1:
+			results[v] = fairnessPD2(set, cfg, "ERfair-PD2", true)
+		case 2:
+			// WRR on the same set, lags tracked through its per-slot hook.
+			w, err := wrr.NewScheduler(cfg.M, set)
+			if err != nil {
+				return
+			}
+			lt := newLagTracker(set)
+			w.OnSlot(func(t int64, allocated []string) {
+				for _, name := range allocated {
+					lt.alloc[name]++
+				}
+				lt.scan(t)
+			})
+			w.RunUntil(cfg.Horizon)
+			results[v] = &FairnessPoint{
+				Scheduler: "WRR",
+				MaxLag:    lt.max.Float(),
+				MinLag:    lt.min.Float(),
+				Misses:    len(w.Stats().Misses),
+			}
+		}
+	})
+
 	var out []FairnessPoint
-
-	for _, variant := range []struct {
-		name string
-		er   bool
-	}{{"PD2", false}, {"ERfair-PD2", true}} {
-		s := core.NewScheduler(cfg.M, core.PD2, core.Options{EarlyRelease: variant.er})
-		lt := newLagTracker(set)
-		s.OnSlot(lt.onSlot)
-		ok := true
-		for _, t := range set {
-			if err := s.Join(t); err != nil {
-				ok = false
-				break
-			}
+	for _, p := range results {
+		if p != nil {
+			out = append(out, *p)
 		}
-		if !ok {
-			continue
-		}
-		s.RunUntil(cfg.Horizon)
-		s.FinishMisses(cfg.Horizon)
-		out = append(out, FairnessPoint{
-			Scheduler: variant.name,
-			MaxLag:    lt.max.Float(),
-			MinLag:    lt.min.Float(),
-			Misses:    len(s.Stats().Misses),
-		})
-	}
-
-	// WRR on the same set, lags tracked through its per-slot hook.
-	if w, err := wrr.NewScheduler(cfg.M, set); err == nil {
-		lt := newLagTracker(set)
-		w.OnSlot(func(t int64, allocated []string) {
-			for _, name := range allocated {
-				lt.alloc[name]++
-			}
-			lt.scan(t)
-		})
-		w.RunUntil(cfg.Horizon)
-		out = append(out, FairnessPoint{
-			Scheduler: "WRR",
-			MaxLag:    lt.max.Float(),
-			MinLag:    lt.min.Float(),
-			Misses:    len(w.Stats().Misses),
-		})
 	}
 	return out
+}
+
+// fairnessPD2 simulates one PD² variant and reports its lag excursions,
+// or nil if the set does not fit the platform.
+func fairnessPD2(set task.Set, cfg FairnessConfig, name string, earlyRelease bool) *FairnessPoint {
+	s := core.NewScheduler(cfg.M, core.PD2, core.Options{EarlyRelease: earlyRelease})
+	lt := newLagTracker(set)
+	s.OnSlot(lt.onSlot)
+	for _, t := range set {
+		if err := s.Join(t); err != nil {
+			return nil
+		}
+	}
+	s.RunUntil(cfg.Horizon)
+	s.FinishMisses(cfg.Horizon)
+	return &FairnessPoint{
+		Scheduler: name,
+		MaxLag:    lt.max.Float(),
+		MinLag:    lt.min.Float(),
+		Misses:    len(s.Stats().Misses),
+	}
 }
 
 // lagTracker maintains exact lags from slot assignments.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"pfair/internal/overhead"
+	"pfair/internal/parallel"
 	"pfair/internal/stats"
 	"pfair/internal/taskgen"
 )
@@ -16,6 +17,9 @@ type Fig3Config struct {
 	Steps       int // utilization steps between N/30 and N/3
 	SetsPerStep int
 	Seed        int64
+	// Workers fans the per-step trials out over this many goroutines
+	// (≤ 1 = serial); the output is byte-identical for any worker count.
+	Workers int
 	// Models, if non-nil, supplies scheduling costs measured on this
 	// machine (MeasureCostModels) instead of the calibrated defaults —
 	// the paper's own measure-then-analyze methodology.
@@ -58,18 +62,28 @@ type Fig3Point struct {
 	LossFF    float64
 }
 
+// fig3Trial carries one task set's evaluation out of the worker pool.
+type fig3Trial struct {
+	ok                        bool
+	pd2, ff                   int64
+	lossP, lossE, lossF, util float64
+}
+
 // Fig3 sweeps total utilization for each task count and evaluates both
-// schemes; the same pass yields Figure 4's loss decomposition.
+// schemes; the same pass yields Figure 4's loss decomposition. Every
+// (N, step, trial) triple seeds its own generator, so trials are
+// independent and the sweep parallelizes without changing a byte of
+// output.
 func Fig3(cfg Fig3Config) map[int][]Fig3Point {
 	out := make(map[int][]Fig3Point, len(cfg.Ns))
 	for _, n := range cfg.Ns {
-		g := taskgen.New(cfg.Seed + int64(n))
 		lo := float64(n) / 30
 		hi := float64(n) / 3
 		for step := 0; step < cfg.Steps; step++ {
 			target := lo + (hi-lo)*float64(step)/float64(cfg.Steps-1)
-			var pd2S, ffS, lossP, lossE, lossF, util stats.Sample
-			for s := 0; s < cfg.SetsPerStep; s++ {
+			trials := make([]fig3Trial, cfg.SetsPerStep)
+			parallel.For(cfg.Workers, cfg.SetsPerStep, func(s int) {
+				g := taskgen.New(taskgen.SubSeed(cfg.Seed, seedFig3, int64(n), int64(step), int64(s)))
 				set := g.SetCapped("T", n, target, 0.9, Fig3PeriodsUS)
 				delays := g.CacheDelays(set, 100)
 				params := PaperParams(n, delays)
@@ -78,14 +92,26 @@ func Fig3(cfg Fig3Config) map[int][]Fig3Point {
 				}
 				losses, pd2, ff := overhead.ComputeLosses(set, params)
 				if pd2.Processors < 0 || ff.Processors < 0 {
-					continue // unschedulable at any count (rare)
+					return // unschedulable at any count (rare)
 				}
-				pd2S.AddInt(int64(pd2.Processors))
-				ffS.AddInt(int64(ff.Processors))
-				lossP.Add(losses.Pfair)
-				lossE.Add(losses.EDF)
-				lossF.Add(losses.FF)
-				util.Add(set.TotalUtilization())
+				trials[s] = fig3Trial{
+					ok:  true,
+					pd2: int64(pd2.Processors), ff: int64(ff.Processors),
+					lossP: losses.Pfair, lossE: losses.EDF, lossF: losses.FF,
+					util: set.TotalUtilization(),
+				}
+			})
+			var pd2S, ffS, lossP, lossE, lossF, util stats.Sample
+			for _, tr := range trials {
+				if !tr.ok {
+					continue
+				}
+				pd2S.AddInt(tr.pd2)
+				ffS.AddInt(tr.ff)
+				lossP.Add(tr.lossP)
+				lossE.Add(tr.lossE)
+				lossF.Add(tr.lossF)
+				util.Add(tr.util)
 			}
 			out[n] = append(out[n], Fig3Point{
 				N:         n,

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"pfair/internal/core"
+	"pfair/internal/parallel"
 	"pfair/internal/supertask"
 	"pfair/internal/task"
 	"pfair/internal/trace"
@@ -27,7 +28,12 @@ type Fig5Result struct {
 // X (1/3), Y (2/9) plus supertask S = {T (1/5), U (1/45)} competing at
 // 2/9. Without reweighting, component T misses at time 10; with S
 // inflated to 19/45, all component deadlines are met.
-func Fig5(horizon int64) Fig5Result {
+func Fig5(horizon int64) Fig5Result { return Fig5Workers(horizon, 1) }
+
+// Fig5Workers is Fig5 with its three independent simulations — the plain
+// run, the reweighted run, and the trace render — fanned out over the
+// worker pool. The result is identical for any worker count.
+func Fig5Workers(horizon int64, workers int) Fig5Result {
 	build := func(reweighted bool) (*supertask.System, *trace.Recorder, error) {
 		sys := supertask.NewSystem(2, core.PD2)
 		for _, tk := range []*task.Task{
@@ -50,22 +56,25 @@ func Fig5(horizon int64) Fig5Result {
 	}
 
 	var res Fig5Result
-	sys, _, err := build(false)
-	if err != nil {
-		panic(err)
-	}
-	plain := sys.Run(horizon)
-	res.Misses = plain.ComponentMisses
-
-	sysRW, _, err := build(true)
-	if err != nil {
-		panic(err)
-	}
-	rw := sysRW.Run(horizon)
-	res.ReweightedMisses = rw.ComponentMisses
-
-	// Render the schedule with a fresh recorder-driven run.
-	res.Trace = fig5Trace()
+	parallel.For(workers, 3, func(part int) {
+		switch part {
+		case 0:
+			sys, _, err := build(false)
+			if err != nil {
+				panic(err)
+			}
+			res.Misses = sys.Run(horizon).ComponentMisses
+		case 1:
+			sysRW, _, err := build(true)
+			if err != nil {
+				panic(err)
+			}
+			res.ReweightedMisses = sysRW.Run(horizon).ComponentMisses
+		case 2:
+			// Render the schedule with a fresh recorder-driven run.
+			res.Trace = fig5Trace()
+		}
+	})
 	return res
 }
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"pfair/internal/overhead"
+	"pfair/internal/parallel"
 	"pfair/internal/stats"
 	"pfair/internal/task"
 	"pfair/internal/taskgen"
@@ -30,6 +31,9 @@ type QuantumSweepConfig struct {
 	Sets      int
 	QuantaUS  []int64
 	Seed      int64
+	// Workers fans the per-quantum trials out over this many goroutines
+	// (≤ 1 = serial); the output is byte-identical for any worker count.
+	Workers int
 }
 
 // DefaultQuantumSweepConfig returns defaults spanning 100 µs to 10 ms.
@@ -50,15 +54,21 @@ func DefaultQuantumSweepConfig() QuantumSweepConfig {
 func QuantumSweep(cfg QuantumSweepConfig) []QuantumPoint {
 	var out []QuantumPoint
 	for _, q := range cfg.QuantaUS {
-		g := taskgen.New(cfg.Seed) // same seed: identical sets across quanta
-		var procs, rounding, inflation stats.Sample
-		infeasible := 0
-		for s := 0; s < cfg.Sets; s++ {
+		// Trial seeds deliberately exclude q: every quantum evaluates the
+		// identical task sets, as the serial harness's per-quantum
+		// generator reset used to guarantee.
+		trials := make([]quantumResult, cfg.Sets)
+		parallel.For(cfg.Workers, cfg.Sets, func(s int) {
+			g := taskgen.New(taskgen.SubSeed(cfg.Seed, seedQuantum, int64(s)))
 			set := g.Set("T", cfg.N, cfg.TotalUtil, taskgen.DefaultPeriodsUS)
 			delays := g.CacheDelays(set, 100)
 			params := PaperParams(cfg.N, delays)
 			params.Quantum = q
-			res := minProcsAtQuantum(set, params)
+			trials[s] = minProcsAtQuantum(set, params)
+		})
+		var procs, rounding, inflation stats.Sample
+		infeasible := 0
+		for _, res := range trials {
 			if res.Processors < 0 {
 				infeasible++
 				continue

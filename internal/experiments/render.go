@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// This file renders every experiment's TSV table. The CLI
+// (cmd/experiments) and the determinism regression tests share these
+// writers, so "parallel output is byte-identical to serial output" is
+// asserted on exactly the bytes users see.
+
+// RenderFig2a writes the Figure 2(a) table.
+func RenderFig2a(w io.Writer, points []Fig2aPoint) {
+	fmt.Fprintln(w, "# Figure 2(a): per-invocation scheduling cost on one processor")
+	fmt.Fprintln(w, "# N\tEDF_ns\tEDF_relerr\tPD2_ns\tPD2_relerr")
+	for _, p := range points {
+		fmt.Fprintf(w, "%d\t%.1f\t%.3f\t%.1f\t%.3f\n", p.N, p.EDFNanos, p.EDFRelErr, p.PD2Nanos, p.PD2RelErr)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderFig2b writes the Figure 2(b) table.
+func RenderFig2b(w io.Writer, points []Fig2bPoint) {
+	fmt.Fprintln(w, "# Figure 2(b): PD² per-slot cost on 2/4/8/16 processors")
+	fmt.Fprintln(w, "# M\tN\tPD2_ns\trelerr")
+	for _, p := range points {
+		fmt.Fprintf(w, "%d\t%d\t%.1f\t%.3f\n", p.M, p.N, p.PD2Nanos, p.RelErr)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderFig3 writes the Figure 3 tables (one per task count, in ns order).
+func RenderFig3(w io.Writer, ns []int, data map[int][]Fig3Point) {
+	for _, n := range ns {
+		fmt.Fprintf(w, "# Figure 3: minimum processors for schedulability, N=%d\n", n)
+		fmt.Fprintln(w, "# total_util\tPD2\trelerr\tEDF-FF\trelerr")
+		for _, p := range data[n] {
+			fmt.Fprintf(w, "%.2f\t%.2f\t%.3f\t%.2f\t%.3f\n", p.TotalUtil, p.PD2Procs, p.PD2RelErr, p.FFProcs, p.FFRelErr)
+		}
+		if x := Crossover(data[n]); x > 0 {
+			fmt.Fprintf(w, "# crossover (PD2 catches EDF-FF) near total utilization %.1f\n", x)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderFig4 writes the Figure 4 loss-decomposition tables.
+func RenderFig4(w io.Writer, ns []int, data map[int][]Fig3Point) {
+	for _, n := range ns {
+		fmt.Fprintf(w, "# Figure 4: schedulability-loss fractions, N=%d\n", n)
+		fmt.Fprintln(w, "# mean_util\tloss_pfair\tloss_edf\tloss_ff")
+		for _, p := range data[n] {
+			fmt.Fprintf(w, "%.4f\t%.4f\t%.4f\t%.4f\n", p.MeanUtil, p.LossPfair, p.LossEDF, p.LossFF)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderFig5 writes the Figure 5 trace and miss report.
+func RenderFig5(w io.Writer, res Fig5Result) {
+	fmt.Fprint(w, res.Trace)
+	fmt.Fprintln(w, "# component misses without reweighting:")
+	for _, m := range res.Misses {
+		fmt.Fprintf(w, "#   %s/%s job %d missed deadline %d\n", m.Supertask, m.Component, m.Job, m.Deadline)
+	}
+	fmt.Fprintf(w, "# component misses with 1/p_min reweighting: %d\n", len(res.ReweightedMisses))
+	fmt.Fprintln(w)
+}
+
+// RenderQuantum writes the quantum-sweep table.
+func RenderQuantum(w io.Writer, points []QuantumPoint) {
+	fmt.Fprintln(w, "# Section 4 trade-off: quantum size vs schedulability loss")
+	fmt.Fprintln(w, "# q_us\tPD2_procs\trounding_loss\toverhead_loss\tinfeasible")
+	for _, p := range points {
+		fmt.Fprintf(w, "%d\t%.2f\t%.3f\t%.3f\t%d\n", p.QuantumUS, p.PD2Procs, p.RoundingLoss, p.OverheadLoss, p.Infeasible)
+	}
+}
+
+// RenderResponse writes the response-time comparison table.
+func RenderResponse(w io.Writer, points []ResponsePoint) {
+	fmt.Fprintln(w, "# Section 2 claim: early release improves response times at light load")
+	fmt.Fprintln(w, "# load\tpfair_resp\terfair_resp\tspeedup")
+	for _, p := range points {
+		fmt.Fprintf(w, "%.2f\t%.2f\t%.2f\t%.3f\n", p.Load, p.PfairResponse, p.ERfairResponse, p.Speedup)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderSync writes the synchronization comparison table.
+func RenderSync(w io.Writer, points []SyncPoint, sets int) {
+	fmt.Fprintln(w, "# Section 5.1: resource sharing — PD²+quantum-boundary locks vs partitioned RM+MPCP")
+	fmt.Fprintln(w, "# cs_us\tpfair_procs\tmpcp_procs\tmpcp_unschedulable")
+	for _, p := range points {
+		fmt.Fprintf(w, "%d\t%.2f\t%.2f\t%d/%d\n", p.CSLengthUS, p.PfairProcs, p.MPCPProcs, p.MPCPFailures, sets)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderFairness writes the lag-excursion table.
+func RenderFairness(w io.Writer, points []FairnessPoint) {
+	fmt.Fprintln(w, "# Equation (1) quantified: worst lag excursions on one near-saturated workload")
+	fmt.Fprintln(w, "# scheduler\tmax_lag\tmin_lag\tmisses")
+	for _, p := range points {
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%d\n", p.Scheduler, p.MaxLag, p.MinLag, p.Misses)
+	}
+	fmt.Fprintln(w)
+}

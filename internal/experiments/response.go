@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"pfair/internal/core"
+	"pfair/internal/parallel"
 	"pfair/internal/stats"
 	"pfair/internal/task"
 	"pfair/internal/taskgen"
@@ -34,6 +35,9 @@ type ResponseConfig struct {
 	Sets    int
 	Horizon int64
 	Seed    int64
+	// Workers fans the per-load trials out over this many goroutines
+	// (≤ 1 = serial); the output is byte-identical for any worker count.
+	Workers int
 }
 
 // DefaultResponseConfig returns light-to-moderate loads on 4 processors.
@@ -48,19 +52,30 @@ func DefaultResponseConfig() ResponseConfig {
 	}
 }
 
+// responseTrial carries one task set's two scheduler runs out of the pool.
+type responseTrial struct {
+	pf, er     float64
+	pfOK, erOK bool
+}
+
 // ResponseTimes runs the comparison.
 func ResponseTimes(cfg ResponseConfig) []ResponsePoint {
 	var out []ResponsePoint
 	for _, load := range cfg.Loads {
-		g := taskgen.New(cfg.Seed + int64(load*1000))
-		var pf, er stats.Sample
-		for s := 0; s < cfg.Sets; s++ {
+		trials := make([]responseTrial, cfg.Sets)
+		parallel.For(cfg.Workers, cfg.Sets, func(s int) {
+			g := taskgen.New(taskgen.SubSeed(cfg.Seed, seedResponse, int64(load*1000), int64(s)))
 			set := g.Set("T", cfg.N, load*float64(cfg.M), taskgen.DefaultPeriodsSlots)
-			if mean, ok := meanResponse(set, cfg.M, cfg.Horizon, false); ok {
-				pf.Add(mean)
+			trials[s].pf, trials[s].pfOK = meanResponse(set, cfg.M, cfg.Horizon, false)
+			trials[s].er, trials[s].erOK = meanResponse(set, cfg.M, cfg.Horizon, true)
+		})
+		var pf, er stats.Sample
+		for _, tr := range trials {
+			if tr.pfOK {
+				pf.Add(tr.pf)
 			}
-			if mean, ok := meanResponse(set, cfg.M, cfg.Horizon, true); ok {
-				er.Add(mean)
+			if tr.erOK {
+				er.Add(tr.er)
 			}
 		}
 		p := ResponsePoint{Load: load, PfairResponse: pf.Mean(), ERfairResponse: er.Mean()}

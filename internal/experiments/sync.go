@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pfair/internal/mpcp"
+	"pfair/internal/parallel"
 	"pfair/internal/qlock"
 	"pfair/internal/rational"
 	"pfair/internal/stats"
@@ -43,6 +44,9 @@ type SyncConfig struct {
 	CSLengths []int64 // µs
 	QuantumUS int64
 	Seed      int64
+	// Workers fans the per-length trials out over this many goroutines
+	// (≤ 1 = serial); the output is byte-identical for any worker count.
+	Workers int
 }
 
 // DefaultSyncConfig returns a moderate workload: 24 tasks at total
@@ -60,14 +64,23 @@ func DefaultSyncConfig() SyncConfig {
 	}
 }
 
+// syncTrial carries one task set's two analyses out of the worker pool.
+type syncTrial struct {
+	pfair  int64
+	mpcp   int64
+	mpcpOK bool
+}
+
 // SyncComparison runs the sweep.
 func SyncComparison(cfg SyncConfig) []SyncPoint {
 	var out []SyncPoint
 	for _, cs := range cfg.CSLengths {
-		g := taskgen.New(cfg.Seed)
-		var pf, mp stats.Sample
-		failures := 0
-		for s := 0; s < cfg.Sets; s++ {
+		// Trial seeds exclude cs, so every section length analyzes the
+		// identical task sets (as the per-length generator reset used to
+		// guarantee).
+		trials := make([]syncTrial, cfg.Sets)
+		parallel.For(cfg.Workers, cfg.Sets, func(s int) {
+			g := taskgen.New(taskgen.SubSeed(cfg.Seed, seedSync, int64(s)))
 			set := g.SetCapped("T", cfg.N, cfg.TotalUtil, 0.8, Fig3PeriodsUS)
 			// Every task gets one critical section of length cs on a
 			// round-robin-chosen resource.
@@ -75,9 +88,17 @@ func SyncComparison(cfg SyncConfig) []SyncPoint {
 			for i := range set {
 				res[i] = fmt.Sprintf("R%d", i%cfg.Resources)
 			}
-			pf.AddInt(int64(pfairSyncProcs(set, res, cs, cfg.QuantumUS)))
+			trials[s].pfair = int64(pfairSyncProcs(set, res, cs, cfg.QuantumUS))
 			if m, ok := mpcpProcs(set, res, cs); ok {
-				mp.AddInt(int64(m))
+				trials[s].mpcp, trials[s].mpcpOK = int64(m), true
+			}
+		})
+		var pf, mp stats.Sample
+		failures := 0
+		for _, tr := range trials {
+			pf.AddInt(tr.pfair)
+			if tr.mpcpOK {
+				mp.AddInt(tr.mpcp)
 			} else {
 				failures++
 			}

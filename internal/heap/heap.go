@@ -47,6 +47,23 @@ func (h *Heap[T]) Push(v T) *Item[T] {
 	return it
 }
 
+// NewItem returns an unqueued item carrying v, for callers that move the
+// same element in and out of heaps repeatedly (PushItem) and want its
+// handle allocated once rather than per insertion. The Pfair scheduler's
+// per-slot loop depends on this to stay allocation-free in steady state.
+func NewItem[T any](v T) *Item[T] { return &Item[T]{Value: v, index: -1} }
+
+// PushItem inserts an item previously returned by NewItem (or removed by
+// Pop/Remove) without allocating. It panics if the item is still queued.
+func (h *Heap[T]) PushItem(it *Item[T]) {
+	if it.index >= 0 {
+		panic("heap: PushItem of an item that is already in a heap")
+	}
+	it.index = len(h.items)
+	h.items = append(h.items, it)
+	h.up(it.index)
+}
+
 // Peek returns the minimum element without removing it. It panics if the
 // heap is empty.
 func (h *Heap[T]) Peek() T {

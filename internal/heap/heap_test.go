@@ -186,3 +186,46 @@ func BenchmarkPushPop(b *testing.B) {
 		}
 	}
 }
+
+// TestPushItemReuse: a persistent item cycles through push/pop/push with
+// correct ordering, and its allocation is reused (0 allocs per cycle).
+func TestPushItemReuse(t *testing.T) {
+	h := intHeap()
+	items := make([]*Item[int], 10)
+	for i := range items {
+		items[i] = NewItem(i)
+		if items[i].Index() != -1 {
+			t.Fatalf("fresh item index %d, want -1", items[i].Index())
+		}
+	}
+	for round := 0; round < 3; round++ {
+		for _, it := range items {
+			h.PushItem(it)
+		}
+		for want := 0; h.Len() > 0; want++ {
+			if got := h.Pop(); got != want {
+				t.Fatalf("round %d: popped %d, want %d", round, got, want)
+			}
+		}
+	}
+	h.PushItem(items[0])
+	allocs := testing.AllocsPerRun(100, func() {
+		h.Pop()
+		h.PushItem(items[0])
+	})
+	if allocs != 0 {
+		t.Errorf("PushItem/Pop cycle allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestPushItemQueuedPanics(t *testing.T) {
+	h := intHeap()
+	it := NewItem(1)
+	h.PushItem(it)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PushItem of a queued item did not panic")
+		}
+	}()
+	h.PushItem(it)
+}

@@ -1,0 +1,88 @@
+// Package parallel provides the fan-out primitive behind the experiment
+// harness: a bounded worker pool that runs independent trials across
+// GOMAXPROCS-many goroutines while keeping results deterministic.
+//
+// Determinism is a contract between this package and its callers, split as
+// follows. For guarantees only that fn(0) … fn(n−1) each run exactly once;
+// the caller guarantees that trials are independent — each fn(i) seeds its
+// own RNG from the trial index (taskgen.SubSeed) and writes only to slot i
+// of a pre-sized result slice — and folds the slots in index order
+// afterwards. Under that split the output is byte-identical for every
+// worker count, including the serial workers ≤ 1 path, which is the old
+// single-core harness verbatim (no goroutines at all).
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count setting: values ≤ 0 mean "one worker
+// per CPU" (runtime.NumCPU()); positive values pass through. Experiment
+// configs store 0 for "serial" and the CLI resolves its default through
+// this function, so library callers that leave the field zero keep the
+// exact historical single-threaded behavior.
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.NumCPU()
+	}
+	return requested
+}
+
+// For runs fn(i) for every i in [0, n), spread over at most workers
+// goroutines. With workers ≤ 1 (or n ≤ 1) it degenerates to a plain loop on
+// the calling goroutine. Indices are handed out dynamically (an atomic
+// counter, not static striping), so a slow trial never idles the other
+// workers. For returns only after every fn has returned; if any fn panics,
+// For panics on the calling goroutine after the remaining workers drain.
+func For(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicked == nil {
+								panicked = r
+							}
+							panicMu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(fmt.Sprintf("parallel: trial panicked: %v", panicked))
+	}
+}

@@ -1,0 +1,89 @@
+package parallel
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8, 100} {
+		n := 57
+		counts := make([]int32, n)
+		For(workers, n, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: fn(%d) ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForSerialRunsInOrder(t *testing.T) {
+	var got []int
+	For(1, 5, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("serial order broken: %v", got)
+		}
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	ran := false
+	For(4, 0, func(int) { ran = true })
+	For(4, -3, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for n ≤ 0")
+	}
+}
+
+// TestForDeterministicFold is the contract in miniature: per-index results
+// folded in index order are identical for every worker count.
+func TestForDeterministicFold(t *testing.T) {
+	compute := func(workers int) float64 {
+		res := make([]float64, 100)
+		For(workers, len(res), func(i int) {
+			res[i] = float64(i*i%7) / 3.0
+		})
+		sum := 0.0
+		for _, v := range res {
+			sum = sum/2 + v // order-sensitive fold
+		}
+		return sum
+	}
+	want := compute(1)
+	for _, w := range []int{2, 3, 7, 64} {
+		if got := compute(w); got != want {
+			t.Fatalf("workers=%d: fold %v != serial %v", w, got, want)
+		}
+	}
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("panic lost its payload: %v", r)
+		}
+	}()
+	For(4, 16, func(i int) {
+		if i == 7 {
+			panic("boom")
+		}
+	})
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Error("positive request should pass through")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Error("non-positive request should resolve to ≥ 1")
+	}
+}

@@ -49,6 +49,29 @@ func New(seed int64) *Generator {
 	return &Generator{rng: rand.New(rand.NewSource(seed))}
 }
 
+// SubSeed derives an independent stream seed from a base seed and a path
+// of indices (experiment tag, data-point key, trial number, …). The
+// parallel experiment harness gives every trial its own generator seeded
+// by SubSeed(base, …, trial), so trial t's workload no longer depends on
+// how many random draws trials 0…t−1 made — the property that makes the
+// fan-out order irrelevant and the parallel output byte-identical to the
+// serial output. Mixing uses the splitmix64 finalizer, whose avalanche
+// keeps adjacent indices uncorrelated.
+func SubSeed(base int64, parts ...int64) int64 {
+	h := splitmix64(uint64(base))
+	for _, p := range parts {
+		h = splitmix64(h ^ uint64(p))
+	}
+	return int64(h)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // UUniFast returns n utilizations that sum exactly to total, uniformly
 // distributed over the simplex (Bini & Buttazzo). With cap > 0, vectors
 // containing a value above cap are resampled; if resampling keeps failing

@@ -179,3 +179,30 @@ func TestSetEmptyPeriodsPanics(t *testing.T) {
 	}()
 	New(1).Set("T", 3, 1, nil)
 }
+
+// TestSubSeed pins the properties the parallel harness depends on:
+// determinism (same inputs → same seed), sensitivity to every part and to
+// part order, and no collisions across a realistic trial grid.
+func TestSubSeed(t *testing.T) {
+	if SubSeed(1, 2, 3) != SubSeed(1, 2, 3) {
+		t.Fatal("SubSeed is not deterministic")
+	}
+	if SubSeed(1, 2, 3) == SubSeed(1, 3, 2) {
+		t.Error("SubSeed ignores part order")
+	}
+	if SubSeed(1, 2) == SubSeed(2, 2) {
+		t.Error("SubSeed ignores the base seed")
+	}
+	seen := make(map[int64][3]int64)
+	for tag := int64(1); tag <= 8; tag++ {
+		for a := int64(0); a < 32; a++ {
+			for b := int64(0); b < 64; b++ {
+				s := SubSeed(7, tag, a, b)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("collision: (%d,%d,%d) and %v both map to %d", tag, a, b, prev, s)
+				}
+				seen[s] = [3]int64{tag, a, b}
+			}
+		}
+	}
+}

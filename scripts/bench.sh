@@ -1,0 +1,34 @@
+#!/bin/sh
+# bench.sh — run the scheduler hot-path benchmarks and emit a
+# machine-readable BENCH_core.json with name, ns/op, and allocs/op per
+# benchmark, so CI (or a reviewer) can diff performance across commits.
+#
+# Usage: scripts/bench.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_core.json}"
+raw="$(mktemp -p . bench.XXXXXX.txt)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkFig2aPD2|BenchmarkFig2bPD2|BenchmarkFig1Windows' \
+	-benchmem -benchtime=0.2s -count=1 . | tee "$raw"
+
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+	name = $1
+	nsop = ""; allocs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($(i) == "ns/op")     nsop   = $(i - 1)
+		if ($(i) == "allocs/op") allocs = $(i - 1)
+	}
+	if (nsop == "") next
+	if (!first) print ","
+	first = 0
+	printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, nsop, (allocs == "" ? "null" : allocs)
+}
+END { print "\n]" }
+' "$raw" > "$out"
+
+echo "wrote $out"
