@@ -1,9 +1,12 @@
 GO ?= go
 
-.PHONY: build test race bench check
+.PHONY: build vet test race bench fuzz fuzz-short check
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
@@ -16,4 +19,14 @@ race:
 bench:
 	sh scripts/bench.sh BENCH_core.json
 
-check: build test race bench
+# fuzz runs the differential scheduling oracle: 150 task systems per kind
+# (1050 total) across every scheduler pairing, with shrunken reproducers
+# and replay keys on failure. See EXPERIMENTS.md for replaying seeds.
+fuzz:
+	$(GO) run ./cmd/fuzz -n 150 -seed 1
+
+# fuzz-short is the quick campaign the check target includes.
+fuzz-short:
+	$(GO) run ./cmd/fuzz -n 25 -seed 1
+
+check: build vet test race fuzz-short bench

@@ -41,7 +41,11 @@ func BenchmarkFig1Windows(b *testing.B) {
 // fig2Set builds the Figure 2 workload for n tasks and total weight ≤ m.
 func fig2Set(n, m int) task.Set {
 	g := taskgen.New(int64(7000 + n + m))
-	return g.SetMaxUtil("T", n, float64(m), taskgen.DefaultPeriodsSlots)
+	set, err := g.SetMaxUtil("T", n, float64(m), taskgen.DefaultPeriodsSlots)
+	if err != nil {
+		panic(err)
+	}
+	return set
 }
 
 // BenchmarkFig2aPD2 measures PD²'s cost per scheduled slot on one
@@ -116,7 +120,10 @@ func BenchmarkFig2bPD2(b *testing.B) {
 // sweep midpoint with its cache-delay table and Section 4 parameters.
 func fig3Workload(seed int64) (task.Set, overhead.Params) {
 	g := taskgen.New(seed)
-	set := g.Set("T", 50, 8.0, experiments.Fig3PeriodsUS)
+	set, err := g.Set("T", 50, 8.0, experiments.Fig3PeriodsUS)
+	if err != nil {
+		panic(err)
+	}
 	delays := g.CacheDelays(set, 100)
 	return set, experiments.PaperParams(50, delays)
 }
@@ -324,7 +331,10 @@ func BenchmarkWRR(b *testing.B) {
 // 24-task, 4-resource system.
 func BenchmarkMPCPAnalysis(b *testing.B) {
 	g := taskgen.New(31)
-	set := g.SetCapped("T", 24, 6, 0.8, experiments.Fig3PeriodsUS)
+	set, err := g.SetCapped("T", 24, 6, 0.8, experiments.Fig3PeriodsUS)
+	if err != nil {
+		b.Fatal(err)
+	}
 	sys := &mpcp.System{}
 	for i, t := range set {
 		sys.Tasks = append(sys.Tasks, mpcp.TaskSpec{

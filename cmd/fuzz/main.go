@@ -1,0 +1,125 @@
+// Command fuzz runs the differential scheduling oracle: it generates
+// random task systems and cross-checks every scheduler pair that must
+// agree on feasibility (see internal/fuzz). Failures are shrunk to
+// minimal reproducers and printed with one-line replay keys.
+//
+// Usage:
+//
+//	go run ./cmd/fuzz                       # 150 cases per kind, seed 1
+//	go run ./cmd/fuzz -n 1000 -seed 7       # a bigger campaign
+//	go run ./cmd/fuzz -kinds fullutil,epdf  # restrict the pairings
+//	go run ./cmd/fuzz -mutant pd2-nobbit    # prove the oracle catches a
+//	                                        # broken PD² (fault injection)
+//	go run ./cmd/fuzz -replay fullutil/1/42 # re-run one failing case
+//
+// The exit status is 1 if any unexplained disagreement was found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pfair/internal/fuzz"
+)
+
+func main() {
+	var (
+		n        = flag.Int64("n", 150, "cases to generate per kind")
+		seed     = flag.Int64("seed", 1, "campaign base seed")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = all cores)")
+		kindsArg = flag.String("kinds", "", "comma-separated kinds (default all: fullutil,epdf,edf,rm,partition,dynamic,is)")
+		mutArg   = flag.String("mutant", "", "fault injection: substitute pd2-nobbit or epdf for PD²")
+		replay   = flag.String("replay", "", "re-run a single case by its kind/seed/trial key")
+		noShrink = flag.Bool("no-shrink", false, "skip reproducer minimization")
+		verbose  = flag.Bool("v", false, "describe every failing case in full")
+	)
+	flag.Parse()
+
+	mutant, err := fuzz.ParseMutant(*mutArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *replay != "" {
+		kind, s, trial, err := fuzz.ParseReplay(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		c := fuzz.GenCase(kind, s, trial)
+		fmt.Println(c.Describe())
+		out := fuzz.CheckCase(c, mutant)
+		if out.Explained > 0 {
+			fmt.Printf("explained disagreements: %d\n", out.Explained)
+		}
+		if len(out.Violations) == 0 {
+			fmt.Println("PASS")
+			return
+		}
+		for _, v := range out.Violations {
+			fmt.Println("  " + v)
+		}
+		if !*noShrink {
+			sc := fuzz.Shrink(c, mutant)
+			fmt.Printf("shrunk: M=%d H=%d tasks=%v\n", sc.M, sc.Horizon, sc.Set)
+		}
+		os.Exit(1)
+	}
+
+	var kinds []fuzz.Kind
+	if *kindsArg != "" {
+		for _, name := range strings.Split(*kindsArg, ",") {
+			k, err := fuzz.ParseKind(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			kinds = append(kinds, k)
+		}
+	}
+
+	rep := fuzz.Run(fuzz.Config{
+		Seed:     *seed,
+		Trials:   *n,
+		Kinds:    kinds,
+		Workers:  *workers,
+		Mutant:   mutant,
+		NoShrink: *noShrink,
+	})
+
+	nk := len(kinds)
+	if nk == 0 {
+		nk = len(fuzz.AllKinds())
+	}
+	fmt.Printf("fuzz: %d task systems across %d kinds (seed %d): %d unexplained disagreements, %d explained EPDF counterexamples\n",
+		rep.Cases, nk, *seed, len(rep.Failures), rep.Explained)
+
+	for _, f := range rep.Failures {
+		fmt.Printf("\nFAIL %s\n", f.Case.Describe())
+		max := 5
+		if *verbose {
+			max = len(f.Violations)
+		}
+		for i, v := range f.Violations {
+			if i == max {
+				fmt.Printf("  … and %d more\n", len(f.Violations)-max)
+				break
+			}
+			fmt.Println("  " + v)
+		}
+		if f.Shrunk != nil {
+			fmt.Printf("  shrunk reproducer: M=%d H=%d tasks=%v\n", f.Shrunk.M, f.Shrunk.Horizon, f.Shrunk.Set)
+		}
+		fmt.Printf("  replay: go run ./cmd/fuzz -replay %s", f.Case.Replay())
+		if *mutArg != "" {
+			fmt.Printf(" -mutant %s", *mutArg)
+		}
+		fmt.Println()
+	}
+	if len(rep.Failures) > 0 {
+		os.Exit(1)
+	}
+}

@@ -29,6 +29,13 @@ const (
 	// regression test pins a feasible set it misses, motivating the
 	// tie-break machinery.
 	EPDF
+	// PD2NoBBit is PD² with the b-bit tie-break deliberately removed
+	// (deadline ties fall through to the group-deadline comparison). It is
+	// intentionally WRONG — a fault-injection target proving that the
+	// differential fuzzing oracle (internal/fuzz) catches scheduler
+	// mutations with a small shrunken reproducer. Never use it to
+	// schedule real workloads.
+	PD2NoBBit
 )
 
 func (a Algorithm) String() string {
@@ -41,6 +48,8 @@ func (a Algorithm) String() string {
 		return "PF"
 	case EPDF:
 		return "EPDF"
+	case PD2NoBBit:
+		return "PD2-no-bbit"
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
@@ -66,6 +75,11 @@ func less(alg Algorithm, a, b *prio) bool {
 	switch alg {
 	case EPDF:
 		// No tie-breaks.
+	case PD2NoBBit:
+		// Fault injection: PD² minus the b-bit comparison.
+		if a.bbit == 1 && b.bbit == 1 && a.group != b.group {
+			return a.group > b.group
+		}
 	case PD2:
 		if a.bbit != b.bbit {
 			return a.bbit > b.bbit

@@ -18,7 +18,10 @@ import (
 func newLoadedScheduler(tb testing.TB, m, n int, util float64, seed int64) *Scheduler {
 	tb.Helper()
 	g := taskgen.New(seed)
-	set := g.Set("T", n, util, taskgen.DefaultPeriodsSlots)
+	set, err := g.Set("T", n, util, taskgen.DefaultPeriodsSlots)
+	if err != nil {
+		tb.Fatalf("taskgen: %v", err)
+	}
 	s := NewScheduler(m, PD2, Options{})
 	for _, t := range set {
 		if err := s.Join(t); err != nil {

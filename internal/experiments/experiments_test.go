@@ -332,7 +332,7 @@ func TestMeasuredParamsPipeline(t *testing.T) {
 		t.Fatalf("degenerate models: %+v", models)
 	}
 	g := taskgen.New(77)
-	set := g.SetCapped("T", 50, 8, 0.9, Fig3PeriodsUS)
+	set := mustSet(g.SetCapped("T", 50, 8, 0.9, Fig3PeriodsUS))
 	delays := g.CacheDelays(set, 100)
 	params := MeasuredParams(models, len(set), delays)
 	_, pd2, ff := overhead.ComputeLosses(set, params)

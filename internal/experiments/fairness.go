@@ -55,7 +55,7 @@ func DefaultFairnessConfig() FairnessConfig {
 // PD2, ERfair, WRR order.
 func Fairness(cfg FairnessConfig) []FairnessPoint {
 	g := taskgen.New(cfg.Seed)
-	set := g.Set("T", cfg.N, cfg.Total, []int64{10, 15, 20, 30, 60})
+	set := mustSet(g.Set("T", cfg.N, cfg.Total, []int64{10, 15, 20, 30, 60}))
 
 	results := make([]*FairnessPoint, 3)
 	parallel.For(cfg.Workers, len(results), func(v int) {

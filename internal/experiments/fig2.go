@@ -82,7 +82,7 @@ func Fig2a(cfg Fig2Config) []Fig2aPoint {
 		trials := make([]fig2Trial, cfg.SetsPerN)
 		parallel.For(cfg.Workers, cfg.SetsPerN, func(s int) {
 			g := taskgen.New(taskgen.SubSeed(cfg.Seed, seedFig2a, int64(n), int64(s)))
-			set := g.SetMaxUtil("T", n, 1.0, taskgen.DefaultPeriodsSlots)
+			set := mustSet(g.SetMaxUtil("T", n, 1.0, taskgen.DefaultPeriodsSlots))
 			trials[s].edf, trials[s].edfOK = measureEDF(set, cfg.Horizon, cfg.Deterministic)
 			trials[s].pd2 = measurePD2(set, 1, cfg.Horizon, cfg.Deterministic)
 		})
@@ -122,7 +122,7 @@ func Fig2b(cfg Fig2Config) []Fig2bPoint {
 			trials := make([]float64, cfg.SetsPerN)
 			parallel.For(cfg.Workers, cfg.SetsPerN, func(s int) {
 				g := taskgen.New(taskgen.SubSeed(cfg.Seed, seedFig2b, int64(1000*m+n), int64(s)))
-				set := g.SetMaxUtil("T", n, float64(m), taskgen.DefaultPeriodsSlots)
+				set := mustSet(g.SetMaxUtil("T", n, float64(m), taskgen.DefaultPeriodsSlots))
 				trials[s] = measurePD2(set, m, cfg.Horizon, cfg.Deterministic)
 			})
 			var pd2Ns stats.Sample

@@ -84,7 +84,7 @@ func Fig3(cfg Fig3Config) map[int][]Fig3Point {
 			trials := make([]fig3Trial, cfg.SetsPerStep)
 			parallel.For(cfg.Workers, cfg.SetsPerStep, func(s int) {
 				g := taskgen.New(taskgen.SubSeed(cfg.Seed, seedFig3, int64(n), int64(step), int64(s)))
-				set := g.SetCapped("T", n, target, 0.9, Fig3PeriodsUS)
+				set := mustSet(g.SetCapped("T", n, target, 0.9, Fig3PeriodsUS))
 				delays := g.CacheDelays(set, 100)
 				params := PaperParams(n, delays)
 				if cfg.Models != nil {

@@ -26,6 +26,16 @@ import (
 	"pfair/internal/task"
 )
 
+// mustSet unwraps taskgen results inside the experiment harness: every
+// experiment's generator parameters are statically valid, so an error here
+// is a programmer error and panics (parallel.For propagates it).
+func mustSet(s task.Set, err error) task.Set {
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 // DefaultSchedPD2 models the PD² per-invocation cost in µs as a function
 // of processors and tasks, fitted to the shape of the paper's Figure 2
 // measurements (≈2–3 µs at 100 tasks on one processor, ≈8 µs at 1000

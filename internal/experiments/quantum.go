@@ -60,7 +60,7 @@ func QuantumSweep(cfg QuantumSweepConfig) []QuantumPoint {
 		trials := make([]quantumResult, cfg.Sets)
 		parallel.For(cfg.Workers, cfg.Sets, func(s int) {
 			g := taskgen.New(taskgen.SubSeed(cfg.Seed, seedQuantum, int64(s)))
-			set := g.Set("T", cfg.N, cfg.TotalUtil, taskgen.DefaultPeriodsUS)
+			set := mustSet(g.Set("T", cfg.N, cfg.TotalUtil, taskgen.DefaultPeriodsUS))
 			delays := g.CacheDelays(set, 100)
 			params := PaperParams(cfg.N, delays)
 			params.Quantum = q

@@ -65,7 +65,7 @@ func ResponseTimes(cfg ResponseConfig) []ResponsePoint {
 		trials := make([]responseTrial, cfg.Sets)
 		parallel.For(cfg.Workers, cfg.Sets, func(s int) {
 			g := taskgen.New(taskgen.SubSeed(cfg.Seed, seedResponse, int64(load*1000), int64(s)))
-			set := g.Set("T", cfg.N, load*float64(cfg.M), taskgen.DefaultPeriodsSlots)
+			set := mustSet(g.Set("T", cfg.N, load*float64(cfg.M), taskgen.DefaultPeriodsSlots))
 			trials[s].pf, trials[s].pfOK = meanResponse(set, cfg.M, cfg.Horizon, false)
 			trials[s].er, trials[s].erOK = meanResponse(set, cfg.M, cfg.Horizon, true)
 		})

@@ -81,7 +81,7 @@ func SyncComparison(cfg SyncConfig) []SyncPoint {
 		trials := make([]syncTrial, cfg.Sets)
 		parallel.For(cfg.Workers, cfg.Sets, func(s int) {
 			g := taskgen.New(taskgen.SubSeed(cfg.Seed, seedSync, int64(s)))
-			set := g.SetCapped("T", cfg.N, cfg.TotalUtil, 0.8, Fig3PeriodsUS)
+			set := mustSet(g.SetCapped("T", cfg.N, cfg.TotalUtil, 0.8, Fig3PeriodsUS))
 			// Every task gets one critical section of length cs on a
 			// round-robin-chosen resource.
 			res := make([]string, len(set))

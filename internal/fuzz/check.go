@@ -1,0 +1,330 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"pfair/internal/core"
+	"pfair/internal/edf"
+	"pfair/internal/partition"
+	"pfair/internal/rm"
+	"pfair/internal/task"
+	"pfair/internal/verify"
+)
+
+// Outcome is the oracle's verdict on one case.
+type Outcome struct {
+	// Violations lists unexplained disagreements: a component broke a
+	// property its counterpart (or the theory) guarantees. Empty means the
+	// case passed.
+	Violations []string
+	// Explained counts expected disagreements — EPDF missing deadlines on
+	// three or more processors, where it is known not to be optimal.
+	Explained int
+}
+
+// CheckCase runs the case through its scheduler pairing and returns the
+// verdict. mutant substitutes for PD² in the kinds that exercise PD²
+// (full-utilization, dynamic, and IS schedules); pass core.PD2 — the zero
+// value — for the honest scheduler, or a fault-injection variant such as
+// core.PD2NoBBit to prove the oracle catches it.
+func CheckCase(c Case, mutant core.Algorithm) Outcome {
+	switch c.Kind {
+	case KindFullUtil:
+		return checkFullUtil(c, mutant)
+	case KindEPDF:
+		return checkEPDF(c)
+	case KindEDF:
+		return checkEDF(c)
+	case KindRM:
+		return checkRM(c)
+	case KindPartition:
+		return checkPartition(c)
+	case KindDynamic:
+		return checkDynamic(c, mutant)
+	case KindIS:
+		return checkIS(c, mutant)
+	}
+	return Outcome{Violations: []string{fmt.Sprintf("unknown kind %v", c.Kind)}}
+}
+
+// violations accumulates findings, folding long verify reports into a
+// bounded summary.
+type violations struct{ list []string }
+
+func (v *violations) addf(format string, args ...any) {
+	v.list = append(v.list, fmt.Sprintf(format, args...))
+}
+
+func (v *violations) addVerify(label string, errs []error) {
+	const keep = 3
+	for i, e := range errs {
+		if i == keep {
+			v.addf("%s: … and %d more verify errors", label, len(errs)-keep)
+			break
+		}
+		v.addf("%s: %v", label, e)
+	}
+}
+
+// runPfair drives one Pfair scheduler over the whole set (all tasks join
+// at slot 0) and returns the recorded trace and final stats. A join
+// rejection is itself a violation for the full-utilization kinds: their
+// sets satisfy Σwt = M by construction.
+func runPfair(set task.Set, m int, alg core.Algorithm, horizon int64, v *violations) ([]verify.Slot, core.Stats) {
+	s := core.NewScheduler(m, alg, core.Options{})
+	rec := &verify.Recorder{}
+	s.OnSlot(rec.Record)
+	for _, t := range set {
+		if err := s.Join(t); err != nil {
+			v.addf("%v: join %v rejected: %v", alg, t, err)
+			return nil, core.Stats{}
+		}
+	}
+	s.RunUntil(horizon)
+	s.FinishMisses(horizon)
+	return rec.Slots, s.Stats()
+}
+
+// checkFullUtil: PD² (or its mutant), PD, and PF are all optimal, so on a
+// set with Σwt = M every one of them must produce a miss-free trace that
+// passes the full independent verification — windows, sequence, lag at
+// every slot, completion.
+func checkFullUtil(c Case, mutant core.Algorithm) Outcome {
+	var v violations
+	for _, alg := range []core.Algorithm{mutant, core.PD, core.PF} {
+		slots, stats := runPfair(c.Set, c.M, alg, c.Horizon, &v)
+		if slots == nil {
+			continue
+		}
+		if n := len(stats.Misses); n > 0 {
+			v.addf("%v: %d deadline misses on a full-utilization set, first %+v", alg, n, stats.Misses[0])
+		}
+		v.addVerify(alg.String(), verify.Check(c.Set, slots, verify.Options{
+			Processors: c.M,
+			Horizon:    c.Horizon,
+		}))
+	}
+	return Outcome{Violations: v.list}
+}
+
+// checkEPDF: EPDF vs the PD² baseline on one full-utilization set. PD²
+// must always succeed. EPDF must succeed on M ≤ 2 (where it is optimal);
+// on M ≥ 3 a miss is an explained counterexample, but the trace must
+// still be structurally sound (capacity, sequence, windows-with-tardiness).
+func checkEPDF(c Case) Outcome {
+	var v violations
+	slots, stats := runPfair(c.Set, c.M, core.PD2, c.Horizon, &v)
+	if slots != nil {
+		if n := len(stats.Misses); n > 0 {
+			v.addf("PD2 baseline: %d misses on a full-utilization set, first %+v", n, stats.Misses[0])
+		}
+	}
+	explained := 0
+	slots, stats = runPfair(c.Set, c.M, core.EPDF, c.Horizon, &v)
+	if slots != nil {
+		switch {
+		case len(stats.Misses) == 0:
+			v.addVerify("EPDF", verify.Check(c.Set, slots, verify.Options{
+				Processors: c.M,
+				Horizon:    c.Horizon,
+			}))
+		case c.M <= 2:
+			v.addf("EPDF: %d misses on %d processors, but EPDF is optimal for M ≤ 2; first %+v",
+				len(stats.Misses), c.M, stats.Misses[0])
+		default:
+			explained = 1 // a fresh counterexample to EPDF optimality
+			v.addVerify("EPDF(tardy)", verify.Check(c.Set, slots, verify.Options{
+				Processors: c.M,
+				AllowTardy: true,
+				SkipLag:    true,
+			}))
+		}
+	}
+	return Outcome{Violations: v.list, Explained: explained}
+}
+
+// checkEDF: the event-driven simulator against the exact Σu ≤ 1 test,
+// both directions. One synchronous hyperperiod decides: a schedulable set
+// must show no misses, and an overloaded set (demand > supply over the
+// hyperperiod) must show at least one.
+func checkEDF(c Case) Outcome {
+	var v violations
+	sim := edf.NewSimulator()
+	for _, t := range c.Set {
+		if err := sim.Add(edf.Config{Task: t}); err != nil {
+			v.addf("edf: add %v: %v", t, err)
+			return Outcome{Violations: v.list}
+		}
+	}
+	sim.Run(c.Horizon)
+	misses := sim.Stats().Misses
+	sched := edf.Schedulable(c.Set)
+	if sched && len(misses) > 0 {
+		v.addf("edf: exact test says schedulable (Σu = %v) but simulator missed %d deadlines, first %+v",
+			c.Set.TotalWeight(), len(misses), misses[0])
+	}
+	if !sched && len(misses) == 0 {
+		v.addf("edf: exact test says unschedulable (Σu = %v) but one hyperperiod ran clean", c.Set.TotalWeight())
+	}
+	return Outcome{Violations: v.list}
+}
+
+// checkRM: exact response-time analysis against the fixed-priority
+// simulator (the synchronous release is the critical instant, so they
+// must agree), plus the sufficient tests, which may never contradict the
+// exact one.
+func checkRM(c Case) Outcome {
+	var v violations
+	_, exact := rm.ResponseTimes(c.Set)
+	sim := rm.NewSimulator(c.Set)
+	sim.Run(c.Horizon)
+	misses := sim.Stats().Misses
+	if exact && len(misses) > 0 {
+		v.addf("rm: response-time analysis says schedulable but simulator missed %d deadlines, first %+v",
+			len(misses), misses[0])
+	}
+	if !exact && len(misses) == 0 {
+		v.addf("rm: response-time analysis says unschedulable but the critical-instant simulation ran clean")
+	}
+	if rm.SchedulableLL(c.Set) && !exact {
+		v.addf("rm: Liu–Layland bound accepts a set the exact test rejects")
+	}
+	if rm.SchedulableHyperbolic(c.Set) && !exact {
+		v.addf("rm: hyperbolic bound accepts a set the exact test rejects")
+	}
+	return Outcome{Violations: v.list}
+}
+
+var partitionHeuristics = []partition.Heuristic{
+	partition.FirstFit, partition.BestFit, partition.WorstFit, partition.NextFit,
+}
+
+// checkPartition: the branch-and-bound packer is the ground truth the
+// heuristics must never beat, ⌈ΣU⌉ is the bound nothing may beat, and
+// every Pack placement must replay through the acceptance test it was
+// made under.
+func checkPartition(c Case) Outcome {
+	var v violations
+	exact, ok := partition.MinProcessorsExact(c.Set, partition.EDFTest)
+	if !ok {
+		v.addf("partition: exact packer failed to place a set with per-task u ≤ 1")
+		return Outcome{Violations: v.list}
+	}
+	if lower := c.Set.MinProcessors(); exact < lower {
+		v.addf("partition: exact packer used %d processors, below the utilization bound ⌈ΣU⌉ = %d", exact, lower)
+	}
+	for _, h := range partitionHeuristics {
+		mh, okh := partition.MinProcessors(c.Set, h, partition.EDFTest)
+		if !okh {
+			v.addf("partition: %v failed to place a set with per-task u ≤ 1", h)
+			continue
+		}
+		if mh < exact {
+			v.addf("partition: %v used %d processors, beating the exact minimum %d", h, mh, exact)
+		}
+		a := partition.Pack(c.Set, 0, h, partition.EDFTest)
+		placed := 0
+		for _, proc := range a.Processors {
+			for i, t := range proc {
+				if !partition.EDFTest(proc[:i], t) {
+					v.addf("partition: %v placed %v on a processor the acceptance test rejects", h, t)
+				}
+				placed++
+			}
+		}
+		if placed+len(a.Unplaced) != len(c.Set) {
+			v.addf("partition: %v lost tasks: %d placed + %d unplaced ≠ %d", h, placed, len(a.Unplaced), len(c.Set))
+		}
+		if len(a.Unplaced) > 0 {
+			v.addf("partition: %v left %d tasks unplaced with unbounded processors", h, len(a.Unplaced))
+		}
+	}
+	return Outcome{Violations: v.list}
+}
+
+// checkDynamic replays the join/leave script. Every admitted task must
+// keep all its deadlines (joins are gated by Equation (2) and departures
+// delayed to their safe slots, so the system is never infeasible), and
+// the trace must verify with each task's windows shifted by its join
+// slot. Join rejections are legitimate — an overweight joiner is exactly
+// what the admission test is for — and simply leave the task out.
+func checkDynamic(c Case, mutant core.Algorithm) Outcome {
+	var v violations
+	s := core.NewScheduler(c.M, mutant, core.Options{})
+	rec := &verify.Recorder{}
+	s.OnSlot(rec.Record)
+	admitted := map[string]int64{}
+	for slot := int64(0); slot < c.Horizon; slot++ {
+		for _, t := range c.Set {
+			if c.Joins[t.Name] == slot {
+				if err := s.Join(t); err == nil {
+					admitted[t.Name] = slot
+				}
+			}
+		}
+		for _, t := range c.Set {
+			if at, ok := c.Leaves[t.Name]; ok && at == slot {
+				if _, in := admitted[t.Name]; in {
+					if _, err := s.Leave(t.Name); err != nil {
+						v.addf("dynamic: leave %s: %v", t.Name, err)
+					}
+				}
+			}
+		}
+		s.Step()
+	}
+	s.FinishMisses(c.Horizon)
+	if n := len(s.Stats().Misses); n > 0 {
+		v.addf("dynamic: %d misses under admitted joins and safe leaves, first %+v", n, s.Stats().Misses[0])
+	}
+	var vset task.Set
+	offs := map[string]func(int64) int64{}
+	for _, t := range c.Set {
+		if at, ok := admitted[t.Name]; ok {
+			vset = append(vset, t)
+			join := at
+			offs[t.Name] = func(int64) int64 { return join }
+		}
+	}
+	v.addVerify("dynamic", verify.Check(vset, rec.Slots, verify.Options{
+		Processors: c.M,
+		SkipLag:    true, // lag is measured from each task's own join, not slot 0
+		Offsets:    offs,
+	}))
+	return Outcome{Violations: v.list}
+}
+
+// checkIS runs the set under its intra-sporadic delay tables. PD² remains
+// optimal for IS systems, so admitted tasks miss nothing, and the trace
+// must verify with the per-subtask shifted windows, completion included.
+func checkIS(c Case, mutant core.Algorithm) Outcome {
+	var v violations
+	s := core.NewScheduler(c.M, mutant, core.Options{})
+	rec := &verify.Recorder{}
+	s.OnSlot(rec.Record)
+	var vset task.Set
+	offs := map[string]func(int64) int64{}
+	for _, t := range c.Set {
+		m := isModel{c.Delays[t.Name]}
+		if err := s.JoinModel(t, m); err == nil {
+			vset = append(vset, t)
+			offs[t.Name] = m.Offset
+		}
+	}
+	if len(vset) == 0 {
+		v.addf("is: no task admitted (Σu = %v on %d processors)", c.Set.TotalWeight(), c.M)
+		return Outcome{Violations: v.list}
+	}
+	s.RunUntil(c.Horizon)
+	s.FinishMisses(c.Horizon)
+	if n := len(s.Stats().Misses); n > 0 {
+		v.addf("is: %d misses on a feasible IS system, first %+v", n, s.Stats().Misses[0])
+	}
+	v.addVerify("is", verify.Check(vset, rec.Slots, verify.Options{
+		Processors: c.M,
+		Horizon:    c.Horizon,
+		SkipLag:    true, // the fluid reference shifts with every IS delay
+		Offsets:    offs,
+	}))
+	return Outcome{Violations: v.list}
+}

@@ -1,0 +1,173 @@
+package fuzz
+
+import (
+	"testing"
+
+	"pfair/internal/core"
+	"pfair/internal/task"
+)
+
+// TestGenCaseDeterministic: a case is fully reconstructible from its
+// (kind, seed, trial) replay key, independent of generation order — the
+// property every failure report relies on.
+func TestGenCaseDeterministic(t *testing.T) {
+	for _, kind := range AllKinds() {
+		a := GenCase(kind, 7, 13)
+		b := GenCase(kind, 7, 13)
+		if a.Describe() != b.Describe() {
+			t.Errorf("%v: GenCase not deterministic:\n  %s\n  %s", kind, a.Describe(), b.Describe())
+		}
+		if len(a.Set) == 0 {
+			t.Errorf("%v: empty task set generated", kind)
+		}
+		c := GenCase(kind, 7, 14)
+		if a.Describe() == c.Describe() {
+			t.Errorf("%v: adjacent trials generated identical cases", kind)
+		}
+	}
+}
+
+// TestCorpusClean is the deterministic CI corpus: a short campaign over
+// every kind must produce zero unexplained disagreements. The campaign
+// runs through the internal/parallel pool, so under go test -race this
+// doubles as the harness's data-race regression test.
+func TestCorpusClean(t *testing.T) {
+	trials := int64(20)
+	if testing.Short() {
+		trials = 5
+	}
+	rep := Run(Config{Seed: 1, Trials: trials})
+	if len(rep.Failures) > 0 {
+		for _, f := range rep.Failures {
+			t.Errorf("%s\n  %v", f.Case.Describe(), f.Violations)
+		}
+	}
+	if rep.Cases != int(trials)*int(numKinds) {
+		t.Errorf("ran %d cases, want %d", rep.Cases, int(trials)*int(numKinds))
+	}
+}
+
+// TestMutationCaught: injecting the PD2NoBBit mutant (PD² minus the b-bit
+// tie-break) must be detected, and at least one failure must shrink to a
+// reproducer of at most 4 tasks — small enough to debug by hand.
+func TestMutationCaught(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation campaign is not short")
+	}
+	rep := Run(Config{Seed: 2, Trials: 150, Kinds: []Kind{KindFullUtil}, Mutant: core.PD2NoBBit})
+	if len(rep.Failures) == 0 {
+		t.Fatal("dropping the b-bit tie-break from PD² survived 150 full-utilization cases")
+	}
+	min := len(rep.Failures[0].Case.Set)
+	for _, f := range rep.Failures {
+		if f.Shrunk == nil {
+			t.Fatalf("failure %s has no shrunken reproducer", f.Case.Replay())
+		}
+		if !fails(*f.Shrunk, core.PD2NoBBit) {
+			t.Errorf("shrunken reproducer for %s does not fail", f.Case.Replay())
+		}
+		if n := len(f.Shrunk.Set); n < min {
+			min = n
+		}
+	}
+	if min > 4 {
+		t.Errorf("smallest shrunken reproducer has %d tasks, want ≤ 4", min)
+	}
+	t.Logf("caught with %d failures, smallest reproducer %d tasks", len(rep.Failures), min)
+}
+
+// TestEPDFMutantCaught: substituting EPDF for PD² is the second injected
+// mutation the oracle must flag.
+func TestEPDFMutantCaught(t *testing.T) {
+	rep := Run(Config{Seed: 1, Trials: 40, Kinds: []Kind{KindFullUtil}, Mutant: core.EPDF, NoShrink: true})
+	if len(rep.Failures) == 0 {
+		t.Fatal("EPDF survived 40 full-utilization cases as a PD² substitute")
+	}
+}
+
+// TestEPDFCounterexamplesExplained: the EPDF kind must find fresh
+// counterexamples to EPDF optimality on M ≥ 3 (reporting them as
+// explained, not as violations).
+func TestEPDFCounterexamplesExplained(t *testing.T) {
+	if testing.Short() {
+		t.Skip("counterexample hunt is not short")
+	}
+	rep := Run(Config{Seed: 1, Trials: 150, Kinds: []Kind{KindEPDF}, NoShrink: true})
+	if len(rep.Failures) > 0 {
+		t.Fatalf("EPDF kind produced unexplained violations: %v", rep.Failures[0].Violations)
+	}
+	if rep.Explained == 0 {
+		t.Error("no EPDF counterexample found in 150 full-utilization sets")
+	}
+	t.Logf("%d explained EPDF counterexamples", rep.Explained)
+}
+
+// TestShrinkPinnedEPDFCounterexample: the 8-task counterexample pinned in
+// the core test suite (EPDF misses on 5 processors) must shrink to a
+// strictly smaller reproducer that still fails EPDF.
+func TestShrinkPinnedEPDFCounterexample(t *testing.T) {
+	set := task.Set{
+		task.New("T0", 4, 9), task.New("T1", 3, 6), task.New("T2", 1, 2),
+		task.New("T3", 8, 9), task.New("T4", 6, 10), task.New("T5", 3, 6),
+		task.New("T6", 9, 10), task.New("T7", 2, 3),
+	}
+	c := Case{Kind: KindFullUtil, Set: set, M: 5, Horizon: 2 * set.Hyperperiod()}
+	if !fails(c, core.EPDF) {
+		t.Fatal("the pinned EPDF counterexample no longer fails EPDF")
+	}
+	sc := Shrink(c, core.EPDF)
+	if !fails(sc, core.EPDF) {
+		t.Fatal("shrunken case does not fail")
+	}
+	if len(sc.Set) >= len(set) && sc.M >= c.M {
+		t.Errorf("shrinker made no progress on the 8-task counterexample: %d tasks M=%d", len(sc.Set), sc.M)
+	}
+	t.Logf("shrunk 8 tasks / M=5 to %d tasks / M=%d: %v", len(sc.Set), sc.M, sc.Set)
+}
+
+// TestParseReplayRoundTrip: every case's replay key parses back to the
+// coordinates that regenerate it.
+func TestParseReplayRoundTrip(t *testing.T) {
+	for _, kind := range AllKinds() {
+		c := GenCase(kind, 42, 17)
+		k, seed, trial, err := ParseReplay(c.Replay())
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if k != kind || seed != 42 || trial != 17 {
+			t.Errorf("%v: round trip gave %v/%d/%d", kind, k, seed, trial)
+		}
+		replayed := GenCase(k, seed, trial)
+		if replayed.Describe() != c.Describe() {
+			t.Errorf("%v: replayed case differs", kind)
+		}
+	}
+	for _, bad := range []string{"", "fullutil", "fullutil/1", "bogus/1/2", "fullutil/x/2", "fullutil/1/x"} {
+		if _, _, _, err := ParseReplay(bad); err == nil {
+			t.Errorf("ParseReplay(%q) succeeded", bad)
+		}
+	}
+}
+
+// TestReweightNoMisses pins the reweight path the random dynamic kind
+// does not script: a mid-run rate change (leave-and-rejoin under the
+// hood) must not cost any task a deadline.
+func TestReweightNoMisses(t *testing.T) {
+	s := core.NewScheduler(2, core.PD2, core.Options{})
+	set := task.Set{task.New("A", 1, 2), task.New("B", 2, 3), task.New("C", 1, 4)}
+	for _, tk := range set {
+		if err := s.Join(tk); err != nil {
+			t.Fatalf("join %v: %v", tk, err)
+		}
+	}
+	s.RunUntil(50)
+	at, err := s.Reweight("C", 3, 4)
+	if err != nil {
+		t.Fatalf("reweight: %v", err)
+	}
+	s.RunUntil(at + 240)
+	s.FinishMisses(at + 240)
+	if n := len(s.Stats().Misses); n != 0 {
+		t.Fatalf("reweight caused %d misses, first %+v", n, s.Stats().Misses[0])
+	}
+}

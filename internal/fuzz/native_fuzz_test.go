@@ -1,0 +1,25 @@
+package fuzz
+
+import (
+	"testing"
+
+	"pfair/internal/core"
+)
+
+// FuzzDifferential is the native-fuzzing entry point to the differential
+// oracle: the engine mutates the (seed, kind, trial) coordinates and
+// every generated task system must satisfy its kind's cross-checks.
+// Run with: go test ./internal/fuzz -fuzz FuzzDifferential
+func FuzzDifferential(f *testing.F) {
+	for k := int64(0); k < int64(numKinds); k++ {
+		f.Add(int64(1), k, int64(0))
+	}
+	f.Fuzz(func(t *testing.T, seed, kind, trial int64) {
+		k := Kind(((kind % int64(numKinds)) + int64(numKinds)) % int64(numKinds))
+		c := GenCase(k, seed, trial)
+		out := CheckCase(c, core.PD2)
+		if len(out.Violations) > 0 {
+			t.Errorf("%s\n  %v", c.Describe(), out.Violations)
+		}
+	})
+}

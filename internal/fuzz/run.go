@@ -1,0 +1,124 @@
+package fuzz
+
+import (
+	"fmt"
+	"strings"
+
+	"pfair/internal/core"
+	"pfair/internal/parallel"
+)
+
+// Config parameterizes a fuzzing campaign.
+type Config struct {
+	// Seed is the campaign's base seed; (Seed, kind, trial) fully
+	// determines each case.
+	Seed int64
+	// Trials is the number of cases generated per kind.
+	Trials int64
+	// Kinds restricts the campaign; nil means all kinds.
+	Kinds []Kind
+	// Workers bounds the worker pool (0 = GOMAXPROCS-sized).
+	Workers int
+	// Mutant substitutes for PD² in the kinds that exercise it.
+	// The zero value is core.PD2 itself: no mutation.
+	Mutant core.Algorithm
+	// NoShrink skips reproducer minimization on failures.
+	NoShrink bool
+}
+
+// Failure is one case the oracle rejected.
+type Failure struct {
+	Case       Case
+	Violations []string
+	// Shrunk is the minimized reproducer (nil when shrinking is off).
+	Shrunk *Case
+}
+
+// Report aggregates a campaign.
+type Report struct {
+	// Cases is the number of task systems generated and checked.
+	Cases int
+	// Explained counts expected disagreements (EPDF counterexamples on
+	// M ≥ 3).
+	Explained int
+	// Failures lists the unexplained disagreements, in deterministic
+	// (kind, trial) order regardless of worker interleaving.
+	Failures []Failure
+}
+
+// ParseMutant resolves the -mutant flag values of cmd/fuzz.
+func ParseMutant(s string) (core.Algorithm, error) {
+	switch s {
+	case "", "none", "pd2":
+		return core.PD2, nil
+	case "pd2-nobbit":
+		return core.PD2NoBBit, nil
+	case "epdf":
+		return core.EPDF, nil
+	}
+	return 0, fmt.Errorf("fuzz: unknown mutant %q (want pd2-nobbit or epdf)", s)
+}
+
+// Run executes the campaign across a bounded worker pool. Each trial owns
+// an independent SubSeed-derived random stream, so the report is
+// byte-identical however the workers interleave.
+func Run(cfg Config) Report {
+	kinds := cfg.Kinds
+	if len(kinds) == 0 {
+		kinds = AllKinds()
+	}
+	trials := int(cfg.Trials)
+	if trials <= 0 {
+		trials = 1
+	}
+	n := len(kinds) * trials
+	type result struct {
+		fail      *Failure
+		explained int
+	}
+	results := make([]result, n)
+	parallel.For(parallel.Workers(cfg.Workers), n, func(i int) {
+		kind := kinds[i/trials]
+		trial := int64(i % trials)
+		c := GenCase(kind, cfg.Seed, trial)
+		out := CheckCase(c, cfg.Mutant)
+		results[i].explained = out.Explained
+		if len(out.Violations) > 0 {
+			f := &Failure{Case: c, Violations: out.Violations}
+			if !cfg.NoShrink {
+				sc := Shrink(c, cfg.Mutant)
+				f.Shrunk = &sc
+			}
+			results[i].fail = f
+		}
+	})
+	rep := Report{Cases: n}
+	for _, r := range results {
+		rep.Explained += r.explained
+		if r.fail != nil {
+			rep.Failures = append(rep.Failures, *r.fail)
+		}
+	}
+	return rep
+}
+
+// Describe renders a case compactly for failure reports:
+// "fullutil/1/42: M=3 H=720 tasks=[T0(3/4) T1(5/8) …]".
+func (c *Case) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: M=%d H=%d tasks=[", c.Replay(), c.M, c.Horizon)
+	for i, t := range c.Set {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t.String())
+		if at, ok := c.Joins[t.Name]; ok && at != 0 {
+			fmt.Fprintf(&b, "@join%d", at)
+		}
+		if at, ok := c.Leaves[t.Name]; ok {
+			fmt.Fprintf(&b, "@leave%d", at)
+		}
+	}
+	b.WriteString("]")
+	return b.String()
+}

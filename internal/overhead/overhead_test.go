@@ -98,7 +98,10 @@ func TestInflationConvergence(t *testing.T) {
 	p := paperParams(0)
 	worst := 0
 	for trial := 0; trial < 50; trial++ {
-		set := g.Set("T", 50, 5.0, taskgen.DefaultPeriodsUS)
+		set, err := g.Set("T", 50, 5.0, taskgen.DefaultPeriodsUS)
+		if err != nil {
+			t.Fatal(err)
+		}
 		delays := g.CacheDelays(set, 100)
 		for _, tk := range set {
 			_, iters, ok := InflatePD2(tk.Cost, tk.Period, p, 3, delays[tk.Name])
@@ -153,7 +156,10 @@ func TestQuickInflationIsSound(t *testing.T) {
 
 func TestMinProcsPD2Smoke(t *testing.T) {
 	g := taskgen.New(7)
-	set := g.Set("T", 50, 5.0, taskgen.DefaultPeriodsUS)
+	set, err := g.Set("T", 50, 5.0, taskgen.DefaultPeriodsUS)
+	if err != nil {
+		t.Fatal(err)
+	}
 	delays := g.CacheDelays(set, 100)
 	p := Params{
 		Quantum:       1000,
@@ -179,7 +185,10 @@ func TestMinProcsPD2Smoke(t *testing.T) {
 
 func TestMinProcsEDFFFSmoke(t *testing.T) {
 	g := taskgen.New(8)
-	set := g.Set("T", 50, 5.0, taskgen.DefaultPeriodsUS)
+	set, err := g.Set("T", 50, 5.0, taskgen.DefaultPeriodsUS)
+	if err != nil {
+		t.Fatal(err)
+	}
 	delays := g.CacheDelays(set, 100)
 	p := paperParams(0)
 	p.CacheDelay = func(t *task.Task) int64 { return delays[t.Name] }
@@ -197,7 +206,10 @@ func TestMinProcsEDFFFSmoke(t *testing.T) {
 // Figure 3 where the curves coincide.
 func TestLowUtilizationBothNearIdeal(t *testing.T) {
 	g := taskgen.New(9)
-	set := g.Set("T", 50, 1.8, taskgen.DefaultPeriodsUS) // mean util 0.036
+	set, err := g.Set("T", 50, 1.8, taskgen.DefaultPeriodsUS) // mean util 0.036
+	if err != nil {
+		t.Fatal(err)
+	}
 	delays := g.CacheDelays(set, 100)
 	p := paperParams(0)
 	p.CacheDelay = func(t *task.Task) int64 { return delays[t.Name] }
@@ -213,7 +225,10 @@ func TestLowUtilizationBothNearIdeal(t *testing.T) {
 // split adds up: inflated util + stranded capacity = platform.
 func TestComputeLossesDecomposition(t *testing.T) {
 	g := taskgen.New(10)
-	set := g.Set("T", 50, 8.0, taskgen.DefaultPeriodsUS)
+	set, err := g.Set("T", 50, 8.0, taskgen.DefaultPeriodsUS)
+	if err != nil {
+		t.Fatal(err)
+	}
 	delays := g.CacheDelays(set, 100)
 	p := paperParams(0)
 	p.CacheDelay = func(t *task.Task) int64 { return delays[t.Name] }
@@ -298,7 +313,10 @@ func TestMinProcsEDFFFValidatePanics(t *testing.T) {
 // the self-consistency loop iterate upward and still converge.
 func TestMinProcsPD2GrowingS(t *testing.T) {
 	g := taskgen.New(21)
-	set := g.SetCapped("T", 60, 20, 0.8, []int64{50000, 100000, 500000})
+	set, err := g.SetCapped("T", 60, 20, 0.8, []int64{50000, 100000, 500000})
+	if err != nil {
+		t.Fatal(err)
+	}
 	p := Params{
 		Quantum:       1000,
 		ContextSwitch: 5,

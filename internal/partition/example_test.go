@@ -27,8 +27,10 @@ func ExamplePack() {
 // ExampleLopezBound evaluates the worst-case achievable utilization of
 // EDF partitioning from Lopez et al.: (βM+1)/(β+1) with β = ⌊1/umax⌋.
 func ExampleLopezBound() {
-	fmt.Println(partition.LopezBound(4, rational.One()))
-	fmt.Println(partition.LopezBound(4, rational.New(1, 3)))
+	b1, _ := partition.LopezBound(4, rational.One())
+	b2, _ := partition.LopezBound(4, rational.New(1, 3))
+	fmt.Println(b1)
+	fmt.Println(b2)
 	// Output:
 	// 5/2
 	// 13/4

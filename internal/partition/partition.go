@@ -250,12 +250,17 @@ func MinProcessorsExact(set task.Set, accept AcceptanceTest) (int, bool) {
 // umax (Lopez et al. [27]): (β·m + 1)/(β + 1) with β = ⌊1/umax⌋. Any task
 // set with total utilization at most the bound is schedulable by EDF-FF;
 // with umax = 1 it degenerates to the (m+1)/2 worst case of Section 3.
-func LopezBound(m int, umax rational.Rat) rational.Rat {
+// A umax outside (0, 1] — reachable from generated task parameters, e.g.
+// the maximum utilization of an empty set — is reported as an error.
+func LopezBound(m int, umax rational.Rat) (rational.Rat, error) {
+	if m < 1 {
+		return rational.Zero(), fmt.Errorf("partition: LopezBound needs m ≥ 1, got %d", m)
+	}
 	if umax.Sign() <= 0 || rational.One().Less(umax) {
-		panic("partition: umax must be in (0, 1]")
+		return rational.Zero(), fmt.Errorf("partition: umax %v outside (0, 1]", umax)
 	}
 	beta := rational.One().Div(umax).Floor()
-	return rational.New(beta*int64(m)+1, beta+1)
+	return rational.New(beta*int64(m)+1, beta+1), nil
 }
 
 // OhBakerBound returns the RM-FF guaranteed utilization m·(2^{1/2} − 1) ≈

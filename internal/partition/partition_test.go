@@ -60,19 +60,22 @@ func TestWorstCaseHalfBound(t *testing.T) {
 // TestLopezBound checks the closed form and its guarantee.
 func TestLopezBound(t *testing.T) {
 	// umax = 1 ⇒ β = 1 ⇒ (m+1)/2.
-	if got := LopezBound(4, rational.One()); !got.Equal(rational.New(5, 2)) {
-		t.Errorf("LopezBound(4, 1) = %v, want 5/2", got)
+	if got, err := LopezBound(4, rational.One()); err != nil || !got.Equal(rational.New(5, 2)) {
+		t.Errorf("LopezBound(4, 1) = %v, %v, want 5/2", got, err)
 	}
 	// umax = 1/3 ⇒ β = 3 ⇒ (3m+1)/4.
-	if got := LopezBound(4, rational.New(1, 3)); !got.Equal(rational.New(13, 4)) {
-		t.Errorf("LopezBound(4, 1/3) = %v, want 13/4", got)
+	if got, err := LopezBound(4, rational.New(1, 3)); err != nil || !got.Equal(rational.New(13, 4)) {
+		t.Errorf("LopezBound(4, 1/3) = %v, %v, want 13/4", got, err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("LopezBound accepted umax > 1")
-		}
-	}()
-	LopezBound(2, rational.New(3, 2))
+	if _, err := LopezBound(2, rational.New(3, 2)); err == nil {
+		t.Error("LopezBound accepted umax > 1")
+	}
+	if _, err := LopezBound(2, rational.Zero()); err == nil {
+		t.Error("LopezBound accepted umax = 0")
+	}
+	if _, err := LopezBound(0, rational.One()); err == nil {
+		t.Error("LopezBound accepted m = 0")
+	}
 }
 
 // TestQuickLopezGuarantee: any set with per-task utilization ≤ umax and
@@ -84,7 +87,10 @@ func TestQuickLopezGuarantee(t *testing.T) {
 		m := 2 + r.Intn(6)
 		umaxDen := int64(2 + r.Intn(6))
 		umax := rational.New(1, umaxDen)
-		bound := LopezBound(m, umax)
+		bound, err := LopezBound(m, umax)
+		if err != nil {
+			return false
+		}
 		var set task.Set
 		total := rational.NewAcc()
 		for i := 0; i < 200; i++ {

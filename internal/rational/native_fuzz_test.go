@@ -1,0 +1,53 @@
+package rational
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// FuzzRatArithmetic cross-checks Add and Mul against math/big on
+// arbitrary operands: whenever the int64 implementation produces a value
+// (rather than panicking as genuinely out of range), it must be the exact
+// reduced big.Rat result.
+func FuzzRatArithmetic(f *testing.F) {
+	f.Add(int64(1), int64(2), int64(1), int64(3))
+	f.Add(int64(1)<<62+1, int64(2), int64(1)<<62+1, int64(2))
+	f.Add(int64(-5), int64(12), int64(7), int64(9))
+	f.Fuzz(func(t *testing.T, an, ad, bn, bd int64) {
+		if ad == 0 || bd == 0 {
+			return
+		}
+		if an == math.MinInt64 || ad == math.MinInt64 || bn == math.MinInt64 || bd == math.MinInt64 {
+			return // abs() overflows; New would misbehave before arithmetic is at fault
+		}
+		a, b := New(an, ad), New(bn, bd)
+		try := func(op func(Rat, Rat) Rat) (r Rat, ok bool) {
+			defer func() {
+				if recover() != nil {
+					ok = false
+				}
+			}()
+			return op(a, b), true
+		}
+		ba := new(big.Rat).SetFrac64(an, ad)
+		bb := new(big.Rat).SetFrac64(bn, bd)
+		check := func(name string, got Rat, ok bool, want *big.Rat) {
+			if !ok {
+				// A panic is only legitimate when the reduced result
+				// truly exceeds int64.
+				if want.Num().IsInt64() && want.Denom().IsInt64() {
+					t.Errorf("%s(%v, %v) panicked but %v is representable", name, a, b, want)
+				}
+				return
+			}
+			if got.Num() != want.Num().Int64() || got.Den() != want.Denom().Int64() {
+				t.Errorf("%s(%v, %v) = %v, want %v", name, a, b, got, want)
+			}
+		}
+		got, ok := try(Rat.Add)
+		check("Add", got, ok, new(big.Rat).Add(ba, bb))
+		got, ok = try(Rat.Mul)
+		check("Mul", got, ok, new(big.Rat).Mul(ba, bb))
+	})
+}

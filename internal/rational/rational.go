@@ -9,14 +9,18 @@
 // computation in this repository therefore uses this package.
 //
 // Values are kept in lowest terms with a positive denominator, so Rat is
-// comparable with == and usable as a map key. Arithmetic panics on overflow
-// rather than silently wrapping: task parameters in all experiments are tiny
-// (periods ≤ 10⁶, horizons ≤ 10⁹), so an overflow is a programming error,
-// not an input condition.
+// comparable with == and usable as a map key. Add and Mul reduce by gcd
+// before multiplying so intermediates stay small; when an intermediate
+// still overflows int64 they redo the operation exactly in math/big and
+// convert back, so any result that fits int64 after reduction is returned
+// exactly. Only a result that is out of int64 range even in lowest terms
+// panics: long-horizon lag accumulations stay exact, and a panic signals a
+// genuinely unrepresentable value rather than an unlucky intermediate.
 package rational
 
 import (
 	"fmt"
+	"math/big"
 	"math/bits"
 )
 
@@ -69,10 +73,15 @@ func (r Rat) Add(s Rat) Rat {
 	r, s = r.normalized(), s.normalized()
 	// r.num/r.den + s.num/s.den over the lcm denominator.
 	g := gcd(r.den, s.den)
-	ld := mulCheck(r.den/g, s.den)
-	a := mulCheck(r.num, s.den/g)
-	b := mulCheck(s.num, r.den/g)
-	return New(addCheck(a, b), ld)
+	ld, ok1 := mulOK(r.den/g, s.den)
+	a, ok2 := mulOK(r.num, s.den/g)
+	b, ok3 := mulOK(s.num, r.den/g)
+	if ok1 && ok2 && ok3 {
+		if sum, ok := addOK(a, b); ok {
+			return New(sum, ld)
+		}
+	}
+	return bigFallback(r, s, (*big.Rat).Add)
 }
 
 // Sub returns r − s.
@@ -87,9 +96,12 @@ func (r Rat) Mul(s Rat) Rat {
 	// Cross-reduce before multiplying to keep intermediates small.
 	g1 := gcd(abs(r.num), s.den)
 	g2 := gcd(abs(s.num), r.den)
-	num := mulCheck(r.num/g1, s.num/g2)
-	den := mulCheck(r.den/g2, s.den/g1)
-	return New(num, den)
+	num, ok1 := mulOK(r.num/g1, s.num/g2)
+	den, ok2 := mulOK(r.den/g2, s.den/g1)
+	if ok1 && ok2 {
+		return New(num, den)
+	}
+	return bigFallback(r, s, (*big.Rat).Mul)
 }
 
 // MulInt returns r · n.
@@ -251,23 +263,50 @@ func gcd(a, b int64) int64 {
 	return a
 }
 
-func addCheck(a, b int64) int64 {
+func addOK(a, b int64) (int64, bool) {
 	s := a + b
 	if (a > 0 && b > 0 && s <= 0) || (a < 0 && b < 0 && s >= 0) {
-		panic("rational: int64 overflow in addition")
+		return 0, false
 	}
-	return s
+	return s, true
 }
 
-func mulCheck(a, b int64) int64 {
+func mulOK(a, b int64) (int64, bool) {
 	if a == 0 || b == 0 {
-		return 0
+		return 0, true
 	}
 	p := a * b
 	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+func mulCheck(a, b int64) int64 {
+	p, ok := mulOK(a, b)
+	if !ok {
 		panic("rational: int64 overflow in multiplication")
 	}
 	return p
+}
+
+// bigFallback redoes a binary operation exactly in math/big when the int64
+// fast path overflowed. big.Rat keeps results in lowest terms with a
+// positive denominator, so a result whose reduced components fit int64
+// converts back losslessly; anything larger is genuinely unrepresentable.
+func bigFallback(r, s Rat, op func(z, x, y *big.Rat) *big.Rat) Rat {
+	var x, y big.Rat
+	x.SetFrac64(r.num, r.den)
+	y.SetFrac64(s.num, s.den)
+	op(&x, &x, &y)
+	if !x.Num().IsInt64() || !x.Denom().IsInt64() {
+		panic(fmt.Sprintf("rational: %s/%s out of int64 range after reduction", x.Num(), x.Denom()))
+	}
+	n, d := x.Num().Int64(), x.Denom().Int64()
+	if n == 0 {
+		return Rat{0, 1}
+	}
+	return Rat{n, d}
 }
 
 // mul128 returns the signed 128-bit product a·b as (hi, lo) in two's

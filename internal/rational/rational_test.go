@@ -314,3 +314,57 @@ func BenchmarkCmp(b *testing.B) {
 		_ = x.Cmp(y)
 	}
 }
+
+// TestAddBigFallbackAtPriorPanicBoundary: before the math/big fallback,
+// Add panicked whenever an int64 intermediate overflowed, even when the
+// reduced result fits comfortably. (2^62+1)/2 + (2^62+1)/2 = 2^62+1 is
+// exactly such a case: the numerator sum overflows int64 but the result is
+// a plain integer. Long-horizon lag accumulations in fuzz runs hit this.
+func TestAddBigFallbackAtPriorPanicBoundary(t *testing.T) {
+	const big62 = int64(1)<<62 + 1 // odd, so num/den stay coprime
+	a := New(big62, 2)
+	got := a.Add(a)
+	if want := FromInt(big62); !got.Equal(want) {
+		t.Fatalf("Add fallback: got %v, want %v", got, want)
+	}
+	// Subtraction through the same path: the intermediates overflow but
+	// the difference is zero.
+	if d := a.Sub(a); !d.IsZero() {
+		t.Fatalf("Sub fallback: got %v, want 0", d)
+	}
+	// Denominator-side fallback: 1/(3·2^61) + 1/2^61 = 4/(3·2^61). The lcm
+	// intermediate a·b overflows but the reduced result fits.
+	x := New(1, 3*(int64(1)<<61))
+	y := New(1, int64(1)<<61)
+	if got, want := x.Add(y), New(4, 3*(int64(1)<<61)); !got.Equal(want) {
+		t.Fatalf("denominator fallback: got %v, want %v", got, want)
+	}
+}
+
+// TestMulBigFallback: cross-reduction leaves Mul's result in lowest terms,
+// so an overflow there is genuinely unrepresentable — the fallback must
+// still panic, now with the precise reduced value in the message.
+func TestMulBigFallback(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mul of an unrepresentable product did not panic")
+		}
+	}()
+	New(int64(1)<<62, 3).Mul(New(int64(1)<<62, 5))
+}
+
+// TestAddStillPanicsWhenTrulyOutOfRange: a sum whose lowest-terms
+// denominator exceeds int64 must still refuse.
+func TestAddStillPanicsWhenTrulyOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add of an unrepresentable sum did not panic")
+		}
+	}()
+	// 1/(2^40) + 1/(3^25): denominators coprime, lcm ≈ 9.3·10^23.
+	p3 := int64(1)
+	for i := 0; i < 25; i++ {
+		p3 *= 3
+	}
+	New(1, int64(1)<<40).Add(New(1, p3))
+}

@@ -1,0 +1,46 @@
+package taskgen
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzUUniFast: for arbitrary parameters UUniFast must either return an
+// error or a vector that sums exactly to the target with every component
+// within the cap — never panic, never silently violate the contract.
+func FuzzUUniFast(f *testing.F) {
+	f.Add(int64(1), 5, 2.0, 0.9)
+	f.Add(int64(7), 1, 0.5, 0.0)
+	f.Add(int64(3), 100, 99.9, 1.0)
+	f.Fuzz(func(t *testing.T, seed int64, n int, total, cap float64) {
+		if n > 10000 || math.IsNaN(total) || math.IsInf(total, 0) || math.IsNaN(cap) || math.IsInf(cap, 0) {
+			return
+		}
+		if total > 1e12 || cap > 1e12 || total < -1e12 || cap < -1e12 {
+			return // float error bounds below are meaningless at that scale
+		}
+		us, err := New(seed).UUniFast(n, total, cap)
+		if err != nil {
+			return
+		}
+		if n <= 0 {
+			if us != nil {
+				t.Fatalf("UUniFast(%d) = %v, want nil", n, us)
+			}
+			return
+		}
+		if len(us) != n {
+			t.Fatalf("got %d utilizations, want %d", len(us), n)
+		}
+		sum := 0.0
+		for _, u := range us {
+			sum += u
+			if cap > 0 && u > cap+1e-6 {
+				t.Errorf("utilization %v exceeds cap %v", u, cap)
+			}
+		}
+		if diff := math.Abs(sum - total); diff > 1e-6*math.Max(1, math.Abs(total)) {
+			t.Errorf("sum %v differs from total %v", sum, total)
+		}
+	})
+}

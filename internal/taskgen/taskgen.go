@@ -77,14 +77,19 @@ func splitmix64(x uint64) uint64 {
 // containing a value above cap are resampled; if resampling keeps failing
 // (high total relative to n·cap), the last draw is repaired by clamping
 // the over-cap values and redistributing the excess to the others in
-// proportion to their headroom, preserving the exact total. It panics if
-// total > n·cap, which no capped vector can satisfy.
-func (g *Generator) UUniFast(n int, total, cap float64) []float64 {
+// proportion to their headroom, preserving the exact total. It returns an
+// error if total < 0 or total > n·cap, which no capped vector can satisfy:
+// infeasible parameters are an input condition (the fuzzer probes them),
+// not a programmer error.
+func (g *Generator) UUniFast(n int, total, cap float64) ([]float64, error) {
 	if n <= 0 {
-		return nil
+		return nil, nil
+	}
+	if total < 0 {
+		return nil, fmt.Errorf("taskgen: negative total utilization %v", total)
 	}
 	if cap > 0 && total > float64(n)*cap+1e-9 {
-		panic("taskgen: total utilization exceeds n·cap")
+		return nil, fmt.Errorf("taskgen: total utilization %v exceeds n·cap = %d·%v", total, n, cap)
 	}
 	draw := func() []float64 {
 		us := make([]float64, n)
@@ -109,7 +114,7 @@ func (g *Generator) UUniFast(n int, total, cap float64) []float64 {
 	for attempt := 0; attempt < 64; attempt++ {
 		us = draw()
 		if cap <= 0 || within(us) {
-			return us
+			return us, nil
 		}
 	}
 	// Repair: one headroom-proportional redistribution suffices, since
@@ -130,14 +135,14 @@ func (g *Generator) UUniFast(n int, total, cap float64) []float64 {
 			}
 		}
 	}
-	return us
+	return us, nil
 }
 
 // Set generates n tasks whose utilizations sum approximately to totalUtil,
 // with periods drawn uniformly from the menu and integer costs
 // cost = clamp(round(u·p), 1, p). Rounding perturbs the total slightly;
 // callers needing the exact figure should read it off the returned set.
-func (g *Generator) Set(prefix string, n int, totalUtil float64, periods []int64) task.Set {
+func (g *Generator) Set(prefix string, n int, totalUtil float64, periods []int64) (task.Set, error) {
 	return g.SetCapped(prefix, n, totalUtil, 1.0, periods)
 }
 
@@ -145,12 +150,23 @@ func (g *Generator) Set(prefix string, n int, totalUtil float64, periods []int64
 // harness caps at 0.9: Section 4 itself observes that tasks whose weight
 // is pushed to one by inflation and quantum rounding become unschedulable
 // at any processor count, and the paper's (unspecified) generator clearly
-// produced none, since its Figure 3 curves stay finite.
-func (g *Generator) SetCapped(prefix string, n int, totalUtil, cap float64, periods []int64) task.Set {
+// produced none, since its Figure 3 curves stay finite. It returns an
+// error for an empty or invalid period menu or infeasible utilization
+// parameters rather than panicking, so randomized (fuzzer) configurations
+// can probe edge cases without crashing the worker pool.
+func (g *Generator) SetCapped(prefix string, n int, totalUtil, cap float64, periods []int64) (task.Set, error) {
 	if len(periods) == 0 {
-		panic("taskgen: empty period menu")
+		return nil, fmt.Errorf("taskgen: empty period menu")
 	}
-	us := g.UUniFast(n, totalUtil, cap)
+	for _, p := range periods {
+		if p <= 0 {
+			return nil, fmt.Errorf("taskgen: non-positive period %d in menu", p)
+		}
+	}
+	us, err := g.UUniFast(n, totalUtil, cap)
+	if err != nil {
+		return nil, err
+	}
 	set := make(task.Set, 0, n)
 	for i, u := range us {
 		p := periods[g.rng.Intn(len(periods))]
@@ -163,12 +179,12 @@ func (g *Generator) SetCapped(prefix string, n int, totalUtil, cap float64, peri
 		}
 		set = append(set, task.New(fmt.Sprintf("%s%d", prefix, i), e, p))
 	}
-	return set
+	return set, nil
 }
 
 // SetMaxUtil generates n tasks with total utilization uniformly random in
 // (0, maxTotal] — the Figure 2 workload ("total utilization at most one").
-func (g *Generator) SetMaxUtil(prefix string, n int, maxTotal float64, periods []int64) task.Set {
+func (g *Generator) SetMaxUtil(prefix string, n int, maxTotal float64, periods []int64) (task.Set, error) {
 	total := maxTotal * (0.1 + 0.9*g.rng.Float64())
 	return g.Set(prefix, n, total, periods)
 }

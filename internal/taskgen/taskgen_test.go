@@ -9,7 +9,10 @@ import (
 func TestUUniFastSumsToTotal(t *testing.T) {
 	g := New(1)
 	for _, n := range []int{1, 2, 10, 100} {
-		us := g.UUniFast(n, 3.5, 0)
+		us, err := g.UUniFast(n, 3.5, 0)
+		if err != nil {
+			t.Fatalf("UUniFast: %v", err)
+		}
 		sum := 0.0
 		for _, u := range us {
 			if u < 0 {
@@ -21,15 +24,18 @@ func TestUUniFastSumsToTotal(t *testing.T) {
 			t.Errorf("n=%d: sum = %v, want 3.5", n, sum)
 		}
 	}
-	if got := g.UUniFast(0, 1, 0); got != nil {
-		t.Errorf("UUniFast(0) = %v, want nil", got)
+	if got, err := g.UUniFast(0, 1, 0); got != nil || err != nil {
+		t.Errorf("UUniFast(0) = %v, %v, want nil, nil", got, err)
 	}
 }
 
 func TestUUniFastCap(t *testing.T) {
 	g := New(2)
 	for trial := 0; trial < 50; trial++ {
-		us := g.UUniFast(4, 2.0, 1.0)
+		us, err := g.UUniFast(4, 2.0, 1.0)
+		if err != nil {
+			t.Fatalf("UUniFast: %v", err)
+		}
 		for _, u := range us {
 			if u > 1.0+1e-12 {
 				t.Fatalf("capped draw produced %v > 1", u)
@@ -40,7 +46,10 @@ func TestUUniFastCap(t *testing.T) {
 
 func TestSetProperties(t *testing.T) {
 	g := New(3)
-	set := g.Set("T", 100, 10.0, DefaultPeriodsUS)
+	set, err := g.Set("T", 100, 10.0, DefaultPeriodsUS)
+	if err != nil {
+		t.Fatalf("Set: %v", err)
+	}
 	if len(set) != 100 {
 		t.Fatalf("generated %d tasks", len(set))
 	}
@@ -60,14 +69,14 @@ func TestSetProperties(t *testing.T) {
 }
 
 func TestSetReproducible(t *testing.T) {
-	a := New(42).Set("T", 50, 5, DefaultPeriodsSlots)
-	b := New(42).Set("T", 50, 5, DefaultPeriodsSlots)
+	a, _ := New(42).Set("T", 50, 5, DefaultPeriodsSlots)
+	b, _ := New(42).Set("T", 50, 5, DefaultPeriodsSlots)
 	for i := range a {
 		if a[i].Cost != b[i].Cost || a[i].Period != b[i].Period {
 			t.Fatal("same seed produced different sets")
 		}
 	}
-	c := New(43).Set("T", 50, 5, DefaultPeriodsSlots)
+	c, _ := New(43).Set("T", 50, 5, DefaultPeriodsSlots)
 	same := true
 	for i := range a {
 		if a[i].Cost != c[i].Cost || a[i].Period != c[i].Period {
@@ -82,7 +91,10 @@ func TestSetReproducible(t *testing.T) {
 func TestSetMaxUtil(t *testing.T) {
 	g := New(5)
 	for trial := 0; trial < 30; trial++ {
-		set := g.SetMaxUtil("T", 20, 1.0, DefaultPeriodsSlots)
+		set, err := g.SetMaxUtil("T", 20, 1.0, DefaultPeriodsSlots)
+		if err != nil {
+			t.Fatalf("SetMaxUtil: %v", err)
+		}
 		// Rounding can push the total slightly above the draw, but the
 		// draw itself is ≤ 1.
 		if u := set.TotalUtilization(); u > 1.3 {
@@ -93,7 +105,10 @@ func TestSetMaxUtil(t *testing.T) {
 
 func TestCacheDelaysDistribution(t *testing.T) {
 	g := New(6)
-	set := g.Set("T", 4000, 40, DefaultPeriodsUS)
+	set, err := g.Set("T", 4000, 40, DefaultPeriodsUS)
+	if err != nil {
+		t.Fatalf("Set: %v", err)
+	}
 	ds := g.CacheDelays(set, 100)
 	if len(ds) != len(set) {
 		t.Fatalf("got %d delays for %d tasks", len(ds), len(set))
@@ -116,7 +131,10 @@ func TestCacheDelaysDistribution(t *testing.T) {
 func TestQuickSetWithinBounds(t *testing.T) {
 	f := func(seed int64) bool {
 		g := New(seed)
-		set := g.Set("T", 30, 3, DefaultPeriodsSlots)
+		set, err := g.Set("T", 30, 3, DefaultPeriodsSlots)
+		if err != nil {
+			return false
+		}
 		for _, tk := range set {
 			if tk.Cost < 1 || tk.Cost > tk.Period {
 				return false
@@ -134,7 +152,10 @@ func TestQuickSetWithinBounds(t *testing.T) {
 func TestUUniFastRepair(t *testing.T) {
 	g := New(9)
 	for trial := 0; trial < 20; trial++ {
-		us := g.UUniFast(5, 4.6, 1.0) // mean 0.92: resampling almost always fails
+		us, err := g.UUniFast(5, 4.6, 1.0) // mean 0.92: resampling almost always fails
+		if err != nil {
+			t.Fatalf("UUniFast: %v", err)
+		}
 		sum := 0.0
 		for _, u := range us {
 			if u > 1.0+1e-9 {
@@ -148,21 +169,26 @@ func TestUUniFastRepair(t *testing.T) {
 	}
 }
 
-// TestUUniFastInfeasibleCapPanics: total > n·cap cannot be satisfied.
-func TestUUniFastInfeasibleCapPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic for total > n·cap")
-		}
-	}()
-	New(1).UUniFast(3, 4.0, 1.0)
+// TestUUniFastInfeasibleCapErrors: total > n·cap cannot be satisfied; the
+// generated-input guard reports an error (not a panic) so fuzzers can probe
+// edge configurations without crashing the worker pool.
+func TestUUniFastInfeasibleCapErrors(t *testing.T) {
+	if _, err := New(1).UUniFast(3, 4.0, 1.0); err == nil {
+		t.Fatal("no error for total > n·cap")
+	}
+	if _, err := New(1).UUniFast(3, -1, 0); err == nil {
+		t.Fatal("no error for negative total")
+	}
 }
 
 // TestSetCappedRespectsCap: generated utilizations honor the cap after
 // integer rounding (up to the rounding granularity of the largest period).
 func TestSetCappedRespectsCap(t *testing.T) {
 	g := New(12)
-	set := g.SetCapped("T", 40, 20, 0.6, DefaultPeriodsSlots)
+	set, err := g.SetCapped("T", 40, 20, 0.6, DefaultPeriodsSlots)
+	if err != nil {
+		t.Fatalf("SetCapped: %v", err)
+	}
 	for _, tk := range set {
 		if tk.Utilization() > 0.6+0.11 { // rounding can add ≤ 1/period
 			t.Fatalf("task %v exceeds the cap", tk)
@@ -170,14 +196,14 @@ func TestSetCappedRespectsCap(t *testing.T) {
 	}
 }
 
-// TestSetEmptyPeriodsPanics covers the guard.
-func TestSetEmptyPeriodsPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic for empty period menu")
-		}
-	}()
-	New(1).Set("T", 3, 1, nil)
+// TestSetInvalidMenuErrors covers the menu guards.
+func TestSetInvalidMenuErrors(t *testing.T) {
+	if _, err := New(1).Set("T", 3, 1, nil); err == nil {
+		t.Fatal("no error for empty period menu")
+	}
+	if _, err := New(1).Set("T", 3, 1, []int64{10, 0}); err == nil {
+		t.Fatal("no error for non-positive period in menu")
+	}
 }
 
 // TestSubSeed pins the properties the parallel harness depends on:

@@ -13,7 +13,8 @@
 //     gaps or repeats;
 //   - windows: every subtask runs inside [r(Tᵢ), d(Tᵢ)) shifted by its
 //     offset (unless tardiness is explicitly allowed);
-//   - Pfairness: −1 < lag(T, t) < 1 after every slot (periodic tasks);
+//   - Pfairness: −1 < lag(T, t) < 1 after every slot in [0, Horizon),
+//     including idle slots missing from the trace (periodic tasks);
 //   - completion: no subtask with a deadline inside the horizon is left
 //     unscheduled.
 package verify
@@ -61,12 +62,20 @@ type Options struct {
 	Offsets map[string]func(i int64) int64
 }
 
+// maxErrors caps the number of violations Check collects; a single root
+// cause (e.g. a starved task failing the lag bound on every slot of a long
+// horizon) would otherwise flood the report.
+const maxErrors = 1024
+
 // Check validates the trace of the given task set and returns every
-// violation found (nil means the schedule is valid).
+// violation found (nil means the schedule is valid), truncating after
+// maxErrors entries.
 func Check(set task.Set, slots []Slot, opts Options) []error {
 	var errs []error
 	fail := func(format string, args ...any) {
-		errs = append(errs, fmt.Errorf(format, args...))
+		if len(errs) < maxErrors {
+			errs = append(errs, fmt.Errorf(format, args...))
+		}
 	}
 
 	pats := make(map[string]*core.Pattern, len(set))
@@ -80,17 +89,41 @@ func Check(set task.Set, slots []Slot, opts Options) []error {
 		return opts.Offsets[name](i)
 	}
 
-	next := make(map[string]int64, len(set)) // expected next subtask
+	next := make(map[string]int64, len(set))      // expected next subtask
+	seqBroken := make(map[string]bool, len(set)) // sequence error already reported
 	alloc := make(map[string]int64, len(set))
 	for _, t := range set {
 		next[t.Name] = 1
 	}
 	one := rational.One()
 
+	// lagCheck validates Equation (1) at every slot boundary u in
+	// [from, to]: lag(T, u) is the lag after slot u−1, computed from the
+	// allocations seen so far. Calling it for the gaps between recorded
+	// slots (and after the last one, up to the horizon) means idle slots
+	// that were never delivered to the Recorder still get their lag
+	// checked — a trace with gaps cannot hide a starved task.
+	lagCheck := func(from, to int64) {
+		if opts.SkipLag {
+			return
+		}
+		for u := from; u <= to && len(errs) < maxErrors; u++ {
+			for name, pat := range pats {
+				lag := pat.Lag(u, alloc[name])
+				if !lag.Less(one) || !one.Neg().Less(lag) {
+					fail("slot %d: task %s lag %v outside (-1, 1)", u-1, name, lag)
+				}
+			}
+		}
+	}
+
 	prevTime := int64(-1)
 	for _, s := range slots {
 		if s.Time <= prevTime {
 			fail("slot times not strictly increasing at %d", s.Time)
+		} else {
+			// Boundaries inside the idle gap (prevTime, s.Time).
+			lagCheck(prevTime+2, s.Time)
 		}
 		prevTime = s.Time
 		if opts.Processors > 0 && len(s.Assigned) > opts.Processors {
@@ -116,10 +149,17 @@ func Check(set task.Set, slots []Slot, opts Options) []error {
 				fail("slot %d: unknown task %s", s.Time, a.Task)
 				continue
 			}
-			if want := next[a.Task]; a.Subtask != want {
-				fail("slot %d: task %s ran subtask %d, expected %d", s.Time, a.Task, a.Subtask, want)
+			// On a mismatch, report once and keep counting allocations
+			// (next advances by one per quantum received, not to the
+			// recorded index): resynchronizing to a.Subtask+1 would turn
+			// one skipped subtask into a spurious error on every later
+			// slot and bury the root cause.
+			if want := next[a.Task]; a.Subtask != want && !seqBroken[a.Task] {
+				seqBroken[a.Task] = true
+				fail("slot %d: task %s ran subtask %d, expected %d (suppressing later sequence errors for this task)",
+					s.Time, a.Task, a.Subtask, want)
 			}
-			next[a.Task] = a.Subtask + 1
+			next[a.Task]++
 			alloc[a.Task]++
 
 			if !opts.AllowTardy {
@@ -131,14 +171,12 @@ func Check(set task.Set, slots []Slot, opts Options) []error {
 				}
 			}
 		}
-		if !opts.SkipLag {
-			for name, pat := range pats {
-				lag := pat.Lag(s.Time+1, alloc[name])
-				if !lag.Less(one) || !one.Neg().Less(lag) {
-					fail("slot %d: task %s lag %v outside (-1, 1)", s.Time, name, lag)
-				}
-			}
-		}
+		// Boundary after this slot's allocations.
+		lagCheck(s.Time+1, s.Time+1)
+	}
+	// Trailing idle slots up to the horizon.
+	if opts.Horizon > prevTime+1 {
+		lagCheck(prevTime+2, opts.Horizon)
 	}
 
 	if !opts.AllowTardy && opts.Horizon > 0 {

@@ -3,6 +3,7 @@ package verify
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"pfair/internal/core"
@@ -244,5 +245,75 @@ func TestAllAlgorithmsCrossValidated(t *testing.T) {
 		if errs := Check(set, rec.Slots, Options{Processors: m, SkipLag: true, AllowTardy: true}); len(errs) != 0 {
 			t.Fatalf("trial %d ERfair: %v", trial, errs[0])
 		}
+	}
+}
+
+// TestLagCheckedInTraceGaps: idle slots that were never delivered to the
+// Recorder must still get their lag checked. Task A(1,2) runs at slot 0
+// and then the trace jumps to slot 9: by slot 4 its lag exceeds 1, which
+// the old recorded-slots-only walk silently skipped.
+func TestLagCheckedInTraceGaps(t *testing.T) {
+	set := task.Set{task.New("A", 1, 2)}
+	slots := []Slot{
+		{Time: 0, Assigned: []core.Assignment{{Proc: 0, Task: "A", Subtask: 1}}},
+		{Time: 9, Assigned: []core.Assignment{{Proc: 0, Task: "A", Subtask: 2}}},
+	}
+	errs := Check(set, slots, Options{Processors: 1, Horizon: 10, AllowTardy: true})
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "lag") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("gap starvation passed the lag check: %v", errs)
+	}
+
+	// Trailing gap: the trace simply stops while the horizon continues.
+	head := slots[:1]
+	errs = Check(set, head, Options{Processors: 1, Horizon: 10, AllowTardy: true})
+	found = false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "lag") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("trailing starvation passed the lag check: %v", errs)
+	}
+}
+
+// TestSequenceMismatchReportedOnce: one skipped subtask must produce one
+// sequence error, not a cascade that buries the root cause on every later
+// slot.
+func TestSequenceMismatchReportedOnce(t *testing.T) {
+	set := task.Set{task.New("A", 1, 2)}
+	var slots []Slot
+	for i := int64(0); i < 20; i++ {
+		sub := i + 1
+		if i >= 3 {
+			sub = i + 2 // subtask 4 skipped: 1,2,3,5,6,…
+		}
+		slots = append(slots, Slot{Time: 2 * i, Assigned: []core.Assignment{{Proc: 0, Task: "A", Subtask: sub}}})
+	}
+	errs := Check(set, slots, Options{Processors: 1, SkipLag: true, AllowTardy: true})
+	seq := 0
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "expected") {
+			seq++
+		}
+	}
+	if seq != 1 {
+		t.Fatalf("got %d sequence errors, want exactly 1: %v", seq, errs)
+	}
+}
+
+// TestErrorFlood is bounded: a fully-starved long trace reports at most
+// maxErrors violations.
+func TestErrorFloodBounded(t *testing.T) {
+	set := task.Set{task.New("A", 1, 2), task.New("B", 1, 2)}
+	errs := Check(set, nil, Options{Processors: 1, Horizon: 100000})
+	if len(errs) == 0 || len(errs) > maxErrors {
+		t.Fatalf("got %d errors, want within (0, %d]", len(errs), maxErrors)
 	}
 }
