@@ -1,12 +1,19 @@
 GO ?= go
 
-.PHONY: build vet test race bench fuzz fuzz-short check
+.PHONY: build vet lint test race bench fuzz fuzz-short check
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs pfairlint, the repo's own invariant analyzers (exact
+# arithmetic, determinism, zero-alloc hot path, no library panics,
+# checked fallible results). See DESIGN.md for the invariants and the
+# //pfair: annotation grammar.
+lint:
+	$(GO) run ./cmd/pfairlint ./...
 
 test:
 	$(GO) test ./...
@@ -29,4 +36,4 @@ fuzz:
 fuzz-short:
 	$(GO) run ./cmd/fuzz -n 25 -seed 1
 
-check: build vet test race fuzz-short bench
+check: build vet lint test race fuzz-short bench

@@ -301,12 +301,12 @@ func BenchmarkAblationFixedPoint(b *testing.B) {
 func BenchmarkSupertaskServe(b *testing.B) {
 	sys := supertask.NewSystem(2, core.PD2)
 	st := &supertask.Supertask{Name: "S", Components: task.Set{
-		task.New("a", 1, 5), task.New("b", 1, 10), task.New("c", 1, 20),
+		task.MustNew("a", 1, 5), task.MustNew("b", 1, 10), task.MustNew("c", 1, 20),
 	}}
 	if err := sys.AddSupertask(st, true); err != nil {
 		b.Fatal(err)
 	}
-	if err := sys.AddTask(task.New("w", 1, 2)); err != nil {
+	if err := sys.AddTask(task.MustNew("w", 1, 2)); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()

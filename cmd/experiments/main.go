@@ -79,10 +79,15 @@ func main() {
 	}
 
 	run("fig1", func() {
-		fmt.Print(experiments.Fig1a())
-		fmt.Println()
-		fmt.Print(experiments.Fig1b())
-		fmt.Println()
+		for _, fig := range []func() (string, error){experiments.Fig1a, experiments.Fig1b} {
+			out, err := fig()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fig1:", err)
+				os.Exit(1)
+			}
+			fmt.Print(out)
+			fmt.Println()
+		}
 	})
 	run("fig2a", func() {
 		experiments.RenderFig2a(os.Stdout, experiments.Fig2a(f2))

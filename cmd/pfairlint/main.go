@@ -1,0 +1,75 @@
+// Command pfairlint runs the repo-specific invariant analyzers of
+// internal/lint over the given packages (default ./...) and exits
+// non-zero if any invariant is violated. It is the static half of the
+// repository's exactness and determinism guarantees; `make lint` wires
+// it into the check target and CI runs it on every push.
+//
+// Usage:
+//
+//	pfairlint [-only name[,name...]] [packages...]
+//
+// The five analyzers: ratfloat, determinism, hotpath, nopanic,
+// errcheckrat. See internal/lint for the invariant each enforces and
+// the //pfair: source annotations that grant justified exceptions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pfair/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				sel = append(sel, a)
+				delete(keep, a.Name)
+			}
+		}
+		if len(keep) > 0 {
+			for name := range keep {
+				fmt.Fprintf(os.Stderr, "pfairlint: unknown analyzer %q\n", name)
+			}
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pfairlint:", err)
+		os.Exit(2)
+	}
+	diags := lint.RunAnalyzers(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "pfairlint: %d violation(s) in %d package(s) checked\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -76,7 +76,11 @@ func main() {
 			fmt.Printf("windows of %v:\n", t)
 			pat := core.NewPattern(t.Cost, t.Period)
 			last := 2 * t.Cost
-			fmt.Print(trace.Windows(pat, 1, last))
+			w, err := trace.Windows(pat, 1, last)
+			if err != nil {
+				fatal("rendering windows of %v: %v", t, err)
+			}
+			fmt.Print(w)
 			fmt.Println()
 		}
 	}

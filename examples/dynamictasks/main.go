@@ -19,9 +19,9 @@ func main() {
 
 	// Initial scene: renderer at weight 2/5, physics at 1/3, audio 1/5.
 	for _, t := range []*pfair.Task{
-		pfair.NewTask("render", 2, 5),
-		pfair.NewTask("physics", 1, 3),
-		pfair.NewTask("audio", 1, 5),
+		pfair.MustNewTask("render", 2, 5),
+		pfair.MustNewTask("physics", 1, 3),
+		pfair.MustNewTask("audio", 1, 5),
 	} {
 		if err := s.Join(t); err != nil {
 			log.Fatalf("join %v: %v", t, err)
@@ -41,7 +41,7 @@ func main() {
 			return fmt.Sprintf("render reweighted to 4/5, effective at t=%d", at)
 		}},
 		{300, func() string { // a capture tool joins
-			if err := s.Join(pfair.NewTask("capture", 1, 4)); err != nil {
+			if err := s.Join(pfair.MustNewTask("capture", 1, 4)); err != nil {
 				log.Fatal(err)
 			}
 			return "capture joined at weight 1/4"
@@ -61,7 +61,7 @@ func main() {
 			return fmt.Sprintf("capture leaving, departs at t=%d (safe leave rule)", at)
 		}},
 		{800, func() string { // a heavyweight ML upscaler joins
-			if err := s.Join(pfair.NewTask("upscale", 3, 4)); err != nil {
+			if err := s.Join(pfair.MustNewTask("upscale", 3, 4)); err != nil {
 				log.Fatal(err)
 			}
 			return "upscale joined at weight 3/4"

@@ -16,7 +16,7 @@ import (
 
 func main() {
 	crit := func(name string, e, p int64) *task.Task {
-		t := task.New(name, e, p)
+		t := task.MustNew(name, e, p)
 		t.Critical = true
 		return t
 	}
@@ -26,9 +26,9 @@ func main() {
 		M: 4, Fail: 2, FailAt: 100, Horizon: 1200, SettleSlack: 0,
 		Tasks: task.Set{
 			crit("control", 2, 3),
-			task.New("telemetry", 2, 3),
-			task.New("logging", 1, 3),
-			task.New("ui", 1, 3),
+			task.MustNew("telemetry", 2, 3),
+			task.MustNew("logging", 1, 3),
+			task.MustNew("ui", 1, 3),
 		},
 	}, true)
 	if err != nil {
@@ -48,7 +48,7 @@ func main() {
 		M: 3, Fail: 1, FailAt: 90, Horizon: 3000, SettleSlack: 60,
 		Tasks: task.Set{
 			crit("flight", 1, 3), crit("nav", 1, 4),
-			task.New("video", 2, 3), task.New("science", 1, 2), task.New("comms", 1, 3),
+			task.MustNew("video", 2, 3), task.MustNew("science", 1, 2), task.MustNew("comms", 1, 3),
 		},
 	}
 	out2, err := faults.Run(sc, true)
@@ -71,9 +71,9 @@ func main() {
 	// Contrast: EDF under the same relative overload on one processor.
 	sim := edf.NewSimulator()
 	for _, cfg := range []edf.Config{
-		{Task: task.New("flight", 1, 3)},
-		{Task: task.New("nav", 1, 4)},
-		{Task: task.New("video", 2, 3)},
+		{Task: task.MustNew("flight", 1, 3)},
+		{Task: task.MustNew("nav", 1, 4)},
+		{Task: task.MustNew("video", 2, 3)},
 	} {
 		if err := sim.Add(cfg); err != nil {
 			log.Fatal(err)

@@ -29,10 +29,10 @@ func main() {
 	const horizon = 4000 // ms
 
 	apps := []*task.Task{
-		task.New("audio", 3, 10),
-		task.New("control", 2, 5),
+		task.MustNew("audio", 3, 10),
+		task.MustNew("control", 2, 5),
 	}
-	handler := task.New("net-rx", 2, 10)
+	handler := task.MustNew("net-rx", 2, 10)
 	flood := func(int64) int64 { return 8 } // every job wants 8 ms, not 2
 
 	victimMisses := func(st edf.Stats) map[string]int {

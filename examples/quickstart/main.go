@@ -16,9 +16,9 @@ import (
 
 func main() {
 	set := pfair.Set{
-		pfair.NewTask("A", 2, 3),
-		pfair.NewTask("B", 2, 3),
-		pfair.NewTask("C", 2, 3),
+		pfair.MustNewTask("A", 2, 3),
+		pfair.MustNewTask("B", 2, 3),
+		pfair.MustNewTask("C", 2, 3),
 	}
 
 	// Partitioning fails: even the exact bin-packer needs 3 processors.

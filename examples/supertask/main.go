@@ -29,7 +29,7 @@ func main() {
 	fmt.Printf("  component %s, job %d, deadline %d — exactly the miss in Figure 5.\n\n", m.Component, m.Job, m.Deadline)
 
 	st := &supertask.Supertask{Name: "S", Components: task.Set{
-		task.New("T", 1, 5), task.New("U", 1, 45),
+		task.MustNew("T", 1, 5), task.MustNew("U", 1, 45),
 	}}
 	w, _ := st.Weight()
 	rw, _ := st.ReweightedWeight()
@@ -44,12 +44,12 @@ func main() {
 	if err := sys.AddSupertask(&supertask.Supertask{
 		Name: "pinned-io",
 		Components: task.Set{
-			task.New("nic-rx", 1, 4), task.New("nic-tx", 1, 8), task.New("disk", 1, 10),
+			task.MustNew("nic-rx", 1, 4), task.MustNew("nic-tx", 1, 8), task.MustNew("disk", 1, 10),
 		},
 	}, true); err != nil {
 		log.Fatal(err)
 	}
-	for _, t := range []*task.Task{task.New("worker-1", 2, 3), task.New("worker-2", 1, 2)} {
+	for _, t := range []*task.Task{task.MustNew("worker-1", 2, 3), task.MustNew("worker-2", 1, 2)} {
 		if err := sys.AddTask(t); err != nil {
 			log.Fatal(err)
 		}

@@ -62,7 +62,7 @@ func main() {
 	s := pfair.NewScheduler(2, pfair.PD2, pfair.Options{})
 	for i, st := range streams {
 		model := jitterModel{seed: int64(100 + i), lateEvery: 7, maxLate: 3, maxEarly: 2}
-		if err := s.JoinModel(pfair.NewTask(st.name, st.e, st.p), model); err != nil {
+		if err := s.JoinModel(pfair.MustNewTask(st.name, st.e, st.p), model); err != nil {
 			log.Fatalf("admitting %s: %v", st.name, err)
 		}
 	}

@@ -125,6 +125,7 @@ func (s *Scheduler) Reweight(name string, newCost, newPeriod int64) (int64, erro
 // processor count.
 func (s *Scheduler) FailProcessors(k int) int {
 	if k < 0 || k >= s.m {
+		//pfair:allowpanic API misuse: failing more processors than exist has no recoverable meaning
 		panic("core: cannot fail that many processors")
 	}
 	s.m -= k

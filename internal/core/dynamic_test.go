@@ -44,7 +44,7 @@ func TestFig1bISWindows(t *testing.T) {
 	s := NewScheduler(1, PD2, Options{})
 	dm := newDelayModel()
 	dm.delayFrom(5, 1)
-	if err := s.JoinModel(task.New("T", 8, 11), dm); err != nil {
+	if err := s.JoinModel(task.MustNew("T", 8, 11), dm); err != nil {
 		t.Fatal(err)
 	}
 	pt := NewPattern(8, 11)
@@ -105,7 +105,7 @@ func TestISEarlinessKeepsDeadline(t *testing.T) {
 	dm := newDelayModel()
 	dm.early[3] = 2 // subtask 3 arrives two slots early
 	s := NewScheduler(1, PD2, Options{})
-	if err := s.JoinModel(task.New("T", 1, 4), dm); err != nil {
+	if err := s.JoinModel(task.MustNew("T", 1, 4), dm); err != nil {
 		t.Fatal(err)
 	}
 	var slots []int64
@@ -138,7 +138,7 @@ func TestISEarlinessKeepsDeadline(t *testing.T) {
 // last-scheduled subtask.
 func TestLeaveRuleLight(t *testing.T) {
 	s := NewScheduler(1, PD2, Options{})
-	if err := s.Join(task.New("T", 2, 5)); err != nil { // light, b(T1)=1
+	if err := s.Join(task.MustNew("T", 2, 5)); err != nil { // light, b(T1)=1
 		t.Fatal(err)
 	}
 	// Before any allocation, leaving is immediate.
@@ -162,7 +162,7 @@ func TestLeaveRuleLight(t *testing.T) {
 // deadline.
 func TestLeaveRuleHeavy(t *testing.T) {
 	s := NewScheduler(1, PD2, Options{})
-	if err := s.Join(task.New("T", 8, 11)); err != nil {
+	if err := s.Join(task.MustNew("T", 8, 11)); err != nil {
 		t.Fatal(err)
 	}
 	s.Step() // schedules T1 at slot 0
@@ -181,13 +181,13 @@ func TestLeaveRuleHeavy(t *testing.T) {
 // task fits again, and the whole dance causes no misses.
 func TestLeaveFreesCapacity(t *testing.T) {
 	s := NewScheduler(1, PD2, Options{})
-	if err := s.Join(task.New("A", 1, 2)); err != nil {
+	if err := s.Join(task.MustNew("A", 1, 2)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Join(task.New("B", 1, 2)); err != nil {
+	if err := s.Join(task.MustNew("B", 1, 2)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Join(task.New("C", 1, 4)); err == nil {
+	if err := s.Join(task.MustNew("C", 1, 4)); err == nil {
 		t.Fatal("overload join accepted")
 	}
 	at, err := s.Leave("B")
@@ -195,7 +195,7 @@ func TestLeaveFreesCapacity(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.RunUntil(at + 1) // departure applied at slot `at`
-	if err := s.Join(task.New("C", 1, 2)); err != nil {
+	if err := s.Join(task.MustNew("C", 1, 2)); err != nil {
 		t.Fatalf("join after leave rejected: %v", err)
 	}
 	s.RunUntil(at + 40)
@@ -214,7 +214,7 @@ func TestLeaveFreesCapacity(t *testing.T) {
 // misses.
 func TestReweight(t *testing.T) {
 	s := NewScheduler(2, PD2, Options{})
-	for _, tk := range []*task.Task{task.New("render", 2, 3), task.New("bg", 2, 3), task.New("aux", 1, 2)} {
+	for _, tk := range []*task.Task{task.MustNew("render", 2, 3), task.MustNew("bg", 2, 3), task.MustNew("aux", 1, 2)} {
 		if err := s.Join(tk); err != nil {
 			t.Fatal(err)
 		}
@@ -248,7 +248,7 @@ func TestReweight(t *testing.T) {
 	if _, err := s.Reweight("render", 5, 6); err != nil {
 		t.Fatalf("feasible upward reweight rejected: %v", err)
 	}
-	if err := s.Join(task.New("late", 1, 100)); err == nil {
+	if err := s.Join(task.MustNew("late", 1, 100)); err == nil {
 		t.Fatal("join during reserved reweight accepted")
 	}
 }
@@ -271,7 +271,7 @@ func TestJoinMidRunNoMisses(t *testing.T) {
 				if weight.Clone().Add(w).CmpInt(int64(m)) <= 0 {
 					weight.Add(w)
 					name := fmt.Sprintf("J%d", joined)
-					if err := s.Join(task.New(name, e, p)); err != nil {
+					if err := s.Join(task.MustNew(name, e, p)); err != nil {
 						t.Fatalf("join: %v", err)
 					}
 					joined++
@@ -301,7 +301,7 @@ func TestChurnNoMisses(t *testing.T) {
 				e := int64(1 + r.Intn(int(p)))
 				name := fmt.Sprintf("C%d", nextName)
 				if s.TotalWeight().Add(rational.New(e, p)).CmpInt(int64(m)) <= 0 {
-					if err := s.Join(task.New(name, e, p)); err != nil {
+					if err := s.Join(task.MustNew(name, e, p)); err != nil {
 						t.Fatalf("join: %v", err)
 					}
 					nextName++
@@ -327,7 +327,7 @@ func TestChurnNoMisses(t *testing.T) {
 // transparent when total weight ≤ M − K.
 func TestFailProcessorsTransparent(t *testing.T) {
 	set := task.Set{
-		task.New("A", 2, 3), task.New("B", 2, 3), task.New("C", 2, 3),
+		task.MustNew("A", 2, 3), task.MustNew("B", 2, 3), task.MustNew("C", 2, 3),
 	} // Σwt = 2
 	s := NewScheduler(3, PD2, Options{})
 	for _, tk := range set {
@@ -352,10 +352,10 @@ func TestFailProcessorsTransparent(t *testing.T) {
 // degradation).
 func TestFailProcessorsOverload(t *testing.T) {
 	s := NewScheduler(2, PD2, Options{})
-	crit := task.New("critical", 2, 3)
+	crit := task.MustNew("critical", 2, 3)
 	crit.Critical = true
-	bulk := task.New("bulk", 2, 3)
-	extra := task.New("extra", 2, 3)
+	bulk := task.MustNew("bulk", 2, 3)
+	extra := task.MustNew("extra", 2, 3)
 	for _, tk := range []*task.Task{crit, bulk, extra} {
 		if err := s.Join(tk); err != nil {
 			t.Fatal(err)

@@ -26,7 +26,7 @@ func ExamplePattern() {
 func ExampleScheduler() {
 	s := core.NewScheduler(2, core.PD2, core.Options{})
 	for _, name := range []string{"A", "B", "C"} {
-		if err := s.Join(task.New(name, 2, 3)); err != nil {
+		if err := s.Join(task.MustNew(name, 2, 3)); err != nil {
 			fmt.Println("join failed:", err)
 			return
 		}
@@ -44,7 +44,7 @@ func ExampleScheduler() {
 // task leaves under the safe rule and rejoins with its new rate.
 func ExampleScheduler_Reweight() {
 	s := core.NewScheduler(1, core.PD2, core.Options{})
-	if err := s.Join(task.New("render", 2, 4)); err != nil {
+	if err := s.Join(task.MustNew("render", 2, 4)); err != nil {
 		fmt.Println(err)
 		return
 	}

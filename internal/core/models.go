@@ -25,6 +25,7 @@ type SporadicModel struct {
 // given per-job cost.
 func NewSporadicModel(cost int64, gap func(job int64) int64) *SporadicModel {
 	if cost <= 0 {
+		//pfair:allowpanic constructor contract: cost is a static workload parameter, like NewPattern's
 		panic("core: sporadic model needs a positive cost")
 	}
 	return &SporadicModel{Gap: gap, Cost: cost}
@@ -40,6 +41,7 @@ func (m *SporadicModel) Offset(i int64) int64 {
 		if m.Gap != nil {
 			g = m.Gap(j)
 			if g < 0 {
+				//pfair:allowpanic Gap callback contract: a negative gap would move a release into the past
 				panic(fmt.Sprintf("core: negative sporadic gap %d for job %d", g, j))
 			}
 		}
@@ -70,7 +72,7 @@ type ScriptModel struct {
 // Offset implements ReleaseModel.
 func (m *ScriptModel) Offset(i int64) int64 {
 	best := int64(0)
-	for k, v := range m.Offsets {
+	for k, v := range m.Offsets { //pfair:orderinvariant max over all entries is commutative
 		if k <= i && v > best {
 			best = v
 		}

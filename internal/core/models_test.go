@@ -136,7 +136,7 @@ func TestAllocationAccounting(t *testing.T) {
 				continue
 			}
 			budget.Add(w)
-			set = append(set, task.New(fmt.Sprintf("T%d", i), e, base))
+			set = append(set, task.MustNew(fmt.Sprintf("T%d", i), e, base))
 		}
 		if len(set) == 0 {
 			continue
@@ -170,10 +170,10 @@ func TestAllocationAccounting(t *testing.T) {
 // stays inside its Pfair windows; no deadlines are missed.
 func TestMixedPfairERfair(t *testing.T) {
 	s := NewScheduler(1, PD2, Options{}) // global default: strict Pfair
-	if err := s.JoinEarlyRelease(task.New("eager", 2, 8), nil, true); err != nil {
+	if err := s.JoinEarlyRelease(task.MustNew("eager", 2, 8), nil, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Join(task.New("strict", 2, 8)); err != nil {
+	if err := s.Join(task.MustNew("strict", 2, 8)); err != nil {
 		t.Fatal(err)
 	}
 	slotsOf := map[string][]int64{}
@@ -200,7 +200,7 @@ func TestMixedPfairERfair(t *testing.T) {
 	}
 	// A per-task false override under a global ERfair default works too.
 	s2 := NewScheduler(1, PD2, Options{EarlyRelease: true})
-	if err := s2.JoinEarlyRelease(task.New("strict", 2, 8), nil, false); err != nil {
+	if err := s2.JoinEarlyRelease(task.MustNew("strict", 2, 8), nil, false); err != nil {
 		t.Fatal(err)
 	}
 	slots2 := []int64{}
@@ -224,7 +224,7 @@ func TestAsynchronousPeriodic(t *testing.T) {
 	for tt := int64(0); tt < 2000; tt++ {
 		for name, off := range offsets {
 			if off == tt {
-				if err := s.Join(task.New(name, 1, 3)); err != nil {
+				if err := s.Join(task.MustNew(name, 1, 3)); err != nil {
 					t.Fatalf("join %s: %v", name, err)
 				}
 			}
@@ -267,7 +267,7 @@ func TestExportedHelpers(t *testing.T) {
 	if s.Processors() != 3 {
 		t.Error("Processors mismatch")
 	}
-	if err := s.Join(task.New("T", 1, 2)); err != nil {
+	if err := s.Join(task.MustNew("T", 1, 2)); err != nil {
 		t.Fatal(err)
 	}
 	s.RunUntil(4)
@@ -286,13 +286,13 @@ func TestJoinEarlyReleaseErrors(t *testing.T) {
 	if err := s.JoinEarlyRelease(&task.Task{Name: "bad", Cost: 0, Period: 2}, nil, true); err == nil {
 		t.Error("invalid task accepted")
 	}
-	if err := s.JoinEarlyRelease(task.New("A", 1, 2), nil, true); err != nil {
+	if err := s.JoinEarlyRelease(task.MustNew("A", 1, 2), nil, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.JoinEarlyRelease(task.New("A", 1, 2), nil, false); err == nil {
+	if err := s.JoinEarlyRelease(task.MustNew("A", 1, 2), nil, false); err == nil {
 		t.Error("duplicate accepted")
 	}
-	if err := s.JoinEarlyRelease(task.New("B", 2, 3), nil, true); err == nil {
+	if err := s.JoinEarlyRelease(task.MustNew("B", 2, 3), nil, true); err == nil {
 		t.Error("overload accepted")
 	}
 }

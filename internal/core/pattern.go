@@ -67,6 +67,7 @@ const patternTableMax = 4096
 // lazily and must not be shared across goroutines.
 func NewPattern(cost, period int64) *Pattern {
 	if cost <= 0 || period < cost {
+		//pfair:allowpanic constructor contract: parameters were validated by task.New before reaching here
 		panic(fmt.Sprintf("core: invalid pattern %d/%d", cost, period))
 	}
 	pt := &Pattern{
@@ -243,6 +244,7 @@ func (pt *Pattern) groupDeadlineSlow(i int64) int64 {
 			return pt.Deadline(k)
 		}
 		if k > i+pt.e+1 {
+			//pfair:allowpanic invariant: a heavy task has a b-bit 0 within any e+1 consecutive subtasks
 			panic(fmt.Sprintf("core: group deadline walk did not terminate for %d/%d subtask %d", pt.e, pt.p, i))
 		}
 	}

@@ -68,6 +68,8 @@ type prio struct {
 
 // less reports whether a has strictly higher priority than b under alg.
 // The final comparison on task id makes the order total and deterministic.
+//
+//pfair:hotpath
 func less(alg Algorithm, a, b *prio) bool {
 	if a.deadline != b.deadline {
 		return a.deadline < b.deadline

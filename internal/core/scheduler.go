@@ -183,6 +183,7 @@ type Scheduler struct {
 // algorithm.
 func NewScheduler(m int, alg Algorithm, opts Options) *Scheduler {
 	if m < 1 {
+		//pfair:allowpanic constructor contract: the processor count is a static configuration value
 		panic("core: scheduler needs at least one processor")
 	}
 	s := &Scheduler{
@@ -313,6 +314,7 @@ func (st *tstate) offsetOf(i int64) int64 {
 	if st.model != nil {
 		d := st.model.Offset(i)
 		if d < 0 {
+			//pfair:allowpanic ReleaseModel contract: offsets are cumulative delays, hence non-negative
 			panic(fmt.Sprintf("core: negative IS offset %d for %s subtask %d", d, st.task.Name, i))
 		}
 		off += d
@@ -346,6 +348,7 @@ func (st2 *Scheduler) refreshSubtask(st *tstate) {
 	if st.model != nil {
 		e := st.model.Earliness(i)
 		if e < 0 {
+			//pfair:allowpanic ReleaseModel contract: earliness values are non-negative by definition
 			panic(fmt.Sprintf("core: negative earliness %d for %s subtask %d", e, st.task.Name, i))
 		}
 		elig -= e
@@ -378,6 +381,8 @@ func (s *Scheduler) enqueue(st *tstate) {
 
 // Step schedules one slot and advances time. It returns the slot's
 // assignments; the slice is reused by subsequent calls.
+//
+//pfair:hotpath
 func (s *Scheduler) Step() []Assignment {
 	t := s.now
 	s.applyLeaves(t)
@@ -589,6 +594,7 @@ func (s *Scheduler) applyLeaves(t int64) {
 		if err := s.admit(st.rejoin, nil, !st.rejoinReserved, false); err != nil {
 			// Unreachable: the departed task owned the name and the
 			// parameters were validated at request time.
+			//pfair:allowpanic invariant: the departed task owned the name and the parameters were validated at request time
 			panic(fmt.Sprintf("core: reweight re-join failed: %v", err))
 		}
 	}

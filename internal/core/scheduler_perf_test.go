@@ -49,6 +49,26 @@ func TestStepSteadyStateZeroAllocs(t *testing.T) {
 	}
 }
 
+// BenchmarkStepAllocs measures the steady-state cost of one Step and
+// enforces the 0 allocs/op invariant dynamically. It is the runtime
+// counterpart of the static hotpath analyzer (internal/lint): the
+// analyzer pins allocation *sources* at the offending line, while this
+// benchmark catches allocations the analyzer's per-function syntactic
+// rules cannot see, such as interface boxing inside callees.
+func BenchmarkStepAllocs(b *testing.B) {
+	s := newLoadedScheduler(b, 2, 100, 1.9, 42)
+	s.RunUntil(2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+	b.StopTimer()
+	if allocs := testing.AllocsPerRun(100, func() { s.Step() }); allocs != 0 {
+		b.Fatalf("Step allocates %v/op in steady state, want 0", allocs)
+	}
+}
+
 // TestStepInvariantsConcurrent runs independent schedulers from a worker
 // pool — the parallel harness's usage pattern — and checks per-slot
 // structural invariants plus stats monotonicity on each. Run under

@@ -22,7 +22,7 @@ func randomFeasibleSet(r *rand.Rand, m int, maxTasks int, maxPeriod int64) task.
 			continue
 		}
 		budget.Add(w)
-		set = append(set, task.New(fmt.Sprintf("T%d", i), e, p))
+		set = append(set, task.MustNew(fmt.Sprintf("T%d", i), e, p))
 	}
 	return set
 }
@@ -104,10 +104,10 @@ func TestOptimalAlgorithmsNoMisses(t *testing.T) {
 // (Section 3's motivating example), and so are other full-utilization sets.
 func TestFullUtilizationSchedulable(t *testing.T) {
 	sets := []task.Set{
-		{task.New("A", 2, 3), task.New("B", 2, 3), task.New("C", 2, 3)},
-		{task.New("A", 1, 2), task.New("B", 1, 2), task.New("C", 1, 2), task.New("D", 1, 2)},
-		{task.New("A", 3, 4), task.New("B", 3, 4), task.New("C", 1, 2)},
-		{task.New("A", 8, 11), task.New("B", 3, 11), task.New("C", 5, 11), task.New("D", 6, 11)},
+		{task.MustNew("A", 2, 3), task.MustNew("B", 2, 3), task.MustNew("C", 2, 3)},
+		{task.MustNew("A", 1, 2), task.MustNew("B", 1, 2), task.MustNew("C", 1, 2), task.MustNew("D", 1, 2)},
+		{task.MustNew("A", 3, 4), task.MustNew("B", 3, 4), task.MustNew("C", 1, 2)},
+		{task.MustNew("A", 8, 11), task.MustNew("B", 3, 11), task.MustNew("C", 5, 11), task.MustNew("D", 6, 11)},
 	}
 	for _, set := range sets {
 		m := set.MinProcessors()
@@ -136,9 +136,9 @@ func TestFullUtilizationSchedulable(t *testing.T) {
 // regression: eight tasks with total weight exactly 5 on five processors.
 func TestEPDFNotOptimal(t *testing.T) {
 	set := task.Set{
-		task.New("T0", 4, 9), task.New("T1", 3, 6), task.New("T2", 1, 2),
-		task.New("T3", 8, 9), task.New("T4", 6, 10), task.New("T5", 3, 6),
-		task.New("T6", 9, 10), task.New("T7", 2, 3),
+		task.MustNew("T0", 4, 9), task.MustNew("T1", 3, 6), task.MustNew("T2", 1, 2),
+		task.MustNew("T3", 8, 9), task.MustNew("T4", 6, 10), task.MustNew("T5", 3, 6),
+		task.MustNew("T6", 9, 10), task.MustNew("T7", 2, 3),
 	}
 	const m = 5
 	if set.TotalWeight().CmpInt(m) != 0 {
@@ -204,7 +204,7 @@ func TestERfairNoMissesAndWorkConserving(t *testing.T) {
 // future work.
 func TestPfairNotWorkConserving(t *testing.T) {
 	s := NewScheduler(1, PD2, Options{})
-	if err := s.Join(task.New("T", 1, 2)); err != nil {
+	if err := s.Join(task.MustNew("T", 1, 2)); err != nil {
 		t.Fatal(err)
 	}
 	busy := 0
@@ -218,7 +218,7 @@ func TestPfairNotWorkConserving(t *testing.T) {
 	}
 	// With early release the same task runs every slot.
 	s2 := NewScheduler(1, PD2, Options{EarlyRelease: true})
-	if err := s2.Join(task.New("T", 5, 10)); err != nil {
+	if err := s2.Join(task.MustNew("T", 5, 10)); err != nil {
 		t.Fatal(err)
 	}
 	busy2 := 0
@@ -234,7 +234,7 @@ func TestPfairNotWorkConserving(t *testing.T) {
 	}
 	// But they must be the FIRST five slots (work conserving).
 	s3 := NewScheduler(1, PD2, Options{EarlyRelease: true})
-	if err := s3.Join(task.New("T", 5, 10)); err != nil {
+	if err := s3.Join(task.MustNew("T", 5, 10)); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
@@ -250,7 +250,7 @@ func TestPfairNotWorkConserving(t *testing.T) {
 // TestWeightOneTaskRunsEverySlot: a weight-1 task occupies a processor in
 // every slot and never migrates under affinity.
 func TestWeightOneTaskRunsEverySlot(t *testing.T) {
-	set := task.Set{task.New("full", 3, 3), task.New("half", 1, 2)}
+	set := task.Set{task.MustNew("full", 3, 3), task.MustNew("half", 1, 2)}
 	s := NewScheduler(2, PD2, Options{})
 	for _, tk := range set {
 		if err := s.Join(tk); err != nil {
@@ -282,7 +282,7 @@ func TestWeightOneTaskRunsEverySlot(t *testing.T) {
 // most one preemption (min(E−1, P−E) = 1).
 func TestPreemptionBound(t *testing.T) {
 	s := NewScheduler(1, PD2, Options{})
-	if err := s.Join(task.New("T", 5, 6)); err != nil {
+	if err := s.Join(task.MustNew("T", 5, 6)); err != nil {
 		t.Fatal(err)
 	}
 	const jobs = 50
@@ -377,19 +377,19 @@ func TestSubtasksInWindows(t *testing.T) {
 // TestJoinRejectsOverload: Equation (2) gates admission.
 func TestJoinRejectsOverload(t *testing.T) {
 	s := NewScheduler(2, PD2, Options{})
-	if err := s.Join(task.New("A", 3, 4)); err != nil {
+	if err := s.Join(task.MustNew("A", 3, 4)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Join(task.New("B", 3, 4)); err != nil {
+	if err := s.Join(task.MustNew("B", 3, 4)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Join(task.New("C", 1, 2)); err != nil {
+	if err := s.Join(task.MustNew("C", 1, 2)); err != nil {
 		t.Fatal(err) // exactly fills 2.0
 	}
-	if err := s.Join(task.New("D", 1, 1000)); err == nil {
+	if err := s.Join(task.MustNew("D", 1, 1000)); err == nil {
 		t.Fatal("join above capacity was accepted")
 	}
-	if err := s.Join(task.New("A", 1, 1000)); err == nil {
+	if err := s.Join(task.MustNew("A", 1, 1000)); err == nil {
 		t.Fatal("duplicate name was accepted")
 	}
 }

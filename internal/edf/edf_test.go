@@ -22,7 +22,7 @@ func mustAdd(t *testing.T, s *Simulator, cfgs ...Config) {
 // TestSingleTask: one task runs back-to-back jobs without preemptions.
 func TestSingleTask(t *testing.T) {
 	s := NewSimulator()
-	mustAdd(t, s, Config{Task: task.New("T", 2, 5)})
+	mustAdd(t, s, Config{Task: task.MustNew("T", 2, 5)})
 	s.Run(50)
 	st := s.Stats()
 	if st.Jobs != 10 || st.Completed != 10 {
@@ -50,7 +50,7 @@ func TestEDFOptimalUnderUnitUtilization(t *testing.T) {
 				continue
 			}
 			budget.Add(w)
-			set = append(set, task.New(fmt.Sprintf("T%d", i), e, p))
+			set = append(set, task.MustNew(fmt.Sprintf("T%d", i), e, p))
 		}
 		if len(set) == 0 {
 			continue
@@ -80,8 +80,8 @@ func TestEDFOptimalUnderUnitUtilization(t *testing.T) {
 func TestOverloadMisses(t *testing.T) {
 	s := NewSimulator()
 	mustAdd(t, s,
-		Config{Task: task.New("A", 3, 5)},
-		Config{Task: task.New("B", 3, 5)},
+		Config{Task: task.MustNew("A", 3, 5)},
+		Config{Task: task.MustNew("B", 3, 5)},
 	)
 	s.Run(100)
 	if len(s.Stats().Misses) == 0 {
@@ -112,7 +112,7 @@ func TestPreemptionsBoundedByJobs(t *testing.T) {
 				continue
 			}
 			budget.Add(w)
-			set = append(set, task.New(fmt.Sprintf("T%d", i), e, p))
+			set = append(set, task.MustNew(fmt.Sprintf("T%d", i), e, p))
 		}
 		if len(set) == 0 {
 			return true
@@ -138,11 +138,11 @@ func TestMisbehavingTaskWithoutCBS(t *testing.T) {
 	s := NewSimulator()
 	mustAdd(t, s,
 		Config{
-			Task: task.New("rogue", 2, 10),
+			Task: task.MustNew("rogue", 2, 10),
 			// Every job actually runs 8 units instead of the declared 2.
 			ActualCost: func(int64) int64 { return 8 },
 		},
-		Config{Task: task.New("victim", 5, 10)},
+		Config{Task: task.MustNew("victim", 5, 10)},
 	)
 	s.Run(200)
 	victimMissed := false
@@ -162,11 +162,11 @@ func TestCBSIsolation(t *testing.T) {
 	s := NewSimulator()
 	mustAdd(t, s,
 		Config{
-			Task:       task.New("rogue", 2, 10),
+			Task:       task.MustNew("rogue", 2, 10),
 			ActualCost: func(int64) int64 { return 8 },
 			Server:     &CBS{Budget: 2, Period: 10},
 		},
-		Config{Task: task.New("victim", 5, 10)},
+		Config{Task: task.MustNew("victim", 5, 10)},
 	)
 	s.Run(2000)
 	for _, m := range s.Stats().Misses {
@@ -185,8 +185,8 @@ func TestCBSWellBehavedTaskUnaffected(t *testing.T) {
 	run := func(server *CBS) Stats {
 		s := NewSimulator()
 		mustAdd(t, s,
-			Config{Task: task.New("A", 2, 10), Server: server},
-			Config{Task: task.New("B", 5, 10)},
+			Config{Task: task.MustNew("A", 2, 10), Server: server},
+			Config{Task: task.MustNew("B", 5, 10)},
 		)
 		s.Run(1000)
 		return s.Stats()
@@ -205,15 +205,15 @@ func TestCBSWellBehavedTaskUnaffected(t *testing.T) {
 // not a miss; one with an earlier deadline is.
 func TestHorizonPartialJob(t *testing.T) {
 	s := NewSimulator()
-	mustAdd(t, s, Config{Task: task.New("T", 4, 10)})
+	mustAdd(t, s, Config{Task: task.MustNew("T", 4, 10)})
 	s.Run(2) // first job (deadline 10) still running
 	if n := len(s.Stats().Misses); n != 0 {
 		t.Fatalf("premature miss: %+v", s.Stats().Misses)
 	}
 	s2 := NewSimulator()
 	mustAdd(t, s2,
-		Config{Task: task.New("T", 9, 10)},
-		Config{Task: task.New("U", 1, 10)},
+		Config{Task: task.MustNew("T", 9, 10)},
+		Config{Task: task.MustNew("U", 1, 10)},
 	)
 	s2.Run(2000)
 	if n := len(s2.Stats().Misses); n != 0 {
@@ -227,14 +227,14 @@ func TestAddValidation(t *testing.T) {
 	if err := s.Add(Config{Task: &task.Task{Name: "bad", Cost: 0, Period: 5}}); err == nil {
 		t.Error("invalid task accepted")
 	}
-	mustAdd(t, s, Config{Task: task.New("A", 1, 2)})
-	if err := s.Add(Config{Task: task.New("A", 1, 3)}); err == nil {
+	mustAdd(t, s, Config{Task: task.MustNew("A", 1, 2)})
+	if err := s.Add(Config{Task: task.MustNew("A", 1, 3)}); err == nil {
 		t.Error("duplicate accepted")
 	}
-	if err := s.Add(Config{Task: task.New("B", 1, 3), Server: &CBS{Budget: 0, Period: 3}}); err == nil {
+	if err := s.Add(Config{Task: task.MustNew("B", 1, 3), Server: &CBS{Budget: 0, Period: 3}}); err == nil {
 		t.Error("invalid CBS accepted")
 	}
-	if err := s.Add(Config{Task: task.New("C", 1, 3), Server: &CBS{Budget: 4, Period: 3}}); err == nil {
+	if err := s.Add(Config{Task: task.MustNew("C", 1, 3), Server: &CBS{Budget: 4, Period: 3}}); err == nil {
 		t.Error("CBS with budget > period accepted")
 	}
 }
@@ -244,9 +244,9 @@ func TestDeterminism(t *testing.T) {
 	run := func() Stats {
 		s := NewSimulator()
 		mustAdd(t, s,
-			Config{Task: task.New("A", 1, 3)},
-			Config{Task: task.New("B", 2, 5)},
-			Config{Task: task.New("C", 1, 7)},
+			Config{Task: task.MustNew("A", 1, 3)},
+			Config{Task: task.MustNew("B", 2, 5)},
+			Config{Task: task.MustNew("C", 1, 7)},
 		)
 		s.Run(10000)
 		return s.Stats()
@@ -262,7 +262,7 @@ func TestDeterminism(t *testing.T) {
 func TestMeasureOverhead(t *testing.T) {
 	s := NewSimulator()
 	s.MeasureOverhead(true)
-	mustAdd(t, s, Config{Task: task.New("A", 1, 2)}, Config{Task: task.New("B", 1, 4)})
+	mustAdd(t, s, Config{Task: task.MustNew("A", 1, 2)}, Config{Task: task.MustNew("B", 1, 4)})
 	s.Run(100000)
 	st := s.Stats()
 	if st.Invocations == 0 {

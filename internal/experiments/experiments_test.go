@@ -9,7 +9,10 @@ import (
 )
 
 func TestFig1aContent(t *testing.T) {
-	out := Fig1a()
+	out, err := Fig1a()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, want := range []string{
 		"wt = 8/11",
 		"T1   |==         ", // window [0,2)
@@ -25,7 +28,10 @@ func TestFig1aContent(t *testing.T) {
 }
 
 func TestFig1bContent(t *testing.T) {
-	out := Fig1b()
+	out, err := Fig1b()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(out, "T5   |      ==") {
 		t.Errorf("Fig1b missing shifted T5 window:\n%s", out)
 	}

@@ -140,7 +140,7 @@ func (lt *lagTracker) onSlot(t int64, assigned []core.Assignment) {
 }
 
 func (lt *lagTracker) scan(t int64) {
-	for name, pat := range lt.pats {
+	for name, pat := range lt.pats { //pfair:orderinvariant max over all tasks is commutative
 		lag := pat.Lag(t+1, lt.alloc[name])
 		if lt.max.Less(lag) {
 			lt.max = lag

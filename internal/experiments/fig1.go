@@ -10,11 +10,15 @@ import (
 
 // Fig1a renders the window layout of the first two jobs of a periodic
 // task with weight 8/11, as in Figure 1(a).
-func Fig1a() string {
+func Fig1a() (string, error) {
 	pat := core.NewPattern(8, 11)
 	var b strings.Builder
 	b.WriteString("Figure 1(a): windows of the first two jobs of a periodic task, wt = 8/11\n")
-	b.WriteString(trace.Windows(pat, 1, 16))
+	w, err := trace.Windows(pat, 1, 16)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(w)
 	b.WriteString("\nb-bits:          ")
 	for i := int64(1); i <= 8; i++ {
 		fmt.Fprintf(&b, "b(T%d)=%d ", i, pat.BBit(i))
@@ -24,13 +28,13 @@ func Fig1a() string {
 		fmt.Fprintf(&b, "D(T%d)=%d ", i, pat.GroupDeadline(i))
 	}
 	b.WriteByte('\n')
-	return b.String()
+	return b.String(), nil
 }
 
 // Fig1b renders the intra-sporadic variant of Figure 1(b): subtask T₅
 // becomes eligible one slot late, shifting the windows of T₅ and its
 // successors right by one.
-func Fig1b() string {
+func Fig1b() (string, error) {
 	pat := core.NewPattern(8, 11)
 	off := func(i int64) int64 {
 		if i >= 5 {
@@ -40,6 +44,10 @@ func Fig1b() string {
 	}
 	var b strings.Builder
 	b.WriteString("Figure 1(b): windows of an IS task, wt = 8/11; subtask T5 one slot late\n")
-	b.WriteString(trace.WindowsIS(pat, 1, 8, off))
-	return b.String()
+	w, err := trace.WindowsIS(pat, 1, 8, off)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(w)
+	return b.String(), nil
 }

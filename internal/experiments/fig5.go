@@ -37,19 +37,19 @@ func Fig5Workers(horizon int64, workers int) Fig5Result {
 	build := func(reweighted bool) (*supertask.System, *trace.Recorder, error) {
 		sys := supertask.NewSystem(2, core.PD2)
 		for _, tk := range []*task.Task{
-			task.New("V", 1, 2), task.New("W", 1, 3), task.New("X", 1, 3),
+			task.MustNew("V", 1, 2), task.MustNew("W", 1, 3), task.MustNew("X", 1, 3),
 		} {
 			if err := sys.AddTask(tk); err != nil {
 				return nil, nil, err
 			}
 		}
 		s := &supertask.Supertask{Name: "S", Components: task.Set{
-			task.New("T", 1, 5), task.New("U", 1, 45),
+			task.MustNew("T", 1, 5), task.MustNew("U", 1, 45),
 		}}
 		if err := sys.AddSupertask(s, reweighted); err != nil {
 			return nil, nil, err
 		}
-		if err := sys.AddTask(task.New("Y", 2, 9)); err != nil {
+		if err := sys.AddTask(task.MustNew("Y", 2, 9)); err != nil {
 			return nil, nil, err
 		}
 		return sys, nil, nil
@@ -61,12 +61,14 @@ func Fig5Workers(horizon int64, workers int) Fig5Result {
 		case 0:
 			sys, _, err := build(false)
 			if err != nil {
+				//pfair:allowpanic static Figure 5 workload cannot fail to build; parallel.For propagates panics
 				panic(err)
 			}
 			res.Misses = sys.Run(horizon).ComponentMisses
 		case 1:
 			sysRW, _, err := build(true)
 			if err != nil {
+				//pfair:allowpanic static Figure 5 workload cannot fail to build; parallel.For propagates panics
 				panic(err)
 			}
 			res.ReweightedMisses = sysRW.Run(horizon).ComponentMisses
@@ -84,10 +86,11 @@ func fig5Trace() string {
 	rec := trace.NewRecorder()
 	sched.OnSlot(rec.Record)
 	for _, tk := range []*task.Task{
-		task.New("V", 1, 2), task.New("W", 1, 3), task.New("X", 1, 3),
-		task.New("S", 2, 9), task.New("Y", 2, 9),
+		task.MustNew("V", 1, 2), task.MustNew("W", 1, 3), task.MustNew("X", 1, 3),
+		task.MustNew("S", 2, 9), task.MustNew("Y", 2, 9),
 	} {
 		if err := sched.Join(tk); err != nil {
+			//pfair:allowpanic static Figure 5 task set always admits on two processors
 			panic(err)
 		}
 	}

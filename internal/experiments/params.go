@@ -31,6 +31,7 @@ import (
 // is a programmer error and panics (parallel.For propagates it).
 func mustSet(s task.Set, err error) task.Set {
 	if err != nil {
+		//pfair:allowpanic experiment generator parameters are statically valid, per the doc comment
 		panic(err)
 	}
 	return s

@@ -72,11 +72,19 @@ func Run(s Scenario, shed bool) (Outcome, error) {
 
 	if shed {
 		plan := shedPlan(s.Tasks, out.Survivors)
-		for name, ep := range plan {
-			if _, err := sched.Reweight(name, ep[0], ep[1]); err != nil {
-				return Outcome{}, fmt.Errorf("faults: reweighting %s: %w", name, err)
+		// Reweight in the declared task order, not map order: each
+		// Reweight lands at the scheduler's current slot, and the
+		// paper's reweighting rules make the resulting windows depend
+		// on the order of application.
+		for _, t := range s.Tasks {
+			ep, ok := plan[t.Name]
+			if !ok {
+				continue
 			}
-			out.Reweighted[name] = ep
+			if _, err := sched.Reweight(t.Name, ep[0], ep[1]); err != nil {
+				return Outcome{}, fmt.Errorf("faults: reweighting %s: %w", t.Name, err)
+			}
+			out.Reweighted[t.Name] = ep
 		}
 	}
 	sched.RunUntil(s.Horizon)
@@ -165,7 +173,7 @@ func shedPlan(tasks task.Set, survivors int) map[string][2]int64 {
 // reporting).
 func (o Outcome) Names() []string {
 	names := make([]string, 0, len(o.Reweighted))
-	for n := range o.Reweighted {
+	for n := range o.Reweighted { //pfair:orderinvariant collects keys for sorting
 		names = append(names, n)
 	}
 	sort.Strings(names)

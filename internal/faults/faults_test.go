@@ -7,7 +7,7 @@ import (
 )
 
 func crit(name string, e, p int64) *task.Task {
-	t := task.New(name, e, p)
+	t := task.MustNew(name, e, p)
 	t.Critical = true
 	return t
 }
@@ -20,7 +20,7 @@ func TestTransparentFailure(t *testing.T) {
 	sc := Scenario{
 		M: 4, Fail: 2, FailAt: 60, Horizon: 600, SettleSlack: 0,
 		Tasks: task.Set{
-			crit("c1", 2, 3), task.New("n1", 2, 3), task.New("n2", 1, 3), task.New("n3", 1, 3),
+			crit("c1", 2, 3), task.MustNew("n1", 2, 3), task.MustNew("n2", 1, 3), task.MustNew("n3", 1, 3),
 		}, // Σwt = 2 = M − K
 	}
 	out, err := Run(sc, true)
@@ -45,7 +45,7 @@ func TestOverloadWithShedding(t *testing.T) {
 		M: 3, Fail: 1, FailAt: 90, Horizon: 2000, SettleSlack: 60,
 		Tasks: task.Set{
 			crit("c1", 1, 3), crit("c2", 1, 4),
-			task.New("n1", 2, 3), task.New("n2", 1, 2), task.New("n3", 1, 3),
+			task.MustNew("n1", 2, 3), task.MustNew("n2", 1, 2), task.MustNew("n3", 1, 3),
 		}, // Σwt = 1/3+1/4+2/3+1/2+1/3 ≈ 2.08 → overload on 2 survivors
 	}
 	out, err := Run(sc, true)
@@ -71,7 +71,7 @@ func TestOverloadWithoutShedding(t *testing.T) {
 		M: 3, Fail: 1, FailAt: 90, Horizon: 2000, SettleSlack: 60,
 		Tasks: task.Set{
 			crit("c1", 1, 3), crit("c2", 1, 4),
-			task.New("n1", 2, 3), task.New("n2", 1, 2), task.New("n3", 1, 3),
+			task.MustNew("n1", 2, 3), task.MustNew("n2", 1, 2), task.MustNew("n3", 1, 3),
 		},
 	}
 	out, err := Run(sc, false)
@@ -88,7 +88,7 @@ func TestOverloadWithoutShedding(t *testing.T) {
 func TestSheddingPlanFits(t *testing.T) {
 	tasks := task.Set{
 		crit("c", 1, 2),
-		task.New("a", 3, 4), task.New("b", 2, 3), task.New("d", 1, 2),
+		task.MustNew("a", 3, 4), task.MustNew("b", 2, 3), task.MustNew("d", 1, 2),
 	}
 	plan := shedPlan(tasks, 2)
 	if len(plan) == 0 {
@@ -111,7 +111,7 @@ func TestSheddingPlanFits(t *testing.T) {
 }
 
 func TestRunRejectsFullFailure(t *testing.T) {
-	if _, err := Run(Scenario{M: 2, Fail: 2, Tasks: task.Set{task.New("a", 1, 2)}, Horizon: 10}, false); err == nil {
+	if _, err := Run(Scenario{M: 2, Fail: 2, Tasks: task.Set{task.MustNew("a", 1, 2)}, Horizon: 10}, false); err == nil {
 		t.Error("failing every processor accepted")
 	}
 }

@@ -162,6 +162,7 @@ func GenCase(kind Kind, seed, trial int64) Case {
 	case KindIS:
 		genIS(rng, &c)
 	default:
+		//pfair:allowpanic exhaustive switch over Kind; a new kind must be wired here
 		panic(fmt.Sprintf("fuzz: GenCase(%v)", kind))
 	}
 	return c
@@ -196,17 +197,17 @@ func genFullUtil(rng *rand.Rand) (task.Set, int) {
 		if acc.Clone().Add(w).CmpInt(int64(m)) > 0 {
 			continue
 		}
-		set = append(set, task.New(fmt.Sprintf("T%d", len(set)), e, p))
+		set = append(set, task.MustNew(fmt.Sprintf("T%d", len(set)), e, p))
 		acc.Add(w)
 	}
 	rem := remainder(m, acc)
 	for rational.One().Less(rem) {
 		p := periodMenu[rng.Intn(len(periodMenu))]
-		set = append(set, task.New(fmt.Sprintf("T%d", len(set)), p, p))
+		set = append(set, task.MustNew(fmt.Sprintf("T%d", len(set)), p, p))
 		rem = rem.Sub(rational.One())
 	}
 	if !rem.IsZero() {
-		set = append(set, task.New(fmt.Sprintf("T%d", len(set)), rem.Num(), rem.Den()))
+		set = append(set, task.MustNew(fmt.Sprintf("T%d", len(set)), rem.Num(), rem.Den()))
 	}
 	return set, m
 }
@@ -217,6 +218,7 @@ func genFullUtil(rng *rand.Rand) (task.Set, int) {
 func remainder(m int, acc *rational.Acc) rational.Rat {
 	r, ok := acc.Clone().Sub(rational.FromInt(int64(m))).Rat()
 	if !ok {
+		//pfair:allowpanic invariant: denominators divide 360 by construction, per the doc comment
 		panic("fuzz: full-utilization remainder not representable")
 	}
 	return r.Neg()
@@ -231,6 +233,7 @@ func genUniSet(rng *rand.Rand) task.Set {
 	g := taskgen.New(rng.Int63())
 	set, err := g.Set("T", n, total, periodMenu)
 	if err != nil {
+		//pfair:allowpanic generator parameters are in-range by construction
 		panic(fmt.Sprintf("fuzz: genUniSet: %v", err))
 	}
 	return set
@@ -247,6 +250,7 @@ func genPartitionSet(rng *rand.Rand) task.Set {
 	g := taskgen.New(rng.Int63())
 	set, err := g.Set("T", n, total, periodMenu)
 	if err != nil {
+		//pfair:allowpanic generator parameters are in-range by construction
 		panic(fmt.Sprintf("fuzz: genPartitionSet: %v", err))
 	}
 	return set
@@ -269,6 +273,7 @@ func genDynamic(rng *rand.Rand, c *Case) {
 	g := taskgen.New(rng.Int63())
 	base, err := g.Set("B", n0, total, periodMenu)
 	if err != nil {
+		//pfair:allowpanic generator parameters are in-range by construction
 		panic(fmt.Sprintf("fuzz: genDynamic: %v", err))
 	}
 	c.Set = base
@@ -278,7 +283,7 @@ func genDynamic(rng *rand.Rand, c *Case) {
 		p := periodMenu[rng.Intn(len(periodMenu))]
 		e := 1 + rng.Int63n((p+1)/2)
 		name := fmt.Sprintf("J%d", j)
-		c.Set = append(c.Set, task.New(name, e, p))
+		c.Set = append(c.Set, task.MustNew(name, e, p))
 		c.Joins[name] = 1 + rng.Int63n(c.Horizon/2)
 	}
 	for _, t := range c.Set {
@@ -305,6 +310,7 @@ func genIS(rng *rand.Rand, c *Case) {
 	g := taskgen.New(rng.Int63())
 	set, err := g.Set("T", n, total, periodMenu)
 	if err != nil {
+		//pfair:allowpanic generator parameters are in-range by construction
 		panic(fmt.Sprintf("fuzz: genIS: %v", err))
 	}
 	c.Set = set

@@ -107,9 +107,9 @@ func TestEPDFCounterexamplesExplained(t *testing.T) {
 // strictly smaller reproducer that still fails EPDF.
 func TestShrinkPinnedEPDFCounterexample(t *testing.T) {
 	set := task.Set{
-		task.New("T0", 4, 9), task.New("T1", 3, 6), task.New("T2", 1, 2),
-		task.New("T3", 8, 9), task.New("T4", 6, 10), task.New("T5", 3, 6),
-		task.New("T6", 9, 10), task.New("T7", 2, 3),
+		task.MustNew("T0", 4, 9), task.MustNew("T1", 3, 6), task.MustNew("T2", 1, 2),
+		task.MustNew("T3", 8, 9), task.MustNew("T4", 6, 10), task.MustNew("T5", 3, 6),
+		task.MustNew("T6", 9, 10), task.MustNew("T7", 2, 3),
 	}
 	c := Case{Kind: KindFullUtil, Set: set, M: 5, Horizon: 2 * set.Hyperperiod()}
 	if !fails(c, core.EPDF) {
@@ -154,7 +154,7 @@ func TestParseReplayRoundTrip(t *testing.T) {
 // hood) must not cost any task a deadline.
 func TestReweightNoMisses(t *testing.T) {
 	s := core.NewScheduler(2, core.PD2, core.Options{})
-	set := task.Set{task.New("A", 1, 2), task.New("B", 2, 3), task.New("C", 1, 4)}
+	set := task.Set{task.MustNew("A", 1, 2), task.MustNew("B", 2, 3), task.MustNew("C", 1, 4)}
 	for _, tk := range set {
 		if err := s.Join(tk); err != nil {
 			t.Fatalf("join %v: %v", tk, err)

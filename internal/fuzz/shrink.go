@@ -87,7 +87,7 @@ func shrinkStep(c Case, mutant core.Algorithm) (Case, bool) {
 				if i < j {
 					jj--
 				}
-				cand.Set[jj] = task.New(cand.Set[jj].Name, wj.Num(), wj.Den())
+				cand.Set[jj] = task.MustNew(cand.Set[jj].Name, wj.Num(), wj.Den())
 				cand.Horizon = 2 * cand.Set.Hyperperiod()
 				if fails(cand, mutant) {
 					return cand, true
@@ -109,7 +109,7 @@ func shrinkStep(c Case, mutant core.Algorithm) (Case, bool) {
 				}
 				cand := c
 				cand.Set = append(task.Set{}, c.Set...)
-				cand.Set[i] = task.New(c.Set[i].Name, w.Num(), w.Den())
+				cand.Set[i] = task.MustNew(c.Set[i].Name, w.Num(), w.Den())
 				cand.Set = append(cand.Set[:j], cand.Set[j+1:]...)
 				cand.Horizon = 2 * cand.Set.Hyperperiod()
 				if fails(cand, mutant) {
@@ -125,7 +125,7 @@ func shrinkStep(c Case, mutant core.Algorithm) (Case, bool) {
 		}
 		cand := c
 		cand.Set = c.Set.Clone()
-		cand.Set[i] = task.New(t.Name, t.Cost/2, t.Period)
+		cand.Set[i] = task.MustNew(t.Name, t.Cost/2, t.Period)
 		if fails(cand, mutant) {
 			return cand, true
 		}
@@ -157,7 +157,7 @@ func dropTask(c Case, i int) Case {
 	cand.Leaves = dropKey(c.Leaves, name)
 	if c.Delays != nil {
 		d := make(map[string][]int64, len(c.Delays))
-		for k, v := range c.Delays {
+		for k, v := range c.Delays { //pfair:orderinvariant rebuilds a map; insertion order does not affect map equality
 			if k != name {
 				d[k] = v
 			}
@@ -172,7 +172,7 @@ func dropKey(m map[string]int64, name string) map[string]int64 {
 		return nil
 	}
 	out := make(map[string]int64, len(m))
-	for k, v := range m {
+	for k, v := range m { //pfair:orderinvariant rebuilds a map; insertion order does not affect map equality
 		if k != name {
 			out[k] = v
 		}

@@ -55,8 +55,11 @@ func NewItem[T any](v T) *Item[T] { return &Item[T]{Value: v, index: -1} }
 
 // PushItem inserts an item previously returned by NewItem (or removed by
 // Pop/Remove) without allocating. It panics if the item is still queued.
+//
+//pfair:hotpath
 func (h *Heap[T]) PushItem(it *Item[T]) {
 	if it.index >= 0 {
+		//pfair:allowpanic API misuse, per the doc comment; mirrors container/heap
 		panic("heap: PushItem of an item that is already in a heap")
 	}
 	it.index = len(h.items)
@@ -66,12 +69,16 @@ func (h *Heap[T]) PushItem(it *Item[T]) {
 
 // Peek returns the minimum element without removing it. It panics if the
 // heap is empty.
+//
+//pfair:hotpath
 func (h *Heap[T]) Peek() T {
 	return h.items[0].Value
 }
 
 // Pop removes and returns the minimum element. It panics if the heap is
 // empty.
+//
+//pfair:hotpath
 func (h *Heap[T]) Pop() T {
 	it := h.items[0]
 	h.swap(0, len(h.items)-1)
@@ -85,6 +92,8 @@ func (h *Heap[T]) Pop() T {
 
 // Remove deletes the element identified by handle it. It is a no-op if the
 // item was already removed.
+//
+//pfair:hotpath
 func (h *Heap[T]) Remove(it *Item[T]) {
 	i := it.index
 	if i < 0 {
@@ -103,8 +112,10 @@ func (h *Heap[T]) Remove(it *Item[T]) {
 
 // Fix re-establishes heap order after the priority of it's value changed in
 // place. It panics if the item has been removed.
+//pfair:hotpath
 func (h *Heap[T]) Fix(it *Item[T]) {
 	if it.index < 0 {
+		//pfair:allowpanic API misuse, per the doc comment; mirrors container/heap
 		panic("heap: Fix of removed item")
 	}
 	if !h.up(it.index) {
@@ -117,6 +128,7 @@ func (h *Heap[T]) Fix(it *Item[T]) {
 // introspection and trace code.
 func (h *Heap[T]) Items() []*Item[T] { return h.items }
 
+//pfair:hotpath
 func (h *Heap[T]) swap(i, j int) {
 	h.items[i], h.items[j] = h.items[j], h.items[i]
 	h.items[i].index = i
@@ -125,6 +137,7 @@ func (h *Heap[T]) swap(i, j int) {
 
 // up sifts the element at i toward the root; it reports whether the element
 // moved.
+//pfair:hotpath
 func (h *Heap[T]) up(i int) bool {
 	moved := false
 	for i > 0 {
@@ -139,6 +152,7 @@ func (h *Heap[T]) up(i int) bool {
 	return moved
 }
 
+//pfair:hotpath
 func (h *Heap[T]) down(i int) {
 	n := len(h.items)
 	for {

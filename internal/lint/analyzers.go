@@ -1,0 +1,6 @@
+package lint
+
+// All returns every pfair analyzer in the order pfairlint runs them.
+func All() []*Analyzer {
+	return []*Analyzer{RatFloat, Determinism, HotPath, NoPanic, ErrCheckRat}
+}

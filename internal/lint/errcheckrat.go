@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// fallibleAPIPackages are the packages whose fallible results this
+// analyzer guards. PR 2 converted their panic paths to returned errors
+// (taskgen's infeasible random parameters, partition's out-of-range
+// bounds) and gave Acc.Rat an ok result for unrepresentable sums —
+// protections that evaporate if a caller drops the result on the floor.
+var fallibleAPIPackages = []string{
+	"pfair/internal/rational",
+	"pfair/internal/taskgen",
+	"pfair/internal/partition",
+}
+
+// ErrCheckRat reports calls to fallible rational/taskgen/partition APIs
+// whose results are discarded: a bare call statement (or go/defer) to a
+// function whose last result is an error or an ok-bool throws away the
+// only signal that exact arithmetic failed or a generated task set was
+// infeasible. Assigning every result to blank (`_, _ = ...`) remains
+// legal as a visible, deliberate discard. Chaining APIs that return the
+// receiver (Acc.Add) are not flagged — their result is a convenience,
+// not a verdict.
+var ErrCheckRat = &Analyzer{
+	Name: "errcheckrat",
+	Doc: "flag discarded results of fallible rational/taskgen/partition calls " +
+		"(functions whose last result is error or bool)",
+	Run: runErrCheckRat,
+}
+
+func runErrCheckRat(pass *Pass) {
+	check := func(call *ast.CallExpr) {
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil || !hasPrefixAny(fn.Pkg().Path(), fallibleAPIPackages...) {
+			return
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Results().Len() == 0 {
+			return
+		}
+		last := sig.Results().At(sig.Results().Len() - 1).Type()
+		if !isErrorType(last) && !isBoolType(last) {
+			return
+		}
+		pass.Reportf(call.Pos(), "result of %s.%s discarded; its last result reports failure — handle it or assign it to _ explicitly", fn.Pkg().Name(), fn.Name())
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					check(call)
+				}
+			case *ast.GoStmt:
+				check(n.Call)
+			case *ast.DeferStmt:
+				check(n.Call)
+			}
+			return true
+		})
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func isBoolType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}

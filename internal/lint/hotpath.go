@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPath reports allocation sources inside functions annotated
+// //pfair:hotpath. PR 1 made Scheduler.Step and the priority comparators
+// allocation-free (0 allocs/op); the benchmark notices a regression only
+// when someone runs it, whereas this analyzer fails `make lint` at the
+// offending line. Inside an annotated function the following are
+// flagged:
+//
+//   - closures (func literals): closing over variables forces them to
+//     the heap and allocates the closure itself;
+//   - fmt calls: the ...any parameters box their arguments;
+//   - make/new: direct allocations;
+//   - &T{...} and slice/map composite literals: heap allocations (plain
+//     struct value literals are fine — they stay in registers or get
+//     copied into preallocated backing arrays);
+//   - append to anything that is not a struct field or a local derived
+//     from one (the s.buf[:0] double-buffer pattern): appending to a
+//     fresh slice allocates its backing array in steady state.
+//
+// The rules are per-function and syntactic: callees are not traversed,
+// so every function on the hot path must carry its own annotation.
+// BenchmarkStepAllocs asserts the dynamic side (0 allocs/op) so the
+// analyzer and benchmark cross-check each other.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc: "flag allocation sources (closures, fmt, make/new, escaping composite " +
+		"literals, append to non-preallocated slices) inside functions annotated " +
+		"//pfair:hotpath",
+	Run: runHotPath,
+}
+
+func runHotPath(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcHasDirective(fd, "hotpath") {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	// First pass: find locals that reuse preallocated storage — assigned
+	// from a slice expression (buf[:0]) or a struct field — so appends to
+	// them are recognized as buffer reuse, not fresh allocation.
+	prealloc := map[types.Object]bool{}
+	record := func(lhs, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		switch r := ast.Unparen(rhs).(type) {
+		case *ast.SliceExpr, *ast.SelectorExpr:
+			prealloc[obj] = true
+		case *ast.Ident:
+			if other := pass.Info.Uses[r]; other != nil && prealloc[other] {
+				prealloc[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+			for i := range as.Lhs {
+				record(as.Lhs[i], as.Rhs[i])
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in //pfair:hotpath function %s allocates", fd.Name.Name)
+			return false
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "goroutine launch in //pfair:hotpath function %s allocates", fd.Name.Name)
+		case *ast.UnaryExpr:
+			if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok && n.Op == token.AND {
+				pass.Reportf(lit.Pos(), "&composite literal in //pfair:hotpath function %s escapes to the heap", fd.Name.Name)
+				return false
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.Info.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "%s literal in //pfair:hotpath function %s allocates", describeComposite(tv.Type), fd.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.Info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				pass.Reportf(n.Pos(), "fmt.%s in //pfair:hotpath function %s allocates (boxing into ...any)", fn.Name(), fd.Name.Name)
+				return true
+			}
+			id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			switch id.Name {
+			case "make", "new":
+				pass.Reportf(n.Pos(), "%s in //pfair:hotpath function %s allocates; hoist the allocation to setup and reuse it", id.Name, fd.Name.Name)
+			case "append":
+				if len(n.Args) == 0 || !isPreallocTarget(pass, prealloc, n.Args[0]) {
+					pass.Reportf(n.Pos(), "append to a non-preallocated slice in //pfair:hotpath function %s; append only to reused buffers (fields or locals from buf[:0])", fd.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isPreallocTarget reports whether the append target reuses preallocated
+// storage: a struct field (s.buf, s.stats.Misses) or a local variable
+// recorded as derived from one.
+func isPreallocTarget(pass *Pass, prealloc map[types.Object]bool, target ast.Expr) bool {
+	switch t := ast.Unparen(target).(type) {
+	case *ast.SelectorExpr:
+		return true
+	case *ast.Ident:
+		obj := pass.Info.Uses[t]
+		if obj == nil {
+			obj = pass.Info.Defs[t]
+		}
+		return obj != nil && prealloc[obj]
+	}
+	return false
+}
+
+func describeComposite(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// A Package is one loaded, parsed, and type-checked package ready to be
+// analyzed.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Load resolves the given go-list package patterns (e.g. "./...") in dir,
+// then parses and type-checks every matched package using only the
+// standard library: module and stdlib imports resolve through the
+// compiler's source importer, and packages matched by the patterns are
+// checked once and shared between importers. Test files are not loaded;
+// the analyzers guard library code, and test helpers are free to use
+// floats, maps, and panics.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	metas, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:     fset,
+		metas:    map[string]*listPackage{},
+		checked:  map[string]*Package{},
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+	for _, m := range metas {
+		ld.metas[m.ImportPath] = m
+	}
+	pkgs := make([]*Package, 0, len(metas))
+	for _, m := range metas {
+		p, err := ld.check(m.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+}
+
+// goList shells out to the go command to expand patterns into package
+// metadata. Build-constraint filtering and module resolution are the go
+// command's; the loader only consumes the resulting file lists.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,Name,GoFiles", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var metas []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var m listPackage
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if len(m.GoFiles) == 0 {
+			continue
+		}
+		metas = append(metas, &m)
+	}
+	return metas, nil
+}
+
+type loader struct {
+	fset     *token.FileSet
+	metas    map[string]*listPackage
+	checked  map[string]*Package
+	fallback types.Importer
+}
+
+// check parses and type-checks the listed package at path, memoized so
+// each package is checked once even when imported by later targets.
+func (ld *loader) check(path string) (*Package, error) {
+	if p, ok := ld.checked[path]; ok {
+		return p, nil
+	}
+	m := ld.metas[path]
+	files := make([]*ast.File, 0, len(m.GoFiles))
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(m.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: (*loaderImporter)(ld)}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	p := &Package{Path: path, Fset: ld.fset, Files: files, Pkg: tpkg, Info: info}
+	ld.checked[path] = p
+	return p, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// loaderImporter resolves imports during type checking: packages in the
+// lint target set are checked by the loader itself (so their identities
+// are shared), everything else — stdlib and module packages outside the
+// patterns — falls back to the source importer.
+type loaderImporter loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	ld := (*loader)(li)
+	if _, ok := ld.metas[path]; ok {
+		p, err := ld.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	if from, ok := ld.fallback.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, srcDir, mode)
+	}
+	return ld.fallback.Import(path)
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// combined diagnostics in deterministic (file, line, column) order.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Path:     pkg.Path,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatReportingPackages may use floating point freely: they render
+// exact results for humans (plots, tables, CLIs), measure wall-clock
+// overheads, or sample random workload parameters (taskgen's UUniFast,
+// the fuzzer's weight budgets) whose outputs are exact integer tasks.
+// Nothing they compute feeds back into a scheduling decision.
+var floatReportingPackages = []string{
+	"pfair/internal/experiments",
+	"pfair/internal/stats",
+	"pfair/internal/overhead",
+	"pfair/internal/taskgen",
+	"pfair/internal/fuzz",
+	"pfair/cmd",
+	"pfair/examples",
+}
+
+// RatFloat reports floating-point use in the packages that compute
+// weights, lags, and utilizations. Section 2's correctness condition
+// −1 < lag < 1 is a strict inequality on rationals; one float comparison
+// can misclassify a schedule whose lag touches the bound, so everything
+// outside the designated reporting packages must stay on
+// internal/rational. Rat.Float and Acc.Float are the only sanctioned
+// bridges, callable only from those reporting packages; inherently
+// irrational formulas (e.g. the Liu–Layland bound n·(2^{1/n}−1)) carry a
+// //pfair:allowfloat annotation naming why exact arithmetic is
+// impossible.
+var RatFloat = &Analyzer{
+	Name: "ratfloat",
+	Doc: "flag float arithmetic, comparisons, conversions, and Rat/Acc.Float calls " +
+		"outside the designated reporting packages (annotate inherently irrational " +
+		"formulas with //pfair:allowfloat <reason>)",
+	Run: runRatFloat,
+}
+
+var comparisonOps = map[token.Token]bool{
+	token.LSS: true, token.LEQ: true, token.GTR: true,
+	token.GEQ: true, token.EQL: true, token.NEQ: true,
+}
+
+var arithmeticOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+}
+
+func runRatFloat(pass *Pass) {
+	if hasPrefixAny(pass.Path, floatReportingPackages...) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := calleeFunc(pass.Info, n); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "pfair/internal/rational" && fn.Name() == "Float" {
+					pass.allowFloatOr(file, n.Pos(), "call to rational %s.Float outside reporting packages", recvTypeName(fn))
+					return true
+				}
+				// Conversions to a float type.
+				if tv, ok := pass.Info.Types[n.Fun]; ok && tv.IsType() && isFloat(tv.Type) {
+					pass.allowFloatOr(file, n.Pos(), "conversion to floating point")
+				}
+			case *ast.BinaryExpr:
+				if !comparisonOps[n.Op] && !arithmeticOps[n.Op] {
+					return true
+				}
+				x, xok := pass.Info.Types[n.X]
+				y, yok := pass.Info.Types[n.Y]
+				if (xok && isFloat(x.Type)) || (yok && isFloat(y.Type)) {
+					verb := "arithmetic"
+					if comparisonOps[n.Op] {
+						verb = "comparison"
+					}
+					pass.allowFloatOr(file, n.Pos(), "floating-point %s", verb)
+				}
+			case *ast.AssignStmt:
+				switch n.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				default:
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if tv, ok := pass.Info.Types[lhs]; ok && isFloat(tv.Type) {
+						pass.allowFloatOr(file, n.Pos(), "floating-point arithmetic")
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// allowFloatOr reports the finding unless an allowfloat annotation with a
+// reason covers pos; an annotation without a reason is itself reported.
+func (p *Pass) allowFloatOr(file *ast.File, pos token.Pos, format string, args ...any) {
+	found, hasReason := p.annotated(file, pos, "allowfloat")
+	switch {
+	case !found:
+		p.Reportf(pos, format+" (use internal/rational, or justify with //pfair:allowfloat <reason>)", args...)
+	case !hasReason:
+		p.Reportf(pos, "//pfair:allowfloat needs a reason")
+	}
+}
+
+// recvTypeName returns the name of fn's receiver type (e.g. "Rat"), or
+// the empty string for package-level functions.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,52 @@
+// Package determinism seeds replay hazards for the determinism
+// analyzer: map iteration reaching output, global math/rand, and
+// wall-clock reads, plus sorted/seeded/annotated negatives.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Leak lets map iteration order reach the returned slice.
+func Leak(m map[string]int64) []string {
+	var out []string
+	for k := range m { // want `map iteration order can leak into output`
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is allowed: the iteration collects keys for sorting.
+func SortedKeys(m map[string]int64) []string {
+	names := make([]string, 0, len(m))
+	for k := range m { //pfair:orderinvariant collects keys for sorting
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Jitter draws from the process-global source.
+func Jitter() int64 {
+	return rand.Int63() // want `global math/rand\.Int63 breaks replay`
+}
+
+// Seeded is allowed: rand.New and rand.NewSource construct an isolated
+// generator, and method calls on it replay from the seed.
+func Seeded(seed int64) int64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Int63()
+}
+
+// Stamp reads the wall clock with no annotation.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `wall-clock time\.Now in a deterministic package`
+}
+
+// Measured is allowed: the read is justified as a gated measurement.
+func Measured() time.Time {
+	//pfair:allowtime measurement path, gated off during simulation
+	return time.Now()
+}

@@ -1,0 +1,35 @@
+// Package errcheckrat seeds discarded fallible results from the
+// rational API, plus the legal handled and explicit-blank forms.
+package errcheckrat
+
+import "pfair/internal/rational"
+
+// Discard drops the ok result that reports an unrepresentable sum.
+func Discard(a *rational.Acc) {
+	a.Rat() // want `result of rational\.Rat discarded`
+}
+
+// DeferredDiscard drops it via defer.
+func DeferredDiscard(a *rational.Acc) {
+	defer a.Rat() // want `result of rational\.Rat discarded`
+}
+
+// Checked handles the verdict.
+func Checked(a *rational.Acc) rational.Rat {
+	r, ok := a.Rat()
+	if !ok {
+		return rational.Zero()
+	}
+	return r
+}
+
+// Blank discards deliberately and visibly.
+func Blank(a *rational.Acc) {
+	_, _ = a.Rat()
+}
+
+// Chained is allowed: Add returns the receiver for chaining, not a
+// failure verdict.
+func Chained(a *rational.Acc) {
+	a.Add(rational.One())
+}

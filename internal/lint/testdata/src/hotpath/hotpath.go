@@ -1,0 +1,47 @@
+// Package hotpath seeds allocation sources inside a //pfair:hotpath
+// function, plus the sanctioned buffer-reuse patterns that must pass.
+package hotpath
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+type sched struct {
+	buf   []int
+	items []int
+}
+
+// Step is the negative case: annotated, but every append targets a
+// buffer derived from a struct field, and the struct literal is a plain
+// value.
+//
+//pfair:hotpath
+func (s *sched) Step() pair {
+	sel := s.buf[:0]
+	for _, it := range s.items {
+		sel = append(sel, it)
+	}
+	s.buf = sel
+	return pair{len(sel), cap(sel)}
+}
+
+// Bad trips every rule.
+//
+//pfair:hotpath
+func (s *sched) Bad() {
+	x := make([]int, 4) // want `make in //pfair:hotpath function Bad allocates`
+	_ = x
+	var out []int
+	out = append(out, 1) // want `append to a non-preallocated slice in //pfair:hotpath function Bad`
+	_ = out
+	fmt.Println("hi") // want `fmt\.Println in //pfair:hotpath function Bad allocates`
+	f := func() {}    // want `closure in //pfair:hotpath function Bad allocates`
+	f()
+	p := &pair{1, 2} // want `&composite literal in //pfair:hotpath function Bad escapes to the heap`
+	_ = p
+}
+
+// Cold is not annotated, so the same constructs pass unremarked.
+func Cold() []int {
+	return make([]int, 8)
+}

@@ -1,0 +1,35 @@
+// Package nopanic seeds a bare library panic, an annotated misuse
+// guard (allowed), and a reasonless annotation (flagged).
+package nopanic
+
+import "errors"
+
+// Bad panics where a caller would want an error.
+func Bad(x int) int {
+	if x < 0 {
+		panic("negative") // want `panic in library package`
+	}
+	return x
+}
+
+// Good returns the error instead.
+func Good(x int) (int, error) {
+	if x < 0 {
+		return 0, errors.New("negative")
+	}
+	return x, nil
+}
+
+// Guard is allowed: an annotated API-misuse check.
+func Guard(i int) {
+	if i < 0 {
+		//pfair:allowpanic API misuse guard, mirrors container/heap
+		panic("misuse")
+	}
+}
+
+// NoReason annotates without saying why.
+func NoReason() {
+	//pfair:allowpanic
+	panic("unjustified") // want `//pfair:allowpanic needs a reason`
+}

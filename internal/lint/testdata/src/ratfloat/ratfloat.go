@@ -1,0 +1,36 @@
+// Package ratfloat seeds violations for the ratfloat analyzer: float
+// conversions, arithmetic, comparisons, and Rat.Float calls outside the
+// reporting packages, plus annotated negatives that must NOT be flagged.
+package ratfloat
+
+import "pfair/internal/rational"
+
+var lagTolerance = 0.5
+
+// Compare misuses the reporting bridge in a scheduling decision.
+func Compare(lag rational.Rat) bool {
+	return lag.Float() > lagTolerance // want `call to rational Rat\.Float outside reporting packages` `floating-point comparison`
+}
+
+// Convert truncates an exact weight into a float.
+func Convert(n int64) float64 {
+	return float64(n) // want `conversion to floating point`
+}
+
+// Accumulate drifts: repeated float addition loses exactness.
+func Accumulate(u float64) float64 {
+	u += 0.25 // want `floating-point arithmetic`
+	return u
+}
+
+// Bound is allowed: the constant is irrational, and the annotation says so.
+func Bound(n int64) float64 {
+	//pfair:allowfloat ln 2 is irrational; no exact rational representation exists
+	return float64(n) * 0.6931471805599453
+}
+
+// NoReason annotates without a justification, which is itself an error.
+func NoReason(x, y float64) bool {
+	//pfair:allowfloat
+	return x < y // want `//pfair:allowfloat needs a reason`
+}

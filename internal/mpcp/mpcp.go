@@ -219,7 +219,7 @@ func (s *System) ResponseTimes() (map[string]int64, bool, error) {
 	}
 	resp := make(map[string]int64, len(s.Tasks))
 	ok := true
-	for _, group := range byProc {
+	for _, group := range byProc { //pfair:orderinvariant per-processor analyses are independent; results are keyed by task name
 		sort.SliceStable(group, func(i, j int) bool {
 			return higherPriority(group[i].Task, group[j].Task)
 		})

@@ -12,9 +12,9 @@ import (
 //	proc 1: rem (2,8)            — rem and hi share global resource G
 func twoProcSystem() *System {
 	return &System{Tasks: []TaskSpec{
-		{Task: task.New("hi", 1, 4), Proc: 0, Sections: []CS{{Resource: "G", Length: 1}}},
-		{Task: task.New("lo", 2, 10), Proc: 0, Sections: []CS{{Resource: "L", Length: 1}}},
-		{Task: task.New("rem", 2, 8), Proc: 1, Sections: []CS{{Resource: "G", Length: 2}}},
+		{Task: task.MustNew("hi", 1, 4), Proc: 0, Sections: []CS{{Resource: "G", Length: 1}}},
+		{Task: task.MustNew("lo", 2, 10), Proc: 0, Sections: []CS{{Resource: "L", Length: 1}}},
+		{Task: task.MustNew("rem", 2, 8), Proc: 1, Sections: []CS{{Resource: "G", Length: 2}}},
 	}}
 }
 
@@ -69,8 +69,8 @@ func TestBlockingHandWorked(t *testing.T) {
 func TestLocalPCPBlocking(t *testing.T) {
 	// hi and lo share local resource L; lo's section can block hi once.
 	s := &System{Tasks: []TaskSpec{
-		{Task: task.New("hi", 2, 6), Proc: 0, Sections: []CS{{Resource: "L", Length: 1}}},
-		{Task: task.New("lo", 3, 12), Proc: 0, Sections: []CS{{Resource: "L", Length: 2}}},
+		{Task: task.MustNew("hi", 2, 6), Proc: 0, Sections: []CS{{Resource: "L", Length: 1}}},
+		{Task: task.MustNew("lo", 3, 12), Proc: 0, Sections: []CS{{Resource: "L", Length: 2}}},
 	}}
 	b, err := s.Blocking("hi")
 	if err != nil {
@@ -85,10 +85,10 @@ func TestBoostBlocking(t *testing.T) {
 	// lo's GLOBAL section can preempt hi at boosted priority during each
 	// of hi's suspensions; hi has one global request → (1+1)·len = 4.
 	s := &System{Tasks: []TaskSpec{
-		{Task: task.New("hi", 2, 8), Proc: 0, Sections: []CS{{Resource: "G1", Length: 1}}},
-		{Task: task.New("lo", 3, 16), Proc: 0, Sections: []CS{{Resource: "G2", Length: 2}}},
-		{Task: task.New("r1", 1, 9), Proc: 1, Sections: []CS{{Resource: "G1", Length: 1}}},
-		{Task: task.New("r2", 1, 20), Proc: 1, Sections: []CS{{Resource: "G2", Length: 1}}},
+		{Task: task.MustNew("hi", 2, 8), Proc: 0, Sections: []CS{{Resource: "G1", Length: 1}}},
+		{Task: task.MustNew("lo", 3, 16), Proc: 0, Sections: []CS{{Resource: "G2", Length: 2}}},
+		{Task: task.MustNew("r1", 1, 9), Proc: 1, Sections: []CS{{Resource: "G1", Length: 1}}},
+		{Task: task.MustNew("r2", 1, 20), Proc: 1, Sections: []CS{{Resource: "G2", Length: 1}}},
 	}}
 	b, err := s.Blocking("hi")
 	if err != nil {
@@ -127,8 +127,8 @@ func TestBlockingMakesUnschedulable(t *testing.T) {
 	// Without sharing this fits; a long remote section breaks it.
 	build := func(remoteLen int64) *System {
 		return &System{Tasks: []TaskSpec{
-			{Task: task.New("a", 2, 4), Proc: 0, Sections: []CS{{Resource: "G", Length: 1}}},
-			{Task: task.New("b", 6, 12), Proc: 1, Sections: []CS{{Resource: "G", Length: remoteLen}}},
+			{Task: task.MustNew("a", 2, 4), Proc: 0, Sections: []CS{{Resource: "G", Length: 1}}},
+			{Task: task.MustNew("b", 6, 12), Proc: 1, Sections: []CS{{Resource: "G", Length: remoteLen}}},
 		}}
 	}
 	if !build(1).Schedulable() {
@@ -146,7 +146,7 @@ func TestMonotonicity(t *testing.T) {
 	bHi, _ := base.Blocking("hi")
 	grown := twoProcSystem()
 	grown.Tasks = append(grown.Tasks, TaskSpec{
-		Task: task.New("rem2", 1, 6), Proc: 1, Sections: []CS{{Resource: "G", Length: 1}},
+		Task: task.MustNew("rem2", 1, 6), Proc: 1, Sections: []CS{{Resource: "G", Length: 1}},
 	})
 	bHi2, err := grown.Blocking("hi")
 	if err != nil {
@@ -159,9 +159,9 @@ func TestMonotonicity(t *testing.T) {
 
 func TestNoSharingNoBlocking(t *testing.T) {
 	s := &System{Tasks: []TaskSpec{
-		{Task: task.New("a", 1, 4), Proc: 0},
-		{Task: task.New("b", 2, 8), Proc: 0},
-		{Task: task.New("c", 3, 9), Proc: 1},
+		{Task: task.MustNew("a", 1, 4), Proc: 0},
+		{Task: task.MustNew("b", 2, 8), Proc: 0},
+		{Task: task.MustNew("c", 3, 9), Proc: 1},
 	}}
 	for _, name := range []string{"a", "b", "c"} {
 		b, err := s.Blocking(name)
@@ -179,20 +179,20 @@ func TestNoSharingNoBlocking(t *testing.T) {
 
 func TestValidation(t *testing.T) {
 	bad := &System{Tasks: []TaskSpec{
-		{Task: task.New("a", 1, 4), Proc: 0, Sections: []CS{{Resource: "R", Length: 2}}},
+		{Task: task.MustNew("a", 1, 4), Proc: 0, Sections: []CS{{Resource: "R", Length: 2}}},
 	}}
 	if err := bad.Validate(); err == nil {
 		t.Error("sections exceeding cost accepted")
 	}
 	dup := &System{Tasks: []TaskSpec{
-		{Task: task.New("a", 1, 4), Proc: 0},
-		{Task: task.New("a", 1, 5), Proc: 1},
+		{Task: task.MustNew("a", 1, 4), Proc: 0},
+		{Task: task.MustNew("a", 1, 5), Proc: 1},
 	}}
 	if err := dup.Validate(); err == nil {
 		t.Error("duplicate names accepted")
 	}
 	neg := &System{Tasks: []TaskSpec{
-		{Task: task.New("a", 1, 4), Proc: -1},
+		{Task: task.MustNew("a", 1, 4), Proc: -1},
 	}}
 	if err := neg.Validate(); err == nil {
 		t.Error("negative processor accepted")

@@ -80,6 +80,7 @@ func InflatePD2(e, per int64, p Params, sPD2, d int64) (inflated int64, iters in
 // benchmark quantifies by how much.
 func InflatePD2From(e, start, per int64, p Params, sPD2, d int64) (inflated int64, iters int, ok bool) {
 	if per%p.Quantum != 0 {
+		//pfair:allowpanic caller contract: Params.Validate aligns periods before any sweep
 		panic(fmt.Sprintf("overhead: period %d not a multiple of quantum %d", per, p.Quantum))
 	}
 	pq := per / p.Quantum
@@ -145,6 +146,7 @@ type Result struct {
 // self-consistent.
 func MinProcsPD2(set task.Set, p Params) Result {
 	if err := p.Validate(); err != nil {
+		//pfair:allowpanic experiment parameters are static tables; Validate failures are programmer errors
 		panic(err)
 	}
 	res := Result{BaseUtil: set.TotalUtilization()}
@@ -196,6 +198,7 @@ func MinProcsPD2(set task.Set, p Params) Result {
 // already known (Section 4).
 func MinProcsEDFFF(set task.Set, p Params) Result {
 	if err := p.Validate(); err != nil {
+		//pfair:allowpanic experiment parameters are static tables; Validate failures are programmer errors
 		panic(err)
 	}
 	res := Result{BaseUtil: set.TotalUtilization()}

@@ -271,7 +271,7 @@ func TestParamsValidate(t *testing.T) {
 // TestMinProcsPD2Infeasible: a task whose inflated weight exceeds one at
 // this quantum makes the whole computation report -1.
 func TestMinProcsPD2Infeasible(t *testing.T) {
-	set := task.Set{task.New("hog", 996, 1000)} // inflation pushes past the 1-quantum period
+	set := task.Set{task.MustNew("hog", 996, 1000)} // inflation pushes past the 1-quantum period
 	p := paperParams(50)
 	res := MinProcsPD2(set, p)
 	if res.Processors != -1 {
@@ -281,7 +281,7 @@ func TestMinProcsPD2Infeasible(t *testing.T) {
 
 // TestMinProcsEDFFFInfeasible: EDF inflation can also exceed a period.
 func TestMinProcsEDFFFInfeasible(t *testing.T) {
-	set := task.Set{task.New("hog", 995, 1000)}
+	set := task.Set{task.MustNew("hog", 995, 1000)}
 	p := paperParams(0) // e' = 995 + 2(1+5) = 1007 > 1000
 	res := MinProcsEDFFF(set, p)
 	if res.Processors != -1 {
@@ -296,7 +296,7 @@ func TestMinProcsPD2ValidatePanics(t *testing.T) {
 			t.Fatal("no panic for invalid params")
 		}
 	}()
-	MinProcsPD2(task.Set{task.New("a", 1, 1000)}, Params{})
+	MinProcsPD2(task.Set{task.MustNew("a", 1, 1000)}, Params{})
 }
 
 // TestMinProcsEDFFFValidatePanics covers the parameter guard.
@@ -306,7 +306,7 @@ func TestMinProcsEDFFFValidatePanics(t *testing.T) {
 			t.Fatal("no panic for invalid params")
 		}
 	}()
-	MinProcsEDFFF(task.Set{task.New("a", 1, 1000)}, Params{})
+	MinProcsEDFFF(task.Set{task.MustNew("a", 1, 1000)}, Params{})
 }
 
 // TestMinProcsPD2GrowingS: a scheduling-cost model that grows with m makes

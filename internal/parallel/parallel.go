@@ -83,6 +83,7 @@ func For(workers, n int, fn func(i int)) {
 	}
 	wg.Wait()
 	if panicked != nil {
+		//pfair:allowpanic re-raises a worker goroutine's panic on the caller, like errgroup re-returns errors
 		panic(fmt.Sprintf("parallel: trial panicked: %v", panicked))
 	}
 }

@@ -12,7 +12,7 @@ import (
 // 2/3 cannot be partitioned onto two processors, even though their total
 // weight is exactly 2.
 func ExamplePack() {
-	set := task.Set{task.New("A", 2, 3), task.New("B", 2, 3), task.New("C", 2, 3)}
+	set := task.Set{task.MustNew("A", 2, 3), task.MustNew("B", 2, 3), task.MustNew("C", 2, 3)}
 	a := partition.Pack(set, 2, partition.FirstFit, partition.EDFTest)
 	fmt.Println("placed everything:", a.OK())
 	n, _ := partition.MinProcessorsExact(set, partition.EDFTest)

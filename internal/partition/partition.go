@@ -100,20 +100,16 @@ func (a *Assignment) NumUsed() int {
 }
 
 // spare returns the spare utilization 1 − Σu of a processor as an exact
-// rational. It is the capacity measure used by best- and worst-fit; for
-// non-utilization acceptance tests it is a standard proxy.
-func spare(assigned task.Set) rational.Rat {
-	acc := rational.NewAcc()
+// arbitrary-precision rational. It is the capacity measure used by best-
+// and worst-fit; for non-utilization acceptance tests it is a standard
+// proxy. Acc keeps the value exact even when the assigned periods are
+// co-prime enough that the sum's denominator overflows int64.
+func spare(assigned task.Set) *rational.Acc {
+	sp := rational.NewAcc().SetInt(1)
 	for _, t := range assigned {
-		acc.Add(t.Weight())
+		sp.Sub(t.Weight())
 	}
-	r, ok := acc.Clone().Sub(rational.One()).Rat()
-	if !ok {
-		// Astronomically co-prime periods: fall back to a float proxy
-		// encoded as a rational with fixed denominator.
-		return rational.New(int64((1-acc.Float())*1e9), 1e9)
-	}
-	return r.Neg()
+	return sp
 }
 
 // Pack assigns tasks to at most m processors (m ≤ 0 means unbounded,
@@ -145,15 +141,15 @@ func Pack(set task.Set, m int, h Heuristic, accept AcceptanceTest) *Assignment {
 				}
 			}
 		case BestFit, WorstFit:
-			var bestSpare rational.Rat
+			var bestSpare *rational.Acc
 			for i := range a.Processors {
 				if !accept(a.Processors[i], t) {
 					continue
 				}
 				sp := spare(a.Processors[i]).Sub(t.Weight())
 				better := idx < 0 ||
-					(h == BestFit && sp.Less(bestSpare)) ||
-					(h == WorstFit && bestSpare.Less(sp))
+					(h == BestFit && sp.CmpAcc(bestSpare) < 0) ||
+					(h == WorstFit && bestSpare.CmpAcc(sp) < 0)
 				if better {
 					idx, bestSpare = i, sp
 				}
@@ -267,5 +263,6 @@ func LopezBound(m int, umax rational.Rat) (rational.Rat, error) {
 // 0.41·m of Oh and Baker [30], the figure the paper quotes when arguing
 // that partitioning with RM wastes more than half the platform.
 func OhBakerBound(m int) float64 {
+	//pfair:allowfloat √2 − 1 is irrational; the bound is reporting-only, never an admission test
 	return float64(m) * 0.41421356237309503 // √2 − 1
 }

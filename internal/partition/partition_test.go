@@ -15,7 +15,7 @@ import (
 // processors under Pfair scheduling, but NO partitioning (heuristic or
 // exact) fits them on two processors.
 func TestPartitioningSuboptimal(t *testing.T) {
-	set := task.Set{task.New("A", 2, 3), task.New("B", 2, 3), task.New("C", 2, 3)}
+	set := task.Set{task.MustNew("A", 2, 3), task.MustNew("B", 2, 3), task.MustNew("C", 2, 3)}
 	if got := set.MinProcessors(); got != 2 {
 		t.Fatalf("global feasibility needs %d processors, want 2", got)
 	}
@@ -41,7 +41,7 @@ func TestWorstCaseHalfBound(t *testing.T) {
 	for _, m := range []int{2, 4, 8} {
 		var set task.Set
 		for i := 0; i <= m; i++ {
-			set = append(set, task.New(fmt.Sprintf("T%d", i), 51, 100))
+			set = append(set, task.MustNew(fmt.Sprintf("T%d", i), 51, 100))
 		}
 		for _, h := range []Heuristic{FirstFit, BestFit, WorstFit, NextFit} {
 			n, ok := MinProcessors(set, h, EDFTest)
@@ -101,7 +101,7 @@ func TestQuickLopezGuarantee(t *testing.T) {
 				continue
 			}
 			total.Add(w)
-			set = append(set, task.New(fmt.Sprintf("T%d", i), e, p))
+			set = append(set, task.MustNew(fmt.Sprintf("T%d", i), e, p))
 		}
 		a := Pack(set, m, FirstFit, EDFTest)
 		if !a.OK() {
@@ -121,10 +121,10 @@ func TestFFDBeatsFF(t *testing.T) {
 	// fillers on one processor... construct: items 0.3,0.3,0.3,0.7,0.7,0.7.
 	var set task.Set
 	for i := 0; i < 3; i++ {
-		set = append(set, task.New(fmt.Sprintf("small%d", i), 3, 10))
+		set = append(set, task.MustNew(fmt.Sprintf("small%d", i), 3, 10))
 	}
 	for i := 0; i < 3; i++ {
-		set = append(set, task.New(fmt.Sprintf("big%d", i), 7, 10))
+		set = append(set, task.MustNew(fmt.Sprintf("big%d", i), 7, 10))
 	}
 	ff, _ := MinProcessors(set, FirstFit, EDFTest)
 	ffd, _ := MinProcessors(set.SortByUtilizationDecreasing(), FirstFit, EDFTest)
@@ -146,7 +146,7 @@ func TestQuickHeuristicsVsExact(t *testing.T) {
 		for i := 0; i < n; i++ {
 			p := int64(2 + r.Intn(20))
 			e := int64(1 + r.Intn(int(p)))
-			set = append(set, task.New(fmt.Sprintf("T%d", i), e, p))
+			set = append(set, task.MustNew(fmt.Sprintf("T%d", i), e, p))
 		}
 		exact, ok := MinProcessorsExact(set, EDFTest)
 		if !ok {
@@ -180,7 +180,7 @@ func TestQuickPackRespectsTest(t *testing.T) {
 		for i := 0; i < n; i++ {
 			p := int64(2 + r.Intn(30))
 			e := int64(1 + r.Intn(int(p)))
-			set = append(set, task.New(fmt.Sprintf("T%d", i), e, p))
+			set = append(set, task.MustNew(fmt.Sprintf("T%d", i), e, p))
 		}
 		for _, h := range []Heuristic{FirstFit, BestFit, WorstFit, NextFit} {
 			a := Pack(set, 0, h, EDFTest)
@@ -209,8 +209,8 @@ func TestQuickPackRespectsTest(t *testing.T) {
 // test dominates Liu–Layland.
 func TestRMPartitioning(t *testing.T) {
 	set := task.Set{
-		task.New("A", 1, 2), task.New("B", 1, 4), task.New("C", 2, 8), // harmonic, u=1
-		task.New("D", 1, 2),
+		task.MustNew("A", 1, 2), task.MustNew("B", 1, 4), task.MustNew("C", 2, 8), // harmonic, u=1
+		task.MustNew("D", 1, 2),
 	}
 	nLL, okLL := MinProcessors(set, FirstFit, RMLLTest)
 	nEx, okEx := MinProcessors(set, FirstFit, RMExactTest)
@@ -253,8 +253,8 @@ func TestHeuristicString(t *testing.T) {
 // TestNextFitNeverLooksBack: next-fit's defining behaviour.
 func TestNextFitNeverLooksBack(t *testing.T) {
 	set := task.Set{
-		task.New("a", 1, 2), task.New("b", 9, 10), // forces a second processor
-		task.New("c", 1, 2), // fits on proc 0, but next-fit won't return
+		task.MustNew("a", 1, 2), task.MustNew("b", 9, 10), // forces a second processor
+		task.MustNew("c", 1, 2), // fits on proc 0, but next-fit won't return
 	}
 	a := Pack(set, 0, NextFit, EDFTest)
 	if a.NumUsed() != 3 {
@@ -270,10 +270,10 @@ func TestNextFitNeverLooksBack(t *testing.T) {
 // task can fit on no processor at all.
 func TestMinProcessorsUnplaceable(t *testing.T) {
 	never := func(task.Set, *task.Task) bool { return false }
-	if _, ok := MinProcessors(task.Set{task.New("a", 1, 2)}, FirstFit, never); ok {
+	if _, ok := MinProcessors(task.Set{task.MustNew("a", 1, 2)}, FirstFit, never); ok {
 		t.Error("unplaceable task reported ok")
 	}
-	if _, ok := MinProcessorsExact(task.Set{task.New("a", 1, 2)}, never); ok {
+	if _, ok := MinProcessorsExact(task.Set{task.MustNew("a", 1, 2)}, never); ok {
 		t.Error("exact packer reported ok for an unplaceable task")
 	}
 }
@@ -281,7 +281,7 @@ func TestMinProcessorsUnplaceable(t *testing.T) {
 // TestMinProcessorsExactEarlyExit: when FFD already meets the ⌈Σu⌉ lower
 // bound the search returns immediately with that answer.
 func TestMinProcessorsExactEarlyExit(t *testing.T) {
-	set := task.Set{task.New("a", 1, 2), task.New("b", 1, 2), task.New("c", 1, 2), task.New("d", 1, 2)}
+	set := task.Set{task.MustNew("a", 1, 2), task.MustNew("b", 1, 2), task.MustNew("c", 1, 2), task.MustNew("d", 1, 2)}
 	n, ok := MinProcessorsExact(set, EDFTest)
 	if !ok || n != 2 {
 		t.Fatalf("exact = %d, want 2", n)
@@ -295,7 +295,7 @@ func TestExactImprovesOnFFD(t *testing.T) {
 	sizes := []int64{44, 28, 28, 26, 24, 24, 26}
 	var set task.Set
 	for i, s := range sizes {
-		set = append(set, task.New(fmt.Sprintf("T%d", i), s, 100))
+		set = append(set, task.MustNew(fmt.Sprintf("T%d", i), s, 100))
 	}
 	ffd, _ := MinProcessors(set.SortByUtilizationDecreasing(), FirstFit, EDFTest)
 	exact, ok := MinProcessorsExact(set, EDFTest)

@@ -36,6 +36,7 @@ func FitsInQuantum(offset, length, q int64) bool {
 // can never fit (length > q).
 func Deferral(offset, length, q int64) int64 {
 	if length > q {
+		//pfair:allowpanic analysis precondition, per the doc comment: such a section deadlocks by definition
 		panic(fmt.Sprintf("qlock: section of length %d can never fit in quantum %d", length, q))
 	}
 	if FitsInQuantum(offset, length, q) {
@@ -48,6 +49,7 @@ func Deferral(offset, length, q int64) int64 {
 // long: csMax − 1 (a request issued one tick too late waits that long).
 func MaxDeferral(csMax, q int64) int64 {
 	if csMax > q {
+		//pfair:allowpanic analysis precondition: sections longer than the quantum can never fit
 		panic("qlock: csMax exceeds the quantum")
 	}
 	if csMax <= 0 {
@@ -62,6 +64,7 @@ func MaxDeferral(csMax, q int64) int64 {
 // the queue with one section.
 func MaxBlocking(m int, csMax int64) int64 {
 	if m < 1 {
+		//pfair:allowpanic analysis precondition: processor counts are static configuration values
 		panic("qlock: need at least one processor")
 	}
 	return int64(m-1) * csMax
@@ -73,6 +76,7 @@ func MaxBlocking(m int, csMax int64) int64 {
 // attempts.
 func RetryBound(m int, opsPerWindow int64) int64 {
 	if m < 1 || opsPerWindow < 0 {
+		//pfair:allowpanic analysis precondition: parameters are static configuration values
 		panic("qlock: invalid retry-bound parameters")
 	}
 	return int64(m-1)*opsPerWindow + 1
@@ -179,6 +183,7 @@ func SimulateQuantum(scripts [][]Request, q int64) []ProcResult {
 			}
 			end := start + r.Length
 			if end > q {
+				//pfair:allowpanic invariant: Deferral already pushed the section into a fresh quantum
 				panic("qlock: invariant violated — lock held across the boundary")
 			}
 			held[r.Lock] = end

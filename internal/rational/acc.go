@@ -41,6 +41,50 @@ func (a *Acc) AddAcc(b *Acc) *Acc {
 	return a
 }
 
+// SubAcc subtracts another accumulator's value.
+func (a *Acc) SubAcc(b *Acc) *Acc {
+	a.v.Sub(&a.v, &b.v)
+	return a
+}
+
+// MulRat multiplies the accumulator by r and returns it for chaining.
+func (a *Acc) MulRat(r Rat) *Acc {
+	var t big.Rat
+	t.SetFrac64(r.Num(), r.Den())
+	a.v.Mul(&a.v, &t)
+	return a
+}
+
+// MulAcc multiplies by another accumulator's value.
+func (a *Acc) MulAcc(b *Acc) *Acc {
+	a.v.Mul(&a.v, &b.v)
+	return a
+}
+
+// QuoAcc divides the accumulator by another accumulator's value. Like
+// math/big, it panics on a zero divisor — a programmer error on par with
+// integer division by zero.
+func (a *Acc) QuoAcc(b *Acc) *Acc {
+	a.v.Quo(&a.v, &b.v)
+	return a
+}
+
+// SetInt sets the accumulator to the integer n and returns it.
+func (a *Acc) SetInt(n int64) *Acc {
+	a.v.SetInt64(n)
+	return a
+}
+
+// Set copies another accumulator's value.
+func (a *Acc) Set(b *Acc) *Acc {
+	a.v.Set(&b.v)
+	return a
+}
+
+// CmpAcc compares two accumulated values: −1 if a < b, 0 if equal, +1 if
+// a > b.
+func (a *Acc) CmpAcc(b *Acc) int { return a.v.Cmp(&b.v) }
+
 // Clone returns an independent copy.
 func (a *Acc) Clone() *Acc {
 	c := NewAcc()

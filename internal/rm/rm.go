@@ -16,12 +16,14 @@ import (
 	"sort"
 
 	"pfair/internal/heap"
+	"pfair/internal/rational"
 	"pfair/internal/task"
 )
 
 // LiuLaylandBound returns the classic utilization bound n·(2^{1/n} − 1) for
 // n tasks; any set with Σu below it is RM-schedulable. The bound tends to
 // ln 2 ≈ 0.693 as n grows.
+//pfair:allowfloat n·(2^{1/n} − 1) is irrational; no exact rational representation exists
 func LiuLaylandBound(n int) float64 {
 	if n <= 0 {
 		return 0
@@ -30,18 +32,22 @@ func LiuLaylandBound(n int) float64 {
 }
 
 // SchedulableLL applies the Liu–Layland sufficient test.
+//
+//pfair:allowfloat the bound is irrational, so the comparison is inherently approximate; the exact RT analysis is ResponseTimes
 func SchedulableLL(set task.Set) bool {
 	return set.TotalUtilization() <= LiuLaylandBound(len(set))+1e-12
 }
 
 // SchedulableHyperbolic applies the (tighter, still sufficient) hyperbolic
-// bound of Bini et al.: Π (uᵢ + 1) ≤ 2.
+// bound of Bini et al.: Π (uᵢ + 1) ≤ 2, evaluated in exact rational
+// arithmetic so a product that lands exactly on the bound is classified
+// correctly rather than by float rounding.
 func SchedulableHyperbolic(set task.Set) bool {
-	prod := 1.0
+	prod := rational.NewAcc().SetInt(1)
 	for _, t := range set {
-		prod *= t.Utilization() + 1
+		prod.MulRat(t.Weight().Add(rational.One()))
 	}
-	return prod <= 2+1e-12
+	return prod.CmpInt(2) <= 0
 }
 
 // byRM returns the set sorted rate-monotonically: shorter period = higher

@@ -28,7 +28,7 @@ func TestLiuLaylandBound(t *testing.T) {
 func TestBoundsOnClassicExamples(t *testing.T) {
 	// The canonical Liu–Layland example: u = 0.5 + 0.25 + 0.25... a set
 	// at exactly the n=2 bound is schedulable.
-	set := task.Set{task.New("A", 1, 2), task.New("B", 2, 5)} // u = 0.9
+	set := task.Set{task.MustNew("A", 1, 2), task.MustNew("B", 2, 5)} // u = 0.9
 	if SchedulableLL(set) {
 		t.Error("0.9 should exceed the n=2 LL bound (0.828)")
 	}
@@ -45,7 +45,7 @@ func TestBoundsOnClassicExamples(t *testing.T) {
 
 func TestResponseTimes(t *testing.T) {
 	// Worked example: tasks (1,4), (2,6), (3,13) in RM order.
-	set := task.Set{task.New("A", 1, 4), task.New("B", 2, 6), task.New("C", 3, 13)}
+	set := task.Set{task.MustNew("A", 1, 4), task.MustNew("B", 2, 6), task.MustNew("C", 3, 13)}
 	resp, ok := ResponseTimes(set)
 	if !ok {
 		t.Fatal("set should be schedulable")
@@ -63,7 +63,7 @@ func TestResponseTimes(t *testing.T) {
 func TestUnschedulableExact(t *testing.T) {
 	// {3/6, 4/9}: u ≈ 0.944 ≤ 1 (EDF-schedulable) but RM-infeasible:
 	// R_B = 4 + ⌈R/6⌉·3 diverges past 9.
-	set := task.Set{task.New("A", 3, 6), task.New("B", 4, 9)}
+	set := task.Set{task.MustNew("A", 3, 6), task.MustNew("B", 4, 9)}
 	resp, ok := ResponseTimes(set)
 	if ok {
 		t.Fatal("expected unschedulable")
@@ -75,7 +75,7 @@ func TestUnschedulableExact(t *testing.T) {
 
 func TestHarmonicFullUtilization(t *testing.T) {
 	// Harmonic periods allow 100% utilization under RM.
-	set := task.Set{task.New("A", 1, 2), task.New("B", 1, 4), task.New("C", 2, 8)}
+	set := task.Set{task.MustNew("A", 1, 2), task.MustNew("B", 1, 4), task.MustNew("C", 2, 8)}
 	if !Schedulable(set) {
 		t.Error("harmonic full-utilization set should pass the exact test")
 	}
@@ -86,7 +86,7 @@ func TestHarmonicFullUtilization(t *testing.T) {
 
 // TestSimulatorMatchesSingleTask sanity-checks the simulator.
 func TestSimulatorMatchesSingleTask(t *testing.T) {
-	set := task.Set{task.New("T", 2, 5)}
+	set := task.Set{task.MustNew("T", 2, 5)}
 	s := NewSimulator(set)
 	s.Run(50)
 	st := s.Stats()
@@ -105,7 +105,7 @@ func TestQuickExactTestMatchesSimulation(t *testing.T) {
 		for i := 0; i < n; i++ {
 			p := int64(2 + r.Intn(16))
 			e := int64(1 + r.Intn(int(p)))
-			set = append(set, task.New(fmt.Sprintf("T%d", i), e, p))
+			set = append(set, task.MustNew(fmt.Sprintf("T%d", i), e, p))
 		}
 		if set.TotalUtilization() > 1.2 {
 			return true // hopeless overloads make hyperperiod runs slow
@@ -139,7 +139,7 @@ func TestQuickBoundHierarchy(t *testing.T) {
 		for i := 0; i < n; i++ {
 			p := int64(2 + r.Intn(40))
 			e := int64(1 + r.Intn(int(p)))
-			set = append(set, task.New(fmt.Sprintf("T%d", i), e, p))
+			set = append(set, task.MustNew(fmt.Sprintf("T%d", i), e, p))
 		}
 		ll := SchedulableLL(set)
 		hyp := SchedulableHyperbolic(set)
@@ -171,7 +171,7 @@ func TestQuickPreemptionsBounded(t *testing.T) {
 				continue
 			}
 			u += float64(e) / float64(p)
-			set = append(set, task.New(fmt.Sprintf("T%d", i), e, p))
+			set = append(set, task.MustNew(fmt.Sprintf("T%d", i), e, p))
 		}
 		if len(set) == 0 {
 			return true

@@ -162,10 +162,10 @@ func RunGlobal(set task.Set, m int, pol Policy, horizon int64) GlobalStats {
 func DhallSet(m int, light int64) task.Set {
 	set := make(task.Set, 0, m+1)
 	for i := 0; i < m; i++ {
-		set = append(set, task.New(fmt.Sprintf("light%d", i), 1, light))
+		set = append(set, task.MustNew(fmt.Sprintf("light%d", i), 1, light))
 	}
 	// Heavy task: cost = 10·light, period = 10·light + 1.
-	set = append(set, task.New("heavy", 10*light, 10*light+1))
+	set = append(set, task.MustNew("heavy", 10*light, 10*light+1))
 	return set
 }
 

@@ -61,7 +61,7 @@ func TestDhallEffect(t *testing.T) {
 func TestGlobalSchedulersFineWhenLight(t *testing.T) {
 	var set task.Set
 	for i := 0; i < 8; i++ {
-		set = append(set, task.New(fmt.Sprintf("T%d", i), 1, 10))
+		set = append(set, task.MustNew(fmt.Sprintf("T%d", i), 1, 10))
 	}
 	st := RunGlobal(set, 2, GlobalEDF, 2000)
 	if len(st.Misses) != 0 {
@@ -87,7 +87,7 @@ func TestGlobalUniprocessorMatchesEDF(t *testing.T) {
 				continue
 			}
 			budget.Add(w)
-			set = append(set, task.New(fmt.Sprintf("T%d", i), e, p))
+			set = append(set, task.MustNew(fmt.Sprintf("T%d", i), e, p))
 		}
 		if len(set) == 0 {
 			continue
@@ -128,7 +128,7 @@ func variableQuantaWorkload() ([]VQTask, int, int64, int64) {
 			continue
 		}
 		budget.Add(w)
-		set = append(set, task.New(fmt.Sprintf("T%d", len(set)), e, p))
+		set = append(set, task.MustNew(fmt.Sprintf("T%d", len(set)), e, p))
 	}
 	seeds := make([]int64, len(set))
 	for i := range seeds {
@@ -190,7 +190,7 @@ func TestAlignedNeverMisses(t *testing.T) {
 				continue
 			}
 			budget.Add(w)
-			set = append(set, task.New(fmt.Sprintf("T%d", len(set)), e, p))
+			set = append(set, task.MustNew(fmt.Sprintf("T%d", len(set)), e, p))
 		}
 		if len(set) == 0 {
 			continue
@@ -224,7 +224,7 @@ func TestAlignedNeverMisses(t *testing.T) {
 // declared cost there is nothing to truncate, so Variable behaves exactly
 // like Aligned and misses nothing.
 func TestVariableFullCostsEquivalent(t *testing.T) {
-	set := task.Set{task.New("A", 2, 3), task.New("B", 2, 3), task.New("C", 2, 3)}
+	set := task.Set{task.MustNew("A", 2, 3), task.MustNew("B", 2, 3), task.MustNew("C", 2, 3)}
 	vts := make([]VQTask, len(set))
 	for i, tk := range set {
 		vts[i] = VQTask{Task: tk}

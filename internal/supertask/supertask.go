@@ -17,6 +17,7 @@ package supertask
 
 import (
 	"fmt"
+	"sort"
 
 	"pfair/internal/core"
 	"pfair/internal/rational"
@@ -156,7 +157,13 @@ func (sys *System) AddSupertask(st *Supertask, reweighted bool) error {
 	if err != nil {
 		return err
 	}
-	if err := sys.sched.Join(task.New(st.Name, w.Num(), w.Den())); err != nil {
+	// The inflated weight can exceed 1 for dense component sets; surface
+	// that as an admission error rather than a panic.
+	repr, err := task.New(st.Name, w.Num(), w.Den())
+	if err != nil {
+		return err
+	}
+	if err := sys.sched.Join(repr); err != nil {
 		return err
 	}
 	ss := &sstate{st: st}
@@ -181,8 +188,17 @@ func (sys *System) Run(horizon int64) Result {
 				sys.serve(ss, t)
 			}
 		}
-		// Component deadlines pass at the end of the slot.
-		for _, ss := range sys.supers {
+		// Component deadlines pass at the end of the slot. Visit
+		// supertasks in sorted-name order so the ComponentMisses
+		// sequence is a pure function of the workload, not of map
+		// iteration order.
+		names := make([]string, 0, len(sys.supers))
+		for name := range sys.supers { //pfair:orderinvariant collects keys for sorting
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ss := sys.supers[name]
 			for _, c := range ss.comps {
 				for c.rem > 0 && c.headDeadline() <= t+1 && !c.missed[c.headJob()] {
 					c.missed[c.headJob()] = true

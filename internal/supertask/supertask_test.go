@@ -20,17 +20,17 @@ func fig5System(t *testing.T, reweighted bool) *System {
 	t.Helper()
 	sys := NewSystem(2, core.PD2)
 	for _, tk := range []*task.Task{
-		task.New("V", 1, 2), task.New("W", 1, 3), task.New("X", 1, 3),
+		task.MustNew("V", 1, 2), task.MustNew("W", 1, 3), task.MustNew("X", 1, 3),
 	} {
 		if err := sys.AddTask(tk); err != nil {
 			t.Fatalf("add %v: %v", tk, err)
 		}
 	}
-	s := &Supertask{Name: "S", Components: task.Set{task.New("T", 1, 5), task.New("U", 1, 45)}}
+	s := &Supertask{Name: "S", Components: task.Set{task.MustNew("T", 1, 5), task.MustNew("U", 1, 45)}}
 	if err := sys.AddSupertask(s, reweighted); err != nil {
 		t.Fatalf("add supertask: %v", err)
 	}
-	if err := sys.AddTask(task.New("Y", 2, 9)); err != nil {
+	if err := sys.AddTask(task.MustNew("Y", 2, 9)); err != nil {
 		t.Fatalf("add Y: %v", err)
 	}
 	return sys
@@ -60,7 +60,7 @@ func TestFig5SupertaskMiss(t *testing.T) {
 // TestFig5ReweightingFixes: inflating S's weight by 1/p_min = 1/5 (to
 // 2/9 + 1/5 = 19/45) removes every component miss, per Holman–Anderson.
 func TestFig5ReweightingFixes(t *testing.T) {
-	s := &Supertask{Name: "S", Components: task.Set{task.New("T", 1, 5), task.New("U", 1, 45)}}
+	s := &Supertask{Name: "S", Components: task.Set{task.MustNew("T", 1, 5), task.MustNew("U", 1, 45)}}
 	w, err := s.ReweightedWeight()
 	if err != nil {
 		t.Fatal(err)
@@ -79,7 +79,7 @@ func TestFig5ReweightingFixes(t *testing.T) {
 }
 
 func TestWeights(t *testing.T) {
-	s := &Supertask{Name: "S", Components: task.Set{task.New("T", 1, 5), task.New("U", 1, 45)}}
+	s := &Supertask{Name: "S", Components: task.Set{task.MustNew("T", 1, 5), task.MustNew("U", 1, 45)}}
 	w, err := s.Weight()
 	if err != nil {
 		t.Fatal(err)
@@ -88,7 +88,7 @@ func TestWeights(t *testing.T) {
 		t.Errorf("Weight = %v, want 2/9", w)
 	}
 	// Overweight bundles are rejected.
-	over := &Supertask{Name: "O", Components: task.Set{task.New("A", 2, 3), task.New("B", 2, 3)}}
+	over := &Supertask{Name: "O", Components: task.Set{task.MustNew("A", 2, 3), task.MustNew("B", 2, 3)}}
 	if _, err := over.Weight(); err == nil {
 		t.Error("cumulative weight > 1 accepted")
 	}
@@ -116,7 +116,7 @@ func TestReweightedRandomNoMisses(t *testing.T) {
 				continue
 			}
 			budget.Add(w)
-			comps = append(comps, task.New(string(rune('a'+i)), e, p))
+			comps = append(comps, task.MustNew(string(rune('a'+i)), e, p))
 			if p < pmin {
 				pmin = p
 			}
@@ -130,10 +130,10 @@ func TestReweightedRandomNoMisses(t *testing.T) {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 		// Competing load.
-		if err := sys.AddTask(task.New("bg1", 1, 2)); err != nil {
+		if err := sys.AddTask(task.MustNew("bg1", 1, 2)); err != nil {
 			t.Fatal(err)
 		}
-		if err := sys.AddTask(task.New("bg2", 2, 5)); err != nil {
+		if err := sys.AddTask(task.MustNew("bg2", 2, 5)); err != nil {
 			t.Fatal(err)
 		}
 		res := sys.Run(3000)
@@ -162,7 +162,7 @@ func TestEntitlementExact(t *testing.T) {
 // earliest deadline.
 func TestInternalEDFOrder(t *testing.T) {
 	sys := NewSystem(1, core.PD2)
-	st := &Supertask{Name: "S", Components: task.Set{task.New("slow", 1, 40), task.New("fast", 1, 8)}}
+	st := &Supertask{Name: "S", Components: task.Set{task.MustNew("slow", 1, 40), task.MustNew("fast", 1, 8)}}
 	if err := sys.AddSupertask(st, false); err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestWastedQuanta(t *testing.T) {
 	sys := NewSystem(1, core.PD2)
 	// One component of weight 1/10 inside a supertask competing at 1/2:
 	// most quanta arrive with no released work.
-	st := &Supertask{Name: "S", Components: task.Set{task.New("a", 1, 10)}}
+	st := &Supertask{Name: "S", Components: task.Set{task.MustNew("a", 1, 10)}}
 	if err := sys.AddSupertask(st, false); err == nil {
 		// Weight is 1/10; force a mismatch by using reweighting instead:
 		// 1/10 + 1/10 = 1/5 competing weight for 1/10 of demand.
@@ -190,7 +190,7 @@ func TestWastedQuanta(t *testing.T) {
 	res := sys.Run(200)
 	_ = res
 	sys2 := NewSystem(1, core.PD2)
-	if err := sys2.AddSupertask(&Supertask{Name: "S", Components: task.Set{task.New("a", 1, 10)}}, true); err != nil {
+	if err := sys2.AddSupertask(&Supertask{Name: "S", Components: task.Set{task.MustNew("a", 1, 10)}}, true); err != nil {
 		t.Fatal(err)
 	}
 	res2 := sys2.Run(200)
@@ -204,14 +204,14 @@ func TestWastedQuanta(t *testing.T) {
 
 func TestAddErrors(t *testing.T) {
 	sys := NewSystem(1, core.PD2)
-	st := &Supertask{Name: "S", Components: task.Set{task.New("a", 1, 2)}}
+	st := &Supertask{Name: "S", Components: task.Set{task.MustNew("a", 1, 2)}}
 	if err := sys.AddSupertask(st, false); err != nil {
 		t.Fatal(err)
 	}
 	if err := sys.AddSupertask(st, false); err == nil {
 		t.Error("duplicate supertask accepted")
 	}
-	big := &Supertask{Name: "B", Components: task.Set{task.New("b", 9, 10)}}
+	big := &Supertask{Name: "B", Components: task.Set{task.MustNew("b", 9, 10)}}
 	if err := sys.AddSupertask(big, false); err == nil {
 		t.Error("supertask exceeding remaining capacity accepted")
 	}

@@ -66,11 +66,22 @@ type Task struct {
 	Critical bool
 }
 
-// New returns a periodic task with the given name, cost, and period.
-// It panics unless 0 < cost ≤ period.
-func New(name string, cost, period int64) *Task {
+// New returns a periodic task with the given name, cost, and period, or
+// an error unless 0 < cost ≤ period.
+func New(name string, cost, period int64) (*Task, error) {
 	t := &Task{Name: name, Cost: cost, Period: period}
 	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustNew is New for statically known parameters (tests, examples,
+// tables); it panics on invalid ones.
+func MustNew(name string, cost, period int64) *Task {
+	t, err := New(name, cost, period)
+	if err != nil {
+		//pfair:allowpanic MustNew's documented contract: parameters are compile-time constants
 		panic(err)
 	}
 	return t
@@ -93,6 +104,8 @@ func (t *Task) Weight() rational.Rat {
 }
 
 // Utilization returns the weight as a float64 for reporting.
+//
+//pfair:allowfloat reporting bridge; scheduling code compares Weight() rationals
 func (t *Task) Utilization() float64 {
 	return float64(t.Cost) / float64(t.Period)
 }
@@ -125,6 +138,8 @@ func (s Set) TotalWeight() *rational.Acc {
 }
 
 // TotalUtilization returns the float64 total utilization for reporting.
+//
+//pfair:allowfloat reporting bridge; feasibility tests use TotalWeight() exactly
 func (s Set) TotalUtilization() float64 {
 	u := 0.0
 	for _, t := range s {

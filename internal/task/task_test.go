@@ -9,20 +9,27 @@ import (
 )
 
 func TestNewValidates(t *testing.T) {
-	tk := New("T", 8, 11)
+	tk, err := New("T", 8, 11)
+	if err != nil {
+		t.Fatalf("New(8, 11): %v", err)
+	}
 	if tk.Cost != 8 || tk.Period != 11 {
 		t.Fatalf("New stored %d/%d", tk.Cost, tk.Period)
 	}
 	for _, bad := range []struct{ e, p int64 }{{0, 5}, {-1, 5}, {6, 5}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("New(%d,%d) did not panic", bad.e, bad.p)
-				}
-			}()
-			New("bad", bad.e, bad.p)
-		}()
+		if _, err := New("bad", bad.e, bad.p); err == nil {
+			t.Errorf("New(%d,%d) accepted invalid parameters", bad.e, bad.p)
+		}
 	}
+	// MustNew panics where New errors.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustNew(0,5) did not panic")
+			}
+		}()
+		MustNew("bad", 0, 5)
+	}()
 }
 
 func TestWeightAndHeavy(t *testing.T) {
@@ -39,7 +46,7 @@ func TestWeightAndHeavy(t *testing.T) {
 		{49, 100, false}, // just under 1/2
 	}
 	for _, c := range cases {
-		tk := New("T", c.e, c.p)
+		tk := MustNew("T", c.e, c.p)
 		if got := tk.Weight(); !got.Equal(rational.New(c.e, c.p)) {
 			t.Errorf("Weight(%d/%d) = %v", c.e, c.p, got)
 		}
@@ -50,7 +57,7 @@ func TestWeightAndHeavy(t *testing.T) {
 }
 
 func TestSetTotals(t *testing.T) {
-	s := Set{New("A", 2, 3), New("B", 2, 3), New("C", 2, 3)}
+	s := Set{MustNew("A", 2, 3), MustNew("B", 2, 3), MustNew("C", 2, 3)}
 	if got := s.TotalWeight(); got.CmpInt(2) != 0 {
 		t.Errorf("TotalWeight = %v, want 2", got)
 	}
@@ -69,7 +76,7 @@ func TestSetTotals(t *testing.T) {
 }
 
 func TestHyperperiod(t *testing.T) {
-	s := Set{New("A", 1, 4), New("B", 1, 6), New("C", 1, 10)}
+	s := Set{MustNew("A", 1, 4), MustNew("B", 1, 6), MustNew("C", 1, 10)}
 	if got := s.Hyperperiod(); got != 60 {
 		t.Errorf("Hyperperiod = %d, want 60", got)
 	}
@@ -79,7 +86,7 @@ func TestHyperperiod(t *testing.T) {
 }
 
 func TestMaxUtilization(t *testing.T) {
-	s := Set{New("A", 1, 4), New("B", 3, 5), New("C", 1, 2)}
+	s := Set{MustNew("A", 1, 4), MustNew("B", 3, 5), MustNew("C", 1, 2)}
 	if got := s.MaxUtilization(); !got.Equal(rational.New(3, 5)) {
 		t.Errorf("MaxUtilization = %v, want 3/5", got)
 	}
@@ -89,18 +96,18 @@ func TestMaxUtilization(t *testing.T) {
 }
 
 func TestValidateDuplicates(t *testing.T) {
-	s := Set{New("A", 1, 2), New("A", 1, 3)}
+	s := Set{MustNew("A", 1, 2), MustNew("A", 1, 3)}
 	if err := s.Validate(); err == nil {
 		t.Error("Validate accepted duplicate names")
 	}
-	s = Set{New("A", 1, 2), New("B", 1, 3)}
+	s = Set{MustNew("A", 1, 2), MustNew("B", 1, 3)}
 	if err := s.Validate(); err != nil {
 		t.Errorf("Validate rejected valid set: %v", err)
 	}
 }
 
 func TestSorts(t *testing.T) {
-	s := Set{New("A", 1, 10), New("B", 5, 6), New("C", 1, 10), New("D", 2, 8)}
+	s := Set{MustNew("A", 1, 10), MustNew("B", 5, 6), MustNew("C", 1, 10), MustNew("D", 2, 8)}
 	byPeriod := s.SortByPeriodDecreasing()
 	wantP := []string{"A", "C", "D", "B"}
 	for i, n := range wantP {

@@ -177,7 +177,7 @@ func (g *Generator) SetCapped(prefix string, n int, totalUtil, cap float64, peri
 		if e > p {
 			e = p
 		}
-		set = append(set, task.New(fmt.Sprintf("%s%d", prefix, i), e, p))
+		set = append(set, task.MustNew(fmt.Sprintf("%s%d", prefix, i), e, p))
 	}
 	return set, nil
 }

@@ -14,15 +14,15 @@ import (
 // Windows renders the windows of subtasks first..last of a pattern, one
 // row per subtask, with a slot ruler. offset shifts all windows (pass an
 // IS offset function's values via WindowsIS for per-subtask shifts).
-func Windows(pat *core.Pattern, first, last int64) string {
+func Windows(pat *core.Pattern, first, last int64) (string, error) {
 	return WindowsIS(pat, first, last, func(int64) int64 { return 0 })
 }
 
 // WindowsIS renders IS-shifted windows: subtask i's window moves right by
-// offset(i).
-func WindowsIS(pat *core.Pattern, first, last int64, offset func(i int64) int64) string {
+// offset(i). It returns an error unless 1 ≤ first ≤ last.
+func WindowsIS(pat *core.Pattern, first, last int64, offset func(i int64) int64) (string, error) {
 	if first < 1 || last < first {
-		panic("trace: invalid subtask range")
+		return "", fmt.Errorf("trace: invalid subtask range [%d, %d]", first, last)
 	}
 	end := pat.Deadline(last) + offset(last)
 	var b strings.Builder
@@ -41,7 +41,7 @@ func WindowsIS(pat *core.Pattern, first, last int64, offset func(i int64) int64)
 		}
 		b.WriteString("|\n")
 	}
-	return b.String()
+	return b.String(), nil
 }
 
 // Recorder captures a schedule via core.Scheduler.OnSlot and renders it.

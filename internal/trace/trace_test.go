@@ -10,7 +10,10 @@ import (
 
 // TestWindowsFig1a renders the Figure 1(a) layout and spot-checks rows.
 func TestWindowsFig1a(t *testing.T) {
-	out := Windows(core.NewPattern(8, 11), 1, 8)
+	out, err := Windows(core.NewPattern(8, 11), 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
 	// 2 ruler lines + 8 subtask rows.
 	if len(lines) != 10 {
@@ -38,7 +41,10 @@ func TestWindowsIS(t *testing.T) {
 		}
 		return 0
 	}
-	out := WindowsIS(core.NewPattern(8, 11), 1, 8, off)
+	out, err := WindowsIS(core.NewPattern(8, 11), 1, 8, off)
+	if err != nil {
+		t.Fatal(err)
+	}
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
 	// T4 unshifted: [4,6); T5 shifted: [6,8) instead of [5,7).
 	if !strings.Contains(lines[5], "    ==") {
@@ -49,20 +55,20 @@ func TestWindowsIS(t *testing.T) {
 	}
 }
 
-func TestWindowsPanicsOnBadRange(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
-		}
-	}()
-	Windows(core.NewPattern(1, 2), 3, 2)
+func TestWindowsRejectsBadRange(t *testing.T) {
+	if _, err := Windows(core.NewPattern(1, 2), 3, 2); err == nil {
+		t.Fatal("Windows accepted an inverted subtask range")
+	}
+	if _, err := Windows(core.NewPattern(1, 2), 0, 2); err == nil {
+		t.Fatal("Windows accepted a zero first subtask")
+	}
 }
 
 func TestRecorderRender(t *testing.T) {
 	s := core.NewScheduler(1, core.PD2, core.Options{})
 	rec := NewRecorder()
 	s.OnSlot(rec.Record)
-	if err := s.Join(task.New("T", 1, 2)); err != nil {
+	if err := s.Join(task.MustNew("T", 1, 2)); err != nil {
 		t.Fatal(err)
 	}
 	s.RunUntil(6)
@@ -81,7 +87,7 @@ func TestRecorderExplicitOrderAndProcDigits(t *testing.T) {
 	s := core.NewScheduler(2, core.PD2, core.Options{})
 	rec := NewRecorder()
 	s.OnSlot(rec.Record)
-	for _, tk := range []*task.Task{task.New("A", 1, 1), task.New("B", 1, 1)} {
+	for _, tk := range []*task.Task{task.MustNew("A", 1, 1), task.MustNew("B", 1, 1)} {
 		if err := s.Join(tk); err != nil {
 			t.Fatal(err)
 		}

@@ -108,10 +108,12 @@ func Check(set task.Set, slots []Slot, opts Options) []error {
 			return
 		}
 		for u := from; u <= to && len(errs) < maxErrors; u++ {
-			for name, pat := range pats {
-				lag := pat.Lag(u, alloc[name])
+			// Iterate the declared task order so the first maxErrors
+			// reported failures are deterministic.
+			for _, t := range set {
+				lag := pats[t.Name].Lag(u, alloc[t.Name])
 				if !lag.Less(one) || !one.Neg().Less(lag) {
-					fail("slot %d: task %s lag %v outside (-1, 1)", u-1, name, lag)
+					fail("slot %d: task %s lag %v outside (-1, 1)", u-1, t.Name, lag)
 				}
 			}
 		}

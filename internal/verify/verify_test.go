@@ -42,7 +42,7 @@ func TestValidSchedulePasses(t *testing.T) {
 				continue
 			}
 			budget.Add(w)
-			set = append(set, task.New(fmt.Sprintf("T%d", i), e, p))
+			set = append(set, task.MustNew(fmt.Sprintf("T%d", i), e, p))
 		}
 		if len(set) == 0 {
 			continue
@@ -56,7 +56,7 @@ func TestValidSchedulePasses(t *testing.T) {
 // corrupt applies a named mutation to a valid trace and expects the
 // validator to object.
 func TestCorruptionsDetected(t *testing.T) {
-	set := task.Set{task.New("A", 2, 3), task.New("B", 1, 3), task.New("C", 1, 2)}
+	set := task.Set{task.MustNew("A", 2, 3), task.MustNew("B", 1, 3), task.MustNew("C", 1, 2)}
 	s := core.NewScheduler(2, core.PD2, core.Options{})
 	var rec Recorder
 	s.OnSlot(rec.Record)
@@ -141,7 +141,7 @@ func TestCorruptionsDetected(t *testing.T) {
 // TestLagViolationDetected: starving a task trips the Pfairness check even
 // when every individual assignment looks plausible.
 func TestLagViolationDetected(t *testing.T) {
-	set := task.Set{task.New("A", 1, 2)}
+	set := task.Set{task.MustNew("A", 1, 2)}
 	// A receives nothing for 4 slots: lag reaches 2.
 	slots := []Slot{
 		{Time: 0}, {Time: 1}, {Time: 2}, {Time: 3},
@@ -155,7 +155,7 @@ func TestLagViolationDetected(t *testing.T) {
 // TestCompletionCheck: a trace that simply ends early is caught by the
 // horizon completion check.
 func TestCompletionCheck(t *testing.T) {
-	set := task.Set{task.New("A", 1, 2)}
+	set := task.Set{task.MustNew("A", 1, 2)}
 	slots := []Slot{{Time: 0, Assigned: []core.Assignment{{Proc: 0, Task: "A", Subtask: 1}}}}
 	errs := Check(set, slots, Options{Processors: 1, Horizon: 10, SkipLag: true})
 	if len(errs) == 0 {
@@ -169,7 +169,7 @@ func TestCompletionCheck(t *testing.T) {
 
 // TestOffsetsShiftWindows: IS traces validate against shifted windows.
 func TestOffsetsShiftWindows(t *testing.T) {
-	set := task.Set{task.New("A", 1, 2)}
+	set := task.Set{task.MustNew("A", 1, 2)}
 	// Subtask 2's window shifts by 3: [2,4) → [5,7).
 	off := map[string]func(int64) int64{
 		"A": func(i int64) int64 {
@@ -211,7 +211,7 @@ func TestAllAlgorithmsCrossValidated(t *testing.T) {
 				continue
 			}
 			budget.Add(w)
-			set = append(set, task.New(fmt.Sprintf("T%d", i), e, p))
+			set = append(set, task.MustNew(fmt.Sprintf("T%d", i), e, p))
 		}
 		if len(set) == 0 {
 			continue
@@ -253,7 +253,7 @@ func TestAllAlgorithmsCrossValidated(t *testing.T) {
 // and then the trace jumps to slot 9: by slot 4 its lag exceeds 1, which
 // the old recorded-slots-only walk silently skipped.
 func TestLagCheckedInTraceGaps(t *testing.T) {
-	set := task.Set{task.New("A", 1, 2)}
+	set := task.Set{task.MustNew("A", 1, 2)}
 	slots := []Slot{
 		{Time: 0, Assigned: []core.Assignment{{Proc: 0, Task: "A", Subtask: 1}}},
 		{Time: 9, Assigned: []core.Assignment{{Proc: 0, Task: "A", Subtask: 2}}},
@@ -287,7 +287,7 @@ func TestLagCheckedInTraceGaps(t *testing.T) {
 // sequence error, not a cascade that buries the root cause on every later
 // slot.
 func TestSequenceMismatchReportedOnce(t *testing.T) {
-	set := task.Set{task.New("A", 1, 2)}
+	set := task.Set{task.MustNew("A", 1, 2)}
 	var slots []Slot
 	for i := int64(0); i < 20; i++ {
 		sub := i + 1
@@ -311,7 +311,7 @@ func TestSequenceMismatchReportedOnce(t *testing.T) {
 // TestErrorFlood is bounded: a fully-starved long trace reports at most
 // maxErrors violations.
 func TestErrorFloodBounded(t *testing.T) {
-	set := task.Set{task.New("A", 1, 2), task.New("B", 1, 2)}
+	set := task.Set{task.MustNew("A", 1, 2), task.MustNew("B", 1, 2)}
 	errs := Check(set, nil, Options{Processors: 1, Horizon: 100000})
 	if len(errs) == 0 || len(errs) > maxErrors {
 		t.Fatalf("got %d errors, want within (0, %d]", len(errs), maxErrors)

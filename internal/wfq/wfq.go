@@ -17,13 +17,17 @@
 //
 // The link has rate 1: real time advances by packet lengths, so packet
 // departures are exact integers. The GPS fluid reference is simulated in
-// float64, as in practical implementations; tests use integer-scale
-// tolerances.
+// exact rational arithmetic (GPS event times are rationals with
+// denominators dividing products of backlogged-weight sums), so packet
+// selection never hinges on a float comparison; the float64 GPS times
+// returned by GPSTimes are a reporting bridge over the exact reference.
 package wfq
 
 import (
 	"fmt"
 	"sort"
+
+	"pfair/internal/rational"
 )
 
 // Flow is a weighted traffic source.
@@ -88,37 +92,51 @@ func validate(flows []Flow, packets []Packet) (map[string]int64, error) {
 	return ws, nil
 }
 
-// GPSTimes simulates the fluid GPS reference at unit rate and returns each
-// packet's GPS service start and finish times (real time; float64). A
-// packet starts in GPS when it reaches the head of its flow's FIFO queue.
-func GPSTimes(flows []Flow, packets []Packet) (starts, finishes []float64, err error) {
+// gpsTimes simulates the fluid GPS reference at unit rate in exact
+// rational arithmetic and returns each packet's GPS service start and
+// finish times. A packet starts in GPS when it reaches the head of its
+// flow's FIFO queue. Flows are always visited in their declaration
+// order, so the event sequence is a pure function of the inputs.
+func gpsTimes(flows []Flow, packets []Packet) (starts, finishes []*rational.Acc, err error) {
 	ws, err := validate(flows, packets)
 	if err != nil {
 		return nil, nil, err
 	}
 	type fp struct {
 		idx     int
-		rem     float64
+		rem     *rational.Acc
 		started bool
 	}
+	names := make([]string, len(flows))
+	for i, f := range flows {
+		names[i] = f.Name
+	}
 	order := arrivalOrder(packets)
-	starts = make([]float64, len(packets))
-	finishes = make([]float64, len(packets))
+	starts = make([]*rational.Acc, len(packets))
+	finishes = make([]*rational.Acc, len(packets))
 	queue := map[string][]*fp{}
-	now := 0.0
+	now := rational.NewAcc()
 	next := 0
 	markHeads := func() {
-		for _, q := range queue {
-			if len(q) > 0 && !q[0].started {
+		for _, name := range names {
+			if q := queue[name]; len(q) > 0 && !q[0].started {
 				q[0].started = true
-				starts[q[0].idx] = now
+				starts[q[0].idx] = now.Clone()
 			}
+		}
+	}
+	admit := func() {
+		for next < len(order) && now.CmpInt(packets[order[next]].Arrival) >= 0 {
+			i := order[next]
+			queue[packets[i].Flow] = append(queue[packets[i].Flow],
+				&fp{idx: i, rem: rational.NewAcc().SetInt(packets[i].Length)})
+			next++
 		}
 	}
 	for {
 		var bw int64
-		for name, q := range queue {
-			if len(q) > 0 {
+		for _, name := range names {
+			if len(queue[name]) > 0 {
 				bw += ws[name]
 			}
 		}
@@ -126,54 +144,68 @@ func GPSTimes(flows []Flow, packets []Packet) (starts, finishes []float64, err e
 			if next >= len(order) {
 				break
 			}
-			if t := float64(packets[order[next]].Arrival); t > now {
-				now = t
+			if t := packets[order[next]].Arrival; now.CmpInt(t) < 0 {
+				now.SetInt(t)
 			}
-			for next < len(order) && float64(packets[order[next]].Arrival) <= now {
-				i := order[next]
-				queue[packets[i].Flow] = append(queue[packets[i].Flow], &fp{idx: i, rem: float64(packets[i].Length)})
-				next++
-			}
+			admit()
 			markHeads()
 			continue
 		}
 		// Next event: earliest head completion at current rates, or the
-		// next arrival.
-		eventDT := -1.0
-		for name, q := range queue {
+		// next arrival. The head of flow f drains at rate w_f/bw, so it
+		// completes after dt = rem·bw/w_f.
+		var eventDT *rational.Acc
+		for _, name := range names {
+			q := queue[name]
 			if len(q) == 0 {
 				continue
 			}
-			dt := q[0].rem * float64(bw) / float64(ws[name])
-			if eventDT < 0 || dt < eventDT {
+			dt := q[0].rem.Clone().MulRat(rational.New(bw, ws[name]))
+			if eventDT == nil || dt.CmpAcc(eventDT) < 0 {
 				eventDT = dt
 			}
 		}
 		if next < len(order) {
-			if dt := float64(packets[order[next]].Arrival) - now; dt < eventDT {
+			dt := rational.NewAcc().SetInt(packets[order[next]].Arrival).SubAcc(now)
+			if dt.CmpAcc(eventDT) < 0 {
 				eventDT = dt
 			}
 		}
-		for name, q := range queue {
+		for _, name := range names {
+			q := queue[name]
 			if len(q) == 0 {
 				continue
 			}
-			q[0].rem -= float64(ws[name]) / float64(bw) * eventDT
+			q[0].rem.SubAcc(eventDT.Clone().MulRat(rational.New(ws[name], bw)))
 		}
-		now += eventDT
-		for name, q := range queue {
-			for len(q) > 0 && q[0].rem < 1e-9 {
-				finishes[q[0].idx] = now
+		now.AddAcc(eventDT)
+		for _, name := range names {
+			q := queue[name]
+			for len(q) > 0 && q[0].rem.Sign() <= 0 {
+				finishes[q[0].idx] = now.Clone()
 				q = q[1:]
 			}
 			queue[name] = q
 		}
-		for next < len(order) && float64(packets[order[next]].Arrival) <= now+1e-12 {
-			i := order[next]
-			queue[packets[i].Flow] = append(queue[packets[i].Flow], &fp{idx: i, rem: float64(packets[i].Length)})
-			next++
-		}
+		admit()
 		markHeads()
+	}
+	return starts, finishes, nil
+}
+
+// GPSTimes returns each packet's GPS service start and finish times as
+// float64 for reporting and plotting. The underlying simulation is
+// exact; only this boundary rounds.
+func GPSTimes(flows []Flow, packets []Packet) (starts, finishes []float64, err error) {
+	s, f, err := gpsTimes(flows, packets)
+	if err != nil {
+		return nil, nil, err
+	}
+	starts = make([]float64, len(s))
+	finishes = make([]float64, len(f))
+	for i := range s {
+		//pfair:allowfloat reporting bridge: rounds the exact GPS reference for human-facing output
+		starts[i], finishes[i] = s[i].Float(), f[i].Float()
 	}
 	return starts, finishes, nil
 }
@@ -196,15 +228,16 @@ func arrivalOrder(packets []Packet) []int {
 }
 
 // Schedule serves the packets at unit rate under the given policy and
-// returns departures in service order. Selection uses the GPS reference
-// times, per the original WFQ/WF²Q definitions: WFQ picks the queued
-// packet with the smallest GPS finish; WF²Q restricts to packets whose
-// GPS start is at or before the current time. If rounding ever empties
-// the eligible set (the WF²Q eligibility theorem guarantees it never is,
-// up to float fuzz), the smallest-GPS-finish queued packet is served
-// instead, so the scheduler is work-conserving by construction.
+// returns departures in service order. Selection uses the exact GPS
+// reference times, per the original WFQ/WF²Q definitions: WFQ picks the
+// queued packet with the smallest GPS finish; WF²Q restricts to packets
+// whose GPS start is at or before the current time. With exact
+// arithmetic the WF²Q eligibility theorem guarantees the eligible set is
+// never empty while packets are queued, but the selection still prefers
+// eligible packets rather than assuming it, so the scheduler is
+// work-conserving by construction.
 func Schedule(flows []Flow, packets []Packet, pol Policy) ([]Departure, error) {
-	starts, finishes, err := GPSTimes(flows, packets)
+	starts, finishes, err := gpsTimes(flows, packets)
 	if err != nil {
 		return nil, err
 	}
@@ -225,8 +258,9 @@ func Schedule(flows []Flow, packets []Packet, pol Policy) ([]Departure, error) {
 		}
 		best := -1
 		bestEligible := false
+		//pfair:orderinvariant argmin under less, a strict total order (index tiebreak), is unique
 		for idx := range queued {
-			eligible := pol == WFQ || starts[idx] <= float64(now)+1e-9
+			eligible := pol == WFQ || starts[idx].CmpInt(now) <= 0
 			switch {
 			case best < 0,
 				eligible && !bestEligible,
@@ -245,13 +279,13 @@ func Schedule(flows []Flow, packets []Packet, pol Policy) ([]Departure, error) {
 	return out, nil
 }
 
-// less orders packets by (GPS finish, GPS start, index) with float fuzz.
-func less(finishes, starts []float64, a, b int) bool {
-	if d := finishes[a] - finishes[b]; d < -1e-9 || d > 1e-9 {
-		return d < 0
+// less orders packets by (GPS finish, GPS start, index), exactly.
+func less(finishes, starts []*rational.Acc, a, b int) bool {
+	if c := finishes[a].CmpAcc(finishes[b]); c != 0 {
+		return c < 0
 	}
-	if d := starts[a] - starts[b]; d < -1e-9 || d > 1e-9 {
-		return d < 0
+	if c := starts[a].CmpAcc(starts[b]); c != 0 {
+		return c < 0
 	}
 	return a < b
 }

@@ -11,7 +11,7 @@ import (
 )
 
 func TestSingleTaskMeetsDeadlines(t *testing.T) {
-	s, err := NewScheduler(1, task.Set{task.New("T", 2, 5)})
+	s, err := NewScheduler(1, task.Set{task.MustNew("T", 2, 5)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +27,7 @@ func TestSingleTaskMeetsDeadlines(t *testing.T) {
 // TestProportionalShare: over a long run, each task's allocation tracks
 // its weight (the property WRR does provide).
 func TestProportionalShare(t *testing.T) {
-	set := task.Set{task.New("A", 1, 4), task.New("B", 1, 2), task.New("C", 1, 4)}
+	set := task.Set{task.MustNew("A", 1, 4), task.MustNew("B", 1, 2), task.MustNew("C", 1, 4)}
 	s, err := NewScheduler(1, set)
 	if err != nil {
 		t.Fatal(err)
@@ -46,8 +46,8 @@ func TestProportionalShare(t *testing.T) {
 // processor for its whole burst, starving a short-period task.
 func TestWRRMissesWherePD2Succeeds(t *testing.T) {
 	set := task.Set{
-		task.New("short", 1, 4),  // needs a quantum every 4 slots
-		task.New("long", 12, 16), // WRR burst of 12 consecutive slots
+		task.MustNew("short", 1, 4),  // needs a quantum every 4 slots
+		task.MustNew("long", 12, 16), // WRR burst of 12 consecutive slots
 	}
 	if set.TotalWeight().CmpInt(1) > 0 {
 		t.Fatal("setup: set must be feasible on one processor")
@@ -91,7 +91,7 @@ func TestQuickWRRNeverOverAllocates(t *testing.T) {
 				continue
 			}
 			budget.Add(w)
-			set = append(set, task.New(fmt.Sprintf("T%d", i), e, p))
+			set = append(set, task.MustNew(fmt.Sprintf("T%d", i), e, p))
 		}
 		if len(set) == 0 {
 			continue
@@ -114,10 +114,10 @@ func TestQuickWRRNeverOverAllocates(t *testing.T) {
 }
 
 func TestNewSchedulerValidation(t *testing.T) {
-	if _, err := NewScheduler(0, task.Set{task.New("T", 1, 2)}); err == nil {
+	if _, err := NewScheduler(0, task.Set{task.MustNew("T", 1, 2)}); err == nil {
 		t.Error("zero processors accepted")
 	}
-	if _, err := NewScheduler(1, task.Set{task.New("T", 1, 2), task.New("T", 1, 3)}); err == nil {
+	if _, err := NewScheduler(1, task.Set{task.MustNew("T", 1, 2), task.MustNew("T", 1, 3)}); err == nil {
 		t.Error("duplicate names accepted")
 	}
 }

@@ -15,9 +15,9 @@
 // task set and inspect the result" workflow:
 //
 //	s := pfair.NewScheduler(2, pfair.PD2, pfair.Options{})
-//	s.Join(pfair.NewTask("A", 2, 3)) // cost 2, period 3 → weight 2/3
-//	s.Join(pfair.NewTask("B", 2, 3))
-//	s.Join(pfair.NewTask("C", 2, 3)) // Σwt = 2: infeasible for ANY partitioning
+//	s.Join(pfair.MustNewTask("A", 2, 3)) // cost 2, period 3 → weight 2/3
+//	s.Join(pfair.MustNewTask("B", 2, 3))
+//	s.Join(pfair.MustNewTask("C", 2, 3)) // Σwt = 2: infeasible for ANY partitioning
 //	s.RunUntil(3000)
 //	fmt.Println(len(s.Stats().Misses)) // 0 — PD² is optimal
 //
@@ -38,9 +38,13 @@ type Task = task.Task
 // Set is an ordered collection of tasks.
 type Set = task.Set
 
-// NewTask returns a periodic task with the given name, cost, and period.
-// It panics unless 0 < cost ≤ period.
-func NewTask(name string, cost, period int64) *Task { return task.New(name, cost, period) }
+// NewTask returns a periodic task with the given name, cost, and period,
+// or an error unless 0 < cost ≤ period.
+func NewTask(name string, cost, period int64) (*Task, error) { return task.New(name, cost, period) }
+
+// MustNewTask is NewTask for statically known parameters (examples,
+// tables); it panics on invalid ones.
+func MustNewTask(name string, cost, period int64) *Task { return task.MustNew(name, cost, period) }
 
 // Weight is an exact rational number (task weights, lags).
 type Weight = rational.Rat

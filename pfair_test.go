@@ -11,7 +11,7 @@ import (
 func TestQuickstart(t *testing.T) {
 	s := pfair.NewScheduler(2, pfair.PD2, pfair.Options{})
 	for _, tk := range []*pfair.Task{
-		pfair.NewTask("A", 2, 3), pfair.NewTask("B", 2, 3), pfair.NewTask("C", 2, 3),
+		pfair.MustNewTask("A", 2, 3), pfair.MustNewTask("B", 2, 3), pfair.MustNewTask("C", 2, 3),
 	} {
 		if err := s.Join(tk); err != nil {
 			t.Fatalf("join: %v", err)
@@ -32,7 +32,7 @@ func TestFacadeTypes(t *testing.T) {
 	if pat.Deadline(1) != 2 || pat.GroupDeadline(3) != 8 {
 		t.Error("pattern algebra mismatch through the facade")
 	}
-	tk := pfair.NewTask("T", 1, 2)
+	tk := pfair.MustNewTask("T", 1, 2)
 	if tk.Utilization() != 0.5 || !tk.Heavy() {
 		t.Error("task helpers mismatch through the facade")
 	}
