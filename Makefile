@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench fuzz fuzz-short check
+.PHONY: build vet lint test race bench fuzz fuzz-short smoke check
 
 build:
 	$(GO) build ./...
@@ -36,4 +36,10 @@ fuzz:
 fuzz-short:
 	$(GO) run ./cmd/fuzz -n 25 -seed 1
 
-check: build vet lint test race fuzz-short bench
+# smoke exercises the observability layer end to end: pfairsim -trace on
+# the quickstart and EPDF-counterexample sets validated by tracecheck,
+# plus the observed hot-path allocation benchmark. See DESIGN.md §7.
+smoke:
+	sh scripts/smoke.sh
+
+check: build vet lint test race fuzz-short smoke bench

@@ -15,15 +15,23 @@
 //	-seed S     base RNG seed
 //	-workers N  goroutines per sweep (default: one per CPU; 1 = the old
 //	            serial harness). Output is byte-identical for any value.
+//	-gotrace F  write a runtime/trace of the whole run to F, with one
+//	            trace region per figure (inspect with `go tool trace F`)
+//	-metrics    print a per-figure summary (wall time, goroutine peak,
+//	            allocation delta) to stderr after each figure
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	rtrace "runtime/trace"
+	"time"
 
 	"pfair/internal/experiments"
+	"pfair/internal/obs"
 )
 
 func main() {
@@ -33,7 +41,23 @@ func main() {
 	seed := flag.Int64("seed", 0, "base RNG seed (0 = default)")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines per sweep (1 = serial)")
 	measured := flag.Bool("measured", false, "fig3/fig4: measure scheduling costs on this machine first (the paper's methodology) instead of the calibrated default models")
+	gotrace := flag.String("gotrace", "", "write a runtime/trace of the run to this file (one region per figure)")
+	metrics := flag.Bool("metrics", false, "print per-figure wall-time and allocation summaries to stderr")
 	flag.Parse()
+
+	if *gotrace != "" {
+		f, err := os.Create(*gotrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gotrace:", err)
+			os.Exit(1)
+		}
+		if err := rtrace.Start(f); err != nil {
+			fmt.Fprintln(os.Stderr, "gotrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer rtrace.Stop()
+	}
 
 	cmd := "all"
 	if flag.NArg() > 0 {
@@ -66,9 +90,32 @@ func main() {
 	f3.Workers = *workers
 	qs.Workers = *workers
 
+	// Each figure sweep runs inside a runtime/trace region (visible in
+	// `go tool trace` when -gotrace is set) and, with -metrics, reports a
+	// summary registry of wall time and allocator movement to stderr —
+	// enough to see which figure dominates a slow `experiments all` run.
 	run := func(name string, fn func()) {
-		if cmd == name || cmd == "all" {
-			fn()
+		if cmd != name && cmd != "all" {
+			return
+		}
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now() //pfair:allowtime cmd-layer measurement, reported to stderr only
+		rtrace.WithRegion(context.Background(), "figure:"+name, fn)
+		elapsed := time.Since(start) //pfair:allowtime cmd-layer measurement, reported to stderr only
+		if !*metrics {
+			return
+		}
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		reg := obs.NewRegistry()
+		reg.Gauge("experiments_wall_ms", fmt.Sprintf("figure=%q", name), "wall-clock time of the sweep").Set(elapsed.Milliseconds())
+		reg.Gauge("experiments_allocs", fmt.Sprintf("figure=%q", name), "heap allocations during the sweep").Set(int64(after.Mallocs - before.Mallocs))
+		reg.Gauge("experiments_alloc_bytes", fmt.Sprintf("figure=%q", name), "bytes allocated during the sweep").Set(int64(after.TotalAlloc - before.TotalAlloc))
+		reg.Gauge("experiments_workers", fmt.Sprintf("figure=%q", name), "worker goroutines configured").Set(int64(*workers))
+		fmt.Fprintf(os.Stderr, "# metrics %s\n", name)
+		if err := reg.WriteSummary(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
 		}
 	}
 	known := map[string]bool{"fig1": true, "fig2a": true, "fig2b": true, "fig3": true, "fig4": true, "fig5": true, "quantum": true, "response": true, "sync": true, "fairness": true, "all": true}

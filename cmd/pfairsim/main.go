@@ -8,20 +8,44 @@
 //
 // Flags:
 //
-//	-m N       processors (default 1)
-//	-alg A     pd2 | pd | pf | epdf (default pd2)
-//	-er        early-release (ERfair) eligibility
-//	-slots T   slots to simulate (default two hyperperiods)
-//	-windows   also print each task's subtask windows
+//	-m N            processors (default 1)
+//	-alg A          pd2 | pd | pf | epdf (default pd2)
+//	-er             early-release (ERfair) eligibility
+//	-slots T        slots to simulate (default two hyperperiods)
+//	-windows        also print each task's subtask windows
+//
+// Observability (see internal/obs and DESIGN.md §7):
+//
+//	-trace FILE     write a Chrome trace-event JSON of the run; load it at
+//	                https://ui.perfetto.dev (one lane per processor, one
+//	                per task)
+//	-timeline FILE  write a human-readable slot-by-slot event log
+//	                ("-" = stdout)
+//	-metrics        print a Prometheus-text metrics snapshot after the run
+//	-ring N         trace ring capacity in events (default 65536; the ring
+//	                keeps the most recent N when the run is longer)
+//	-slotus N       microseconds one slot spans in the exported trace
+//	                (default 1000)
+//
+// Profiling:
+//
+//	-cpuprofile FILE  write a CPU profile of the simulation loop
+//	-memprofile FILE  write a heap profile taken after the run
+//	-pprof ADDR       serve net/http/pprof on ADDR and block after the run
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"pfair/internal/core"
+	"pfair/internal/obs"
 	"pfair/internal/task"
 	"pfair/internal/trace"
 )
@@ -32,6 +56,14 @@ func main() {
 	er := flag.Bool("er", false, "early-release (ERfair) eligibility")
 	slots := flag.Int64("slots", 0, "slots to simulate (0 = two hyperperiods)")
 	windows := flag.Bool("windows", false, "print subtask windows per task")
+	tracePath := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto-loadable) to this file")
+	timelinePath := flag.String("timeline", "", "write a human-readable event timeline to this file (- = stdout)")
+	metrics := flag.Bool("metrics", false, "print a Prometheus-text metrics snapshot after the run")
+	ringCap := flag.Int("ring", obs.DefaultRingCapacity, "trace ring capacity in events")
+	slotMicros := flag.Int64("slotus", 1000, "microseconds per slot in the exported trace")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address and block after the run")
 	flag.Parse()
 
 	var alg core.Algorithm
@@ -65,10 +97,22 @@ func main() {
 
 	horizon := *slots
 	if horizon <= 0 {
-		horizon = 2 * set.Hyperperiod()
-		if horizon > 10000 {
+		hp, ok := set.HyperperiodOK()
+		if !ok {
+			fatal("the task set's hyperperiod (lcm of periods) overflows int64, so the default horizon cannot be computed; pass an explicit -slots")
+		}
+		horizon = 2 * hp
+		if horizon/2 != hp || horizon > 10000 {
 			horizon = 10000
 		}
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			}
+		}()
 	}
 
 	if *windows {
@@ -88,13 +132,42 @@ func main() {
 	s := core.NewScheduler(*m, alg, core.Options{EarlyRelease: *er})
 	rec := trace.NewRecorder()
 	s.OnSlot(rec.Record)
+
+	// Attach the observability layer only when some consumer asked for it:
+	// unobserved runs keep the nil-recorder fast path.
+	var orec *obs.Recorder
+	var met *obs.SchedulerMetrics
+	if *tracePath != "" || *timelinePath != "" {
+		orec = obs.NewRecorder(*ringCap)
+	}
+	if *metrics {
+		met = obs.NewSchedulerMetrics(nil)
+	}
+	if orec != nil || met != nil {
+		s.Observe(orec, met)
+	}
+
 	for _, t := range set {
 		if err := s.Join(t); err != nil {
 			fatal("admitting %v: %v (total weight %v on %d processors)", t, err, set.TotalWeight(), *m)
 		}
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("cpuprofile: %v", err)
+		}
+	}
 	s.RunUntil(horizon)
 	s.FinishMisses(horizon)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
 
 	names := make([]string, len(set))
 	for i, t := range set {
@@ -117,6 +190,61 @@ func main() {
 			break
 		}
 		fmt.Printf("  miss: %s subtask %d deadline %d scheduled %d\n", miss.Task, miss.Subtask, miss.Deadline, miss.ScheduledAt)
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal("trace: %v", err)
+		}
+		opt := obs.ChromeTraceOptions{SlotMicros: *slotMicros, Procs: *m}
+		if err := obs.WriteChromeTrace(f, orec, opt); err != nil {
+			fatal("trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("trace: %v", err)
+		}
+		fmt.Printf("\nwrote Chrome trace (%d events, %d dropped) to %s; open it at https://ui.perfetto.dev\n",
+			len(orec.Events()), orec.Dropped(), *tracePath)
+	}
+	if *timelinePath != "" {
+		out := os.Stdout
+		if *timelinePath != "-" {
+			f, err := os.Create(*timelinePath)
+			if err != nil {
+				fatal("timeline: %v", err)
+			}
+			defer f.Close()
+			out = f
+		} else {
+			fmt.Println()
+		}
+		if err := obs.WriteTimeline(out, orec); err != nil {
+			fatal("timeline: %v", err)
+		}
+	}
+	if *metrics {
+		fmt.Println()
+		if err := met.Registry().WritePrometheus(os.Stdout); err != nil {
+			fatal("metrics: %v", err)
+		}
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal("memprofile: %v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal("memprofile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("memprofile: %v", err)
+		}
+	}
+	if *pprofAddr != "" {
+		fmt.Fprintf(os.Stderr, "pprof server listening on %s; Ctrl-C to exit\n", *pprofAddr)
+		select {}
 	}
 }
 

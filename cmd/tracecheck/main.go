@@ -1,0 +1,152 @@
+// Command tracecheck validates a Chrome trace-event JSON file (as written
+// by pfairsim -trace / internal/obs.WriteChromeTrace) against the subset
+// of the trace-event format the exporter promises, so CI can prove the
+// artifact Perfetto loads is well-formed without a browser:
+//
+//   - the file is a JSON object with a traceEvents array;
+//   - every event has a non-empty name, a phase in {X, i, M}, and
+//     numeric, non-negative ts/pid/tid;
+//   - complete events (ph=X) carry a non-negative dur;
+//   - metadata events (ph=M) carry args.name;
+//   - X spans never overlap within one (pid, tid) lane — the invariant
+//     that makes the per-processor and per-task lanes renderable.
+//
+// Usage:
+//
+//	tracecheck [-require name,name,...] [-spans] trace.json
+//
+// -require fails unless every named event kind appears at least once;
+// -spans fails unless both the processor group (pid 0) and the task group
+// (pid 1) contain at least one X span.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type event struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Ts   *float64        `json:"ts"`
+	Dur  *float64        `json:"dur"`
+	Pid  *float64        `json:"pid"`
+	Tid  *float64        `json:"tid"`
+	Args json.RawMessage `json:"args"`
+}
+
+func main() {
+	require := flag.String("require", "", "comma-separated event names that must appear")
+	spans := flag.Bool("spans", false, "require X spans in both the processor (pid 0) and task (pid 1) groups")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require names] [-spans] trace.json")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	// The trace-event format is open: events may carry cat, s, cname, …
+	// beyond the fields we validate, so decode loosely.
+	var file struct {
+		TraceEvents     []event `json:"traceEvents"`
+		DisplayTimeUnit string  `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		fatal("%s: not a trace-event JSON object: %v", path, err)
+	}
+	if len(file.TraceEvents) == 0 {
+		fatal("%s: traceEvents is empty", path)
+	}
+
+	seen := map[string]int{}
+	spanPids := map[float64]int{}
+	type lane struct{ pid, tid float64 }
+	laneSpans := map[lane][][2]float64{} // [start, end) per lane
+	for i, e := range file.TraceEvents {
+		where := fmt.Sprintf("%s: event %d (%q)", path, i, e.Name)
+		if e.Name == "" {
+			fatal("%s: missing name", where)
+		}
+		if e.Ts == nil || e.Pid == nil || e.Tid == nil {
+			fatal("%s: missing ts/pid/tid", where)
+		}
+		if *e.Ts < 0 {
+			fatal("%s: negative ts %v", where, *e.Ts)
+		}
+		switch e.Ph {
+		case "X":
+			if e.Dur == nil || *e.Dur < 0 {
+				fatal("%s: complete event without non-negative dur", where)
+			}
+			spanPids[*e.Pid]++
+			l := lane{*e.Pid, *e.Tid}
+			laneSpans[l] = append(laneSpans[l], [2]float64{*e.Ts, *e.Ts + *e.Dur})
+		case "i":
+			// Instant events; scope (s) is optional in the format.
+		case "M":
+			var args struct {
+				Name string `json:"name"`
+			}
+			if err := json.Unmarshal(e.Args, &args); err != nil || args.Name == "" {
+				fatal("%s: metadata event without args.name", where)
+			}
+		default:
+			fatal("%s: unexpected phase %q (exporter emits X, i, M only)", where, e.Ph)
+		}
+		seen[e.Name]++
+	}
+
+	for l, ss := range laneSpans { //pfair:orderinvariant each lane is validated independently; failure aborts with the first offending lane's data
+		sort.Slice(ss, func(i, j int) bool { return ss[i][0] < ss[j][0] })
+		for i := 1; i < len(ss); i++ {
+			if ss[i][0] < ss[i-1][1] {
+				fatal("%s: overlapping spans on lane pid=%v tid=%v: [%v,%v) and [%v,%v)",
+					path, l.pid, l.tid, ss[i-1][0], ss[i-1][1], ss[i][0], ss[i][1])
+			}
+		}
+	}
+
+	if *spans {
+		for _, pid := range []float64{0, 1} {
+			if spanPids[pid] == 0 {
+				group := "processor"
+				if pid == 1 {
+					group = "task"
+				}
+				fatal("%s: no X spans in the %s group (pid %v)", path, group, pid)
+			}
+		}
+	}
+	if *require != "" {
+		for _, name := range strings.Split(*require, ",") {
+			name = strings.TrimSpace(name)
+			if name != "" && seen[name] == 0 {
+				fatal("%s: required event %q never appears", path, name)
+			}
+		}
+	}
+
+	names := make([]string, 0, len(seen))
+	for n := range seen { //pfair:orderinvariant collects keys for sorting
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("%s: %d events OK;", path, len(file.TraceEvents))
+	for _, n := range names {
+		fmt.Printf(" %s=%d", n, seen[n])
+	}
+	fmt.Println()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

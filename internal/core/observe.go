@@ -1,0 +1,145 @@
+package core
+
+import (
+	"pfair/internal/obs"
+)
+
+// This file wires the observability layer (internal/obs) into the
+// scheduler. The design constraint is PR 1's invariant: Step stays
+// 0 allocs/op whether or not a recorder is attached, and costs one
+// predictable branch per emission site when it is not. Hence:
+//
+//   - the scheduler holds concrete *obs.Recorder / *obs.SchedulerMetrics
+//     pointers (nil = unobserved), never an interface — a nil interface
+//     would still cost an itab check, and a no-op implementation would
+//     still evaluate every event argument;
+//   - every emission site is nil-guarded, which the extended hotpath
+//     analyzer enforces statically and BenchmarkStepAllocsObserved pins
+//     dynamically;
+//   - identity is by dense int32 task ids assigned at admission, so hot
+//     emissions never touch strings or maps.
+
+// Observe attaches a trace recorder and/or metrics block to the
+// scheduler; either may be nil. Tasks already admitted are registered
+// immediately, tasks admitted later are registered as they join.
+// Attaching mid-run is safe: events simply start at the current slot.
+// Passing nil for both detaches observation entirely.
+func (s *Scheduler) Observe(rec *obs.Recorder, met *obs.SchedulerMetrics) {
+	s.rec, s.met = rec, met
+	for _, st := range s.order {
+		if !st.departed {
+			s.registerObs(st)
+		}
+	}
+}
+
+// Recorder returns the attached trace recorder, or nil.
+func (s *Scheduler) Recorder() *obs.Recorder { return s.rec }
+
+// Metrics returns the attached metrics block, or nil.
+func (s *Scheduler) Metrics() *obs.SchedulerMetrics { return s.met }
+
+// registerObs assigns st a stable observability id (once) and registers
+// it with whatever sinks are attached. Cold path: runs at admission and
+// Observe time only.
+func (s *Scheduler) registerObs(st *tstate) {
+	if s.rec == nil && s.met == nil {
+		return
+	}
+	if st.obsID < 0 {
+		st.obsID = s.obsNext
+		s.obsNext++
+	}
+	if s.rec != nil {
+		if s.rec.RegisterTask(st.obsID, st.task.Name) {
+			// First time this recorder sees the task: emit its join event,
+			// whether registration happens at admission or at a mid-run
+			// Observe. The slot is the current slot either way.
+			s.rec.Emit(obs.Event{Slot: s.now, Kind: obs.EvJoin, Task: st.obsID, Proc: -1, A: st.task.Cost, B: st.task.Period})
+		}
+	}
+	if s.met != nil {
+		s.met.EnsureTask(st.obsID, st.task.Name, st.task.Period)
+	}
+}
+
+// cmpReady is the ready-queue ordering: the plain comparator when
+// unobserved, and the tie-break-tracing variant when a recorder or
+// metrics block is attached. The observed path reports which rule
+// decided each deadline tie — the measurement behind the paper's claim
+// that tie-breaks, not deadlines, are where Pfair algorithms differ.
+//
+//pfair:hotpath
+func (s *Scheduler) cmpReady(a, b *tstate) bool {
+	if s.rec == nil && s.met == nil {
+		return less(s.alg, &a.pr, &b.pr)
+	}
+	if met := s.met; met != nil {
+		met.HeapCmps.Inc()
+	}
+	res, why := lessWhy(s.alg, &a.pr, &b.pr)
+	if why != byBBit && why != byGroup {
+		return res
+	}
+	winner, loser := a, b
+	if !res {
+		winner, loser = b, a
+	}
+	kind := obs.EvTieBreakB
+	if why == byGroup {
+		kind = obs.EvTieBreakGroup
+	}
+	if met := s.met; met != nil {
+		if why == byBBit {
+			met.TieBreakB.Inc()
+		} else {
+			met.TieBreakGroup.Inc()
+		}
+	}
+	if rec := s.rec; rec != nil {
+		rec.Emit(obs.Event{
+			Slot: s.now, Kind: kind,
+			Task: winner.obsID, Proc: -1,
+			A: int64(loser.obsID), B: winner.pr.deadline,
+		})
+	}
+	return res
+}
+
+// observeLags updates each live task's max-|lag| gauge after the slot
+// ending at time now, emitting an EvLagExtremum whenever a task reaches
+// a new extremum. Lag is kept exact as an integer pair: for a periodic
+// task, lag(t) = wt·(t − join) − allocated = (cost·Δt − allocated·period)
+// / period, so the numerator comparison below is the exact |lag|
+// comparison with denominator fixed per task. (For IS tasks the value is
+// the same formula against the unshifted fluid reference; per-subtask
+// deadlines are their correctness notion, but the excursion is still
+// worth plotting.) Only runs when metrics are attached; O(n) integer
+// work per slot, no allocation.
+//
+//pfair:hotpath
+func (s *Scheduler) observeLags(now int64) {
+	if met := s.met; met != nil {
+		for _, st := range s.order {
+			if st.departed {
+				continue
+			}
+			num := st.task.Cost*(now-st.joinedAt) - st.allocated*st.task.Period
+			if num < 0 {
+				num = -num
+			}
+			if tm := met.Task(st.obsID); tm != nil {
+				if num > tm.MaxAbsLagNum.Value() {
+					tm.MaxAbsLagNum.Set(num)
+					if rec := s.rec; rec != nil {
+						rec.Emit(obs.Event{
+							Slot: now - 1, Kind: obs.EvLagExtremum,
+							Task: st.obsID, Proc: -1,
+							A: num, B: st.task.Period,
+						})
+					}
+				}
+			}
+		}
+	}
+}

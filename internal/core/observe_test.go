@@ -1,0 +1,275 @@
+package core
+
+import (
+	"testing"
+
+	"pfair/internal/obs"
+	"pfair/internal/task"
+)
+
+// countKinds tallies the recorded events by kind.
+func countKinds(rec *obs.Recorder) map[obs.EventKind]int64 {
+	counts := make(map[obs.EventKind]int64)
+	for _, e := range rec.Events() {
+		counts[e.Kind]++
+	}
+	return counts
+}
+
+// TestObserveEventsMatchStats cross-checks the trace stream and metrics
+// block against the scheduler's own Stats counters: every counted action
+// must have exactly one corresponding event, so the trace is a faithful
+// expansion of the aggregate statistics.
+func TestObserveEventsMatchStats(t *testing.T) {
+	s := newLoadedScheduler(t, 3, 20, 2.7, 7)
+	rec := obs.NewRecorder(1 << 18)
+	met := obs.NewSchedulerMetrics(nil)
+	s.Observe(rec, met)
+	s.RunUntil(1000)
+
+	if rec.Dropped() != 0 {
+		t.Fatalf("ring too small for the run: dropped %d events", rec.Dropped())
+	}
+	st := s.Stats()
+	counts := countKinds(rec)
+
+	if counts[obs.EvJoin] != int64(len(s.Tasks())) {
+		t.Errorf("EvJoin count = %d, want %d", counts[obs.EvJoin], len(s.Tasks()))
+	}
+	if counts[obs.EvSchedule] != st.Allocations {
+		t.Errorf("EvSchedule count = %d, Stats.Allocations = %d", counts[obs.EvSchedule], st.Allocations)
+	}
+	if counts[obs.EvMigrate] != st.Migrations {
+		t.Errorf("EvMigrate count = %d, Stats.Migrations = %d", counts[obs.EvMigrate], st.Migrations)
+	}
+	if counts[obs.EvPreempt] != st.Preemptions {
+		t.Errorf("EvPreempt count = %d, Stats.Preemptions = %d", counts[obs.EvPreempt], st.Preemptions)
+	}
+	if counts[obs.EvRelease] == 0 {
+		t.Error("no release events recorded")
+	}
+	// Idle + schedule events must tile the m×slots grid exactly.
+	if got := counts[obs.EvIdle] + counts[obs.EvSchedule]; got != int64(s.Processors())*st.Slots {
+		t.Errorf("idle(%d)+schedule(%d) = %d, want m·slots = %d",
+			counts[obs.EvIdle], counts[obs.EvSchedule], got, int64(s.Processors())*st.Slots)
+	}
+
+	for name, pair := range map[string][2]int64{
+		"slots":            {met.Slots.Value(), st.Slots},
+		"allocations":      {met.Allocations.Value(), st.Allocations},
+		"context switches": {met.ContextSwitches.Value(), st.ContextSwitches},
+		"migrations":       {met.Migrations.Value(), st.Migrations},
+		"preemptions":      {met.Preemptions.Value(), st.Preemptions},
+		"misses":           {met.Misses.Value(), int64(len(st.Misses))},
+	} {
+		if pair[0] != pair[1] {
+			t.Errorf("metric %s = %d, Stats says %d", name, pair[0], pair[1])
+		}
+	}
+	if met.Occupancy.Count() != st.Slots {
+		t.Errorf("occupancy histogram has %d samples, want one per slot (%d)", met.Occupancy.Count(), st.Slots)
+	}
+	if met.Occupancy.Sum() != st.Allocations {
+		t.Errorf("occupancy histogram sum = %d, want Stats.Allocations = %d", met.Occupancy.Sum(), st.Allocations)
+	}
+
+	// Per-task allocations must sum to the total.
+	var perTask int64
+	for _, id := range rec.TaskIDs() {
+		if tm := met.Task(id); tm != nil {
+			perTask += tm.Allocations.Value()
+		}
+	}
+	if perTask != st.Allocations {
+		t.Errorf("per-task allocations sum to %d, total is %d", perTask, st.Allocations)
+	}
+}
+
+// TestObserveMisses checks the pinned EPDF counterexample produces
+// deadline-miss events agreeing with Stats.Misses, with the tardiness
+// histogram fed once per miss.
+func TestObserveMisses(t *testing.T) {
+	set := task.Set{
+		task.MustNew("T0", 4, 9), task.MustNew("T1", 3, 6), task.MustNew("T2", 1, 2),
+		task.MustNew("T3", 8, 9), task.MustNew("T4", 6, 10), task.MustNew("T5", 3, 6),
+		task.MustNew("T6", 9, 10), task.MustNew("T7", 2, 3),
+	}
+	s := NewScheduler(5, EPDF, Options{})
+	rec := obs.NewRecorder(1 << 16)
+	met := obs.NewSchedulerMetrics(nil)
+	s.Observe(rec, met)
+	for _, tk := range set {
+		if err := s.Join(tk); err != nil {
+			t.Fatalf("join: %v", err)
+		}
+	}
+	s.RunUntil(2 * set.Hyperperiod())
+
+	st := s.Stats()
+	if len(st.Misses) == 0 {
+		t.Fatal("EPDF counterexample no longer misses; test needs a new workload")
+	}
+	counts := countKinds(rec)
+	if counts[obs.EvMiss] != int64(len(st.Misses)) {
+		t.Errorf("EvMiss count = %d, Stats has %d misses", counts[obs.EvMiss], len(st.Misses))
+	}
+	if met.Misses.Value() != int64(len(st.Misses)) {
+		t.Errorf("miss counter = %d, want %d", met.Misses.Value(), len(st.Misses))
+	}
+	if met.Tardiness.Count() != int64(len(st.Misses)) {
+		t.Errorf("tardiness histogram has %d samples, want %d", met.Tardiness.Count(), len(st.Misses))
+	}
+	// PD² under observation still schedules the same set cleanly — the
+	// instrumented comparator must not change the priority order.
+	s2 := NewScheduler(5, PD2, Options{})
+	s2.Observe(obs.NewRecorder(1<<16), obs.NewSchedulerMetrics(nil))
+	for _, tk := range set {
+		if err := s2.Join(tk); err != nil {
+			t.Fatalf("join: %v", err)
+		}
+	}
+	s2.RunUntil(2 * set.Hyperperiod())
+	if misses := s2.Stats().Misses; len(misses) != 0 {
+		t.Errorf("observed PD² missed on the feasible counterexample: %+v", misses[0])
+	}
+}
+
+// TestObserveTieBreaks: on a fully utilized set PD² must resolve at least
+// one deadline tie via the b-bit rule, and each traced tie-break names a
+// winner distinct from its loser.
+func TestObserveTieBreaks(t *testing.T) {
+	set := task.Set{
+		task.MustNew("T0", 4, 9), task.MustNew("T1", 3, 6), task.MustNew("T2", 1, 2),
+		task.MustNew("T3", 8, 9), task.MustNew("T4", 6, 10), task.MustNew("T5", 3, 6),
+		task.MustNew("T6", 9, 10), task.MustNew("T7", 2, 3),
+	}
+	s := NewScheduler(5, PD2, Options{})
+	rec := obs.NewRecorder(1 << 20)
+	met := obs.NewSchedulerMetrics(nil)
+	s.Observe(rec, met)
+	for _, tk := range set {
+		if err := s.Join(tk); err != nil {
+			t.Fatalf("join: %v", err)
+		}
+	}
+	s.RunUntil(set.Hyperperiod())
+
+	counts := countKinds(rec)
+	if counts[obs.EvTieBreakB] == 0 {
+		t.Error("no b-bit tie-break events on a fully utilized PD² run")
+	}
+	if met.TieBreakB.Value() != counts[obs.EvTieBreakB] {
+		t.Errorf("b-bit counter = %d, %d events recorded", met.TieBreakB.Value(), counts[obs.EvTieBreakB])
+	}
+	if met.TieBreakGroup.Value() != counts[obs.EvTieBreakGroup] {
+		t.Errorf("group counter = %d, %d events recorded", met.TieBreakGroup.Value(), counts[obs.EvTieBreakGroup])
+	}
+	if met.HeapCmps.Value() == 0 {
+		t.Error("heap comparison counter never incremented")
+	}
+	for _, e := range rec.Events() {
+		if e.Kind == obs.EvTieBreakB || e.Kind == obs.EvTieBreakGroup {
+			if int64(e.Task) == e.A {
+				t.Fatalf("tie-break event with winner == loser: %+v", e)
+			}
+		}
+	}
+}
+
+// TestObserveJoinLeave checks the dynamic-task events: a departing task
+// emits EvLeave with its total allocation, and its instruments stop
+// counting afterwards.
+func TestObserveJoinLeave(t *testing.T) {
+	s := NewScheduler(2, PD2, Options{})
+	rec := obs.NewRecorder(1 << 12)
+	s.Observe(rec, obs.NewSchedulerMetrics(nil))
+	for _, tk := range []*task.Task{task.MustNew("A", 1, 2), task.MustNew("B", 1, 3)} {
+		if err := s.Join(tk); err != nil {
+			t.Fatalf("join: %v", err)
+		}
+	}
+	s.RunUntil(6)
+	when, err := s.Leave("B")
+	if err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	s.RunUntil(when + 2)
+
+	var leaves []obs.Event
+	for _, e := range rec.Events() {
+		if e.Kind == obs.EvLeave {
+			leaves = append(leaves, e)
+		}
+	}
+	if len(leaves) != 1 {
+		t.Fatalf("got %d EvLeave events, want 1", len(leaves))
+	}
+	if got := rec.TaskName(leaves[0].Task); got != "B" {
+		t.Errorf("leave event names task %q, want B", got)
+	}
+	if leaves[0].A <= 0 {
+		t.Errorf("leave event allocation = %d, want > 0", leaves[0].A)
+	}
+}
+
+// TestObserveLagExtrema: the max-|lag| gauge must equal the numerator of
+// the last extremum event for the same task, and extrema must be
+// monotonically increasing per task.
+func TestObserveLagExtrema(t *testing.T) {
+	s := newLoadedScheduler(t, 2, 10, 1.8, 11)
+	rec := obs.NewRecorder(1 << 16)
+	met := obs.NewSchedulerMetrics(nil)
+	s.Observe(rec, met)
+	s.RunUntil(500)
+
+	last := map[int32]int64{}
+	for _, e := range rec.Events() {
+		if e.Kind != obs.EvLagExtremum {
+			continue
+		}
+		if e.A <= last[e.Task] {
+			t.Fatalf("lag extremum for task %d not increasing: %d after %d", e.Task, e.A, last[e.Task])
+		}
+		last[e.Task] = e.A
+	}
+	if len(last) == 0 {
+		t.Fatal("no lag extremum events recorded")
+	}
+	for id, num := range last {
+		tm := met.Task(id)
+		if tm == nil {
+			t.Fatalf("task %d has extremum events but no instruments", id)
+		}
+		if tm.MaxAbsLagNum.Value() != num {
+			t.Errorf("task %d gauge = %d, last extremum = %d", id, tm.MaxAbsLagNum.Value(), num)
+		}
+	}
+}
+
+// TestObserveMidRunAttach: attaching mid-run registers already-admitted
+// tasks and starts the stream at the current slot; detaching stops it.
+func TestObserveMidRunAttach(t *testing.T) {
+	s := newLoadedScheduler(t, 2, 10, 1.8, 3)
+	s.RunUntil(100)
+	rec := obs.NewRecorder(1 << 12)
+	s.Observe(rec, obs.NewSchedulerMetrics(nil))
+	s.RunUntil(150)
+	events := rec.Events()
+	if len(events) == 0 {
+		t.Fatal("no events after mid-run attach")
+	}
+	for _, e := range events {
+		if e.Slot < 100 {
+			t.Fatalf("event before attach slot: %+v", e)
+		}
+	}
+	if len(rec.TaskIDs()) != len(s.Tasks()) {
+		t.Errorf("registered %d tasks, scheduler has %d", len(rec.TaskIDs()), len(s.Tasks()))
+	}
+	total := rec.Total()
+	s.Observe(nil, nil)
+	s.RunUntil(200)
+	if rec.Total() != total {
+		t.Error("events recorded after detach")
+	}
+}

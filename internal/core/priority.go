@@ -66,13 +66,38 @@ type prio struct {
 	id       int   // stable task id: final deterministic tie-break
 }
 
+// decidedBy names the comparison rule that resolved a priority query,
+// for the observability layer's tie-break accounting. Only the b-bit and
+// group-deadline outcomes are traced (they are the rules whose firing
+// frequency distinguishes PD² from EPDF); everything else reports one of
+// the untraced values.
+type decidedBy uint8
+
+const (
+	byDeadline decidedBy = iota
+	byBBit
+	byGroup
+	byOther // PD weight rules, PF recursion
+	byID
+)
+
 // less reports whether a has strictly higher priority than b under alg.
 // The final comparison on task id makes the order total and deterministic.
 //
 //pfair:hotpath
 func less(alg Algorithm, a, b *prio) bool {
+	r, _ := lessWhy(alg, a, b)
+	return r
+}
+
+// lessWhy is less plus the rule that decided the comparison. It is the
+// single implementation of the priority order; less delegates to it so
+// the traced and untraced paths can never diverge.
+//
+//pfair:hotpath
+func lessWhy(alg Algorithm, a, b *prio) (bool, decidedBy) {
 	if a.deadline != b.deadline {
-		return a.deadline < b.deadline
+		return a.deadline < b.deadline, byDeadline
 	}
 	switch alg {
 	case EPDF:
@@ -80,35 +105,35 @@ func less(alg Algorithm, a, b *prio) bool {
 	case PD2NoBBit:
 		// Fault injection: PD² minus the b-bit comparison.
 		if a.bbit == 1 && b.bbit == 1 && a.group != b.group {
-			return a.group > b.group
+			return a.group > b.group, byGroup
 		}
 	case PD2:
 		if a.bbit != b.bbit {
-			return a.bbit > b.bbit
+			return a.bbit > b.bbit, byBBit
 		}
 		if a.bbit == 1 && a.group != b.group {
-			return a.group > b.group
+			return a.group > b.group, byGroup
 		}
 	case PD:
 		if a.bbit != b.bbit {
-			return a.bbit > b.bbit
+			return a.bbit > b.bbit, byBBit
 		}
 		if a.bbit == 1 && a.group != b.group {
-			return a.group > b.group
+			return a.group > b.group, byGroup
 		}
 		ah, bh := a.pat.Heavy(), b.pat.Heavy()
 		if ah != bh {
-			return ah
+			return ah, byOther
 		}
 		if c := a.pat.Weight().Cmp(b.pat.Weight()); c != 0 {
-			return c > 0
+			return c > 0, byOther
 		}
 	case PF:
 		if c := pfCompare(a.pat, a.index, a.offset, b.pat, b.index, b.offset, pfMaxDepth); c != 0 {
-			return c > 0
+			return c > 0, byOther
 		}
 	}
-	return a.id < b.id
+	return a.id < b.id, byID
 }
 
 // SubtaskRef identifies one subtask of a task pattern for priority

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"pfair/internal/heap"
+	"pfair/internal/obs"
 	"pfair/internal/rational"
 	"pfair/internal/task"
 )
@@ -122,6 +123,10 @@ type tstate struct {
 	// departed marks a tstate removed from the system (applyLeaves), so
 	// stale procPrev references can be detected without a map lookup.
 	departed bool
+	// obsID is the task's dense observability id (see observe.go), −1
+	// until the task is registered with an attached recorder or metrics
+	// block.
+	obsID int32
 
 	allocated int64
 	lastProc  int
@@ -170,6 +175,13 @@ type Scheduler struct {
 	stats  Stats
 	onSlot func(t int64, assigned []Assignment)
 
+	// rec and met are the attached observability sinks (see observe.go);
+	// both nil when unobserved. Concrete pointers, not interfaces, so the
+	// unobserved hot path costs one nil check per emission site.
+	rec     *obs.Recorder
+	met     *obs.SchedulerMetrics
+	obsNext int32
+
 	selBuf    []*tstate
 	assignBuf []Assignment
 	// procNext and taken are the assignment scratch for the current slot,
@@ -196,7 +208,7 @@ func NewScheduler(m int, alg Algorithm, opts Options) *Scheduler {
 		procNext: make([]*tstate, m),
 		taken:    make([]bool, m),
 	}
-	s.ready = heap.New(func(a, b *tstate) bool { return less(s.alg, &a.pr, &b.pr) })
+	s.ready = heap.New(s.cmpReady)
 	s.pending = heap.New(func(a, b *tstate) bool {
 		if a.elig != b.elig {
 			return a.elig < b.elig
@@ -293,6 +305,7 @@ func (s *Scheduler) admit(t *task.Task, model ReleaseModel, addWeight, check boo
 		lastProc: -1,
 		lastSlot: -1,
 		selSlot:  -1,
+		obsID:    -1,
 	}
 	st.readyItem = heap.NewItem(st)
 	st.pendItem = heap.NewItem(st)
@@ -302,6 +315,7 @@ func (s *Scheduler) admit(t *task.Task, model ReleaseModel, addWeight, check boo
 	}
 	s.tasks[t.Name] = st
 	s.order = append(s.order, st)
+	s.registerObs(st)
 	s.refreshSubtask(st)
 	s.enqueue(st)
 	return nil
@@ -391,6 +405,9 @@ func (s *Scheduler) Step() []Assignment {
 	for s.pending.Len() > 0 && s.pending.Peek().elig <= t {
 		st := s.pending.Pop()
 		s.ready.PushItem(st.readyItem)
+		if rec := s.rec; rec != nil {
+			rec.Emit(obs.Event{Slot: t, Kind: obs.EvRelease, Task: st.obsID, Proc: -1, A: st.index, B: st.deadline})
+		}
 	}
 
 	// Select the m highest-priority eligible subtasks.
@@ -407,6 +424,16 @@ func (s *Scheduler) Step() []Assignment {
 				Deadline:    st.deadline,
 				ScheduledAt: t,
 			})
+			if rec := s.rec; rec != nil {
+				rec.Emit(obs.Event{Slot: t, Kind: obs.EvMiss, Task: st.obsID, Proc: -1, A: st.index, B: st.deadline})
+			}
+			if met := s.met; met != nil {
+				met.Misses.Inc()
+				met.Tardiness.Observe(t + 1 - st.deadline)
+				if tm := met.Task(st.obsID); tm != nil {
+					tm.Misses.Inc()
+				}
+			}
 		}
 		sel = append(sel, st)
 	}
@@ -422,6 +449,15 @@ func (s *Scheduler) Step() []Assignment {
 		}
 		if prev.selSlot != t && !prev.departed && !prev.pat.FirstOfJob(prev.index) {
 			s.stats.Preemptions++
+			if rec := s.rec; rec != nil {
+				rec.Emit(obs.Event{Slot: t, Kind: obs.EvPreempt, Task: prev.obsID, Proc: int32(prev.lastProc), A: prev.index})
+			}
+			if met := s.met; met != nil {
+				met.Preemptions.Inc()
+				if tm := met.Task(prev.obsID); tm != nil {
+					tm.Preemptions.Inc()
+				}
+			}
 		}
 	}
 
@@ -474,9 +510,21 @@ func (s *Scheduler) Step() []Assignment {
 		}
 		if s.procPrev[k] != st {
 			s.stats.ContextSwitches++
+			if met := s.met; met != nil {
+				met.ContextSwitches.Inc()
+			}
 		}
 		if st.lastProc >= 0 && st.lastProc != k {
 			s.stats.Migrations++
+			if rec := s.rec; rec != nil {
+				rec.Emit(obs.Event{Slot: t, Kind: obs.EvMigrate, Task: st.obsID, Proc: int32(k), A: int64(st.lastProc), B: st.index})
+			}
+			if met := s.met; met != nil {
+				met.Migrations.Inc()
+				if tm := met.Task(st.obsID); tm != nil {
+					tm.Migrations.Inc()
+				}
+			}
 		}
 		st.allocated++
 		st.lastProc = k
@@ -486,6 +534,15 @@ func (s *Scheduler) Step() []Assignment {
 		st.lastSchedB = st.pr.bbit
 		st.lastSchedGrp = st.pr.group
 		s.stats.Allocations++
+		if rec := s.rec; rec != nil {
+			rec.Emit(obs.Event{Slot: t, Kind: obs.EvSchedule, Task: st.obsID, Proc: int32(k), A: st.index})
+		}
+		if met := s.met; met != nil {
+			met.Allocations.Inc()
+			if tm := met.Task(st.obsID); tm != nil {
+				tm.Allocations.Inc()
+			}
+		}
 		assigned = append(assigned, Assignment{Proc: k, Task: st.task.Name, Subtask: st.index})
 
 		// Advance to the next subtask.
@@ -494,9 +551,23 @@ func (s *Scheduler) Step() []Assignment {
 		s.pending.PushItem(st.pendItem)
 	}
 	s.assignBuf = assigned
+	if rec := s.rec; rec != nil {
+		for k := 0; k < s.m; k++ {
+			if procNew[k] == nil {
+				rec.Emit(obs.Event{Slot: t, Kind: obs.EvIdle, Task: -1, Proc: int32(k)})
+			}
+		}
+	}
 	s.procPrev, s.procNext = procNew, s.procPrev
 	s.stats.Slots++
 	s.now = t + 1
+	if met := s.met; met != nil {
+		met.Slots.Inc()
+		met.ReadyLen.Set(int64(s.ready.Len()))
+		met.PendingLen.Set(int64(s.pending.Len()))
+		met.Occupancy.Observe(int64(len(assigned)))
+	}
+	s.observeLags(t + 1)
 
 	if s.onSlot != nil {
 		s.onSlot(t, assigned)
@@ -581,6 +652,9 @@ func (s *Scheduler) applyLeaves(t int64) {
 		}
 		delete(s.tasks, st.task.Name)
 		st.departed = true
+		if rec := s.rec; rec != nil {
+			rec.Emit(obs.Event{Slot: t, Kind: obs.EvLeave, Task: st.obsID, Proc: -1, A: st.allocated})
+		}
 		if st.rejoin != nil {
 			rejoins = append(rejoins, st)
 		}

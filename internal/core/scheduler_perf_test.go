@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"pfair/internal/obs"
 	"pfair/internal/parallel"
 	"pfair/internal/taskgen"
 )
@@ -66,6 +67,44 @@ func BenchmarkStepAllocs(b *testing.B) {
 	b.StopTimer()
 	if allocs := testing.AllocsPerRun(100, func() { s.Step() }); allocs != 0 {
 		b.Fatalf("Step allocates %v/op in steady state, want 0", allocs)
+	}
+}
+
+// BenchmarkStepAllocsObserved is BenchmarkStepAllocs with a live trace
+// recorder and metrics block attached: the observability layer's contract
+// is that observation changes what is *recorded*, never what is
+// *allocated*. The recorder's ring buffer and the metrics instruments are
+// preallocated, so the observed hot path must also be 0 allocs/op.
+func BenchmarkStepAllocsObserved(b *testing.B) {
+	s := newLoadedScheduler(b, 2, 100, 1.9, 42)
+	s.Observe(obs.NewRecorder(obs.DefaultRingCapacity), obs.NewSchedulerMetrics(nil))
+	s.RunUntil(2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+	b.StopTimer()
+	if allocs := testing.AllocsPerRun(100, func() { s.Step() }); allocs != 0 {
+		b.Fatalf("observed Step allocates %v/op in steady state, want 0", allocs)
+	}
+	if s.Recorder().Total() == 0 {
+		b.Fatal("recorder attached but no events recorded")
+	}
+}
+
+// TestStepObservedZeroAllocs is the test-mode twin of
+// BenchmarkStepAllocsObserved, so `go test` alone (CI tier 1) catches an
+// allocating emission site without running benchmarks.
+func TestStepObservedZeroAllocs(t *testing.T) {
+	s := newLoadedScheduler(t, 2, 100, 1.9, 42)
+	s.Observe(obs.NewRecorder(1<<12), obs.NewSchedulerMetrics(nil))
+	s.RunUntil(2000)
+	if allocs := testing.AllocsPerRun(500, func() { s.Step() }); allocs != 0 {
+		t.Fatalf("observed Step allocates %v/op in steady state, want 0", allocs)
+	}
+	if s.Recorder().Total() == 0 {
+		t.Fatal("recorder attached but no events recorded")
 	}
 }
 

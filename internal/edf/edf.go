@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"pfair/internal/heap"
+	"pfair/internal/obs"
 	"pfair/internal/task"
 )
 
@@ -90,6 +91,7 @@ type Stats struct {
 
 type tstate struct {
 	cfg         Config
+	obsID       int32 // dense trace id, −1 until a recorder is attached
 	nextRelease int64
 	nextJob     int64 // 1-based index of the next job to release
 
@@ -117,11 +119,13 @@ type job struct {
 type Simulator struct {
 	now      int64
 	tasks    map[string]*tstate
+	order    []*tstate // add order, for deterministic obs id assignment
 	ready    *heap.Heap[*job]
 	releases *heap.Heap[*tstate]
 	running  *job
 	stats    Stats
 	measure  bool
+	rec      *obs.Recorder
 }
 
 // NewSimulator returns an empty simulator at time 0.
@@ -152,6 +156,37 @@ func jobLess(a, b *job) bool {
 // reproduce Figure 2(a).
 func (s *Simulator) MeasureOverhead(on bool) { s.measure = on }
 
+// SetRecorder attaches a trace recorder (nil detaches). Releases,
+// dispatches, preemptions, and deadline misses are emitted on the single
+// processor lane 0; Event.Slot carries the simulator's abstract time
+// units. Tasks added before and after the call are registered alike.
+func (s *Simulator) SetRecorder(rec *obs.Recorder) {
+	s.rec = rec
+	for _, ts := range s.order {
+		s.registerObs(ts)
+	}
+}
+
+// Recorder returns the attached trace recorder, or nil.
+func (s *Simulator) Recorder() *obs.Recorder { return s.rec }
+
+func (s *Simulator) registerObs(ts *tstate) {
+	if s.rec == nil {
+		return
+	}
+	if ts.obsID < 0 {
+		for i, o := range s.order {
+			if o == ts {
+				ts.obsID = int32(i)
+				break
+			}
+		}
+	}
+	if s.rec.RegisterTask(ts.obsID, ts.cfg.Task.Name) {
+		s.rec.Emit(obs.Event{Slot: s.now, Kind: obs.EvJoin, Task: ts.obsID, Proc: -1, A: ts.cfg.Task.Cost, B: ts.cfg.Task.Period})
+	}
+}
+
 // Add admits a task (synchronous first release at time 0). It must be
 // called before Run.
 func (s *Simulator) Add(cfg Config) error {
@@ -164,11 +199,13 @@ func (s *Simulator) Add(cfg Config) error {
 	if srv := cfg.Server; srv != nil && (srv.Budget <= 0 || srv.Period < srv.Budget) {
 		return fmt.Errorf("edf: invalid CBS %+v for %s", *srv, cfg.Task.Name)
 	}
-	ts := &tstate{cfg: cfg, nextRelease: 0, nextJob: 1}
+	ts := &tstate{cfg: cfg, obsID: -1, nextRelease: 0, nextJob: 1}
 	if cfg.Server != nil {
 		ts.budget = cfg.Server.Budget
 	}
 	s.tasks[cfg.Task.Name] = ts
+	s.order = append(s.order, ts)
+	s.registerObs(ts)
 	s.releases.Push(ts)
 	return nil
 }
@@ -276,6 +313,9 @@ func (s *Simulator) releaseDue() {
 			remaining: cost,
 		}
 		s.stats.Jobs++
+		if rec := s.rec; rec != nil {
+			rec.Emit(obs.Event{Slot: s.now, Kind: obs.EvRelease, Task: ts.obsID, Proc: -1, A: j.index, B: j.orig})
+		}
 		ts.nextJob++
 		ts.nextRelease += ts.cfg.Task.Period
 		s.releases.Push(ts)
@@ -312,6 +352,9 @@ func (s *Simulator) complete() {
 		s.stats.Misses = append(s.stats.Misses, Miss{
 			Task: j.ts.cfg.Task.Name, Job: j.index, Deadline: j.orig, FinishedAt: s.now,
 		})
+		if rec := s.rec; rec != nil {
+			rec.Emit(obs.Event{Slot: s.now, Kind: obs.EvMiss, Task: j.ts.obsID, Proc: 0, A: j.index, B: j.orig})
+		}
 	}
 	ts := j.ts
 	if ts.cfg.Server != nil {
@@ -354,11 +397,18 @@ func (s *Simulator) dispatch() {
 			s.ready.Pop()
 			s.running = top
 			s.stats.ContextSwitches++
+			if rec := s.rec; rec != nil {
+				rec.Emit(obs.Event{Slot: s.now, Kind: obs.EvSchedule, Task: top.ts.obsID, Proc: 0, A: top.index})
+			}
 		case jobLess(top, s.running):
 			s.ready.Pop()
 			s.ready.Push(s.running)
 			s.stats.Preemptions++
 			s.stats.ContextSwitches++
+			if rec := s.rec; rec != nil {
+				rec.Emit(obs.Event{Slot: s.now, Kind: obs.EvPreempt, Task: s.running.ts.obsID, Proc: 0, A: s.running.index})
+				rec.Emit(obs.Event{Slot: s.now, Kind: obs.EvSchedule, Task: top.ts.obsID, Proc: 0, A: top.index})
+			}
 			s.running = top
 		}
 	}
@@ -376,6 +426,9 @@ func (s *Simulator) finishMisses(horizon int64) {
 			s.stats.Misses = append(s.stats.Misses, Miss{
 				Task: j.ts.cfg.Task.Name, Job: j.index, Deadline: j.orig, FinishedAt: -1,
 			})
+			if rec := s.rec; rec != nil {
+				rec.Emit(obs.Event{Slot: horizon, Kind: obs.EvMiss, Task: j.ts.obsID, Proc: 0, A: j.index, B: j.orig})
+			}
 		}
 	}
 	record(s.running)

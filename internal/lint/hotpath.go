@@ -24,6 +24,16 @@ import (
 //     from one (the s.buf[:0] double-buffer pattern): appending to a
 //     fresh slice allocates its backing array in steady state.
 //
+// Additionally, the observability contract of internal/obs is enforced:
+// any method call on an obs-typed value (Recorder.Emit, Counter.Inc,
+// SchedulerMetrics.Task, ...) inside a //pfair:hotpath function must be
+// lexically inside the body of an `if x != nil` guard where x is an
+// obs-typed prefix of the call's receiver chain. The guard is what makes
+// observation free when disabled — a nil recorder costs one predictable
+// branch — so an unguarded call is either a nil-pointer hazard or a sign
+// the emission was written outside the sanctioned pattern
+// `if rec := s.rec; rec != nil { rec.Emit(...) }`.
+//
 // The rules are per-function and syntactic: callees are not traversed,
 // so every function on the hot path must carry its own annotation.
 // BenchmarkStepAllocs asserts the dynamic side (0 allocs/op) so the
@@ -31,10 +41,15 @@ import (
 var HotPath = &Analyzer{
 	Name: "hotpath",
 	Doc: "flag allocation sources (closures, fmt, make/new, escaping composite " +
-		"literals, append to non-preallocated slices) inside functions annotated " +
-		"//pfair:hotpath",
+		"literals, append to non-preallocated slices) and unguarded internal/obs " +
+		"calls inside functions annotated //pfair:hotpath",
 	Run: runHotPath,
 }
+
+// obsPkgPath is the observability package whose method calls must be
+// nil-guarded on hot paths. The obs package itself is exempt: its own
+// methods run on receivers the caller already guarded.
+const obsPkgPath = "pfair/internal/obs"
 
 func runHotPath(pass *Pass) {
 	for _, file := range pass.Files {
@@ -82,6 +97,10 @@ func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
 		}
 		return true
 	})
+
+	if pass.Path != obsPkgPath {
+		checkObsGuards(pass, fd)
+	}
 
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -152,4 +171,147 @@ func describeComposite(t types.Type) string {
 		return "map"
 	}
 	return "composite"
+}
+
+// checkObsGuards walks fd's body tracking which expressions are known
+// non-nil from enclosing `if x != nil` conditions, and reports any
+// obs-typed method call not covered by such a guard. The analysis is
+// lexical: a guard covers exactly the if statement's body (not its else
+// branch), conditions contribute through `&&` conjunctions only, and
+// expressions match by their printed form (`rec`, `s.met`, ...), so
+// guarding an alias covers calls through that alias and nothing else.
+func checkObsGuards(pass *Pass, fd *ast.FuncDecl) {
+	var walk func(root ast.Node, guarded map[string]bool)
+	walk = func(root ast.Node, guarded map[string]bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IfStmt:
+				if n.Init != nil {
+					walk(n.Init, guarded)
+				}
+				walk(n.Cond, guarded)
+				g := guarded
+				if keys := nilGuardKeys(n.Cond, nil); len(keys) > 0 {
+					g = make(map[string]bool, len(guarded)+len(keys))
+					for k := range guarded { //pfair:orderinvariant copies a set into a set
+						g[k] = true
+					}
+					for _, k := range keys {
+						g[k] = true
+					}
+				}
+				walk(n.Body, g)
+				if n.Else != nil {
+					walk(n.Else, guarded)
+				}
+				return false
+			case *ast.CallExpr:
+				checkObsCall(pass, fd, n, guarded)
+			}
+			return true
+		})
+	}
+	walk(fd.Body, map[string]bool{})
+}
+
+// nilGuardKeys appends the printed keys of every expression an if
+// condition proves non-nil: `x != nil`, `nil != x`, and conjunctions
+// thereof. Disjunctions prove nothing about either operand.
+func nilGuardKeys(cond ast.Expr, keys []string) []string {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return keys
+	}
+	switch b.Op {
+	case token.LAND:
+		keys = nilGuardKeys(b.X, keys)
+		keys = nilGuardKeys(b.Y, keys)
+	case token.NEQ:
+		if isNilIdent(b.Y) {
+			if k := exprKey(b.X); k != "" {
+				keys = append(keys, k)
+			}
+		} else if isNilIdent(b.X) {
+			if k := exprKey(b.Y); k != "" {
+				keys = append(keys, k)
+			}
+		}
+	}
+	return keys
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// exprKey renders an identifier or selector chain (`rec`, `s.met`,
+// `tm.Misses`) for guard matching; anything else — calls, indexing —
+// renders empty and never matches.
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x := exprKey(e.X); x != "" {
+			return x + "." + e.Sel.Name
+		}
+	}
+	return ""
+}
+
+// checkObsCall reports call if its receiver chain contains an obs-typed
+// value and no obs-typed prefix of the chain is in the guarded set. For
+// `met.Task(id).Preemptions.Inc()` the checked prefixes are
+// `met.Task(id).Preemptions` and `met`; guarding either satisfies the
+// rule (the intermediate call expression has no guardable key).
+func checkObsCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, guarded map[string]bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	touchesObs := false
+	for x := ast.Unparen(sel.X); x != nil; {
+		if isObsValue(pass, x) {
+			touchesObs = true
+			if k := exprKey(x); k != "" && guarded[k] {
+				return
+			}
+		}
+		switch e := x.(type) {
+		case *ast.SelectorExpr:
+			x = ast.Unparen(e.X)
+		case *ast.CallExpr:
+			if f, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+				x = ast.Unparen(f.X)
+			} else {
+				x = nil
+			}
+		default:
+			x = nil
+		}
+	}
+	if touchesObs {
+		pass.Reportf(call.Pos(),
+			"unguarded obs call in //pfair:hotpath function %s; wrap it in `if x != nil { ... }` so a detached recorder costs one branch",
+			fd.Name.Name)
+	}
+}
+
+// isObsValue reports whether e is a value (not a package name) whose
+// type, pointers dereferenced, is declared in the obs package.
+func isObsValue(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == obsPkgPath
 }

@@ -2,13 +2,19 @@
 // function, plus the sanctioned buffer-reuse patterns that must pass.
 package hotpath
 
-import "fmt"
+import (
+	"fmt"
+
+	"pfair/internal/obs"
+)
 
 type pair struct{ a, b int }
 
 type sched struct {
 	buf   []int
 	items []int
+	rec   *obs.Recorder
+	met   *obs.SchedulerMetrics
 }
 
 // Step is the negative case: annotated, but every append targets a
@@ -39,6 +45,58 @@ func (s *sched) Bad() {
 	f()
 	p := &pair{1, 2} // want `&composite literal in //pfair:hotpath function Bad escapes to the heap`
 	_ = p
+}
+
+// Observed exercises the sanctioned nil-guard patterns: every obs call
+// sits inside an `if x != nil` body whose x is an obs-typed prefix of the
+// receiver chain, so nothing here is reported.
+//
+//pfair:hotpath
+func (s *sched) Observed(t int64) {
+	if rec := s.rec; rec != nil {
+		rec.Emit(obs.Event{Slot: t, Kind: obs.EvIdle, Task: -1, Proc: 0})
+	}
+	if s.rec != nil {
+		s.rec.Emit(obs.Event{Slot: t, Kind: obs.EvIdle, Task: -1, Proc: 1})
+	}
+	if met := s.met; met != nil {
+		met.Slots.Inc() // guard on the chain's obs-typed root suffices
+		if tm := met.Task(0); tm != nil {
+			tm.Preemptions.Inc()
+		}
+	}
+	if s.met != nil && t > 0 {
+		s.met.Allocations.Add(t) // conjunction still guards
+	} else if rec := s.rec; rec != nil {
+		rec.Emit(obs.Event{Slot: t, Kind: obs.EvIdle, Task: -1, Proc: 2})
+	}
+}
+
+// Unguarded trips the obs rule in each unsanctioned shape.
+//
+//pfair:hotpath
+func (s *sched) Unguarded(t int64) {
+	s.rec.Emit(obs.Event{Slot: t}) // want `unguarded obs call in //pfair:hotpath function Unguarded`
+	if s.rec == nil {
+		return
+	}
+	// An early-return nil check is not a lexical guard: the rule wants the
+	// call inside the if body, where the proof is visible.
+	s.rec.Emit(obs.Event{Slot: t}) // want `unguarded obs call in //pfair:hotpath function Unguarded`
+	if s.met != nil {
+		s.rec.Emit(obs.Event{Slot: t}) // want `unguarded obs call in //pfair:hotpath function Unguarded`
+	}
+	if rec := s.rec; rec != nil {
+		_ = rec
+	} else {
+		s.met.Slots.Inc() // want `unguarded obs call in //pfair:hotpath function Unguarded`
+	}
+}
+
+// ColdObs is not annotated: unguarded obs calls are fine off the hot path
+// (exporters, setup code).
+func ColdObs(rec *obs.Recorder) {
+	rec.Emit(obs.Event{})
 }
 
 // Cold is not annotated, so the same constructs pass unremarked.

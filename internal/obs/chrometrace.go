@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// This file exports a recorded schedule as Chrome trace-event JSON (the
+// format Perfetto and chrome://tracing load): one lane per processor
+// under the "processors" process, one lane per task under the "tasks"
+// process, and a "scheduler" lane for decision events. Schedule events
+// in consecutive slots on the same processor merge into one span, so a
+// task running unpreempted for k slots renders as one k-slot block —
+// migrations and preemptions are then visible as span boundaries.
+//
+// The exporter runs after the simulation (cold path); it allocates
+// freely.
+
+// Chrome trace-event constants. pid selects the top-level group
+// ("process") a lane belongs to; tid the lane within it.
+const (
+	chromePidProcs = 0 // per-processor lanes
+	chromePidTasks = 1 // per-task lanes
+	schedulerTid   = 1 << 20 // decision lane inside the processor group
+)
+
+// ChromeTraceOptions tunes the export.
+type ChromeTraceOptions struct {
+	// SlotMicros is the rendered length of one slot in microseconds
+	// (trace-event timestamps are in µs). 0 means 1000 (1 ms per slot).
+	SlotMicros int64
+	// Procs forces lanes for processors [0, Procs) even if some were
+	// never scheduled on; 0 infers lanes from the events.
+	Procs int
+}
+
+// chromeEvent is one trace-event record. Fields follow the Trace Event
+// Format; omitempty keeps metadata events minimal. Args is a map, which
+// encoding/json marshals with sorted keys, so output is deterministic.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	Pid   int64          `json:"pid"`
+	Tid   int64          `json:"tid"`
+	Cat   string         `json:"cat,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// run is one maximal span of consecutive slots a task spent on one
+// processor.
+type run struct {
+	task       int32
+	proc       int32
+	start, end int64 // slots, inclusive
+	firstSub   int64
+	lastSub    int64
+}
+
+// WriteChromeTrace writes the recorder's retained events as Chrome
+// trace-event JSON. Load the output in https://ui.perfetto.dev or
+// chrome://tracing.
+func WriteChromeTrace(w io.Writer, rec *Recorder, opt ChromeTraceOptions) error {
+	unit := opt.SlotMicros
+	if unit <= 0 {
+		unit = 1000
+	}
+	events := rec.Events()
+
+	maxProc := int32(opt.Procs) - 1
+	for _, e := range events {
+		if e.Proc > maxProc {
+			maxProc = e.Proc
+		}
+	}
+
+	var out []chromeEvent
+	meta := func(pid, tid int64, key, name string) {
+		out = append(out, chromeEvent{
+			Name: key, Phase: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(chromePidProcs, 0, "process_name", "processors")
+	meta(chromePidTasks, 0, "process_name", "tasks")
+	for k := int32(0); k <= maxProc; k++ {
+		meta(chromePidProcs, int64(k), "thread_name", "CPU "+itoa(int64(k)))
+	}
+	for _, id := range rec.TaskIDs() {
+		meta(chromePidTasks, int64(id), "thread_name", rec.TaskName(id))
+	}
+	meta(chromePidProcs, schedulerTid, "thread_name", "scheduler decisions")
+
+	// Merge consecutive EvSchedule events into runs; everything else
+	// becomes an instant on the relevant lane(s).
+	open := map[int32]*run{} // task id → current run
+	flush := func(r *run) {
+		dur := (r.end - r.start + 1) * unit
+		args := map[string]any{
+			"task":     rec.TaskName(r.task),
+			"subtasks": itoa(r.firstSub) + "-" + itoa(r.lastSub),
+		}
+		out = append(out, chromeEvent{
+			Name: rec.TaskName(r.task), Phase: "X", Cat: "schedule",
+			Ts: r.start * unit, Dur: dur, Pid: chromePidProcs, Tid: int64(r.proc), Args: args,
+		})
+		out = append(out, chromeEvent{
+			Name: "CPU " + itoa(int64(r.proc)), Phase: "X", Cat: "schedule",
+			Ts: r.start * unit, Dur: dur, Pid: chromePidTasks, Tid: int64(r.task), Args: args,
+		})
+	}
+	instant := func(e Event, name string, args map[string]any) {
+		ev := chromeEvent{
+			Name: name, Phase: "i", Scope: "t", Cat: "event",
+			Ts: e.Slot * unit, Pid: chromePidTasks, Tid: int64(e.Task), Args: args,
+		}
+		if e.Task < 0 {
+			ev.Pid, ev.Tid = chromePidProcs, int64(e.Proc)
+		}
+		out = append(out, ev)
+	}
+
+	for _, e := range events {
+		switch e.Kind {
+		case EvSchedule:
+			if r := open[e.Task]; r != nil {
+				if r.proc == e.Proc && e.Slot == r.end+1 {
+					r.end = e.Slot
+					r.lastSub = e.A
+					continue
+				}
+				flush(r)
+			}
+			open[e.Task] = &run{task: e.Task, proc: e.Proc, start: e.Slot, end: e.Slot, firstSub: e.A, lastSub: e.A}
+		case EvRelease:
+			instant(e, "release", map[string]any{"subtask": e.A})
+		case EvMiss:
+			instant(e, "deadline-miss", map[string]any{"subtask": e.A, "deadline": e.B})
+		case EvMigrate:
+			instant(e, "migration", map[string]any{"from": e.A, "to": e.Proc, "subtask": e.B})
+		case EvPreempt:
+			instant(e, "preemption", map[string]any{"subtask": e.A, "proc": e.Proc})
+		case EvJoin:
+			instant(e, "join", map[string]any{"cost": e.A, "period": e.B})
+		case EvLeave:
+			instant(e, "leave", map[string]any{"allocated": e.A})
+		case EvLagExtremum:
+			instant(e, "lag-extremum", map[string]any{"num": e.A, "den": e.B})
+		case EvTieBreakB, EvTieBreakGroup:
+			out = append(out, chromeEvent{
+				Name: e.Kind.String(), Phase: "i", Scope: "t", Cat: "decision",
+				Ts: e.Slot * unit, Pid: chromePidProcs, Tid: schedulerTid,
+				Args: map[string]any{
+					"winner": rec.TaskName(e.Task), "loser": rec.TaskName(int32(e.A)), "deadline": e.B,
+				},
+			})
+		case EvIdle:
+			// Idle renders as the absence of a span; no event needed.
+		}
+	}
+	// Flush remaining runs in task-id order for deterministic output.
+	for _, id := range rec.TaskIDs() {
+		if r := open[id]; r != nil {
+			flush(r)
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: out, DisplayTimeUnit: "ms"})
+}

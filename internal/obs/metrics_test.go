@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+
+	g := reg.Gauge("g", "", "a gauge")
+	g.Set(7)
+	g.SetMax(3) // smaller: no-op
+	if g.Value() != 7 {
+		t.Errorf("gauge = %d, want 7", g.Value())
+	}
+	g.SetMax(11)
+	if g.Value() != 11 {
+		t.Errorf("gauge = %d, want 11", g.Value())
+	}
+
+	h := reg.Histogram("h", "", "a histogram", []int64{1, 10})
+	for _, v := range []int64{0, 1, 2, 10, 11, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 124 {
+		t.Errorf("hist count=%d sum=%d", h.Count(), h.Sum())
+	}
+	bounds, cum := h.Buckets()
+	if len(bounds) != 2 || bounds[0] != 1 || bounds[1] != 10 {
+		t.Errorf("bounds = %v", bounds)
+	}
+	// ≤1: {0,1} → 2; ≤10: +{2,10} → 4; +Inf: 6.
+	if cum[0] != 2 || cum[1] != 4 || cum[2] != 6 {
+		t.Errorf("cumulative = %v", cum)
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", `task="A"`, "")
+	b := reg.Counter("x_total", `task="A"`, "")
+	if a != b {
+		t.Error("same series registered twice returned different handles")
+	}
+	other := reg.Counter("x_total", `task="B"`, "")
+	if a == other {
+		t.Error("different label sets share a handle")
+	}
+	if n := len(reg.Snapshot()); n != 2 {
+		t.Errorf("snapshot has %d series, want 2", n)
+	}
+	// A kind clash must not corrupt the registered entry.
+	g := reg.Gauge("x_total", `task="A"`, "")
+	g.Set(99)
+	if a.Value() != 0 {
+		t.Error("kind clash corrupted the counter")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pfair_migrations_total", "", "migrations").Add(3)
+	reg.Counter("pfair_task_migrations_total", `task="A"`, "per task").Add(2)
+	reg.Counter("pfair_task_migrations_total", `task="B"`, "per task").Add(1)
+	reg.Gauge("pfair_ready_queue_len", "", "ready length").Set(4)
+	h := reg.Histogram("pfair_tardiness_slots", "", "tardiness", []int64{1, 2})
+	h.Observe(1)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP pfair_migrations_total migrations",
+		"# TYPE pfair_migrations_total counter",
+		"pfair_migrations_total 3",
+		`pfair_task_migrations_total{task="A"} 2`,
+		`pfair_task_migrations_total{task="B"} 1`,
+		"# TYPE pfair_ready_queue_len gauge",
+		"pfair_ready_queue_len 4",
+		"# TYPE pfair_tardiness_slots histogram",
+		`pfair_tardiness_slots_bucket{le="1"} 1`,
+		`pfair_tardiness_slots_bucket{le="2"} 1`,
+		`pfair_tardiness_slots_bucket{le="+Inf"} 2`,
+		"pfair_tardiness_slots_sum 6",
+		"pfair_tardiness_slots_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The per-family TYPE header must appear exactly once.
+	if n := strings.Count(out, "# TYPE pfair_task_migrations_total"); n != 1 {
+		t.Errorf("TYPE header for labeled family appears %d times", n)
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	if got := EscapeLabel("a\"b\\c\nd"); got != `a\"b\\c\nd` {
+		t.Errorf("EscapeLabel = %q", got)
+	}
+}
+
+func TestExpvarFunc(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "", "").Add(2)
+	h := reg.Histogram("h", "", "", []int64{10})
+	h.Observe(4)
+
+	raw, err := json.Marshal(reg.ExpvarFunc()())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["c_total"] != float64(2) {
+		t.Errorf("c_total = %v", m["c_total"])
+	}
+	hist, ok := m["h"].(map[string]any)
+	if !ok || hist["count"] != float64(1) || hist["sum"] != float64(4) {
+		t.Errorf("h = %v", m["h"])
+	}
+}
+
+func TestWriteSummarySorted(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("z_total", "", "").Inc()
+	reg.Counter("a_total", "", "").Inc()
+	reg.Histogram("m_hist", "", "", []int64{1}).Observe(3)
+	var b strings.Builder
+	if err := reg.WriteSummary(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	ia, im, iz := strings.Index(out, "a_total"), strings.Index(out, "m_hist"), strings.Index(out, "z_total")
+	if ia < 0 || im < 0 || iz < 0 || !(ia < im && im < iz) {
+		t.Errorf("summary not sorted:\n%s", out)
+	}
+	if !strings.Contains(out, "m_hist count=1 sum=3") {
+		t.Errorf("histogram summary wrong:\n%s", out)
+	}
+}
+
+func TestSchedulerMetrics(t *testing.T) {
+	m := NewSchedulerMetrics(nil)
+	if m.Registry() == nil {
+		t.Fatal("nil registry not defaulted")
+	}
+	m.EnsureTask(1, "B", 5)
+	m.EnsureTask(0, "A", 3)
+	m.EnsureTask(0, "A", 3) // idempotent
+	if m.Task(0) == nil || m.Task(1) == nil {
+		t.Fatal("registered tasks not retrievable")
+	}
+	if m.Task(0) == m.Task(1) {
+		t.Fatal("distinct ids share instruments")
+	}
+	if m.Task(2) != nil || m.Task(-1) != nil {
+		t.Fatal("unregistered ids must return nil")
+	}
+	if m.Task(0).LagDen != 3 {
+		t.Errorf("LagDen = %d, want 3", m.Task(0).LagDen)
+	}
+	m.Task(0).Migrations.Inc()
+	var b strings.Builder
+	if err := m.Registry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `pfair_task_migrations_total{task="A"} 1`) {
+		t.Errorf("per-task series missing:\n%s", b.String())
+	}
+}
+
+// TestInstrumentUpdatesZeroAlloc pins the registry's hot-path contract.
+func TestInstrumentUpdatesZeroAlloc(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "", "")
+	g := reg.Gauge("g", "", "")
+	h := reg.Histogram("h", "", "", []int64{1, 8, 64})
+	m := NewSchedulerMetrics(reg)
+	m.EnsureTask(0, "A", 3)
+	v := int64(0)
+	allocs := testing.AllocsPerRun(2000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(v)
+		g.SetMax(v + 1)
+		h.Observe(v % 100)
+		if tm := m.Task(0); tm != nil {
+			tm.Preemptions.Inc()
+			tm.MaxAbsLagNum.SetMax(v % 7)
+		}
+		v++
+	})
+	if allocs != 0 {
+		t.Fatalf("instrument updates allocate %v/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,130 @@
+package obs
+
+// SchedulerMetrics bundles the fixed set of instruments the Pfair
+// scheduler (internal/core) updates per slot, plus a growable table of
+// per-task instruments indexed by the scheduler-assigned task id. All
+// instruments live in one Registry so a single WritePrometheus or
+// Snapshot call exports the whole scheduler.
+//
+// Handles are preallocated here (cold path); the scheduler's per-slot
+// updates are bare integer operations on them.
+type SchedulerMetrics struct {
+	// Global counters, mirroring core.Stats plus the queue-level detail
+	// Stats cannot see.
+	Slots           *Counter
+	Allocations     *Counter
+	ContextSwitches *Counter
+	Migrations      *Counter
+	Preemptions     *Counter
+	Misses          *Counter
+	// HeapCmps counts priority-comparator invocations — the dominant
+	// term of the per-slot cost Figure 2 measures (each binary-heap
+	// operation performs O(log n) of them).
+	HeapCmps *Counter
+	// TieBreakB and TieBreakGroup count deadline ties decided by the
+	// PD² b-bit and group-deadline rules — how often the tie-breaks
+	// that separate PD² from EPDF actually fire.
+	TieBreakB     *Counter
+	TieBreakGroup *Counter
+
+	// ReadyLen and PendingLen are the queue lengths after the most
+	// recent slot.
+	ReadyLen   *Gauge
+	PendingLen *Gauge
+
+	// Occupancy distributes busy processors per slot; Tardiness
+	// distributes slots-late per deadline miss.
+	Occupancy *Histogram
+	Tardiness *Histogram
+
+	reg   *Registry
+	tasks []*TaskMetrics // indexed by scheduler task id
+}
+
+// TaskMetrics is the per-task instrument block.
+type TaskMetrics struct {
+	Allocations *Counter
+	Migrations  *Counter
+	Preemptions *Counter
+	Misses      *Counter
+	// MaxAbsLagNum is the numerator of the largest |lag| observed, over
+	// the denominator LagDen (the task's period): lag after slot t is
+	// (cost·(t+1−join) − allocated·period) / period. Kept as an exact
+	// integer pair, per the repository's no-floats rule.
+	MaxAbsLagNum *Gauge
+	// LagDen is the fixed denominator of MaxAbsLagNum.
+	LagDen int64
+}
+
+// occupancyBounds covers 1..16 processors exactly; larger machines fall
+// into the overflow bucket.
+var occupancyBounds = []int64{0, 1, 2, 4, 8, 16}
+
+// tardinessBounds covers the small tardiness values the paper's
+// tardiness experiments report.
+var tardinessBounds = []int64{1, 2, 4, 8, 16, 32}
+
+// NewSchedulerMetrics registers the scheduler's instrument set in reg
+// and returns the handle block. Passing nil creates a private registry,
+// retrievable via Registry().
+func NewSchedulerMetrics(reg *Registry) *SchedulerMetrics {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &SchedulerMetrics{
+		Slots:           reg.Counter("pfair_slots_total", "", "scheduler invocations (one per slot)"),
+		Allocations:     reg.Counter("pfair_allocations_total", "", "quanta handed to tasks"),
+		ContextSwitches: reg.Counter("pfair_context_switches_total", "", "slot boundaries where a processor changed task"),
+		Migrations:      reg.Counter("pfair_migrations_total", "", "allocations on a different processor than the task's previous one"),
+		Preemptions:     reg.Counter("pfair_preemptions_total", "", "tasks descheduled mid-job at a slot boundary"),
+		Misses:          reg.Counter("pfair_deadline_misses_total", "", "subtask deadline violations detected"),
+		HeapCmps:        reg.Counter("pfair_heap_comparisons_total", "", "priority comparator invocations across the ready and release queues"),
+		TieBreakB:       reg.Counter("pfair_tiebreak_bbit_total", "", "deadline ties decided by the b-bit rule"),
+		TieBreakGroup:   reg.Counter("pfair_tiebreak_group_total", "", "deadline ties decided by the group-deadline rule"),
+		ReadyLen:        reg.Gauge("pfair_ready_queue_len", "", "ready-queue length after the last slot"),
+		PendingLen:      reg.Gauge("pfair_release_queue_len", "", "release-queue length after the last slot"),
+		Occupancy:       reg.Histogram("pfair_slot_occupancy", "", "busy processors per slot", occupancyBounds),
+		Tardiness:       reg.Histogram("pfair_tardiness_slots", "", "slots late per deadline miss", tardinessBounds),
+		reg:             reg,
+	}
+}
+
+// Registry returns the registry holding this block's instruments.
+func (m *SchedulerMetrics) Registry() *Registry { return m.reg }
+
+// EnsureTask registers the per-task instrument block for the given
+// scheduler task id (idempotent, cold path). Ids must be small and
+// dense — they index a slice.
+func (m *SchedulerMetrics) EnsureTask(id int32, name string, period int64) {
+	if id < 0 {
+		return
+	}
+	for int(id) >= len(m.tasks) {
+		m.tasks = append(m.tasks, nil)
+	}
+	if m.tasks[id] != nil {
+		return
+	}
+	labels := `task="` + EscapeLabel(name) + `"`
+	m.tasks[id] = &TaskMetrics{
+		Allocations:  m.reg.Counter("pfair_task_allocations_total", labels, "quanta allocated, per task"),
+		Migrations:   m.reg.Counter("pfair_task_migrations_total", labels, "migrations, per task"),
+		Preemptions:  m.reg.Counter("pfair_task_preemptions_total", labels, "preemptions, per task"),
+		Misses:       m.reg.Counter("pfair_task_deadline_misses_total", labels, "deadline misses, per task"),
+		MaxAbsLagNum: m.reg.Gauge("pfair_task_max_abs_lag_num", labels, "numerator of max |lag| (denominator = the task's period)"),
+		LagDen:       period,
+	}
+}
+
+// Task returns the instrument block for id, or nil for ids never passed
+// to EnsureTask. The nil return is part of the hot-path contract: the
+// scheduler guards each use, so an unregistered id degrades to a missing
+// series rather than a crash.
+//
+//pfair:hotpath
+func (m *SchedulerMetrics) Task(id int32) *TaskMetrics {
+	if id < 0 || int(id) >= len(m.tasks) {
+		return nil
+	}
+	return m.tasks[id]
+}

@@ -250,6 +250,17 @@ func LCM(a, b int64) int64 {
 	return mulCheck(a/gcd(a, b), b)
 }
 
+// LCMOK is LCM returning ok=false instead of panicking on int64 overflow,
+// for callers (CLIs, admission paths) that must report the error rather
+// than crash.
+func LCMOK(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	a, b = abs(a), abs(b)
+	return mulOK(a/gcd(a, b), b)
+}
+
 func abs(a int64) int64 {
 	if a < 0 {
 		return -a

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"pfair/internal/heap"
+	"pfair/internal/obs"
 	"pfair/internal/task"
 )
 
@@ -52,6 +53,7 @@ type GlobalStats struct {
 
 type gtask struct {
 	t           *task.Task
+	id          int32 // dense observability id (index in the input set)
 	nextRelease int64
 	nextJob     int64
 	// Outstanding jobs, FIFO; only the head is schedulable (a task
@@ -72,6 +74,14 @@ type gjob struct {
 // eligible jobs run (at most one slot of one job per task per slot). It
 // records every job-deadline miss up to the horizon.
 func RunGlobal(set task.Set, m int, pol Policy, horizon int64) GlobalStats {
+	return RunGlobalObserved(set, m, pol, horizon, nil)
+}
+
+// RunGlobalObserved is RunGlobal with an optional trace recorder (nil =
+// unobserved) receiving release, schedule, idle, and deadline-miss events,
+// so the Dhall-effect runs export to the same Perfetto timeline as the
+// Pfair schedulers. Task ids are the indices into set.
+func RunGlobalObserved(set task.Set, m int, pol Policy, horizon int64, rec *obs.Recorder) GlobalStats {
 	var stats GlobalStats
 	less := func(a, b *gjob) bool {
 		switch pol {
@@ -92,7 +102,11 @@ func RunGlobal(set task.Set, m int, pol Policy, horizon int64) GlobalStats {
 
 	tasks := make([]*gtask, len(set))
 	for i, t := range set {
-		tasks[i] = &gtask{t: t, nextJob: 1}
+		tasks[i] = &gtask{t: t, id: int32(i), nextJob: 1}
+		if rec != nil {
+			rec.RegisterTask(int32(i), t.Name)
+			rec.Emit(obs.Event{Slot: 0, Kind: obs.EvJoin, Task: int32(i), Proc: -1, A: t.Cost, B: t.Period})
+		}
 	}
 
 	ready := heap.New(less) // heads of task queues with remaining work
@@ -107,6 +121,9 @@ func RunGlobal(set task.Set, m int, pol Policy, horizon int64) GlobalStats {
 					remaining: ts.t.Cost,
 				}
 				stats.Jobs++
+				if rec != nil {
+					rec.Emit(obs.Event{Slot: slot, Kind: obs.EvRelease, Task: ts.id, Proc: -1, A: j.index, B: j.deadline})
+				}
 				if len(ts.queue) == 0 {
 					ready.Push(j)
 				}
@@ -121,6 +138,9 @@ func RunGlobal(set task.Set, m int, pol Policy, horizon int64) GlobalStats {
 				if !j.missed && j.deadline <= slot {
 					j.missed = true
 					stats.Misses = append(stats.Misses, JobMiss{Task: ts.t.Name, Job: j.index, Deadline: j.deadline})
+					if rec != nil {
+						rec.Emit(obs.Event{Slot: slot, Kind: obs.EvMiss, Task: ts.id, Proc: -1, A: j.index, B: j.deadline})
+					}
 				}
 			}
 		}
@@ -128,6 +148,14 @@ func RunGlobal(set task.Set, m int, pol Policy, horizon int64) GlobalStats {
 		var ran []*gjob
 		for len(ran) < m && ready.Len() > 0 {
 			ran = append(ran, ready.Pop())
+		}
+		if rec != nil {
+			for k, j := range ran {
+				rec.Emit(obs.Event{Slot: slot, Kind: obs.EvSchedule, Task: j.ts.id, Proc: int32(k), A: j.index})
+			}
+			for k := len(ran); k < m; k++ {
+				rec.Emit(obs.Event{Slot: slot, Kind: obs.EvIdle, Task: -1, Proc: int32(k)})
+			}
 		}
 		for _, j := range ran {
 			j.remaining--
@@ -149,6 +177,9 @@ func RunGlobal(set task.Set, m int, pol Policy, horizon int64) GlobalStats {
 			if !j.missed && j.deadline <= horizon {
 				j.missed = true
 				stats.Misses = append(stats.Misses, JobMiss{Task: ts.t.Name, Job: j.index, Deadline: j.deadline})
+				if rec != nil {
+					rec.Emit(obs.Event{Slot: horizon, Kind: obs.EvMiss, Task: ts.id, Proc: -1, A: j.index, B: j.deadline})
+				}
 			}
 		}
 	}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"testing"
+
+	"pfair/internal/obs"
+)
+
+func kindCounts(rec *obs.Recorder) map[obs.EventKind]int64 {
+	counts := make(map[obs.EventKind]int64)
+	for _, e := range rec.Events() {
+		counts[e.Kind]++
+	}
+	return counts
+}
+
+// TestRunGlobalObserved: the Dhall-effect run emits a trace that tiles the
+// processor grid and mirrors the returned statistics, and attaching the
+// recorder does not perturb the simulation.
+func TestRunGlobalObserved(t *testing.T) {
+	set := DhallSet(2, 100)
+	const m, horizon = 2, 2000
+	rec := obs.NewRecorder(1 << 16)
+	observed := RunGlobalObserved(set, m, GlobalEDF, horizon, rec)
+	plain := RunGlobal(set, m, GlobalEDF, horizon)
+
+	if observed.Jobs != plain.Jobs || observed.Completed != plain.Completed ||
+		len(observed.Misses) != len(plain.Misses) {
+		t.Fatalf("observation changed the run: %+v vs %+v", observed, plain)
+	}
+	if len(observed.Misses) == 0 {
+		t.Fatal("Dhall set no longer misses under global EDF")
+	}
+	if rec.Dropped() != 0 {
+		t.Fatalf("ring too small: dropped %d", rec.Dropped())
+	}
+	counts := kindCounts(rec)
+	if counts[obs.EvJoin] != int64(len(set)) {
+		t.Errorf("EvJoin = %d, want %d", counts[obs.EvJoin], len(set))
+	}
+	if counts[obs.EvRelease] != observed.Jobs {
+		t.Errorf("EvRelease = %d, Jobs = %d", counts[obs.EvRelease], observed.Jobs)
+	}
+	if counts[obs.EvMiss] != int64(len(observed.Misses)) {
+		t.Errorf("EvMiss = %d, Misses = %d", counts[obs.EvMiss], len(observed.Misses))
+	}
+	if got := counts[obs.EvSchedule] + counts[obs.EvIdle]; got != m*horizon {
+		t.Errorf("schedule(%d)+idle(%d) = %d, want m·horizon = %d",
+			counts[obs.EvSchedule], counts[obs.EvIdle], got, m*horizon)
+	}
+}
+
+// TestRunQuantaObserved: the variable-quantum counterexample run records
+// schedule events carrying run lengths, its misses match the result, and
+// observation does not perturb the simulation.
+func TestRunQuantaObserved(t *testing.T) {
+	vts, m, q, horizon := variableQuantaWorkload()
+	rec := obs.NewRecorder(1 << 16)
+	observed := RunQuantaObserved(vts, m, q, horizon, Variable, rec)
+	plain := RunQuanta(vts, m, q, horizon, Variable)
+
+	if observed.Completed != plain.Completed || len(observed.Misses) != len(plain.Misses) {
+		t.Fatalf("observation changed the run: %+v vs %+v", observed, plain)
+	}
+	if len(observed.Misses) == 0 {
+		t.Fatal("variable-quantum counterexample no longer misses")
+	}
+	if rec.Dropped() != 0 {
+		t.Fatalf("ring too small: dropped %d", rec.Dropped())
+	}
+	counts := kindCounts(rec)
+	if counts[obs.EvMiss] != int64(len(observed.Misses)) {
+		t.Errorf("EvMiss = %d, Misses = %d", counts[obs.EvMiss], len(observed.Misses))
+	}
+	if counts[obs.EvSchedule] == 0 {
+		t.Error("no schedule events")
+	}
+	// Under Variable mode truncated runs exist by construction: some
+	// schedule event must carry a run length shorter than the quantum.
+	short := false
+	for _, e := range rec.Events() {
+		if e.Kind == obs.EvSchedule {
+			if e.B < 1 || e.B > q {
+				t.Fatalf("schedule run length %d outside (0, %d]", e.B, q)
+			}
+			if e.B < q {
+				short = true
+			}
+		}
+	}
+	if !short {
+		t.Error("no truncated quantum visible in the trace despite early completions")
+	}
+}

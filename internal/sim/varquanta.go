@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"pfair/internal/core"
+	"pfair/internal/obs"
 	"pfair/internal/task"
 )
 
@@ -98,6 +99,15 @@ func (s *vqState) startJob(j int64) {
 // with the given quantum size (in ticks) and padding mode, until the
 // horizon (in ticks). Tasks are synchronous and periodic.
 func RunQuanta(tasks []VQTask, m int, quantum, horizon int64, mode QuantumMode) VQResult {
+	return RunQuantaObserved(tasks, m, quantum, horizon, mode, nil)
+}
+
+// RunQuantaObserved is RunQuanta with an optional trace recorder (nil =
+// unobserved). Event Slot fields carry *ticks*, not quanta; exporters
+// should scale SlotMicros accordingly. Schedule events carry the run
+// length in ticks in B, making quantum drift under Variable mode directly
+// visible on the timeline. Task ids are the indices into tasks.
+func RunQuantaObserved(tasks []VQTask, m int, quantum, horizon int64, mode QuantumMode, rec *obs.Recorder) VQResult {
 	var res VQResult
 	states := make([]*vqState, len(tasks))
 	for i, vt := range tasks {
@@ -110,6 +120,10 @@ func RunQuanta(tasks []VQTask, m int, quantum, horizon int64, mode QuantumMode) 
 		}
 		st.startJob(1)
 		states[i] = st
+		if rec != nil {
+			rec.RegisterTask(int32(i), vt.Task.Name)
+			rec.Emit(obs.Event{Slot: 0, Kind: obs.EvJoin, Task: int32(i), Proc: -1, A: vt.Task.Cost, B: vt.Task.Period})
+		}
 	}
 
 	// busyUntil[k] < 0 means processor k is idle; otherwise it frees at
@@ -164,6 +178,9 @@ func RunQuanta(tasks []VQTask, m int, quantum, horizon int64, mode QuantumMode) 
 				run = best.jobRem
 			}
 			best.running = true
+			if rec != nil {
+				rec.Emit(obs.Event{Slot: now, Kind: obs.EvSchedule, Task: int32(best.id), Proc: int32(proc), A: best.idx, B: run})
+			}
 			// Apply the run's effects now; the processor-free event only
 			// clears the reservation.
 			best.jobRem -= run
@@ -171,6 +188,9 @@ func RunQuanta(tasks []VQTask, m int, quantum, horizon int64, mode QuantumMode) 
 				finish := now + run
 				if finish > best.deadlineTicks() {
 					res.Misses = append(res.Misses, JobMiss{Task: best.t.Name, Job: best.job, Deadline: best.deadlineTicks()})
+					if rec != nil {
+						rec.Emit(obs.Event{Slot: finish, Kind: obs.EvMiss, Task: int32(best.id), Proc: int32(proc), A: best.job, B: best.deadlineTicks()})
+					}
 				}
 				res.Completed++
 				best.startJob(best.job + 1)
@@ -228,6 +248,9 @@ func RunQuanta(tasks []VQTask, m int, quantum, horizon int64, mode QuantumMode) 
 	for _, st := range states {
 		if st.jobRem > 0 && st.deadlineTicks() <= horizon {
 			res.Misses = append(res.Misses, JobMiss{Task: st.t.Name, Job: st.job, Deadline: st.deadlineTicks()})
+			if rec != nil {
+				rec.Emit(obs.Event{Slot: horizon, Kind: obs.EvMiss, Task: int32(st.id), Proc: -1, A: st.job, B: st.deadlineTicks()})
+			}
 		}
 	}
 	sort.Slice(res.Misses, func(i, j int) bool {

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"testing"
+
+	"pfair/internal/obs"
+	"pfair/internal/task"
+)
+
+// These tests pin the boundary behaviour of the variable-quantum simulator:
+// runs that end mid-quantum, horizons that end mid-quantum, demand clamping,
+// and the alignUp lattice arithmetic everything else leans on.
+
+func TestAlignUp(t *testing.T) {
+	cases := []struct{ t, q, want int64 }{
+		{0, 10, 0},
+		{1, 10, 10},
+		{9, 10, 10},
+		{10, 10, 10},
+		{11, 10, 20},
+		{5, 1, 5},   // quantum 1: every tick is a boundary
+		{13, 7, 14}, // quantum not dividing the value
+		{14, 7, 14},
+	}
+	for _, c := range cases {
+		if got := alignUp(c.t, c.q); got != c.want {
+			t.Errorf("alignUp(%d, %d) = %d, want %d", c.t, c.q, got, c.want)
+		}
+	}
+}
+
+// runLengths replays the schedule events of one simulation and returns the
+// B field (run length in ticks) of each, in emission order.
+func runLengths(rec *obs.Recorder) []int64 {
+	var runs []int64
+	for _, e := range rec.Events() {
+		if e.Kind == obs.EvSchedule {
+			runs = append(runs, e.B)
+		}
+	}
+	return runs
+}
+
+// TestPartialFinalQuantum: a job whose actual demand is not a multiple of
+// the quantum ends with a short run. Under Aligned the processor pads to
+// the boundary, so every run still *starts* on the global lattice.
+func TestPartialFinalQuantum(t *testing.T) {
+	const q = 10
+	vts := []VQTask{{
+		Task:        task.MustNew("A", 2, 4),
+		ActualTicks: func(int64) int64 { return 15 }, // 1.5 quanta per job
+	}}
+	rec := obs.NewRecorder(1 << 10)
+	res := RunQuantaObserved(vts, 1, q, 4*q*4, Aligned, rec)
+	if len(res.Misses) != 0 {
+		t.Fatalf("aligned missed with slack: %+v", res.Misses[0])
+	}
+	if res.Completed < 3 {
+		t.Fatalf("completed %d jobs, want ≥ 3", res.Completed)
+	}
+	runs := runLengths(rec)
+	if len(runs) < 4 {
+		t.Fatalf("only %d runs recorded", len(runs))
+	}
+	for i, r := range runs {
+		if i%2 == 0 && r != q {
+			t.Errorf("run %d: length %d, want full quantum %d", i, r, q)
+		}
+		if i%2 == 1 && r != 5 {
+			t.Errorf("run %d: length %d, want partial 5", i, r)
+		}
+	}
+	for _, e := range rec.Events() {
+		if e.Kind == obs.EvSchedule && e.Slot%q != 0 {
+			t.Errorf("aligned run started mid-quantum at tick %d", e.Slot)
+		}
+	}
+}
+
+// TestVariableStartsMidQuantum: under Variable, a processor freed by an
+// early completion starts the next quantum immediately, so boundaries
+// drift off the global lattice — the exact behaviour Aligned forbids.
+func TestVariableStartsMidQuantum(t *testing.T) {
+	const q = 10
+	mk := func() []VQTask {
+		return []VQTask{
+			{Task: task.MustNew("A", 1, 2), ActualTicks: func(int64) int64 { return 5 }},
+			{Task: task.MustNew("B", 1, 2)},
+		}
+	}
+	for _, mode := range []QuantumMode{Aligned, Variable} {
+		rec := obs.NewRecorder(1 << 10)
+		RunQuantaObserved(mk(), 1, q, 2*q*6, mode, rec)
+		offLattice := 0
+		for _, e := range rec.Events() {
+			if e.Kind == obs.EvSchedule && e.Slot%q != 0 {
+				offLattice++
+			}
+		}
+		if mode == Aligned && offLattice != 0 {
+			t.Errorf("aligned emitted %d off-lattice starts", offLattice)
+		}
+		if mode == Variable && offLattice == 0 {
+			t.Error("variable never started mid-quantum; drift not exercised")
+		}
+	}
+}
+
+// TestHorizonMidQuantum: a horizon that is not a multiple of the quantum
+// truncates cleanly — results stay deterministic, sorted, and completing
+// more horizon never completes fewer jobs.
+func TestHorizonMidQuantum(t *testing.T) {
+	vts, m, q, horizon := variableQuantaWorkload()
+	cut := horizon - q/2
+	a := RunQuanta(vts, m, q, cut, Variable)
+	b := RunQuanta(vts, m, q, cut, Variable)
+	if len(a.Misses) != len(b.Misses) || a.Completed != b.Completed {
+		t.Fatal("mid-quantum horizon run is not deterministic")
+	}
+	for i := 1; i < len(a.Misses); i++ {
+		prev, cur := a.Misses[i-1], a.Misses[i]
+		if cur.Deadline < prev.Deadline || (cur.Deadline == prev.Deadline && cur.Task < prev.Task) {
+			t.Fatalf("misses not sorted at %d: %+v after %+v", i, cur, prev)
+		}
+	}
+	full := RunQuanta(vts, m, q, horizon, Variable)
+	if full.Completed < a.Completed {
+		t.Fatalf("longer horizon completed fewer jobs: %d < %d", full.Completed, a.Completed)
+	}
+}
+
+// TestActualTicksClamped: out-of-range demands are clamped into
+// [1, cost·quantum] rather than trusted.
+func TestActualTicksClamped(t *testing.T) {
+	const q = 10
+	vts := []VQTask{{
+		Task: task.MustNew("A", 2, 4),
+		ActualTicks: func(job int64) int64 {
+			if job == 1 {
+				return 0 // below range → 1 tick
+			}
+			return 1000 // above range → full 2·q ticks
+		},
+	}}
+	rec := obs.NewRecorder(1 << 10)
+	res := RunQuantaObserved(vts, 1, q, 2*4*q, Aligned, rec)
+	if len(res.Misses) != 0 {
+		t.Fatalf("clamped demands missed: %+v", res.Misses[0])
+	}
+	runs := runLengths(rec)
+	if len(runs) < 3 {
+		t.Fatalf("only %d runs recorded", len(runs))
+	}
+	if runs[0] != 1 {
+		t.Errorf("job 1 ran %d ticks, want demand clamped up to 1", runs[0])
+	}
+	if runs[1] != q || runs[2] != q {
+		t.Errorf("job 2 ran %d+%d ticks, want demand clamped down to two full quanta", runs[1], runs[2])
+	}
+}
+
+// TestQuantumOne: with a one-tick quantum every tick is a boundary, so
+// Aligned and Variable produce identical schedules.
+func TestQuantumOne(t *testing.T) {
+	mk := func() []VQTask {
+		return []VQTask{
+			{Task: task.MustNew("A", 2, 3), ActualTicks: func(job int64) int64 { return 1 + job%2 }},
+			{Task: task.MustNew("B", 1, 3)},
+		}
+	}
+	a := RunQuanta(mk(), 1, 1, 60, Aligned)
+	v := RunQuanta(mk(), 1, 1, 60, Variable)
+	if a.Completed != v.Completed || len(a.Misses) != len(v.Misses) {
+		t.Fatalf("quantum 1: aligned (%d done, %d missed) differs from variable (%d done, %d missed)",
+			a.Completed, len(a.Misses), v.Completed, len(v.Misses))
+	}
+}

@@ -163,13 +163,29 @@ func (s Set) MaxUtilization() rational.Rat {
 
 // Hyperperiod returns the least common multiple of the tasks' periods. A
 // synchronous periodic schedule repeats with this period, so simulating one
-// hyperperiod suffices to verify it. It panics on int64 overflow.
+// hyperperiod suffices to verify it. It panics on int64 overflow; callers
+// that must degrade gracefully (CLIs sizing a default horizon from user
+// input) should use HyperperiodOK.
 func (s Set) Hyperperiod() int64 {
 	l := int64(1)
 	for _, t := range s {
 		l = rational.LCM(l, t.Period)
 	}
 	return l
+}
+
+// HyperperiodOK is Hyperperiod returning ok=false instead of panicking
+// when the LCM of the periods overflows int64 (easy to hit with a handful
+// of large coprime periods).
+func (s Set) HyperperiodOK() (int64, bool) {
+	l := int64(1)
+	for _, t := range s {
+		var ok bool
+		if l, ok = rational.LCMOK(l, t.Period); !ok {
+			return 0, false
+		}
+	}
+	return l, true
 }
 
 // Feasible reports whether the set satisfies Equation (2) on m processors:

@@ -1,7 +1,13 @@
 #!/bin/sh
 # bench.sh — run the scheduler hot-path benchmarks and emit a
-# machine-readable BENCH_core.json with name, ns/op, and allocs/op per
-# benchmark, so CI (or a reviewer) can diff performance across commits.
+# machine-readable BENCH_core.json, so CI (or a reviewer) can diff
+# performance across commits.
+#
+# The file is an object: a "meta" block stamping the provenance of the
+# numbers (git commit, Go version, GOMAXPROCS) followed by a "benchmarks"
+# array with name, ns/op, and allocs/op per benchmark. Apart from the
+# measured timings and the stamp itself the output is byte-stable: same
+# benchmarks, same order, same formatting on every run.
 #
 # Usage: scripts/bench.sh [output.json]
 set -eu
@@ -11,11 +17,25 @@ out="${1:-BENCH_core.json}"
 raw="$(mktemp -p . bench.XXXXXX.txt)"
 trap 'rm -f "$raw"' EXIT
 
+commit="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+dirty=false
+if ! git diff --quiet HEAD 2>/dev/null; then
+	dirty=true
+fi
+goversion="$(go env GOVERSION)"
+# GOMAXPROCS defaults to the online CPU count unless the env overrides it.
+maxprocs="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)}"
+
 go test -run '^$' -bench 'BenchmarkFig2aPD2|BenchmarkFig2bPD2|BenchmarkFig1Windows' \
 	-benchmem -benchtime=0.2s -count=1 . | tee "$raw"
 
-awk '
-BEGIN { print "["; first = 1 }
+awk -v commit="$commit" -v dirty="$dirty" -v gover="$goversion" -v procs="$maxprocs" '
+BEGIN {
+	print "{"
+	printf "  \"meta\": {\"commit\": \"%s\", \"dirty\": %s, \"go\": \"%s\", \"gomaxprocs\": %s},\n", commit, dirty, gover, procs
+	print "  \"benchmarks\": ["
+	first = 1
+}
 /^Benchmark/ {
 	name = $1
 	nsop = ""; allocs = ""
@@ -26,9 +46,9 @@ BEGIN { print "["; first = 1 }
 	if (nsop == "") next
 	if (!first) print ","
 	first = 0
-	printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, nsop, (allocs == "" ? "null" : allocs)
+	printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, nsop, (allocs == "" ? "null" : allocs)
 }
-END { print "\n]" }
+END { print "\n  ]\n}" }
 ' "$raw" > "$out"
 
 echo "wrote $out"

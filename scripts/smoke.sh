@@ -1,0 +1,50 @@
+#!/bin/sh
+# smoke.sh — end-to-end exercise of the observability layer (DESIGN.md §7),
+# run by CI's smoke job and `make smoke`:
+#
+#   1. pfairsim traces the PD² quickstart set and tracecheck validates the
+#      Chrome trace-event JSON (field shapes, non-overlapping lanes, and
+#      the release/schedule/migration/join events the README promises).
+#   2. pfairsim traces the pinned EPDF counterexample, whose schedule must
+#      contain deadline-miss events.
+#   3. BenchmarkStepAllocsObserved re-pins the scheduler hot path at
+#      0 allocs/op with a live recorder and metrics attached.
+#
+# Usage: scripts/smoke.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "# smoke 1/3: PD² quickstart trace"
+go run ./cmd/pfairsim -m 2 -alg pd2 -slots 24 \
+	-trace "$tmp/pd2.trace.json" -metrics A:2/3 B:2/3 C:2/3 > "$tmp/pd2.out"
+go run ./cmd/tracecheck -spans -require release,migration,join \
+	"$tmp/pd2.trace.json"
+grep -q '^pfair_migrations_total' "$tmp/pd2.out" || {
+	echo "smoke: pfairsim -metrics printed no pfair_migrations_total" >&2
+	exit 1
+}
+
+echo "# smoke 2/3: EPDF counterexample must trace deadline misses"
+go run ./cmd/pfairsim -m 5 -alg epdf -slots 180 \
+	-trace "$tmp/epdf.trace.json" \
+	T0:4/9 T1:3/6 T2:1/2 T3:8/9 T4:6/10 T5:3/6 T6:9/10 T7:2/3 > /dev/null
+go run ./cmd/tracecheck -spans -require release,deadline-miss \
+	"$tmp/epdf.trace.json"
+
+echo "# smoke 3/3: observed hot path stays at 0 allocs/op"
+go test -run '^$' -bench 'BenchmarkStepAllocsObserved' -benchmem \
+	-benchtime=0.2s -count=1 ./internal/core | tee "$tmp/bench.out"
+awk '/^BenchmarkStepAllocsObserved/ {
+	for (i = 2; i <= NF; i++) if ($(i) == "allocs/op" && $(i-1) != "0") {
+		print "smoke: observed hot path allocates (" $(i-1) " allocs/op)" > "/dev/stderr"
+		exit 1
+	}
+	found = 1
+}
+END { if (!found) { print "smoke: benchmark did not run" > "/dev/stderr"; exit 1 } }
+' "$tmp/bench.out"
+
+echo "smoke OK"
