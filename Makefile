@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench fuzz fuzz-short smoke check
+.PHONY: build vet lint test race bench fuzz fuzz-short smoke engine-equiv check
 
 build:
 	$(GO) build ./...
@@ -42,4 +42,12 @@ fuzz-short:
 smoke:
 	sh scripts/smoke.sh
 
-check: build vet lint test race fuzz-short smoke bench
+# engine-equiv runs the golden equivalence suite: every simulator policy
+# on the shared slot engine must reproduce, byte for byte, the schedules
+# and figures the pre-engine loops produced (internal/engine/testdata).
+# Regenerate goldens after an intentional behaviour change with
+#   go test ./internal/engine -run TestGolden -update
+engine-equiv:
+	$(GO) test ./internal/engine -run 'TestGolden' -count=1
+
+check: build vet lint test race fuzz-short smoke engine-equiv bench

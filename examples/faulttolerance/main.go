@@ -21,8 +21,12 @@ func main() {
 		return t
 	}
 
+	// Both scenarios run on one driver: a single slot engine that is
+	// reset and re-bound between runs.
+	drv := faults.NewDriver()
+
 	// Scenario 1: transparent loss. Σ wt = 2 on 4 processors; 2 fail.
-	out1, err := faults.Run(faults.Scenario{
+	out1, err := drv.Run(faults.Scenario{
 		M: 4, Fail: 2, FailAt: 100, Horizon: 1200, SettleSlack: 0,
 		Tasks: task.Set{
 			crit("control", 2, 3),
@@ -51,7 +55,7 @@ func main() {
 			task.MustNew("video", 2, 3), task.MustNew("science", 1, 2), task.MustNew("comms", 1, 3),
 		},
 	}
-	out2, err := faults.Run(sc, true)
+	out2, err := drv.Run(sc, true)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -34,7 +34,7 @@ func (s *Scheduler) earliestLeave(st *tstate) int64 {
 	if !st.hasScheduled {
 		// The task has never received a quantum: its lag is
 		// non-negative, so removing it cannot hurt anyone.
-		return s.now
+		return s.eng.Now()
 	}
 	var at int64
 	if st.task.Heavy() {
@@ -42,8 +42,8 @@ func (s *Scheduler) earliestLeave(st *tstate) int64 {
 	} else {
 		at = st.lastSchedDead + int64(st.lastSchedB)
 	}
-	if at < s.now {
-		at = s.now
+	if now := s.eng.Now(); at < now {
+		at = now
 	}
 	return at
 }

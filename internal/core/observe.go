@@ -20,17 +20,37 @@ import (
 //     emissions never touch strings or maps.
 
 // Observe attaches a trace recorder and/or metrics block to the
-// scheduler; either may be nil. Tasks already admitted are registered
-// immediately, tasks admitted later are registered as they join.
-// Attaching mid-run is safe: events simply start at the current slot.
-// Passing nil for both detaches observation entirely.
+// scheduler; either may be nil. The attachment lives on the engine (the
+// shared attachment point for every simulator); the scheduler caches the
+// concrete pointers so hot emissions stay one nil check each. Tasks
+// already admitted are registered immediately, tasks admitted later are
+// registered as they join. Attaching mid-run is safe: events simply
+// start at the current slot. Passing nil for both detaches observation
+// entirely.
 func (s *Scheduler) Observe(rec *obs.Recorder, met *obs.SchedulerMetrics) {
-	s.rec, s.met = rec, met
+	s.eng.Observe(rec, met)
+	s.adoptAttachments()
+}
+
+// adoptAttachments re-caches the engine's observability attachments and
+// registers every live task with them.
+func (s *Scheduler) adoptAttachments() {
+	s.rec, s.met = s.eng.Recorder(), s.eng.Metrics()
 	for _, st := range s.order {
 		if !st.departed {
 			s.registerObs(st)
 		}
 	}
+}
+
+// AllocObsID hands out the next dense observability id from the
+// scheduler's allocator. Wrappers that trace entities of their own beside
+// the scheduler's tasks (internal/supertask's components) draw from the
+// same space so ids never collide, even when tasks join later.
+func (s *Scheduler) AllocObsID() int32 {
+	id := s.obsNext
+	s.obsNext++
+	return id
 }
 
 // Recorder returns the attached trace recorder, or nil.
@@ -55,7 +75,7 @@ func (s *Scheduler) registerObs(st *tstate) {
 			// First time this recorder sees the task: emit its join event,
 			// whether registration happens at admission or at a mid-run
 			// Observe. The slot is the current slot either way.
-			s.rec.Emit(obs.Event{Slot: s.now, Kind: obs.EvJoin, Task: st.obsID, Proc: -1, A: st.task.Cost, B: st.task.Period})
+			s.rec.Emit(obs.Event{Slot: s.eng.Now(), Kind: obs.EvJoin, Task: st.obsID, Proc: -1, A: st.task.Cost, B: st.task.Period})
 		}
 	}
 	if s.met != nil {
@@ -98,7 +118,7 @@ func (s *Scheduler) cmpReady(a, b *tstate) bool {
 	}
 	if rec := s.rec; rec != nil {
 		rec.Emit(obs.Event{
-			Slot: s.now, Kind: kind,
+			Slot: s.eng.Now(), Kind: kind,
 			Task: winner.obsID, Proc: -1,
 			A: int64(loser.obsID), B: winner.pr.deadline,
 		})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"pfair/internal/engine"
 	"pfair/internal/heap"
 	"pfair/internal/obs"
 	"pfair/internal/rational"
@@ -120,7 +121,7 @@ type tstate struct {
 	// generation flag that turns the preemption scan's membership test
 	// over sel into an O(1) field comparison.
 	selSlot int64
-	// departed marks a tstate removed from the system (applyLeaves), so
+	// departed marks a tstate removed from the system (ApplyLeaves), so
 	// stale procPrev references can be detected without a map lookup.
 	departed bool
 	// obsID is the task's dense observability id (see observe.go), −1
@@ -153,6 +154,12 @@ type tstate struct {
 // eligible subtasks (under the configured Algorithm) are selected, so a task
 // may migrate between slots but never runs in parallel with itself.
 //
+// The Scheduler is an engine.Policy: the slot loop itself lives in
+// internal/engine, which owns the clock and invokes the phase methods
+// (ApplyLeaves, Release, Pick, Dispatch, Account, Next) in order each
+// slot. Step and RunUntil are kept as thin wrappers over the bound
+// engine so existing call sites read unchanged.
+//
 // The ready and release queues are binary heaps, matching the
 // implementation whose overhead Section 4 measures.
 type Scheduler struct {
@@ -160,7 +167,7 @@ type Scheduler struct {
 	alg  Algorithm
 	opts Options
 
-	now    int64
+	eng    *engine.Engine
 	nextID int
 	tasks  map[string]*tstate
 	order  []*tstate // join order, for deterministic iteration
@@ -192,8 +199,36 @@ type Scheduler struct {
 }
 
 // NewScheduler returns a scheduler for m ≥ 1 processors using the given
-// algorithm.
-func NewScheduler(m int, alg Algorithm, opts Options) *Scheduler {
+// algorithm, bound to a fresh engine. Engine options attach observability
+// at construction (engine.WithRecorder / engine.WithMetrics), equivalent
+// to calling Observe afterwards.
+func NewScheduler(m int, alg Algorithm, opts Options, engOpts ...engine.Option) *Scheduler {
+	s := newSchedulerState(m, alg, opts)
+	s.eng = engine.New(s, engOpts...)
+	s.adoptAttachments()
+	return s
+}
+
+// NewSchedulerOn builds a scheduler as NewScheduler does but rebinds an
+// existing engine to it instead of creating a fresh one: the engine's
+// clock rewinds to zero while its observability attachments (and trace
+// ring) carry over. Scenario drivers (internal/faults) use it to re-run
+// variants of an experiment on one engine. A nil engine is equivalent to
+// NewScheduler.
+func NewSchedulerOn(e *engine.Engine, m int, alg Algorithm, opts Options) *Scheduler {
+	s := newSchedulerState(m, alg, opts)
+	if e == nil {
+		e = engine.New(s)
+	} else {
+		e.Reset(s)
+	}
+	s.eng = e
+	s.adoptAttachments()
+	return s
+}
+
+// newSchedulerState builds the scheduler sans engine binding.
+func newSchedulerState(m int, alg Algorithm, opts Options) *Scheduler {
 	if m < 1 {
 		//pfair:allowpanic constructor contract: the processor count is a static configuration value
 		panic("core: scheduler needs at least one processor")
@@ -218,8 +253,11 @@ func NewScheduler(m int, alg Algorithm, opts Options) *Scheduler {
 	return s
 }
 
+// Engine returns the engine this scheduler runs on.
+func (s *Scheduler) Engine() *engine.Engine { return s.eng }
+
 // Now returns the current slot: the next call to Step schedules slot Now().
-func (s *Scheduler) Now() int64 { return s.now }
+func (s *Scheduler) Now() int64 { return s.eng.Now() }
 
 // Processors returns m.
 func (s *Scheduler) Processors() int { return s.m }
@@ -300,7 +338,7 @@ func (s *Scheduler) admit(t *task.Task, model ReleaseModel, addWeight, check boo
 		pat:      NewPattern(t.Cost, t.Period),
 		model:    model,
 		id:       s.nextID,
-		joinedAt: s.now,
+		joinedAt: s.eng.Now(),
 		index:    1,
 		lastProc: -1,
 		lastSlot: -1,
@@ -386,7 +424,7 @@ func (st2 *Scheduler) refreshSubtask(st *tstate) {
 // enqueue places st in the ready or pending queue according to its
 // eligibility.
 func (s *Scheduler) enqueue(st *tstate) {
-	if st.elig <= s.now {
+	if st.elig <= s.eng.Now() {
 		s.ready.PushItem(st.readyItem)
 	} else {
 		s.pending.PushItem(st.pendItem)
@@ -394,14 +432,21 @@ func (s *Scheduler) enqueue(st *tstate) {
 }
 
 // Step schedules one slot and advances time. It returns the slot's
-// assignments; the slice is reused by subsequent calls.
+// assignments; the slice is reused by subsequent calls. The actual slot
+// work lives in the engine phase methods below; Step merely drives the
+// bound engine one step.
 //
 //pfair:hotpath
 func (s *Scheduler) Step() []Assignment {
-	t := s.now
-	s.applyLeaves(t)
+	s.eng.Step()
+	return s.assignBuf
+}
 
-	// Release: move every subtask whose eligibility has arrived.
+// Release is the engine release phase: move every subtask whose
+// eligibility has arrived from the pending queue to the ready queue.
+//
+//pfair:hotpath
+func (s *Scheduler) Release(t int64) {
 	for s.pending.Len() > 0 && s.pending.Peek().elig <= t {
 		st := s.pending.Pop()
 		s.ready.PushItem(st.readyItem)
@@ -409,8 +454,14 @@ func (s *Scheduler) Step() []Assignment {
 			rec.Emit(obs.Event{Slot: t, Kind: obs.EvRelease, Task: st.obsID, Proc: -1, A: st.index, B: st.deadline})
 		}
 	}
+}
 
-	// Select the m highest-priority eligible subtasks.
+// Pick is the engine selection phase: pop the m highest-priority eligible
+// subtasks into the selection scratch, recording a miss for any whose
+// window already closed (it runs tardily).
+//
+//pfair:hotpath
+func (s *Scheduler) Pick(t int64) {
 	sel := s.selBuf[:0]
 	for len(sel) < s.m && s.ready.Len() > 0 {
 		st := s.ready.Pop()
@@ -438,6 +489,15 @@ func (s *Scheduler) Step() []Assignment {
 		sel = append(sel, st)
 	}
 	s.selBuf = sel
+}
+
+// Dispatch is the engine commit phase: count preemptions against the
+// previous slot, place the selection on processors (affinity first), and
+// commit allocations, counters, and subtask advancement.
+//
+//pfair:hotpath
+func (s *Scheduler) Dispatch(t int64) {
+	sel := s.selBuf
 
 	// Count preemptions: a task that ran in slot t−1, has an in-progress
 	// job, and was not selected for slot t. The selSlot generation flag
@@ -559,27 +619,37 @@ func (s *Scheduler) Step() []Assignment {
 		}
 	}
 	s.procPrev, s.procNext = procNew, s.procPrev
+}
+
+// Account is the engine accounting phase: per-slot counters, gauges, lag
+// tracking, and the OnSlot callback.
+//
+//pfair:hotpath
+func (s *Scheduler) Account(t int64) {
 	s.stats.Slots++
-	s.now = t + 1
 	if met := s.met; met != nil {
 		met.Slots.Inc()
 		met.ReadyLen.Set(int64(s.ready.Len()))
 		met.PendingLen.Set(int64(s.pending.Len()))
-		met.Occupancy.Observe(int64(len(assigned)))
+		met.Occupancy.Observe(int64(len(s.assignBuf)))
 	}
 	s.observeLags(t + 1)
 
 	if s.onSlot != nil {
-		s.onSlot(t, assigned)
+		s.onSlot(t, s.assignBuf)
 	}
-	return assigned
 }
+
+// Next implements engine.Policy: the Pfair scheduler is slot-driven.
+func (s *Scheduler) Next(t int64) int64 { return t + 1 }
+
+// Finish implements engine.Finisher by delegating to FinishMisses, so
+// engine-level drivers can close out a run without knowing the policy.
+func (s *Scheduler) Finish(horizon int64) { s.FinishMisses(horizon) }
 
 // RunUntil steps the scheduler until Now() == horizon.
 func (s *Scheduler) RunUntil(horizon int64) {
-	for s.now < horizon {
-		s.Step()
-	}
+	s.eng.Run(horizon)
 }
 
 // FinishMisses appends, to the recorded stats, a miss for every admitted
@@ -612,7 +682,7 @@ func (s *Scheduler) Lag(name string) (rational.Rat, error) {
 	if !ok {
 		return rational.Zero(), fmt.Errorf("core: no task %q", name)
 	}
-	return st.pat.Lag(s.now-st.joinedAt, st.allocated), nil
+	return st.pat.Lag(s.eng.Now()-st.joinedAt, st.allocated), nil
 }
 
 // Tasks returns the names of all currently admitted tasks in join order.
@@ -626,9 +696,10 @@ func (s *Scheduler) Tasks() []string {
 	return names
 }
 
-// applyLeaves removes tasks whose departure time has arrived and admits
-// any Reweight replacements.
-func (s *Scheduler) applyLeaves(t int64) {
+// ApplyLeaves implements engine.Leaver: the engine invokes it at the top
+// of every slot to remove tasks whose departure time has arrived and
+// admit any Reweight replacements. Not intended for direct use.
+func (s *Scheduler) ApplyLeaves(t int64) {
 	if len(s.leaves) == 0 {
 		return
 	}

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"time"
 
+	"pfair/internal/engine"
 	"pfair/internal/heap"
 	"pfair/internal/obs"
 	"pfair/internal/task"
@@ -102,6 +103,10 @@ type tstate struct {
 	srvDeadline int64
 	head        *job
 	backlog     []*job
+
+	// relItem is the task's persistent handle in the releases heap, so
+	// re-arming the release timer never allocates.
+	relItem *heap.Item[*tstate]
 }
 
 type job struct {
@@ -112,12 +117,23 @@ type job struct {
 	orig      int64 // the job's own deadline, for miss accounting
 	remaining int64
 	missed    bool
+	// item is the job's heap handle, allocated once at release so
+	// re-queueing on preemption or server promotion never allocates.
+	item *heap.Item[*job]
 }
 
 // Simulator is an event-driven uniprocessor EDF scheduler. Time units are
 // abstract; the experiments use microseconds.
+//
+// The Simulator is an engine.Policy: the engine visits exactly the event
+// instants (releases, completions, budget exhaustions) that Next computes,
+// and at each one Release brings execution state current and processes the
+// due event, then Dispatch reinvokes the scheduler. Same-instant
+// re-invocation (Next(t) == t) occurs when a zero-budget head job takes
+// the processor; the engine permits it.
 type Simulator struct {
-	now      int64
+	eng      *engine.Engine
+	now      int64 // internal execution clock; trails the engine inside Run
 	tasks    map[string]*tstate
 	order    []*tstate // add order, for deterministic obs id assignment
 	ready    *heap.Heap[*job]
@@ -128,8 +144,9 @@ type Simulator struct {
 	rec      *obs.Recorder
 }
 
-// NewSimulator returns an empty simulator at time 0.
-func NewSimulator() *Simulator {
+// NewSimulator returns an empty simulator at time 0. Engine options attach
+// observability at construction, equivalent to SetRecorder afterwards.
+func NewSimulator(opts ...engine.Option) *Simulator {
 	s := &Simulator{tasks: make(map[string]*tstate)}
 	s.ready = heap.New(jobLess)
 	s.releases = heap.New(func(a, b *tstate) bool {
@@ -138,8 +155,13 @@ func NewSimulator() *Simulator {
 		}
 		return a.cfg.Task.Name < b.cfg.Task.Name
 	})
+	s.eng = engine.New(s, opts...)
+	s.rec = s.eng.Recorder()
 	return s
 }
+
+// Engine returns the engine this simulator runs on.
+func (s *Simulator) Engine() *engine.Engine { return s.eng }
 
 func jobLess(a, b *job) bool {
 	if a.deadline != b.deadline {
@@ -161,6 +183,7 @@ func (s *Simulator) MeasureOverhead(on bool) { s.measure = on }
 // processor lane 0; Event.Slot carries the simulator's abstract time
 // units. Tasks added before and after the call are registered alike.
 func (s *Simulator) SetRecorder(rec *obs.Recorder) {
+	s.eng.Observe(rec, s.eng.Metrics())
 	s.rec = rec
 	for _, ts := range s.order {
 		s.registerObs(ts)
@@ -206,7 +229,8 @@ func (s *Simulator) Add(cfg Config) error {
 	s.tasks[cfg.Task.Name] = ts
 	s.order = append(s.order, ts)
 	s.registerObs(ts)
-	s.releases.Push(ts)
+	ts.relItem = heap.NewItem(ts)
+	s.releases.PushItem(ts.relItem)
 	return nil
 }
 
@@ -226,57 +250,86 @@ func (s *Simulator) Now() int64 { return s.now }
 // Run advances the simulation to the horizon. Jobs still incomplete at the
 // horizon with deadlines at or before it are recorded as misses.
 func (s *Simulator) Run(horizon int64) {
-	const inf = math.MaxInt64
-	for s.now < horizon {
-		nextRel := int64(inf)
-		if s.releases.Len() > 0 {
-			nextRel = s.releases.Peek().nextRelease
-		}
-		// Next running-job event: completion or CBS budget exhaustion.
-		event := int64(inf)
-		exhaust := false
-		if s.running != nil {
-			runLen := s.running.remaining
-			if srv := s.running.ts.cfg.Server; srv != nil && s.running.ts.budget < runLen {
-				runLen = s.running.ts.budget
-				exhaust = true
-			}
-			event = s.now + runLen
-		}
-		t := min3(nextRel, event, horizon)
-		s.advance(t)
-		if t == horizon && t != event {
-			// Releases exactly at the horizon fall outside the
-			// simulated window [0, horizon).
-			break
-		}
-		if t == event {
-			if exhaust {
-				s.exhaustBudget()
-			} else {
-				s.complete()
-			}
-		}
-		if t == nextRel && t < horizon {
-			s.releaseDue()
-		}
-		s.dispatch()
-		if t == horizon {
-			break
-		}
-	}
+	s.eng.Run(horizon)
+	s.atHorizon(horizon)
 	s.finishMisses(horizon)
 }
 
-func min3(a, b, c int64) int64 {
-	m := a
-	if b < m {
-		m = b
+// pendingEvent returns the absolute time of the running job's next event —
+// completion or CBS budget exhaustion — or MaxInt64 when idle.
+func (s *Simulator) pendingEvent() (event int64, exhaust bool) {
+	event = math.MaxInt64
+	if s.running != nil {
+		runLen := s.running.remaining
+		if srv := s.running.ts.cfg.Server; srv != nil && s.running.ts.budget < runLen {
+			runLen = s.running.ts.budget
+			exhaust = true
+		}
+		event = s.now + runLen
 	}
-	if c < m {
-		m = c
+	return event, exhaust
+}
+
+// Release is the engine release phase at event instant t: execute the
+// running job up to t, process a completion or budget exhaustion landing
+// exactly at t, then release every job due.
+func (s *Simulator) Release(t int64) {
+	event, exhaust := s.pendingEvent()
+	s.advance(t)
+	if event == t {
+		if exhaust {
+			s.exhaustBudget()
+		} else {
+			s.complete()
+		}
 	}
-	return m
+	s.releaseDue()
+}
+
+// Pick implements engine.Policy; the ready heap is already
+// priority-ordered, so selection happens in Dispatch's peek.
+func (s *Simulator) Pick(t int64) {}
+
+// Dispatch implements engine.Policy: one scheduler invocation.
+func (s *Simulator) Dispatch(t int64) { s.dispatch() }
+
+// Account implements engine.Policy; EDF accounting happens inside the
+// event handlers.
+func (s *Simulator) Account(t int64) {}
+
+// Next returns the next event instant: the earliest pending release or
+// running-job event. It may equal t (a zero-budget head job exhausts
+// immediately); the engine permits the zero-length step.
+func (s *Simulator) Next(t int64) int64 {
+	nextRel := int64(math.MaxInt64)
+	if s.releases.Len() > 0 {
+		nextRel = s.releases.Peek().nextRelease
+	}
+	event, _ := s.pendingEvent()
+	if event < nextRel {
+		return event
+	}
+	return nextRel
+}
+
+// atHorizon closes out a Run: the running job executes up to the horizon,
+// and a completion or exhaustion landing exactly on it is still processed
+// (followed by one dispatch) — but releases at the horizon fall outside
+// the simulated window [0, horizon).
+func (s *Simulator) atHorizon(horizon int64) {
+	if s.now >= horizon {
+		return
+	}
+	event, exhaust := s.pendingEvent()
+	s.advance(horizon)
+	if event == horizon {
+		if exhaust {
+			s.exhaustBudget()
+		} else {
+			s.complete()
+		}
+		s.dispatch()
+	}
 }
 
 // advance moves time forward, executing the running job.
@@ -312,13 +365,14 @@ func (s *Simulator) releaseDue() {
 			orig:      orig,
 			remaining: cost,
 		}
+		j.item = heap.NewItem(j)
 		s.stats.Jobs++
 		if rec := s.rec; rec != nil {
 			rec.Emit(obs.Event{Slot: s.now, Kind: obs.EvRelease, Task: ts.obsID, Proc: -1, A: j.index, B: j.orig})
 		}
 		ts.nextJob++
 		ts.nextRelease += ts.cfg.Task.Period
-		s.releases.Push(ts)
+		s.releases.PushItem(ts.relItem)
 
 		if srv := ts.cfg.Server; srv != nil {
 			if ts.head != nil {
@@ -337,7 +391,7 @@ func (s *Simulator) releaseDue() {
 			j.deadline = ts.srvDeadline
 			ts.head = j
 		}
-		s.ready.Push(j)
+		s.ready.PushItem(j.item)
 	}
 }
 
@@ -364,7 +418,7 @@ func (s *Simulator) complete() {
 			ts.backlog = ts.backlog[1:]
 			next.deadline = ts.srvDeadline
 			ts.head = next
-			s.ready.Push(next)
+			s.ready.PushItem(next.item)
 		}
 	}
 }
@@ -402,7 +456,7 @@ func (s *Simulator) dispatch() {
 			}
 		case jobLess(top, s.running):
 			s.ready.Pop()
-			s.ready.Push(s.running)
+			s.ready.PushItem(s.running.item)
 			s.stats.Preemptions++
 			s.stats.ContextSwitches++
 			if rec := s.rec; rec != nil {

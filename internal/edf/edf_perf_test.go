@@ -1,0 +1,47 @@
+package edf
+
+import (
+	"runtime"
+	"testing"
+
+	"pfair/internal/task"
+)
+
+// The EDF simulator is event-driven on the shared engine: it allocates
+// exactly one job object and its heap handle per released job, and
+// nothing else in steady state. This guard pins that — the engine
+// migration must not introduce per-event garbage (interface boxing,
+// closure captures) on top of the inherent job objects.
+func TestRunAllocsPerJob(t *testing.T) {
+	s := NewSimulator()
+	for _, tk := range []*task.Task{
+		task.MustNew("a", 1, 4), task.MustNew("b", 1, 5), task.MustNew("c", 2, 10),
+	} {
+		if err := s.Add(Config{Task: tk}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm-up settles heap capacities and the engine binding.
+	s.Run(10_000)
+	jobs0 := s.stats.Jobs
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	s.Run(100_000)
+	runtime.ReadMemStats(&after)
+
+	jobs := s.stats.Jobs - jobs0
+	if jobs == 0 {
+		t.Fatal("no jobs released in the measured window")
+	}
+	allocs := after.Mallocs - before.Mallocs
+	// Two allocations per job (the job object and its heap handle) plus
+	// slack for the runtime's own noise.
+	if limit := uint64(2*jobs) + 64; allocs > limit {
+		t.Errorf("Run allocated %d times for %d jobs, want ≤ %d (≈2 per released job)", allocs, jobs, limit)
+	}
+	if n := len(s.stats.Misses); n != 0 {
+		t.Fatalf("schedulable set missed %d deadlines", n)
+	}
+}

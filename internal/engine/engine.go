@@ -1,0 +1,267 @@
+// Package engine is the unified simulation kernel every scheduler loop in
+// this repository runs on. The paper's evaluation rests on driving many
+// policies — PD², PD, PF, EPDF, ERfair, EDF, RM, weighted round-robin,
+// supertasking, fault scenarios — over identical timelines; before this
+// package existed the repo had grown eight independent simulation loops,
+// each re-implementing release/pick/dispatch/accounting with its own (or
+// missing) observability wiring and duplicated *Observed entry points.
+//
+// The engine factors the loop out once. A policy implements the phase
+// interface below; the engine owns the clock, the step loop, and the
+// observability attachment point (one nil-guarded *obs.Recorder and
+// *obs.SchedulerMetrics pair shared by every simulator). Policies that
+// need dynamic churn, end-of-run accounting, or quantum-boundary
+// awareness implement the optional hook interfaces; the engine resolves
+// them once at construction so the hot loop performs no per-step type
+// assertions.
+//
+// Two time models coexist behind the same interface:
+//
+//   - slot-driven policies (core, sim global, wrr, supertask) return
+//     t+1 from Next and do all their work once per slot;
+//   - event-driven policies (edf, rm, sim varquanta) return the time of
+//     their next release/completion event, so the engine skips idle
+//     spans in O(1). Next may return t itself to request an immediate
+//     re-invocation at the same instant (the EDF constant-bandwidth
+//     server needs this when a zero-budget head job is dispatched); the
+//     engine bounds such zero-advance streaks to catch livelocked
+//     policies deterministically.
+//
+// Allocation discipline: the engine allocates nothing after New — Step is
+// annotated //pfair:hotpath and holds only field reads, interface calls,
+// and integer arithmetic. Scratch (selection buffers, assignment arrays,
+// double buffers) lives in each policy and is preallocated at policy
+// construction. Scratch is deliberately per-engine, never package-global:
+// the parallel experiment harness (internal/parallel) runs one engine per
+// goroutine, so shared scratch would race, and interface-typed shared
+// scratch would box on every access. One engine = one policy = one
+// arena.
+package engine
+
+import "pfair/internal/obs"
+
+// Policy is the pluggable per-step scheduling policy. The engine invokes
+// the four phases in order at each instant t it visits:
+//
+//	Release(t)   bring state current to t: apply execution effects since
+//	             the previous invocation, retire completed work, ingest
+//	             arrivals due at t, and record deadlines that passed;
+//	Pick(t)      select the work to run at t into policy scratch;
+//	Dispatch(t)  commit the selection to processors and emit its effects;
+//	Account(t)   end-of-step accounting: counters, gauges, callbacks.
+//
+// A phase with nothing to do for a given policy is an empty method (an
+// event-driven policy whose ready queue is already priority-ordered has
+// no separate Pick, for example). After Account the engine advances its
+// clock to Next(t).
+type Policy interface {
+	Release(t int64)
+	Pick(t int64)
+	Dispatch(t int64)
+	Account(t int64)
+	// Next returns the next instant the engine must invoke the policy:
+	// t+1 for slot-driven policies, the next event time for event-driven
+	// ones. Returning t requests a zero-advance re-invocation at the
+	// same instant; returning less than t is a policy bug and panics.
+	Next(t int64) int64
+}
+
+// Leaver is an optional hook for policies with dynamic departures: the
+// engine invokes ApplyLeaves(t) before Release so tasks whose departure
+// time has arrived are gone before new work is ingested.
+type Leaver interface {
+	ApplyLeaves(t int64)
+}
+
+// Joiner is an optional hook for policies with pending admissions (the
+// rejoin half of core's reweighting): the engine invokes ApplyJoins(t)
+// after ApplyLeaves and before Release.
+type Joiner interface {
+	ApplyJoins(t int64)
+}
+
+// Finisher is an optional hook for end-of-run accounting (recording
+// still-pending work whose deadline fell inside the horizon). It is
+// invoked by Engine.Finish, never by Run — simulations that extend a run
+// with repeated Run calls must be able to defer it to the true end.
+type Finisher interface {
+	Finish(horizon int64)
+}
+
+// BoundaryHook is an optional hook invoked before Release whenever the
+// engine's clock lands on a quantum boundary (a multiple of the size
+// configured with WithQuantum). The variable-quantum simulator uses it to
+// gate aligned-mode dispatch to the global boundary lattice.
+type BoundaryHook interface {
+	QuantumBoundary(t int64)
+}
+
+// maxZeroAdvance bounds consecutive zero-advance steps (Next(t) == t).
+// Legitimate same-instant re-invocations settle within a handful of
+// steps (one per processor, at worst); a policy that exceeds this many
+// is livelocked and failing fast beats spinning forever.
+const maxZeroAdvance = 1 << 20
+
+// Engine drives one policy over simulated time. It owns the clock, the
+// observability attachment, and nothing else — all scheduling state is
+// the policy's.
+type Engine struct {
+	pol Policy
+	// Optional hooks, resolved once at New/Reset so Step performs no
+	// type assertions.
+	leaver   Leaver
+	joiner   Joiner
+	finisher Finisher
+	boundary BoundaryHook
+
+	// rec and met are the shared observability attachment point. They are
+	// concrete pointers, nil when unobserved; policies cache them at bind
+	// time and nil-guard every emission (see internal/obs and the hotpath
+	// analyzer), so an unobserved run costs one predictable branch per
+	// emission site.
+	rec *obs.Recorder
+	met *obs.SchedulerMetrics
+
+	quantum int64 // boundary lattice for BoundaryHook; 0 = no lattice
+	now     int64
+	steps   int64
+	zero    int64 // consecutive zero-advance steps, for the livelock bound
+}
+
+// Option configures an Engine at construction.
+type Option func(*Engine)
+
+// WithRecorder attaches a trace recorder (nil = unobserved). This is the
+// single attachment point that replaced the per-simulator *Observed entry
+// points: every policy reads the recorder from its engine at bind time.
+func WithRecorder(rec *obs.Recorder) Option {
+	return func(e *Engine) { e.rec = rec }
+}
+
+// WithMetrics attaches a metrics block (nil = unobserved).
+func WithMetrics(met *obs.SchedulerMetrics) Option {
+	return func(e *Engine) { e.met = met }
+}
+
+// WithQuantum sets the quantum-boundary lattice: a policy implementing
+// BoundaryHook is notified whenever the clock lands on a multiple of q.
+func WithQuantum(q int64) Option {
+	return func(e *Engine) {
+		if q > 0 {
+			e.quantum = q
+		}
+	}
+}
+
+// New returns an engine bound to pol at time 0.
+func New(pol Policy, opts ...Option) *Engine {
+	e := &Engine{}
+	for _, opt := range opts {
+		opt(e)
+	}
+	e.bind(pol)
+	return e
+}
+
+// bind installs pol and resolves its optional hooks.
+func (e *Engine) bind(pol Policy) {
+	if pol == nil {
+		//pfair:allowpanic constructor contract: an engine without a policy has no meaning
+		panic("engine: nil policy")
+	}
+	e.pol = pol
+	e.leaver, _ = pol.(Leaver)
+	e.joiner, _ = pol.(Joiner)
+	e.finisher, _ = pol.(Finisher)
+	e.boundary, _ = pol.(BoundaryHook)
+}
+
+// Reset rebinds the engine to a (possibly new) policy and rewinds the
+// clock to zero, keeping the observability attachment. Scenario drivers
+// (internal/faults) use it to re-run variants of an experiment on one
+// engine — and one trace ring — instead of rebuilding the world per run.
+func (e *Engine) Reset(pol Policy) {
+	e.bind(pol)
+	e.now, e.steps, e.zero = 0, 0, 0
+}
+
+// Now returns the engine clock: the instant the next Step will simulate.
+func (e *Engine) Now() int64 { return e.now }
+
+// Steps returns the number of policy invocations so far.
+func (e *Engine) Steps() int64 { return e.steps }
+
+// Recorder returns the attached trace recorder, or nil.
+func (e *Engine) Recorder() *obs.Recorder { return e.rec }
+
+// Metrics returns the attached metrics block, or nil.
+func (e *Engine) Metrics() *obs.SchedulerMetrics { return e.met }
+
+// Observe swaps the observability attachment (either may be nil).
+// Policies that cache the pointers must re-read them afterwards; the
+// simulators' own Observe/SetRecorder wrappers do exactly that.
+func (e *Engine) Observe(rec *obs.Recorder, met *obs.SchedulerMetrics) {
+	e.rec, e.met = rec, met
+}
+
+// Step runs one engine step: hooks, the four phases, and the clock
+// advance. It is the single hot loop every simulator in the repository
+// now runs on.
+//
+//pfair:hotpath
+func (e *Engine) Step() {
+	t := e.now
+	if l := e.leaver; l != nil {
+		l.ApplyLeaves(t)
+	}
+	if j := e.joiner; j != nil {
+		j.ApplyJoins(t)
+	}
+	if b := e.boundary; b != nil && e.quantum > 0 && t%e.quantum == 0 {
+		b.QuantumBoundary(t)
+	}
+	p := e.pol
+	p.Release(t)
+	p.Pick(t)
+	p.Dispatch(t)
+	p.Account(t)
+	e.steps++
+	next := p.Next(t)
+	if next < t {
+		//pfair:allowpanic policy contract violation: time cannot flow backwards
+		panic("engine: policy Next moved time backwards")
+	}
+	if next == t {
+		e.zero++
+		if e.zero > maxZeroAdvance {
+			//pfair:allowpanic policy contract violation: unbounded zero-advance streak means the policy livelocked
+			panic("engine: policy livelocked (no time progress)")
+		}
+	} else {
+		e.zero = 0
+	}
+	e.now = next
+}
+
+// Run steps the engine until the clock reaches horizon. Instants at or
+// beyond the horizon are not simulated; if the policy's final Next
+// overshoots, the clock is clamped to the horizon so a later Run resumes
+// exactly where this one stopped. Event-driven simulators that must
+// process events landing exactly on the horizon (edf, rm) do so in their
+// own wrappers after Run returns.
+func (e *Engine) Run(horizon int64) {
+	for e.now < horizon {
+		e.Step()
+	}
+	if e.now > horizon {
+		e.now = horizon
+	}
+}
+
+// Finish invokes the policy's Finisher hook, if any. Call it once after
+// the final Run of a simulation.
+func (e *Engine) Finish(horizon int64) {
+	if f := e.finisher; f != nil {
+		f.Finish(horizon)
+	}
+}

@@ -1,0 +1,254 @@
+package engine
+
+import (
+	"testing"
+
+	"pfair/internal/obs"
+)
+
+// fakePolicy records the order of phase/hook invocations and drives the
+// clock via a scripted Next function.
+type fakePolicy struct {
+	log  []string
+	next func(t int64) int64
+}
+
+func (p *fakePolicy) mark(s string, t int64) {
+	p.log = append(p.log, s+"@"+itoa(t))
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func (p *fakePolicy) Release(t int64)  { p.mark("release", t) }
+func (p *fakePolicy) Pick(t int64)     { p.mark("pick", t) }
+func (p *fakePolicy) Dispatch(t int64) { p.mark("dispatch", t) }
+func (p *fakePolicy) Account(t int64)  { p.mark("account", t) }
+func (p *fakePolicy) Next(t int64) int64 {
+	if p.next != nil {
+		return p.next(t)
+	}
+	return t + 1
+}
+
+// fakeFull additionally implements every optional hook.
+type fakeFull struct {
+	fakePolicy
+}
+
+func (p *fakeFull) ApplyLeaves(t int64)     { p.mark("leave", t) }
+func (p *fakeFull) ApplyJoins(t int64)      { p.mark("join", t) }
+func (p *fakeFull) Finish(h int64)          { p.mark("finish", h) }
+func (p *fakeFull) QuantumBoundary(t int64) { p.mark("boundary", t) }
+
+func wantLog(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("log length = %d, want %d\ngot:  %v\nwant: %v", len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("log[%d] = %q, want %q\ngot:  %v\nwant: %v", i, got[i], want[i], got, want)
+		}
+	}
+}
+
+func TestStepPhaseOrder(t *testing.T) {
+	p := &fakePolicy{}
+	e := New(p)
+	e.Step()
+	wantLog(t, p.log, []string{"release@0", "pick@0", "dispatch@0", "account@0"})
+	if e.Now() != 1 {
+		t.Fatalf("Now() = %d, want 1", e.Now())
+	}
+	if e.Steps() != 1 {
+		t.Fatalf("Steps() = %d, want 1", e.Steps())
+	}
+}
+
+func TestHookOrderAndBoundary(t *testing.T) {
+	p := &fakeFull{}
+	e := New(p, WithQuantum(2))
+	e.Run(3)
+	wantLog(t, p.log, []string{
+		"leave@0", "join@0", "boundary@0", "release@0", "pick@0", "dispatch@0", "account@0",
+		"leave@1", "join@1", "release@1", "pick@1", "dispatch@1", "account@1",
+		"leave@2", "join@2", "boundary@2", "release@2", "pick@2", "dispatch@2", "account@2",
+	})
+	e.Finish(3)
+	if last := p.log[len(p.log)-1]; last != "finish@3" {
+		t.Fatalf("last log entry = %q, want finish@3", last)
+	}
+}
+
+func TestHooksNotResolvedForPlainPolicy(t *testing.T) {
+	e := New(&fakePolicy{})
+	if e.leaver != nil || e.joiner != nil || e.finisher != nil || e.boundary != nil {
+		t.Fatal("plain policy must resolve no optional hooks")
+	}
+	e.Finish(10) // no Finisher: must be a no-op
+}
+
+func TestRunClampsOvershoot(t *testing.T) {
+	p := &fakePolicy{next: func(t int64) int64 { return t + 7 }}
+	e := New(p)
+	e.Run(10)
+	if e.Now() != 10 {
+		t.Fatalf("Now() after overshooting Run = %d, want clamp to 10", e.Now())
+	}
+	if e.Steps() != 2 { // steps at t=0 and t=7
+		t.Fatalf("Steps() = %d, want 2", e.Steps())
+	}
+	// Resuming must continue from the horizon, not the overshot instant.
+	e.Run(11)
+	if e.Steps() != 3 || e.Now() != 11 {
+		t.Fatalf("after resume: Steps=%d Now=%d, want 3 and 11", e.Steps(), e.Now())
+	}
+}
+
+func TestZeroAdvanceAllowedThenProgress(t *testing.T) {
+	calls := 0
+	p := &fakePolicy{next: func(t int64) int64 {
+		calls++
+		if calls%3 != 0 { // two same-instant re-invocations per instant
+			return t
+		}
+		return t + 1
+	}}
+	e := New(p)
+	e.Run(2)
+	if e.Steps() != 6 {
+		t.Fatalf("Steps() = %d, want 6 (3 invocations per instant × 2 instants)", e.Steps())
+	}
+	if e.zero != 0 {
+		t.Fatalf("zero-advance streak = %d after progress, want 0", e.zero)
+	}
+}
+
+func TestTimeReversalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Next moving time backwards")
+		}
+	}()
+	p := &fakePolicy{next: func(t int64) int64 { return t - 1 }}
+	New(p).Step()
+}
+
+func TestNilPolicyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on nil policy")
+		}
+	}()
+	New(nil)
+}
+
+func TestLivelockBackstop(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected livelock panic on unbounded zero-advance streak")
+		}
+	}()
+	p := &fakePolicy{next: func(t int64) int64 { return t }}
+	New(p).Run(1)
+}
+
+func TestResetKeepsAttachments(t *testing.T) {
+	rec := obs.NewRecorder(64)
+	met := obs.NewSchedulerMetrics(obs.NewRegistry())
+	p1 := &fakePolicy{}
+	e := New(p1, WithRecorder(rec), WithMetrics(met))
+	e.Run(5)
+	if e.Now() != 5 || e.Steps() != 5 {
+		t.Fatalf("pre-reset: Now=%d Steps=%d", e.Now(), e.Steps())
+	}
+	p2 := &fakeFull{}
+	e.Reset(p2)
+	if e.Now() != 0 || e.Steps() != 0 {
+		t.Fatalf("post-reset: Now=%d Steps=%d, want 0 and 0", e.Now(), e.Steps())
+	}
+	if e.Recorder() != rec || e.Metrics() != met {
+		t.Fatal("Reset must keep observability attachments")
+	}
+	if e.leaver == nil || e.boundary == nil {
+		t.Fatal("Reset must re-resolve optional hooks for the new policy")
+	}
+	e.Step()
+	if p2.log[0] != "leave@0" {
+		t.Fatalf("post-reset first hook = %q, want leave@0", p2.log[0])
+	}
+}
+
+func TestObserveSwapsAttachment(t *testing.T) {
+	e := New(&fakePolicy{})
+	if e.Recorder() != nil || e.Metrics() != nil {
+		t.Fatal("unobserved engine must report nil attachments")
+	}
+	rec := obs.NewRecorder(64)
+	e.Observe(rec, nil)
+	if e.Recorder() != rec {
+		t.Fatal("Observe must install the recorder")
+	}
+	e.Observe(nil, nil)
+	if e.Recorder() != nil {
+		t.Fatal("Observe(nil, nil) must detach")
+	}
+}
+
+func TestWithQuantumIgnoresNonPositive(t *testing.T) {
+	p := &fakeFull{}
+	e := New(p, WithQuantum(0))
+	e.Step()
+	for _, entry := range p.log {
+		if entry == "boundary@0" {
+			t.Fatal("quantum 0 must disable the boundary lattice")
+		}
+	}
+}
+
+// BenchmarkEngineOverhead measures the pure kernel cost per step — hook
+// dispatch, phase calls, clock advance — over a no-op policy. Guarded at
+// 0 allocs/op like every simulator hot path.
+func BenchmarkEngineOverhead(b *testing.B) {
+	e := New(&nopPolicy{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+type nopPolicy struct{}
+
+func (nopPolicy) Release(t int64)    {}
+func (nopPolicy) Pick(t int64)       {}
+func (nopPolicy) Dispatch(t int64)   {}
+func (nopPolicy) Account(t int64)    {}
+func (nopPolicy) Next(t int64) int64 { return t + 1 }
+
+func TestStepZeroAllocs(t *testing.T) {
+	e := New(&nopPolicy{})
+	if avg := testing.AllocsPerRun(200, func() { e.Step() }); avg != 0 {
+		t.Fatalf("engine Step allocates %.1f allocs/op, want 0", avg)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"pfair/internal/core"
+	"pfair/internal/engine"
 	"pfair/internal/rational"
 	"pfair/internal/task"
 )
@@ -53,14 +54,40 @@ type Outcome struct {
 	NonCriticalMisses int
 }
 
-// Run executes the scenario under PD². When shed is true and the
-// survivors cannot carry the full load, non-critical tasks are reweighted
-// down proportionally until the system fits.
-func Run(s Scenario, shed bool) (Outcome, error) {
+// Driver executes failure scenarios on one reusable slot engine. Each
+// Run binds a fresh PD² scheduler to the same engine (the engine's clock
+// rewinds, its attachments persist), so a recorder or metrics block
+// passed to NewDriver observes every variant of an experiment in a
+// single trace — e.g. the shed and no-shed runs of the same overload,
+// back to back, distinguishable by the second run's join events.
+type Driver struct {
+	// opts is held until the first Run creates the engine (an engine
+	// cannot exist unbound, so creation waits for the first policy).
+	opts []engine.Option
+	eng  *engine.Engine
+}
+
+// NewDriver returns a scenario driver. Engine options attach once and
+// observe every subsequent Run.
+func NewDriver(opts ...engine.Option) *Driver { return &Driver{opts: opts} }
+
+// Engine returns the driver's engine, or nil before the first Run.
+func (d *Driver) Engine() *engine.Engine { return d.eng }
+
+// Run executes the scenario under PD² on the driver's engine. When shed
+// is true and the survivors cannot carry the full load, non-critical
+// tasks are reweighted down proportionally until the system fits.
+func (d *Driver) Run(s Scenario, shed bool) (Outcome, error) {
 	if s.Fail >= s.M {
 		return Outcome{}, fmt.Errorf("faults: cannot fail %d of %d processors", s.Fail, s.M)
 	}
-	sched := core.NewScheduler(s.M, core.PD2, core.Options{})
+	var sched *core.Scheduler
+	if d.eng == nil {
+		sched = core.NewScheduler(s.M, core.PD2, core.Options{}, d.opts...)
+		d.eng = sched.Engine()
+	} else {
+		sched = core.NewSchedulerOn(d.eng, s.M, core.PD2, core.Options{})
+	}
 	for _, t := range s.Tasks {
 		if err := sched.Join(t); err != nil {
 			return Outcome{}, err
@@ -107,6 +134,13 @@ func Run(s Scenario, shed bool) (Outcome, error) {
 		}
 	}
 	return out, nil
+}
+
+// Run executes the scenario under PD² on a throwaway driver. When shed
+// is true and the survivors cannot carry the full load, non-critical
+// tasks are reweighted down proportionally until the system fits.
+func Run(s Scenario, shed bool) (Outcome, error) {
+	return NewDriver().Run(s, shed)
 }
 
 // shedPlan computes new (cost, period) pairs for non-critical tasks so

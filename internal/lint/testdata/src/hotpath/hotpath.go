@@ -93,6 +93,31 @@ func (s *sched) Unguarded(t int64) {
 	}
 }
 
+// policy mirrors the engine.Policy shape: the engine's step loop drives
+// phases through an interface value.
+type policy interface {
+	Release(t int64)
+	Dispatch(t int64)
+}
+
+type loop struct {
+	pol policy
+	rec *obs.Recorder
+}
+
+// EngineStep is the engine-kernel case: dynamic dispatch through a
+// policy interface is allocation-free and must pass unremarked, while
+// the surrounding loop still obeys the obs-guard and allocation rules.
+//
+//pfair:hotpath
+func (l *loop) EngineStep(t int64) {
+	l.pol.Release(t)
+	l.pol.Dispatch(t)
+	if rec := l.rec; rec != nil {
+		rec.Emit(obs.Event{Slot: t, Kind: obs.EvIdle, Task: -1, Proc: 0})
+	}
+}
+
 // ColdObs is not annotated: unguarded obs calls are fine off the hot path
 // (exporters, setup code).
 func ColdObs(rec *obs.Recorder) {

@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 
+	"pfair/internal/engine"
 	"pfair/internal/heap"
 	"pfair/internal/rational"
 	"pfair/internal/task"
@@ -131,6 +132,9 @@ type tstate struct {
 	t           *task.Task
 	nextRelease int64
 	nextJob     int64
+	// relItem is the task's persistent handle in the releases heap, so
+	// re-arming the release timer never allocates.
+	relItem *heap.Item[*tstate]
 }
 
 type job struct {
@@ -139,14 +143,21 @@ type job struct {
 	deadline  int64
 	remaining int64
 	missed    bool
+	// item is the job's heap handle, allocated once at release so
+	// re-queueing on preemption never allocates.
+	item *heap.Item[*job]
 }
 
 // Simulator is an event-driven preemptive fixed-priority (RM) simulator
 // with synchronous first releases, used to cross-validate the analytical
 // tests (the critical-instant theorem makes the synchronous pattern the
 // worst case).
+//
+// The Simulator is an engine.Policy: the engine visits exactly the event
+// instants (releases and completions) that Next computes.
 type Simulator struct {
-	now      int64
+	eng      *engine.Engine
+	now      int64 // internal execution clock; trails the engine inside Run
 	ready    *heap.Heap[*job]
 	releases *heap.Heap[*tstate]
 	running  *job
@@ -154,7 +165,7 @@ type Simulator struct {
 }
 
 // NewSimulator returns an empty simulator at time 0.
-func NewSimulator(set task.Set) *Simulator {
+func NewSimulator(set task.Set, opts ...engine.Option) *Simulator {
 	s := &Simulator{}
 	s.ready = heap.New(func(a, b *job) bool {
 		if a.ts.t.Period != b.ts.t.Period {
@@ -172,69 +183,24 @@ func NewSimulator(set task.Set) *Simulator {
 		return a.t.Name < b.t.Name
 	})
 	for _, t := range set {
-		s.releases.Push(&tstate{t: t, nextJob: 1})
+		ts := &tstate{t: t, nextJob: 1}
+		ts.relItem = heap.NewItem(ts)
+		s.releases.PushItem(ts.relItem)
 	}
+	s.eng = engine.New(s, opts...)
 	return s
 }
+
+// Engine returns the engine this simulator runs on.
+func (s *Simulator) Engine() *engine.Engine { return s.eng }
 
 // Stats returns the counters accumulated so far.
 func (s *Simulator) Stats() Stats { return s.stats }
 
 // Run advances the simulation to the horizon.
 func (s *Simulator) Run(horizon int64) {
-	const inf = math.MaxInt64
-	for s.now < horizon {
-		nextRel := int64(inf)
-		if s.releases.Len() > 0 {
-			nextRel = s.releases.Peek().nextRelease
-		}
-		event := int64(inf)
-		if s.running != nil {
-			event = s.now + s.running.remaining
-		}
-		t := nextRel
-		if event < t {
-			t = event
-		}
-		if horizon < t {
-			t = horizon
-		}
-		if s.running != nil {
-			s.running.remaining -= t - s.now
-		}
-		s.now = t
-		if t == horizon && t != event {
-			break
-		}
-		if t == event {
-			j := s.running
-			s.running = nil
-			s.stats.Completed++
-			if s.now > j.deadline && !j.missed {
-				j.missed = true
-				s.stats.Misses = append(s.stats.Misses, Miss{Task: j.ts.t.Name, Job: j.index, Deadline: j.deadline, FinishedAt: s.now})
-			}
-		}
-		if t == nextRel && t < horizon {
-			for s.releases.Len() > 0 && s.releases.Peek().nextRelease <= s.now {
-				ts := s.releases.Pop()
-				s.ready.Push(&job{
-					ts:        ts,
-					index:     ts.nextJob,
-					deadline:  ts.nextRelease + ts.t.Period,
-					remaining: ts.t.Cost,
-				})
-				s.stats.Jobs++
-				ts.nextJob++
-				ts.nextRelease += ts.t.Period
-				s.releases.Push(ts)
-			}
-		}
-		s.dispatch()
-		if t == horizon {
-			break
-		}
-	}
+	s.eng.Run(horizon)
+	s.atHorizon(horizon)
 	// Account jobs cut off by the horizon.
 	record := func(j *job) {
 		if j != nil && !j.missed && j.deadline <= horizon {
@@ -245,6 +211,100 @@ func (s *Simulator) Run(horizon int64) {
 	record(s.running)
 	for _, it := range s.ready.Items() {
 		record(it.Value)
+	}
+}
+
+// pendingEvent returns the running job's completion time, or MaxInt64
+// when the processor is idle.
+func (s *Simulator) pendingEvent() int64 {
+	if s.running != nil {
+		return s.now + s.running.remaining
+	}
+	return math.MaxInt64
+}
+
+// advance executes the running job up to t.
+func (s *Simulator) advance(t int64) {
+	if s.running != nil {
+		s.running.remaining -= t - s.now
+	}
+	s.now = t
+}
+
+// complete retires the running job, recording a miss if it finished late.
+func (s *Simulator) complete() {
+	j := s.running
+	s.running = nil
+	s.stats.Completed++
+	if s.now > j.deadline && !j.missed {
+		j.missed = true
+		s.stats.Misses = append(s.stats.Misses, Miss{Task: j.ts.t.Name, Job: j.index, Deadline: j.deadline, FinishedAt: s.now})
+	}
+}
+
+// Release is the engine release phase at event instant t: execute the
+// running job up to t, retire a completion landing exactly at t, then
+// release every job due.
+func (s *Simulator) Release(t int64) {
+	event := s.pendingEvent()
+	s.advance(t)
+	if event == t {
+		s.complete()
+	}
+	for s.releases.Len() > 0 && s.releases.Peek().nextRelease <= s.now {
+		ts := s.releases.Pop()
+		j := &job{
+			ts:        ts,
+			index:     ts.nextJob,
+			deadline:  ts.nextRelease + ts.t.Period,
+			remaining: ts.t.Cost,
+		}
+		j.item = heap.NewItem(j)
+		s.ready.PushItem(j.item)
+		s.stats.Jobs++
+		ts.nextJob++
+		ts.nextRelease += ts.t.Period
+		s.releases.PushItem(ts.relItem)
+	}
+}
+
+// Pick implements engine.Policy; the ready heap is already
+// priority-ordered, so selection happens in Dispatch's peek.
+func (s *Simulator) Pick(t int64) {}
+
+// Dispatch implements engine.Policy: one scheduler invocation.
+func (s *Simulator) Dispatch(t int64) { s.dispatch() }
+
+// Account implements engine.Policy; RM accounting happens in the event
+// handlers.
+func (s *Simulator) Account(t int64) {}
+
+// Next returns the next event instant: the earliest pending release or
+// the running job's completion.
+func (s *Simulator) Next(t int64) int64 {
+	nextRel := int64(math.MaxInt64)
+	if s.releases.Len() > 0 {
+		nextRel = s.releases.Peek().nextRelease
+	}
+	if event := s.pendingEvent(); event < nextRel {
+		return event
+	}
+	return nextRel
+}
+
+// atHorizon closes out a Run: the running job executes up to the horizon,
+// and a completion landing exactly on it is still processed (followed by
+// one dispatch) — but releases at the horizon fall outside the simulated
+// window [0, horizon).
+func (s *Simulator) atHorizon(horizon int64) {
+	if s.now >= horizon {
+		return
+	}
+	event := s.pendingEvent()
+	s.advance(horizon)
+	if event == horizon {
+		s.complete()
+		s.dispatch()
 	}
 }
 
@@ -261,7 +321,7 @@ func (s *Simulator) dispatch() {
 	case top.ts.t.Period < s.running.ts.t.Period ||
 		(top.ts.t.Period == s.running.ts.t.Period && top.ts.t.Name < s.running.ts.t.Name):
 		s.ready.Pop()
-		s.ready.Push(s.running)
+		s.ready.PushItem(s.running.item)
 		s.stats.Preemptions++
 		s.stats.ContextSwitches++
 		s.running = top

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"pfair/internal/engine"
 	"pfair/internal/heap"
 	"pfair/internal/obs"
 	"pfair/internal/task"
@@ -67,22 +68,32 @@ type gjob struct {
 	deadline  int64
 	remaining int64
 	missed    bool
+	// item is the job's heap handle, allocated once at release so
+	// re-queueing a preempted or advancing job never allocates.
+	item *heap.Item[*gjob]
 }
 
-// RunGlobal simulates synchronous periodic tasks on m processors under
-// slot-quantized global EDF or RM: each slot, the m highest-priority
-// eligible jobs run (at most one slot of one job per task per slot). It
-// records every job-deadline miss up to the horizon.
-func RunGlobal(set task.Set, m int, pol Policy, horizon int64) GlobalStats {
-	return RunGlobalObserved(set, m, pol, horizon, nil)
+// globalSim is the engine.Policy behind RunGlobal: slot-quantized global
+// EDF/RM. Selection scratch (ranBuf) is preallocated per simulation and
+// jobs carry their heap handle, so the steady-state slot loop stays
+// allocation-free; only job releases (a job object plus its handle)
+// allocate.
+type globalSim struct {
+	m     int
+	tasks []*gtask
+	ready *heap.Heap[*gjob] // heads of task queues with remaining work
+	// rec is cached from the engine at construction; nil = unobserved.
+	rec    *obs.Recorder
+	ranBuf []*gjob
+	stats  GlobalStats
 }
 
-// RunGlobalObserved is RunGlobal with an optional trace recorder (nil =
-// unobserved) receiving release, schedule, idle, and deadline-miss events,
-// so the Dhall-effect runs export to the same Perfetto timeline as the
-// Pfair schedulers. Task ids are the indices into set.
-func RunGlobalObserved(set task.Set, m int, pol Policy, horizon int64, rec *obs.Recorder) GlobalStats {
-	var stats GlobalStats
+func newGlobalSim(set task.Set, m int, pol Policy) *globalSim {
+	g := &globalSim{
+		m:      m,
+		tasks:  make([]*gtask, len(set)),
+		ranBuf: make([]*gjob, 0, m),
+	}
 	less := func(a, b *gjob) bool {
 		switch pol {
 		case GlobalRM:
@@ -99,91 +110,146 @@ func RunGlobalObserved(set task.Set, m int, pol Policy, horizon int64, rec *obs.
 		}
 		return a.index < b.index
 	}
-
-	tasks := make([]*gtask, len(set))
+	g.ready = heap.New(less)
 	for i, t := range set {
-		tasks[i] = &gtask{t: t, id: int32(i), nextJob: 1}
-		if rec != nil {
-			rec.RegisterTask(int32(i), t.Name)
-			rec.Emit(obs.Event{Slot: 0, Kind: obs.EvJoin, Task: int32(i), Proc: -1, A: t.Cost, B: t.Period})
-		}
+		g.tasks[i] = &gtask{t: t, id: int32(i), nextJob: 1}
 	}
+	return g
+}
 
-	ready := heap.New(less) // heads of task queues with remaining work
-	for slot := int64(0); slot < horizon; slot++ {
-		// Release jobs due this slot.
-		for _, ts := range tasks {
-			for ts.nextRelease <= slot {
-				j := &gjob{
-					ts:        ts,
-					index:     ts.nextJob,
-					deadline:  ts.nextRelease + ts.t.Period,
-					remaining: ts.t.Cost,
-				}
-				stats.Jobs++
-				if rec != nil {
-					rec.Emit(obs.Event{Slot: slot, Kind: obs.EvRelease, Task: ts.id, Proc: -1, A: j.index, B: j.deadline})
-				}
-				if len(ts.queue) == 0 {
-					ready.Push(j)
-				}
-				ts.queue = append(ts.queue, j)
-				ts.nextJob++
-				ts.nextRelease += ts.t.Period
+// register announces the task set to the recorder; called once after the
+// policy is bound to its engine.
+func (g *globalSim) register(rec *obs.Recorder) {
+	g.rec = rec
+	if rec == nil {
+		return
+	}
+	for _, ts := range g.tasks {
+		rec.RegisterTask(ts.id, ts.t.Name)
+		rec.Emit(obs.Event{Slot: 0, Kind: obs.EvJoin, Task: ts.id, Proc: -1, A: ts.t.Cost, B: ts.t.Period})
+	}
+}
+
+// Release brings the slot current: releases jobs due at t, then records
+// misses for queued jobs whose deadlines have passed.
+//
+// Deliberately not //pfair:hotpath: releasing a job inherently allocates
+// (the job object and its heap handle). The between-releases slot path is
+// pinned at 0 allocs/op dynamically by TestGlobalStepSteadyStateZeroAllocs.
+func (g *globalSim) Release(t int64) {
+	for _, ts := range g.tasks {
+		for ts.nextRelease <= t {
+			j := &gjob{
+				ts:        ts,
+				index:     ts.nextJob,
+				deadline:  ts.nextRelease + ts.t.Period,
+				remaining: ts.t.Cost,
 			}
+			j.item = heap.NewItem(j)
+			g.stats.Jobs++
+			if rec := g.rec; rec != nil {
+				rec.Emit(obs.Event{Slot: t, Kind: obs.EvRelease, Task: ts.id, Proc: -1, A: j.index, B: j.deadline})
+			}
+			if len(ts.queue) == 0 {
+				g.ready.PushItem(j.item)
+			}
+			ts.queue = append(ts.queue, j)
+			ts.nextJob++
+			ts.nextRelease += ts.t.Period
 		}
-		// Record misses as deadlines pass.
-		for _, ts := range tasks {
-			for _, j := range ts.queue {
-				if !j.missed && j.deadline <= slot {
-					j.missed = true
-					stats.Misses = append(stats.Misses, JobMiss{Task: ts.t.Name, Job: j.index, Deadline: j.deadline})
-					if rec != nil {
-						rec.Emit(obs.Event{Slot: slot, Kind: obs.EvMiss, Task: ts.id, Proc: -1, A: j.index, B: j.deadline})
-					}
+	}
+	for _, ts := range g.tasks {
+		for _, j := range ts.queue {
+			if !j.missed && j.deadline <= t {
+				j.missed = true
+				g.stats.Misses = append(g.stats.Misses, JobMiss{Task: ts.t.Name, Job: j.index, Deadline: j.deadline})
+				if rec := g.rec; rec != nil {
+					rec.Emit(obs.Event{Slot: t, Kind: obs.EvMiss, Task: ts.id, Proc: -1, A: j.index, B: j.deadline})
 				}
-			}
-		}
-		// Run the m highest-priority heads.
-		var ran []*gjob
-		for len(ran) < m && ready.Len() > 0 {
-			ran = append(ran, ready.Pop())
-		}
-		if rec != nil {
-			for k, j := range ran {
-				rec.Emit(obs.Event{Slot: slot, Kind: obs.EvSchedule, Task: j.ts.id, Proc: int32(k), A: j.index})
-			}
-			for k := len(ran); k < m; k++ {
-				rec.Emit(obs.Event{Slot: slot, Kind: obs.EvIdle, Task: -1, Proc: int32(k)})
-			}
-		}
-		for _, j := range ran {
-			j.remaining--
-			if j.remaining == 0 {
-				stats.Completed++
-				ts := j.ts
-				ts.queue = ts.queue[1:]
-				if len(ts.queue) > 0 {
-					ready.Push(ts.queue[0])
-				}
-			} else {
-				ready.Push(j)
 			}
 		}
 	}
-	// Jobs still pending with expired deadlines.
-	for _, ts := range tasks {
+}
+
+// Pick pops the m highest-priority queue heads into the selection scratch.
+//
+//pfair:hotpath
+func (g *globalSim) Pick(t int64) {
+	ran := g.ranBuf[:0]
+	for len(ran) < g.m && g.ready.Len() > 0 {
+		ran = append(ran, g.ready.Pop())
+	}
+	g.ranBuf = ran
+}
+
+// Dispatch runs the selection for one slot: emits schedule/idle events and
+// applies execution effects (completion, queue advance, requeue).
+//
+//pfair:hotpath
+func (g *globalSim) Dispatch(t int64) {
+	ran := g.ranBuf
+	if rec := g.rec; rec != nil {
+		for k, j := range ran {
+			rec.Emit(obs.Event{Slot: t, Kind: obs.EvSchedule, Task: j.ts.id, Proc: int32(k), A: j.index})
+		}
+		for k := len(ran); k < g.m; k++ {
+			rec.Emit(obs.Event{Slot: t, Kind: obs.EvIdle, Task: -1, Proc: int32(k)})
+		}
+	}
+	for _, j := range ran {
+		j.remaining--
+		if j.remaining == 0 {
+			g.stats.Completed++
+			ts := j.ts
+			ts.queue = ts.queue[1:]
+			if len(ts.queue) > 0 {
+				g.ready.PushItem(ts.queue[0].item)
+			}
+		} else {
+			g.ready.PushItem(j.item)
+		}
+	}
+}
+
+// Account implements engine.Policy; global EDF/RM keeps no per-slot gauges.
+func (g *globalSim) Account(t int64) {}
+
+// Next implements engine.Policy: the simulation is slot-driven.
+func (g *globalSim) Next(t int64) int64 { return t + 1 }
+
+// Finish implements engine.Finisher: jobs still pending with expired
+// deadlines at the horizon are recorded as misses.
+func (g *globalSim) Finish(horizon int64) {
+	for _, ts := range g.tasks {
 		for _, j := range ts.queue {
 			if !j.missed && j.deadline <= horizon {
 				j.missed = true
-				stats.Misses = append(stats.Misses, JobMiss{Task: ts.t.Name, Job: j.index, Deadline: j.deadline})
-				if rec != nil {
+				g.stats.Misses = append(g.stats.Misses, JobMiss{Task: ts.t.Name, Job: j.index, Deadline: j.deadline})
+				if rec := g.rec; rec != nil {
 					rec.Emit(obs.Event{Slot: horizon, Kind: obs.EvMiss, Task: ts.id, Proc: -1, A: j.index, B: j.deadline})
 				}
 			}
 		}
 	}
-	return stats
+}
+
+// RunGlobal simulates synchronous periodic tasks on m processors under
+// slot-quantized global EDF or RM: each slot, the m highest-priority
+// eligible jobs run (at most one slot of one job per task per slot). It
+// records every job-deadline miss up to the horizon.
+//
+// Engine options attach observability: engine.WithRecorder(rec) makes the
+// run emit release, schedule, idle, and deadline-miss events, so the
+// Dhall-effect runs export to the same Perfetto timeline as the Pfair
+// schedulers. Task ids are the indices into set. (This replaces the former
+// RunGlobalObserved twin.)
+func RunGlobal(set task.Set, m int, pol Policy, horizon int64, opts ...engine.Option) GlobalStats {
+	g := newGlobalSim(set, m, pol)
+	eng := engine.New(g, opts...)
+	g.register(eng.Recorder())
+	eng.Run(horizon)
+	eng.Finish(horizon)
+	return g.stats
 }
 
 // DhallSet constructs the classic Dhall-effect workload for m processors:

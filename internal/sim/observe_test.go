@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"pfair/internal/engine"
 	"pfair/internal/obs"
 )
 
@@ -21,7 +22,7 @@ func TestRunGlobalObserved(t *testing.T) {
 	set := DhallSet(2, 100)
 	const m, horizon = 2, 2000
 	rec := obs.NewRecorder(1 << 16)
-	observed := RunGlobalObserved(set, m, GlobalEDF, horizon, rec)
+	observed := RunGlobal(set, m, GlobalEDF, horizon, engine.WithRecorder(rec))
 	plain := RunGlobal(set, m, GlobalEDF, horizon)
 
 	if observed.Jobs != plain.Jobs || observed.Completed != plain.Completed ||
@@ -56,7 +57,7 @@ func TestRunGlobalObserved(t *testing.T) {
 func TestRunQuantaObserved(t *testing.T) {
 	vts, m, q, horizon := variableQuantaWorkload()
 	rec := obs.NewRecorder(1 << 16)
-	observed := RunQuantaObserved(vts, m, q, horizon, Variable, rec)
+	observed := RunQuanta(vts, m, q, horizon, Variable, engine.WithRecorder(rec))
 	plain := RunQuanta(vts, m, q, horizon, Variable)
 
 	if observed.Completed != plain.Completed || len(observed.Misses) != len(plain.Misses) {

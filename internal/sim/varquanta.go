@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"pfair/internal/core"
+	"pfair/internal/engine"
 	"pfair/internal/obs"
 	"pfair/internal/task"
 )
@@ -95,21 +96,37 @@ func (s *vqState) startJob(j int64) {
 	s.jobRem = rem
 }
 
-// RunQuanta simulates the task set on m processors under PD² priorities
-// with the given quantum size (in ticks) and padding mode, until the
-// horizon (in ticks). Tasks are synchronous and periodic.
-func RunQuanta(tasks []VQTask, m int, quantum, horizon int64, mode QuantumMode) VQResult {
-	return RunQuantaObserved(tasks, m, quantum, horizon, mode, nil)
+// vqSim is the engine.Policy behind RunQuanta. It is event-driven: Next
+// skips to the earliest processor-free or eligibility event, and the
+// engine's quantum-boundary hook (WithQuantum) gates Aligned-mode
+// dispatch to the global boundary lattice.
+type vqSim struct {
+	m       int
+	quantum int64
+	mode    QuantumMode
+	states  []*vqState
+	// busyUntil[k] < 0 means processor k is idle; otherwise it frees at
+	// that tick, running busyTask[k] until then.
+	busyUntil []int64
+	busyTask  []*vqState
+	// rec is cached from the engine at construction; nil = unobserved.
+	rec *obs.Recorder
+	res VQResult
+	// boundary is set by the engine's QuantumBoundary hook for the current
+	// instant and consumed by Dispatch: Aligned mode may only start quanta
+	// while it is set.
+	boundary bool
 }
 
-// RunQuantaObserved is RunQuanta with an optional trace recorder (nil =
-// unobserved). Event Slot fields carry *ticks*, not quanta; exporters
-// should scale SlotMicros accordingly. Schedule events carry the run
-// length in ticks in B, making quantum drift under Variable mode directly
-// visible on the timeline. Task ids are the indices into tasks.
-func RunQuantaObserved(tasks []VQTask, m int, quantum, horizon int64, mode QuantumMode, rec *obs.Recorder) VQResult {
-	var res VQResult
-	states := make([]*vqState, len(tasks))
+func newVQSim(tasks []VQTask, m int, quantum int64, mode QuantumMode) *vqSim {
+	v := &vqSim{
+		m:         m,
+		quantum:   quantum,
+		mode:      mode,
+		states:    make([]*vqState, len(tasks)),
+		busyUntil: make([]int64, m),
+		busyTask:  make([]*vqState, m),
+	}
 	for i, vt := range tasks {
 		st := &vqState{
 			t:      vt.Task,
@@ -119,147 +136,196 @@ func RunQuantaObserved(tasks []VQTask, m int, quantum, horizon int64, mode Quant
 			q:      quantum,
 		}
 		st.startJob(1)
-		states[i] = st
-		if rec != nil {
-			rec.RegisterTask(int32(i), vt.Task.Name)
-			rec.Emit(obs.Event{Slot: 0, Kind: obs.EvJoin, Task: int32(i), Proc: -1, A: vt.Task.Cost, B: vt.Task.Period})
+		v.states[i] = st
+	}
+	for k := range v.busyUntil {
+		v.busyUntil[k] = -1
+	}
+	return v
+}
+
+func (v *vqSim) register(rec *obs.Recorder) {
+	v.rec = rec
+	if rec == nil {
+		return
+	}
+	for _, st := range v.states {
+		rec.RegisterTask(int32(st.id), st.t.Name)
+		rec.Emit(obs.Event{Slot: 0, Kind: obs.EvJoin, Task: int32(st.id), Proc: -1, A: st.t.Cost, B: st.t.Period})
+	}
+}
+
+// QuantumBoundary implements engine.BoundaryHook: it marks the current
+// instant as lying on the global quantum lattice.
+func (v *vqSim) QuantumBoundary(t int64) { v.boundary = true }
+
+// Release retires runs completing at t, freeing their processors.
+//
+//pfair:hotpath
+func (v *vqSim) Release(t int64) {
+	for k := 0; k < v.m; k++ {
+		if v.busyUntil[k] >= 0 && v.busyUntil[k] <= t {
+			v.busyTask[k].running = false
+			v.busyUntil[k] = -1
+			v.busyTask[k] = nil
 		}
 	}
+}
 
-	// busyUntil[k] < 0 means processor k is idle; otherwise it frees at
-	// that tick, running busyTask[k] for busyLen[k] ticks.
-	busyUntil := make([]int64, m)
-	busyTask := make([]*vqState, m)
-	for k := range busyUntil {
-		busyUntil[k] = -1
-	}
+// Pick implements engine.Policy; selection is interleaved with placement
+// in Dispatch (each start changes which subtask is highest-priority next).
+func (v *vqSim) Pick(t int64) {}
 
-	now := int64(0)
-	for now < horizon {
-		// Retire runs completing at `now`.
-		for k := 0; k < m; k++ {
-			if busyUntil[k] >= 0 && busyUntil[k] <= now {
-				busyTask[k].running = false
-				busyUntil[k] = -1
-				busyTask[k] = nil
-			}
-		}
-
-		// Dispatch idle processors: repeatedly give the highest-priority
-		// eligible subtask to the lowest-indexed idle processor. Under
-		// Aligned, quanta may only begin on global boundaries.
-		for mode == Variable || now%quantum == 0 {
-			proc := -1
-			for k := 0; k < m; k++ {
-				if busyUntil[k] < 0 {
-					proc = k
-					break
-				}
-			}
-			if proc < 0 {
+// Dispatch hands idle processors to eligible subtasks: repeatedly give
+// the highest-priority eligible subtask to the lowest-indexed idle
+// processor. Under Aligned, quanta may only begin on global boundaries
+// (the engine's boundary hook).
+//
+//pfair:hotpath
+func (v *vqSim) Dispatch(t int64) {
+	for v.mode == Variable || v.boundary {
+		proc := -1
+		for k := 0; k < v.m; k++ {
+			if v.busyUntil[k] < 0 {
+				proc = k
 				break
 			}
-			var best *vqState
-			for _, st := range states {
-				if st.running || st.eligibleAt() > now {
-					continue
-				}
-				if best == nil || core.Less(core.PD2,
-					core.SubtaskRef{Pat: st.pat, Index: st.idx, ID: st.id},
-					core.SubtaskRef{Pat: best.pat, Index: best.idx, ID: best.id}) {
-					best = st
-				}
-			}
-			if best == nil {
-				break
-			}
-			run := quantum
-			if best.jobRem < run {
-				run = best.jobRem
-			}
-			best.running = true
-			if rec != nil {
-				rec.Emit(obs.Event{Slot: now, Kind: obs.EvSchedule, Task: int32(best.id), Proc: int32(proc), A: best.idx, B: run})
-			}
-			// Apply the run's effects now; the processor-free event only
-			// clears the reservation.
-			best.jobRem -= run
-			if best.jobRem == 0 {
-				finish := now + run
-				if finish > best.deadlineTicks() {
-					res.Misses = append(res.Misses, JobMiss{Task: best.t.Name, Job: best.job, Deadline: best.deadlineTicks()})
-					if rec != nil {
-						rec.Emit(obs.Event{Slot: finish, Kind: obs.EvMiss, Task: int32(best.id), Proc: int32(proc), A: best.job, B: best.deadlineTicks()})
-					}
-				}
-				res.Completed++
-				best.startJob(best.job + 1)
-			} else {
-				best.idx++
-			}
-			busyUntil[proc] = now + run
-			busyTask[proc] = best
 		}
-
-		// Advance to the next event: a processor freeing, or a future
-		// eligibility arriving for an idle processor.
-		next := int64(math.MaxInt64)
-		anyIdle := false
-		for k := 0; k < m; k++ {
-			if busyUntil[k] >= 0 {
-				if busyUntil[k] < next {
-					next = busyUntil[k]
-				}
-			} else {
-				anyIdle = true
+		if proc < 0 {
+			break
+		}
+		var best *vqState
+		for _, st := range v.states {
+			if st.running || st.eligibleAt() > t {
+				continue
+			}
+			if best == nil || core.Less(core.PD2,
+				core.SubtaskRef{Pat: st.pat, Index: st.idx, ID: st.id},
+				core.SubtaskRef{Pat: best.pat, Index: best.idx, ID: best.id}) {
+				best = st
 			}
 		}
-		if anyIdle {
-			for _, st := range states {
-				if st.running {
-					continue
-				}
-				e := st.eligibleAt()
-				if mode == Aligned {
-					// Aligned starts happen on the lattice anyway.
-					e = alignUp(e, quantum)
-				}
-				if e > now && e < next {
-					next = e
+		if best == nil {
+			break
+		}
+		run := v.quantum
+		if best.jobRem < run {
+			run = best.jobRem
+		}
+		best.running = true
+		if rec := v.rec; rec != nil {
+			rec.Emit(obs.Event{Slot: t, Kind: obs.EvSchedule, Task: int32(best.id), Proc: int32(proc), A: best.idx, B: run})
+		}
+		// Apply the run's effects now; the processor-free event only
+		// clears the reservation.
+		best.jobRem -= run
+		if best.jobRem == 0 {
+			finish := t + run
+			if finish > best.deadlineTicks() {
+				v.res.Misses = append(v.res.Misses, JobMiss{Task: best.t.Name, Job: best.job, Deadline: best.deadlineTicks()})
+				if rec := v.rec; rec != nil {
+					rec.Emit(obs.Event{Slot: finish, Kind: obs.EvMiss, Task: int32(best.id), Proc: int32(proc), A: best.job, B: best.deadlineTicks()})
 				}
 			}
-			if mode == Aligned {
-				// An idle aligned processor re-evaluates at the next
-				// boundary (a mid-quantum completion elsewhere cannot
-				// start work before it).
-				b := alignUp(now+1, quantum)
-				if b < next {
-					next = b
-				}
-			}
+			v.res.Completed++
+			best.startJob(best.job + 1)
+		} else {
+			best.idx++
 		}
-		if next <= now {
-			next = now + 1
-		}
-		now = next
+		v.busyUntil[proc] = t + run
+		v.busyTask[proc] = best
 	}
+	v.boundary = false
+}
 
-	// Pending jobs with expired deadlines at the horizon.
-	for _, st := range states {
+// Account implements engine.Policy; the quantum study keeps no gauges.
+func (v *vqSim) Account(t int64) {}
+
+// Next advances to the next event: a processor freeing, or a future
+// eligibility arriving for an idle processor.
+//
+//pfair:hotpath
+func (v *vqSim) Next(t int64) int64 {
+	next := int64(math.MaxInt64)
+	anyIdle := false
+	for k := 0; k < v.m; k++ {
+		if v.busyUntil[k] >= 0 {
+			if v.busyUntil[k] < next {
+				next = v.busyUntil[k]
+			}
+		} else {
+			anyIdle = true
+		}
+	}
+	if anyIdle {
+		for _, st := range v.states {
+			if st.running {
+				continue
+			}
+			e := st.eligibleAt()
+			if v.mode == Aligned {
+				// Aligned starts happen on the lattice anyway.
+				e = alignUp(e, v.quantum)
+			}
+			if e > t && e < next {
+				next = e
+			}
+		}
+		if v.mode == Aligned {
+			// An idle aligned processor re-evaluates at the next
+			// boundary (a mid-quantum completion elsewhere cannot
+			// start work before it).
+			b := alignUp(t+1, v.quantum)
+			if b < next {
+				next = b
+			}
+		}
+	}
+	if next <= t {
+		next = t + 1
+	}
+	return next
+}
+
+// Finish implements engine.Finisher: pending jobs with expired deadlines
+// at the horizon become misses, then misses sort deterministically.
+func (v *vqSim) Finish(horizon int64) {
+	for _, st := range v.states {
 		if st.jobRem > 0 && st.deadlineTicks() <= horizon {
-			res.Misses = append(res.Misses, JobMiss{Task: st.t.Name, Job: st.job, Deadline: st.deadlineTicks()})
-			if rec != nil {
+			v.res.Misses = append(v.res.Misses, JobMiss{Task: st.t.Name, Job: st.job, Deadline: st.deadlineTicks()})
+			if rec := v.rec; rec != nil {
 				rec.Emit(obs.Event{Slot: horizon, Kind: obs.EvMiss, Task: int32(st.id), Proc: -1, A: st.job, B: st.deadlineTicks()})
 			}
 		}
 	}
-	sort.Slice(res.Misses, func(i, j int) bool {
-		if res.Misses[i].Deadline != res.Misses[j].Deadline {
-			return res.Misses[i].Deadline < res.Misses[j].Deadline
+	sort.Slice(v.res.Misses, func(i, j int) bool {
+		if v.res.Misses[i].Deadline != v.res.Misses[j].Deadline {
+			return v.res.Misses[i].Deadline < v.res.Misses[j].Deadline
 		}
-		return res.Misses[i].Task < res.Misses[j].Task
+		return v.res.Misses[i].Task < v.res.Misses[j].Task
 	})
-	return res
+}
+
+// RunQuanta simulates the task set on m processors under PD² priorities
+// with the given quantum size (in ticks) and padding mode, until the
+// horizon (in ticks). Tasks are synchronous and periodic.
+//
+// Engine options attach observability: with engine.WithRecorder(rec),
+// event Slot fields carry *ticks*, not quanta; exporters should scale
+// SlotMicros accordingly. Schedule events carry the run length in ticks
+// in B, making quantum drift under Variable mode directly visible on the
+// timeline. Task ids are the indices into tasks. (This replaces the
+// former RunQuantaObserved twin.)
+func RunQuanta(tasks []VQTask, m int, quantum, horizon int64, mode QuantumMode, opts ...engine.Option) VQResult {
+	v := newVQSim(tasks, m, quantum, mode)
+	engOpts := make([]engine.Option, 0, len(opts)+1)
+	engOpts = append(engOpts, engine.WithQuantum(quantum))
+	engOpts = append(engOpts, opts...)
+	eng := engine.New(v, engOpts...)
+	v.register(eng.Recorder())
+	eng.Run(horizon)
+	eng.Finish(horizon)
+	return v.res
 }
 
 func alignUp(t, quantum int64) int64 {

@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"pfair/internal/engine"
 	"pfair/internal/obs"
 	"pfair/internal/task"
 )
@@ -51,7 +52,7 @@ func TestPartialFinalQuantum(t *testing.T) {
 		ActualTicks: func(int64) int64 { return 15 }, // 1.5 quanta per job
 	}}
 	rec := obs.NewRecorder(1 << 10)
-	res := RunQuantaObserved(vts, 1, q, 4*q*4, Aligned, rec)
+	res := RunQuanta(vts, 1, q, 4*q*4, Aligned, engine.WithRecorder(rec))
 	if len(res.Misses) != 0 {
 		t.Fatalf("aligned missed with slack: %+v", res.Misses[0])
 	}
@@ -90,7 +91,7 @@ func TestVariableStartsMidQuantum(t *testing.T) {
 	}
 	for _, mode := range []QuantumMode{Aligned, Variable} {
 		rec := obs.NewRecorder(1 << 10)
-		RunQuantaObserved(mk(), 1, q, 2*q*6, mode, rec)
+		RunQuanta(mk(), 1, q, 2*q*6, mode, engine.WithRecorder(rec))
 		offLattice := 0
 		for _, e := range rec.Events() {
 			if e.Kind == obs.EvSchedule && e.Slot%q != 0 {
@@ -143,7 +144,7 @@ func TestActualTicksClamped(t *testing.T) {
 		},
 	}}
 	rec := obs.NewRecorder(1 << 10)
-	res := RunQuantaObserved(vts, 1, q, 2*4*q, Aligned, rec)
+	res := RunQuanta(vts, 1, q, 2*4*q, Aligned, engine.WithRecorder(rec))
 	if len(res.Misses) != 0 {
 		t.Fatalf("clamped demands missed: %+v", res.Misses[0])
 	}

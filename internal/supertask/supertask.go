@@ -20,6 +20,8 @@ import (
 	"sort"
 
 	"pfair/internal/core"
+	"pfair/internal/engine"
+	"pfair/internal/obs"
 	"pfair/internal/rational"
 	"pfair/internal/task"
 )
@@ -103,9 +105,12 @@ type Result struct {
 
 type compState struct {
 	t         *task.Task
+	obsID     int32 // dense trace id from the scheduler's allocator; −1 until registered
 	completed int64 // fully finished jobs
 	rem       int64 // remaining quanta of the head job (completed+1)
-	missed    map[int64]bool
+	// lastMissedJob is the highest job index already recorded as missed;
+	// head-job indices are monotone, so one int replaces a per-job map.
+	lastMissedJob int64
 }
 
 func (c *compState) headJob() int64        { return c.completed + 1 }
@@ -119,24 +124,39 @@ type sstate struct {
 }
 
 // System couples a global PD² (or other Pfair) scheduler with supertask
-// internal scheduling.
+// internal scheduling. It rides the scheduler's engine: the per-slot
+// supertask work (serving components, checking component deadlines) runs
+// in the scheduler's OnSlot callback, so System.Run is just the engine
+// loop.
 type System struct {
-	sched  *core.Scheduler
-	supers map[string]*sstate
-	res    Result
+	sched   *core.Scheduler
+	supers  map[string]*sstate
+	ordered []*sstate // sorted by supertask name, maintained on insert
+	res     Result
+	// rec is cached from the engine; nil when unobserved. Component-level
+	// events (join/schedule/miss) are emitted alongside the scheduler's
+	// own, with ids drawn from the same dense allocator.
+	rec *obs.Recorder
 }
 
 // NewSystem returns a system on m processors under the given Pfair
-// algorithm.
-func NewSystem(m int, alg core.Algorithm) *System {
+// algorithm. Engine options attach observability; with a recorder, the
+// trace carries both the supertasks' Pfair events and component-level
+// schedule/miss events (component ids are registered as "super/comp").
+func NewSystem(m int, alg core.Algorithm, opts ...engine.Option) *System {
 	sys := &System{
-		sched:  core.NewScheduler(m, alg, core.Options{}),
+		sched:  core.NewScheduler(m, alg, core.Options{}, opts...),
 		supers: make(map[string]*sstate),
 	}
+	sys.rec = sys.sched.Engine().Recorder()
+	sys.sched.OnSlot(sys.afterSlot)
 	sys.res.Served = make(map[string]int64)
 	sys.res.Wasted = make(map[string]int64)
 	return sys
 }
+
+// Engine returns the engine the system's scheduler runs on.
+func (sys *System) Engine() *engine.Engine { return sys.sched.Engine() }
 
 // AddTask admits an ordinary migrating Pfair task.
 func (sys *System) AddTask(t *task.Task) error { return sys.sched.Join(t) }
@@ -168,58 +188,82 @@ func (sys *System) AddSupertask(st *Supertask, reweighted bool) error {
 	}
 	ss := &sstate{st: st}
 	for _, c := range st.Components {
-		ss.comps = append(ss.comps, &compState{t: c, rem: c.Cost, missed: map[int64]bool{}})
+		ss.comps = append(ss.comps, &compState{t: c, obsID: -1, rem: c.Cost})
 	}
 	sys.supers[st.Name] = ss
+	// Keep ordered sorted by name so the ComponentMisses sequence is a
+	// pure function of the workload, without re-sorting every slot.
+	at := sort.Search(len(sys.ordered), func(i int) bool { return sys.ordered[i].st.Name >= st.Name })
+	sys.ordered = append(sys.ordered, nil)
+	copy(sys.ordered[at+1:], sys.ordered[at:])
+	sys.ordered[at] = ss
+	sys.registerComponents(ss)
 	return nil
+}
+
+// registerComponents assigns trace ids to ss's components and announces
+// them to the recorder. Ids come from the scheduler's dense allocator, so
+// they never collide with task ids — even for tasks joining later.
+func (sys *System) registerComponents(ss *sstate) {
+	rec := sys.rec
+	if rec == nil {
+		return
+	}
+	for _, c := range ss.comps {
+		if c.obsID < 0 {
+			c.obsID = sys.sched.AllocObsID()
+		}
+		if rec.RegisterTask(c.obsID, ss.st.Name+"/"+c.t.Name) {
+			rec.Emit(obs.Event{Slot: sys.sched.Now(), Kind: obs.EvJoin, Task: c.obsID, Proc: -1, A: c.t.Cost, B: c.t.Period})
+		}
+	}
 }
 
 // Run simulates the system for the given number of slots and returns the
 // accumulated result. It may be called repeatedly to extend a run.
 func (sys *System) Run(horizon int64) Result {
-	for sys.sched.Now() < horizon {
-		t := sys.sched.Now()
-		assigned := sys.sched.Step()
-		served := map[string]bool{}
-		for _, a := range assigned {
-			if ss, ok := sys.supers[a.Task]; ok {
-				served[a.Task] = true
-				sys.res.Served[a.Task]++
-				sys.serve(ss, t)
-			}
-		}
-		// Component deadlines pass at the end of the slot. Visit
-		// supertasks in sorted-name order so the ComponentMisses
-		// sequence is a pure function of the workload, not of map
-		// iteration order.
-		names := make([]string, 0, len(sys.supers))
-		for name := range sys.supers { //pfair:orderinvariant collects keys for sorting
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			ss := sys.supers[name]
-			for _, c := range ss.comps {
-				for c.rem > 0 && c.headDeadline() <= t+1 && !c.missed[c.headJob()] {
-					c.missed[c.headJob()] = true
-					sys.res.ComponentMisses = append(sys.res.ComponentMisses, ComponentMiss{
-						Supertask: ss.st.Name, Component: c.t.Name,
-						Job: c.headJob(), Deadline: c.headDeadline(),
-					})
-					break
-				}
-			}
-		}
-		_ = served
-	}
+	sys.sched.RunUntil(horizon)
 	sys.res.Scheduler = sys.sched.Stats()
 	return sys.res
 }
 
+// afterSlot is the scheduler's OnSlot callback: serve each scheduled
+// supertask's quantum to its internal EDF scheduler, then check component
+// deadlines, which pass at the end of the slot. Supertasks are visited in
+// sorted-name order (maintained on insert) so the ComponentMisses
+// sequence is a pure function of the workload.
+//
+//pfair:hotpath
+func (sys *System) afterSlot(t int64, assigned []core.Assignment) {
+	for _, a := range assigned {
+		if ss, ok := sys.supers[a.Task]; ok {
+			sys.res.Served[a.Task]++
+			sys.serve(ss, t, int32(a.Proc))
+		}
+	}
+	for _, ss := range sys.ordered {
+		for _, c := range ss.comps {
+			if c.rem > 0 && c.headDeadline() <= t+1 && c.headJob() > c.lastMissedJob {
+				c.lastMissedJob = c.headJob()
+				sys.res.ComponentMisses = append(sys.res.ComponentMisses, ComponentMiss{
+					Supertask: ss.st.Name, Component: c.t.Name,
+					Job: c.headJob(), Deadline: c.headDeadline(),
+				})
+				if rec := sys.rec; rec != nil {
+					rec.Emit(obs.Event{Slot: t, Kind: obs.EvMiss, Task: c.obsID, Proc: -1, A: c.headJob(), B: c.headDeadline()})
+				}
+			}
+		}
+	}
+}
+
 // serve delivers one quantum to the supertask's internal EDF scheduler:
 // among components with a released, unfinished head job, the earliest head
-// deadline (ties by name) runs.
-func (sys *System) serve(ss *sstate, t int64) {
+// deadline (ties by name) runs, on the processor the supertask's quantum
+// arrived on.
+//
+//pfair:hotpath
+func (sys *System) serve(ss *sstate, t int64, proc int32) {
 	var pick *compState
 	for _, c := range ss.comps {
 		if c.rem <= 0 || !c.released(t) {
@@ -233,6 +277,9 @@ func (sys *System) serve(ss *sstate, t int64) {
 	if pick == nil {
 		sys.res.Wasted[ss.st.Name]++
 		return
+	}
+	if rec := sys.rec; rec != nil {
+		rec.Emit(obs.Event{Slot: t, Kind: obs.EvSchedule, Task: pick.obsID, Proc: proc, A: pick.headJob()})
 	}
 	pick.rem--
 	if pick.rem == 0 {

@@ -17,6 +17,8 @@ package wrr
 import (
 	"fmt"
 
+	"pfair/internal/engine"
+	"pfair/internal/obs"
 	"pfair/internal/task"
 )
 
@@ -36,27 +38,42 @@ type Stats struct {
 }
 
 type wstate struct {
-	t *task.Task
+	t  *task.Task
+	id int32 // dense observability id (queue position at construction)
 	// burst is the remaining quanta of the task's current turn.
 	burst int64
 	// Job bookkeeping against the periodic deadline lattice.
 	completed int64 // fully finished jobs
 	rem       int64 // remaining quanta of the head job
-	missed    map[int64]bool
+	// lastRun is the last slot the task received a quantum — a generation
+	// flag replacing the former ran-last-slot map, so the context-switch
+	// test is an O(1) field comparison.
+	lastRun int64
+	// lastMissedJob is the highest job index already recorded as missed;
+	// job indices are monotone, so one int replaces the former per-job map.
+	lastMissedJob int64
 }
 
 func (w *wstate) headDeadline() int64 { return (w.completed + 1) * w.t.Period }
 func (w *wstate) headRelease() int64  { return w.completed * w.t.Period }
 
-// Scheduler is a slot-quantized global WRR scheduler on m processors.
+// Scheduler is a slot-quantized global WRR scheduler on m processors,
+// run as an engine.Policy. The selection scratch is preallocated so the
+// steady-state slot loop is allocation-free (miss recording aside).
 type Scheduler struct {
+	eng    *engine.Engine
 	m      int
 	queue  []*wstate // circular ready order; front runs first
-	now    int64
 	stats  Stats
-	prev   map[*wstate]bool
 	onSlot func(t int64, allocated []string)
 	buf    []string
+	runBuf []*wstate
+
+	// rec and met are cached from the engine; both nil when unobserved.
+	// Concrete pointers, nil-guarded at every emission site, so the
+	// unobserved hot path costs one predictable branch each.
+	rec *obs.Recorder
+	met *obs.SchedulerMetrics
 }
 
 // OnSlot registers a callback invoked after every slot with the names of
@@ -64,27 +81,49 @@ type Scheduler struct {
 func (s *Scheduler) OnSlot(fn func(t int64, allocated []string)) { s.onSlot = fn }
 
 // NewScheduler returns a WRR scheduler for m processors over the given
-// synchronous periodic set.
-func NewScheduler(m int, set task.Set) (*Scheduler, error) {
+// synchronous periodic set. Engine options attach observability
+// (engine.WithRecorder / engine.WithMetrics): the run then emits
+// schedule, idle, and deadline-miss events and scheduler counters, with
+// task ids the indices into set.
+func NewScheduler(m int, set task.Set, opts ...engine.Option) (*Scheduler, error) {
 	if m < 1 {
 		return nil, fmt.Errorf("wrr: need at least one processor")
 	}
 	if err := set.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Scheduler{m: m, prev: map[*wstate]bool{}}
-	for _, t := range set {
-		s.queue = append(s.queue, &wstate{t: t, burst: t.Cost, rem: t.Cost, missed: map[int64]bool{}})
+	s := &Scheduler{m: m, runBuf: make([]*wstate, 0, m)}
+	for i, t := range set {
+		s.queue = append(s.queue, &wstate{t: t, id: int32(i), burst: t.Cost, rem: t.Cost, lastRun: -2})
+	}
+	s.eng = engine.New(s, opts...)
+	s.rec, s.met = s.eng.Recorder(), s.eng.Metrics()
+	for _, w := range s.queue {
+		if rec := s.rec; rec != nil {
+			if rec.RegisterTask(w.id, w.t.Name) {
+				rec.Emit(obs.Event{Slot: 0, Kind: obs.EvJoin, Task: w.id, Proc: -1, A: w.t.Cost, B: w.t.Period})
+			}
+		}
+		if met := s.met; met != nil {
+			met.EnsureTask(w.id, w.t.Name, w.t.Period)
+		}
 	}
 	return s, nil
 }
 
-// Step schedules one slot: the first m queue entries with released,
-// unfinished work run; a task whose burst is exhausted rotates to the
-// tail with a fresh burst.
-func (s *Scheduler) Step() {
-	t := s.now
-	var running []*wstate
+// Engine returns the engine this scheduler runs on.
+func (s *Scheduler) Engine() *engine.Engine { return s.eng }
+
+// Release implements engine.Policy; WRR releases are implicit in the
+// head-job release check during selection.
+func (s *Scheduler) Release(t int64) {}
+
+// Pick is the engine selection phase: the first m queue entries with
+// released, unfinished work run this slot.
+//
+//pfair:hotpath
+func (s *Scheduler) Pick(t int64) {
+	running := s.runBuf[:0]
 	for _, w := range s.queue {
 		if len(running) == s.m {
 			break
@@ -93,15 +132,35 @@ func (s *Scheduler) Step() {
 			running = append(running, w)
 		}
 	}
-	cur := map[*wstate]bool{}
-	for _, w := range running {
-		cur[w] = true
-		if !s.prev[w] {
+	s.runBuf = running
+}
+
+// Dispatch is the engine commit phase: the selection executes one quantum
+// each; a task whose burst is exhausted rotates to the tail with a fresh
+// burst.
+//
+//pfair:hotpath
+func (s *Scheduler) Dispatch(t int64) {
+	for k, w := range s.runBuf {
+		if w.lastRun != t-1 {
 			s.stats.ContextSwitches++
+			if met := s.met; met != nil {
+				met.ContextSwitches.Inc()
+			}
 		}
+		w.lastRun = t
 		w.rem--
 		w.burst--
 		s.stats.Allocations++
+		if rec := s.rec; rec != nil {
+			rec.Emit(obs.Event{Slot: t, Kind: obs.EvSchedule, Task: w.id, Proc: int32(k), A: w.completed + 1})
+		}
+		if met := s.met; met != nil {
+			met.Allocations.Inc()
+			if tm := met.Task(w.id); tm != nil {
+				tm.Allocations.Inc()
+			}
+		}
 		if w.rem == 0 {
 			// Job complete; next job's work becomes available at its
 			// release.
@@ -112,32 +171,65 @@ func (s *Scheduler) Step() {
 			s.rotate(w)
 		}
 	}
+	if rec := s.rec; rec != nil {
+		for k := len(s.runBuf); k < s.m; k++ {
+			rec.Emit(obs.Event{Slot: t, Kind: obs.EvIdle, Task: -1, Proc: int32(k)})
+		}
+	}
+}
+
+// Account is the engine accounting phase: deadline misses, counters, and
+// the OnSlot callback.
+//
+//pfair:hotpath
+func (s *Scheduler) Account(t int64) {
 	// Deadline misses: the head job is released and incomplete past its
 	// deadline (a caught-up task's head job is unreleased, so the
 	// release check excludes it).
 	for _, w := range s.queue {
-		if w.headDeadline() <= t+1 && w.headRelease() <= t && !w.missed[w.completed+1] {
-			w.missed[w.completed+1] = true
+		if w.headDeadline() <= t+1 && w.headRelease() <= t && w.completed+1 > w.lastMissedJob {
+			w.lastMissedJob = w.completed + 1
 			s.stats.Misses = append(s.stats.Misses, Miss{Task: w.t.Name, Job: w.completed + 1, Deadline: w.headDeadline()})
+			if rec := s.rec; rec != nil {
+				rec.Emit(obs.Event{Slot: t, Kind: obs.EvMiss, Task: w.id, Proc: -1, A: w.completed + 1, B: w.headDeadline()})
+			}
+			if met := s.met; met != nil {
+				met.Misses.Inc()
+				if tm := met.Task(w.id); tm != nil {
+					tm.Misses.Inc()
+				}
+			}
 		}
 	}
-	s.prev = cur
 	s.stats.Slots++
-	s.now++
+	if met := s.met; met != nil {
+		met.Slots.Inc()
+		met.Occupancy.Observe(int64(len(s.runBuf)))
+	}
 	if s.onSlot != nil {
 		s.buf = s.buf[:0]
-		for _, w := range running {
+		for _, w := range s.runBuf {
 			s.buf = append(s.buf, w.t.Name)
 		}
 		s.onSlot(t, s.buf)
 	}
 }
 
-// rotate moves w to the tail of the queue and recharges its burst.
+// Next implements engine.Policy: WRR is slot-driven.
+func (s *Scheduler) Next(t int64) int64 { return t + 1 }
+
+// Step schedules one slot.
+func (s *Scheduler) Step() { s.eng.Step() }
+
+// rotate moves w to the tail of the queue and recharges its burst, in
+// place (no reallocation: shift the suffix left and reuse the last cell).
+//
+//pfair:hotpath
 func (s *Scheduler) rotate(w *wstate) {
 	for i, q := range s.queue {
 		if q == w {
-			s.queue = append(append(s.queue[:i], s.queue[i+1:]...), w)
+			copy(s.queue[i:], s.queue[i+1:])
+			s.queue[len(s.queue)-1] = w
 			break
 		}
 	}
@@ -146,9 +238,7 @@ func (s *Scheduler) rotate(w *wstate) {
 
 // RunUntil steps to the horizon.
 func (s *Scheduler) RunUntil(horizon int64) {
-	for s.now < horizon {
-		s.Step()
-	}
+	s.eng.Run(horizon)
 }
 
 // Stats returns the accumulated counters.

@@ -1,0 +1,66 @@
+package wrr
+
+import (
+	"testing"
+
+	"pfair/internal/engine"
+	"pfair/internal/obs"
+	"pfair/internal/task"
+)
+
+// The WRR policy rides the shared slot engine, so it inherits the
+// engine's hot-path contract: once scratch capacities settle, a slot
+// costs zero allocations, observed or not. The workload below keeps
+// every deadline (m = n, so each released head job runs every slot),
+// so the miss-recording slow path stays cold.
+
+func feasibleWRR(tb testing.TB, opts ...engine.Option) *Scheduler {
+	tb.Helper()
+	set := task.Set{task.MustNew("a", 2, 5), task.MustNew("b", 3, 7)}
+	s, err := NewScheduler(len(set), set, opts...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+// TestStepSteadyStateZeroAllocs pins the unobserved slot loop at
+// 0 allocs/op after warm-up.
+func TestStepSteadyStateZeroAllocs(t *testing.T) {
+	s := feasibleWRR(t)
+	s.OnSlot(func(int64, []string) {})
+	s.RunUntil(2000)
+	if allocs := testing.AllocsPerRun(500, func() { s.Step() }); allocs != 0 {
+		t.Errorf("Step allocates %v/op in steady state, want 0", allocs)
+	}
+	if n := len(s.Stats().Misses); n != 0 {
+		t.Fatalf("workload missed %d deadlines; the guard needs a miss-free steady state", n)
+	}
+}
+
+// TestStepObservedZeroAllocs repeats the guard with a live recorder and
+// metrics block: observation changes what is recorded, never what is
+// allocated.
+func TestStepObservedZeroAllocs(t *testing.T) {
+	rec := obs.NewRecorder(1 << 12)
+	met := obs.NewSchedulerMetrics(nil)
+	s := feasibleWRR(t, engine.WithRecorder(rec), engine.WithMetrics(met))
+	s.RunUntil(2000)
+	if allocs := testing.AllocsPerRun(500, func() { s.Step() }); allocs != 0 {
+		t.Errorf("observed Step allocates %v/op in steady state, want 0", allocs)
+	}
+	if rec.Total() == 0 {
+		t.Fatal("recorder attached but no events recorded")
+	}
+}
+
+// BenchmarkStepAllocs is the benchmark twin, reporting per-slot cost.
+func BenchmarkStepAllocs(b *testing.B) {
+	s := feasibleWRR(b)
+	s.RunUntil(2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
