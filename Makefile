@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench fuzz fuzz-short smoke engine-equiv check
+.PHONY: build vet lint test race bench bench-guard fuzz fuzz-short smoke engine-equiv check
 
 build:
 	$(GO) build ./...
@@ -22,9 +22,17 @@ race:
 	$(GO) test -race ./...
 
 # bench runs the scheduler hot-path benchmarks and writes BENCH_core.json
-# (name, ns/op, allocs/op per benchmark) for machine consumption.
+# (name, ns/op, allocs/op per benchmark) for machine consumption, and
+# appends a dated entry to BENCH_core.trajectory.json. Refuses a dirty
+# tree (BENCH_ALLOW_DIRTY=1 overrides).
 bench:
 	sh scripts/bench.sh BENCH_core.json
+
+# bench-guard reruns the BENCH_core.json set with fixed iteration counts
+# and fails on a >30% ns/op regression — or any allocs/op growth —
+# against the checked-in baseline.
+bench-guard:
+	sh scripts/bench_guard.sh BENCH_core.json
 
 # fuzz runs the differential scheduling oracle: 150 task systems per kind
 # (1050 total) across every scheduler pairing, with shrunken reproducers
@@ -50,4 +58,4 @@ smoke:
 engine-equiv:
 	$(GO) test ./internal/engine -run 'TestGolden' -count=1
 
-check: build vet lint test race fuzz-short smoke engine-equiv bench
+check: build vet lint test race fuzz-short smoke engine-equiv bench-guard bench

@@ -39,6 +39,10 @@ func BenchmarkFig1Windows(b *testing.B) {
 }
 
 // fig2Set builds the Figure 2 workload for n tasks and total weight ≤ m.
+// At n far above m the generator's per-task weights are rejection-bound
+// (Fig2a's N=1000 point admits what fits under total weight 1), which is
+// the paper's setup for 2(a); 2(b) instead fixes the load fraction per
+// machine size below.
 func fig2Set(n, m int) task.Set {
 	g := taskgen.New(int64(7000 + n + m))
 	set, err := g.SetMaxUtil("T", n, float64(m), taskgen.DefaultPeriodsSlots)
@@ -97,15 +101,28 @@ func BenchmarkFig2aEDF(b *testing.B) {
 }
 
 // BenchmarkFig2bPD2 measures PD²'s per-slot cost on 2–16 processors
-// (Figure 2(b)).
+// (Figure 2(b)). Every point runs the same 200 tasks scaled to 75% of
+// its machine (0.75·M total weight) with admission asserted, so the
+// M-axis varies only the processor count, not the load: an earlier
+// version drew one weight-≤M set per point and silently dropped
+// rejections, which left M=16 at 58% utilization and made it measure
+// cheaper than M=8.
 func BenchmarkFig2bPD2(b *testing.B) {
+	// The larger half of the slot-period menu: 200 tasks at weight floor
+	// 1/p must stay under the smallest target load (0.75·2), which the
+	// sub-100-slot periods' floors would alone exceed.
+	periods := []int64{100, 200, 400, 500, 1000}
 	for _, m := range []int{2, 4, 8, 16} {
 		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
-			set := fig2Set(200, m)
+			g := taskgen.New(int64(7000 + 200 + m))
+			set, err := g.Set("T", 200, 0.75*float64(m), periods)
+			if err != nil {
+				b.Fatal(err)
+			}
 			s := core.NewScheduler(m, core.PD2, core.Options{})
 			for _, t := range set {
 				if err := s.Join(t); err != nil {
-					continue
+					b.Fatalf("join %s: %v", t.Name, err)
 				}
 			}
 			b.ResetTimer()

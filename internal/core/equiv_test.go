@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pfair/internal/obs"
+	"pfair/internal/task"
+)
+
+// This file pins the tentpole equivalence claim of the bucketed hot path:
+// the calq-backed fast mode (pending wheel + deadline-bucketed ready
+// queue + incremental priority keys) produces bit-for-bit the schedule of
+// the legacy representation (pending wheel + binary ready heap), because
+// the priority order is total. Attaching metrics is the sanctioned way to
+// force legacy mode — updateMode keeps the heap whenever observability
+// is on so its comparator can narrate tie-breaks.
+
+// assignString flattens one slot's assignment vector; processor order is
+// part of the schedule, so it is kept.
+func assignString(t int64, assigned []Assignment) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d:", t)
+	for _, a := range assigned {
+		fmt.Fprintf(&b, " %d=%s/%d", a.Proc, a.Task, a.Subtask)
+	}
+	return b.String()
+}
+
+// scheduleOf runs one scheduler over the set and returns the per-slot
+// assignment stream.
+func scheduleOf(t *testing.T, alg Algorithm, m int, set task.Set, horizon int64, legacy bool) []string {
+	t.Helper()
+	s := NewScheduler(m, alg, Options{})
+	if legacy {
+		s.Observe(nil, obs.NewSchedulerMetrics(nil))
+		if s.fast {
+			t.Fatal("metrics attached but scheduler still in fast mode")
+		}
+	} else if !s.fast {
+		t.Fatal("unobserved scheduler not in fast mode")
+	}
+	var got []string
+	s.OnSlot(func(tt int64, assigned []Assignment) {
+		got = append(got, assignString(tt, assigned))
+	})
+	for _, tk := range set {
+		if err := s.Join(tk); err != nil {
+			t.Fatalf("join %v: %v", tk, err)
+		}
+	}
+	s.RunUntil(horizon)
+	return got
+}
+
+// TestFastModeMatchesLegacy fuzzes task sets under every algorithm and
+// requires the fast-mode and legacy-mode assignment streams to be
+// identical, slot for slot, processor for processor.
+func TestFastModeMatchesLegacy(t *testing.T) {
+	algs := []Algorithm{PD2, PD, PF, EPDF, PD2NoBBit}
+	for _, alg := range algs {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			r := rand.New(rand.NewSource(7 + int64(alg)))
+			for trial := 0; trial < 20; trial++ {
+				m := 1 + r.Intn(4)
+				set := randomFeasibleSet(r, m, 3+r.Intn(8), 20)
+				if len(set) == 0 {
+					continue
+				}
+				horizon := set.Hyperperiod()
+				if horizon > 2000 {
+					horizon = 2000
+				}
+				fast := scheduleOf(t, alg, m, set, horizon, false)
+				slow := scheduleOf(t, alg, m, set, horizon, true)
+				if len(fast) != len(slow) {
+					t.Fatalf("trial %d (m=%d, set=%v): %d fast slots vs %d legacy", trial, m, set, len(fast), len(slow))
+				}
+				for i := range fast {
+					if fast[i] != slow[i] {
+						t.Fatalf("trial %d (m=%d, set=%v): slot %d diverges\nfast:   %s\nlegacy: %s",
+							trial, m, set, i, fast[i], slow[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFastModeMatchesLegacyDynamic repeats the comparison with mid-run
+// leaves and re-joins, which exercise removal from the middle of both
+// ready representations and the pending wheel.
+func TestFastModeMatchesLegacyDynamic(t *testing.T) {
+	run := func(t *testing.T, legacy bool) []string {
+		s := NewScheduler(2, PD2, Options{})
+		if legacy {
+			s.Observe(nil, obs.NewSchedulerMetrics(nil))
+		}
+		var got []string
+		s.OnSlot(func(tt int64, assigned []Assignment) {
+			got = append(got, assignString(tt, assigned))
+		})
+		join := func(name string, e, p int64) {
+			if err := s.Join(task.MustNew(name, e, p)); err != nil {
+				t.Fatalf("join %s: %v", name, err)
+			}
+		}
+		join("A", 2, 3)
+		join("B", 3, 7)
+		join("C", 1, 5)
+		s.RunUntil(40)
+		if _, err := s.Leave("B"); err != nil {
+			t.Fatalf("leave B: %v", err)
+		}
+		s.RunUntil(80)
+		join("D", 5, 6)
+		if _, err := s.Reweight("A", 1, 4); err != nil {
+			t.Fatalf("reweight A: %v", err)
+		}
+		s.RunUntil(160)
+		return got
+	}
+	fast := run(t, false)
+	slow := run(t, true)
+	if len(fast) != len(slow) {
+		t.Fatalf("%d fast slots vs %d legacy", len(fast), len(slow))
+	}
+	for i := range fast {
+		if fast[i] != slow[i] {
+			t.Fatalf("slot %d diverges\nfast:   %s\nlegacy: %s", i, fast[i], slow[i])
+		}
+	}
+}

@@ -32,8 +32,11 @@ func (s *Scheduler) Observe(rec *obs.Recorder, met *obs.SchedulerMetrics) {
 	s.adoptAttachments()
 }
 
-// adoptAttachments re-caches the engine's observability attachments and
-// registers every live task with them.
+// adoptAttachments re-caches the engine's observability attachments,
+// registers every live task with them, and reselects the eligible-set
+// representation: observed runs use the legacy ready heap (whose
+// comparator emits the tie-break trace events), unobserved runs the
+// bucketed fast path. Queued subtasks migrate between the structures.
 func (s *Scheduler) adoptAttachments() {
 	s.rec, s.met = s.eng.Recorder(), s.eng.Metrics()
 	for _, st := range s.order {
@@ -41,6 +44,7 @@ func (s *Scheduler) adoptAttachments() {
 			s.registerObs(st)
 		}
 	}
+	s.updateMode()
 }
 
 // AllocObsID hands out the next dense observability id from the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"pfair/internal/calq"
 	"pfair/internal/engine"
 	"pfair/internal/heap"
 	"pfair/internal/obs"
@@ -103,6 +104,14 @@ type tstate struct {
 
 	joinedAt int64
 	index    int64 // current (next unscheduled) subtask, 1-based
+	// pos and cyc locate index within the task's repeating window
+	// pattern: pos = (index−1) mod e, cyc = ⌊(index−1)/e⌋·p. They are
+	// maintained incrementally — O(1) per subtask advance — so the hot
+	// path reads the precomputed per-period tables by direct index
+	// instead of re-deriving the cycle with divisions (see
+	// refreshSubtask).
+	pos      int64
+	cyc      int64
 	pr       prio  // cached priority of the current subtask
 	deadline int64 // absolute deadline of the current subtask
 	elig     int64 // earliest slot the current subtask may run
@@ -111,11 +120,14 @@ type tstate struct {
 	// task when non-nil (mixed Pfair/ERfair systems).
 	earlyRelease *bool
 
-	// readyItem and pendItem are allocated once at admission and reused
-	// for every queue insertion (heap.PushItem), keeping the per-slot loop
-	// allocation-free. Item.Index() < 0 means "not currently queued".
-	readyItem *heap.Item[*tstate]
-	pendItem  *heap.Item[*tstate]
+	// Queue handles, allocated once at admission and reused for every
+	// insertion so the per-slot loop stays allocation-free. readyItem is
+	// the handle for the observed-mode ready heap, readyEntry for the
+	// fast-mode bucketed ready queue (at most one is queued at a time),
+	// and pendItem for the pending-release calendar wheel.
+	readyItem  *heap.Item[*tstate]
+	readyEntry *calq.Entry[*tstate]
+	pendItem   *calq.Item[*tstate]
 
 	// selSlot is the last slot in which this task was selected to run — a
 	// generation flag that turns the preemption scan's membership test
@@ -160,8 +172,14 @@ type tstate struct {
 // slot. Step and RunUntil are kept as thin wrappers over the bound
 // engine so existing call sites read unchanged.
 //
-// The ready and release queues are binary heaps, matching the
-// implementation whose overhead Section 4 measures.
+// Release timers live in a calendar wheel (internal/calq) keyed by
+// eligibility slot, so releasing a slot's subtasks touches one bucket
+// instead of popping a heap. The eligible set has two interchangeable
+// representations producing the identical pop order: a deadline-bucketed
+// min-queue (the fast path) and the legacy binary heap matching the
+// implementation whose overhead Section 4 measures. The heap is kept for
+// observed runs, whose tie-break trace events are emitted from inside
+// its comparator (see cmpReady); unobserved runs use the bucketed queue.
 type Scheduler struct {
 	m    int
 	alg  Algorithm
@@ -173,8 +191,14 @@ type Scheduler struct {
 	order  []*tstate // join order, for deterministic iteration
 	weight *rational.Acc
 
-	ready   *heap.Heap[*tstate] // eligible subtasks, by priority
-	pending *heap.Heap[*tstate] // future subtasks, by eligibility time
+	ready     *heap.Heap[*tstate]     // eligible subtasks (observed mode)
+	readyFast *calq.MinQueue[*tstate] // eligible subtasks (fast mode)
+	pending   *calq.Wheel[*tstate]    // future subtasks, by eligibility slot
+	// fast selects the eligible-set representation: the bucketed queue
+	// whenever no recorder or metrics block is attached, the legacy heap
+	// otherwise. Flipped (with migration) by updateMode.
+	fast      bool
+	maxPeriod int64
 
 	procPrev []*tstate // task run in the previous slot, per processor
 	leaves   []*tstate // tasks with a pending departure
@@ -244,13 +268,91 @@ func newSchedulerState(m int, alg Algorithm, opts Options) *Scheduler {
 		taken:    make([]bool, m),
 	}
 	s.ready = heap.New(s.cmpReady)
-	s.pending = heap.New(func(a, b *tstate) bool {
-		if a.elig != b.elig {
-			return a.elig < b.elig
-		}
-		return a.id < b.id
+	// The fast ready queue buckets by deadline; equal-deadline ties use
+	// the full priority order, read through s.alg at comparison time (the
+	// algorithm is mutable in tests). The order is total (it ends on the
+	// task id), so the pop sequence is independent of representation.
+	s.readyFast = calq.NewMinQueue[*tstate](minSpan, func(a, b *tstate) bool {
+		return less(s.alg, &a.pr, &b.pr)
 	})
+	s.pending = calq.NewWheel[*tstate](minSpan)
+	s.fast = true
 	return s
+}
+
+// minSpan seeds the calendar structures before any task joins;
+// admissions grow them to the largest period seen, capped at
+// calq.DefaultSpanCap (beyond the cap rounds share buckets, which both
+// structures resolve exactly at a scan cost — correctness never depends
+// on the span).
+const minSpan = 32
+
+// updateMode reselects the eligible-set representation after the
+// observability attachments changed, migrating queued subtasks between
+// the two structures. Cold path: construction and Observe only.
+func (s *Scheduler) updateMode() {
+	want := s.rec == nil && s.met == nil
+	if want == s.fast {
+		return
+	}
+	if want {
+		for _, st := range s.order {
+			if st.readyItem.Index() >= 0 {
+				s.ready.Remove(st.readyItem)
+				s.readyFast.Add(st.readyEntry, st.deadline)
+			}
+		}
+	} else {
+		for _, st := range s.order {
+			if st.readyEntry.Queued() {
+				s.readyFast.Remove(st.readyEntry)
+				s.ready.PushItem(st.readyItem)
+			}
+		}
+	}
+	s.fast = want
+}
+
+// readyPush queues st's current subtask as eligible.
+//
+//pfair:hotpath
+func (s *Scheduler) readyPush(st *tstate) {
+	if s.fast {
+		s.readyFast.Add(st.readyEntry, st.deadline)
+	} else {
+		s.ready.PushItem(st.readyItem)
+	}
+}
+
+// readyPop removes and returns the highest-priority eligible subtask.
+//
+//pfair:hotpath
+func (s *Scheduler) readyPop() *tstate {
+	if s.fast {
+		return s.readyFast.PopMin()
+	}
+	return s.ready.Pop()
+}
+
+// readyLen returns the eligible-set size.
+//
+//pfair:hotpath
+func (s *Scheduler) readyLen() int {
+	if s.fast {
+		return s.readyFast.Len()
+	}
+	return s.ready.Len()
+}
+
+// readyRemove dequeues st from whichever eligible-set representation
+// holds it (no-op if neither does). Cold path: leave/rejoin flows.
+func (s *Scheduler) readyRemove(st *tstate) {
+	if st.readyEntry.Queued() {
+		s.readyFast.Remove(st.readyEntry)
+	}
+	if st.readyItem.Index() >= 0 {
+		s.ready.Remove(st.readyItem)
+	}
 }
 
 // Engine returns the engine this scheduler runs on.
@@ -299,12 +401,8 @@ func (s *Scheduler) JoinEarlyRelease(t *task.Task, model ReleaseModel, earlyRele
 	s.refreshSubtask(s.tasks[t.Name])
 	// Requeue under the corrected eligibility.
 	st := s.tasks[t.Name]
-	if st.readyItem.Index() >= 0 {
-		s.ready.Remove(st.readyItem)
-	}
-	if st.pendItem.Index() >= 0 {
-		s.pending.Remove(st.pendItem)
-	}
+	s.readyRemove(st)
+	s.pending.Remove(st.pendItem)
 	s.enqueue(st)
 	return nil
 }
@@ -346,13 +444,26 @@ func (s *Scheduler) admit(t *task.Task, model ReleaseModel, addWeight, check boo
 		obsID:    -1,
 	}
 	st.readyItem = heap.NewItem(st)
-	st.pendItem = heap.NewItem(st)
+	st.readyEntry = calq.NewEntry(st)
+	st.pendItem = calq.NewItem(st)
 	s.nextID++
+	if p := t.Period; p > s.maxPeriod {
+		s.maxPeriod = p
+		span := p
+		if span > calq.DefaultSpanCap {
+			span = calq.DefaultSpanCap
+		}
+		s.pending.EnsureSpan(span)
+		s.readyFast.EnsureSpan(span)
+	}
 	if addWeight {
 		s.weight.Add(w)
 	}
 	s.tasks[t.Name] = st
 	s.order = append(s.order, st)
+	// Each task owns at most one pending-wheel entry, so the task count
+	// bounds any Due batch; reserving here keeps Release allocation-free.
+	s.pending.Reserve(len(s.order))
 	s.registerObs(st)
 	s.refreshSubtask(st)
 	s.enqueue(st)
@@ -374,26 +485,66 @@ func (st *tstate) offsetOf(i int64) int64 {
 	return off
 }
 
-// refreshSubtask recomputes the cached parameters (release, deadline,
-// b-bit, group deadline, eligibility) for st's current subtask.
-func (st2 *Scheduler) refreshSubtask(st *tstate) {
-	i := st.index
-	off := st.offsetOf(i)
-	release := off + st.pat.Release(i)
-	st.deadline = off + st.pat.Deadline(i)
-
-	group := int64(0)
-	if st.pat.Heavy() {
-		group = off + st.pat.GroupDeadline(i)
+// advanceSubtask moves st to its next subtask, maintaining the pattern
+// position incrementally: pos walks the per-period tables, cyc
+// accumulates whole periods. Together they replace the ⌊(i−1)/e⌋
+// division chain inside the Pattern accessors with one compare.
+//
+//pfair:hotpath
+func (st *tstate) advanceSubtask() {
+	st.index++
+	st.pos++
+	if st.pos == st.pat.e {
+		st.pos = 0
+		st.cyc += st.pat.p
 	}
-	st.pr = prio{
-		deadline: st.deadline,
-		bbit:     st.pat.BBit(i),
-		group:    group,
-		pat:      st.pat,
-		index:    i,
-		offset:   off,
-		id:       st.id,
+}
+
+// refreshSubtask recomputes the cached parameters (release, deadline,
+// b-bit, group deadline, eligibility) for st's current subtask. For
+// periodic tasks with tabulated patterns — the common case — every
+// parameter is a direct table read at the incrementally maintained
+// position pos, offset by joinedAt + cyc: O(1) with no divisions. Tasks
+// with an IS release model or an untabulated (cost > patternTableMax)
+// pattern take the general formula path.
+func (s *Scheduler) refreshSubtask(st *tstate) {
+	i := st.index
+	pt := st.pat
+	var release int64
+	if st.model == nil && pt.release != nil {
+		base := st.joinedAt + st.cyc
+		release = base + pt.release[st.pos]
+		st.deadline = base + pt.deadline[st.pos]
+		group := int64(0)
+		if pt.heavy {
+			group = base + pt.gd[st.pos]
+		}
+		st.pr = prio{
+			deadline: st.deadline,
+			bbit:     int(pt.bbit[st.pos]),
+			group:    group,
+			pat:      pt,
+			index:    i,
+			offset:   st.joinedAt,
+			id:       st.id,
+		}
+	} else {
+		off := st.offsetOf(i)
+		release = off + pt.Release(i)
+		st.deadline = off + pt.Deadline(i)
+		group := int64(0)
+		if pt.Heavy() {
+			group = off + pt.GroupDeadline(i)
+		}
+		st.pr = prio{
+			deadline: st.deadline,
+			bbit:     pt.BBit(i),
+			group:    group,
+			pat:      pt,
+			index:    i,
+			offset:   off,
+			id:       st.id,
+		}
 	}
 
 	elig := release
@@ -405,8 +556,9 @@ func (st2 *Scheduler) refreshSubtask(st *tstate) {
 		}
 		elig -= e
 	}
-	if st2.earlyReleaseOn(st) && !st.pat.FirstOfJob(i) {
-		// ERfair: eligible as soon as the predecessor completes.
+	if s.earlyReleaseOn(st) && st.pos != 0 {
+		// ERfair: eligible as soon as the predecessor completes. pos == 0
+		// is FirstOfJob, maintained incrementally.
 		elig = st.lastSlot + 1
 	}
 	// A subtask can never run before its predecessor, before the task
@@ -421,13 +573,15 @@ func (st2 *Scheduler) refreshSubtask(st *tstate) {
 	st.missed = false
 }
 
-// enqueue places st in the ready or pending queue according to its
-// eligibility.
+// enqueue places st in the ready queue or the pending wheel according to
+// its eligibility. Pending insertions always satisfy elig > Now(): at
+// slot t every entry with elig ≤ t goes straight to ready, so the wheel
+// bucket drained by Release(t) holds exactly the slot-t releases.
 func (s *Scheduler) enqueue(st *tstate) {
 	if st.elig <= s.eng.Now() {
-		s.ready.PushItem(st.readyItem)
+		s.readyPush(st)
 	} else {
-		s.pending.PushItem(st.pendItem)
+		s.pending.Add(st.pendItem, st.elig)
 	}
 }
 
@@ -443,17 +597,39 @@ func (s *Scheduler) Step() []Assignment {
 }
 
 // Release is the engine release phase: move every subtask whose
-// eligibility has arrived from the pending queue to the ready queue.
+// eligibility has arrived from the pending wheel to the ready queue. The
+// wheel drain touches only slot t's bucket; the drained batch is then
+// ordered by (eligibility, id) — the legacy pending-heap pop order — so
+// release events and ready insertions are bit-identical to the heap
+// implementation. The core scheduler visits every slot (Next = t+1) and
+// pending entries are inserted with elig > now, so in steady state the
+// batch shares elig == t and this is an insertion sort by id over a
+// handful of entries.
 //
 //pfair:hotpath
 func (s *Scheduler) Release(t int64) {
-	for s.pending.Len() > 0 && s.pending.Peek().elig <= t {
-		st := s.pending.Pop()
-		s.ready.PushItem(st.readyItem)
+	due := s.pending.Due(t)
+	for i := 1; i < len(due); i++ {
+		for j := i; j > 0 && dueBefore(due[j], due[j-1]); j-- {
+			due[j], due[j-1] = due[j-1], due[j]
+		}
+	}
+	for _, st := range due {
+		s.readyPush(st)
 		if rec := s.rec; rec != nil {
 			rec.Emit(obs.Event{Slot: t, Kind: obs.EvRelease, Task: st.obsID, Proc: -1, A: st.index, B: st.deadline})
 		}
 	}
+}
+
+// dueBefore is the legacy pending-queue order: eligibility, then id.
+//
+//pfair:hotpath
+func dueBefore(a, b *tstate) bool {
+	if a.elig != b.elig {
+		return a.elig < b.elig
+	}
+	return a.id < b.id
 }
 
 // Pick is the engine selection phase: pop the m highest-priority eligible
@@ -463,8 +639,8 @@ func (s *Scheduler) Release(t int64) {
 //pfair:hotpath
 func (s *Scheduler) Pick(t int64) {
 	sel := s.selBuf[:0]
-	for len(sel) < s.m && s.ready.Len() > 0 {
-		st := s.ready.Pop()
+	for len(sel) < s.m && s.readyLen() > 0 {
+		st := s.readyPop()
 		st.selSlot = t
 		if st.deadline <= t && !st.missed {
 			// The window has closed; the subtask runs tardily.
@@ -507,7 +683,7 @@ func (s *Scheduler) Dispatch(t int64) {
 		if prev == nil || prev.lastSlot != t-1 {
 			continue
 		}
-		if prev.selSlot != t && !prev.departed && !prev.pat.FirstOfJob(prev.index) {
+		if prev.selSlot != t && !prev.departed && prev.pos != 0 {
 			s.stats.Preemptions++
 			if rec := s.rec; rec != nil {
 				rec.Emit(obs.Event{Slot: t, Kind: obs.EvPreempt, Task: prev.obsID, Proc: int32(prev.lastProc), A: prev.index})
@@ -606,9 +782,9 @@ func (s *Scheduler) Dispatch(t int64) {
 		assigned = append(assigned, Assignment{Proc: k, Task: st.task.Name, Subtask: st.index})
 
 		// Advance to the next subtask.
-		st.index++
+		st.advanceSubtask()
 		s.refreshSubtask(st)
-		s.pending.PushItem(st.pendItem)
+		s.pending.Add(st.pendItem, st.elig)
 	}
 	s.assignBuf = assigned
 	if rec := s.rec; rec != nil {
@@ -629,7 +805,7 @@ func (s *Scheduler) Account(t int64) {
 	s.stats.Slots++
 	if met := s.met; met != nil {
 		met.Slots.Inc()
-		met.ReadyLen.Set(int64(s.ready.Len()))
+		met.ReadyLen.Set(int64(s.readyLen()))
 		met.PendingLen.Set(int64(s.pending.Len()))
 		met.Occupancy.Observe(int64(len(s.assignBuf)))
 	}
@@ -710,12 +886,8 @@ func (s *Scheduler) ApplyLeaves(t int64) {
 			kept = append(kept, st)
 			continue
 		}
-		if st.readyItem.Index() >= 0 {
-			s.ready.Remove(st.readyItem)
-		}
-		if st.pendItem.Index() >= 0 {
-			s.pending.Remove(st.pendItem)
-		}
+		s.readyRemove(st)
+		s.pending.Remove(st.pendItem)
 		if !st.rejoinReserved {
 			// An upward Reweight already swapped the weights at request
 			// time; everything else is subtracted on departure.

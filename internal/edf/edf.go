@@ -26,6 +26,7 @@ import (
 	"sort"
 	"time"
 
+	"pfair/internal/calq"
 	"pfair/internal/engine"
 	"pfair/internal/heap"
 	"pfair/internal/obs"
@@ -104,9 +105,11 @@ type tstate struct {
 	head        *job
 	backlog     []*job
 
-	// relItem is the task's persistent handle in the releases heap, so
-	// re-arming the release timer never allocates.
-	relItem *heap.Item[*tstate]
+	// relItem and relWItem are the task's persistent handles in the
+	// release structures — the fallback heap and the calendar wheel — so
+	// re-arming the release timer never allocates whichever is in use.
+	relItem  *heap.Item[*tstate]
+	relWItem *calq.Item[*tstate]
 }
 
 type job struct {
@@ -132,11 +135,19 @@ type job struct {
 // re-invocation (Next(t) == t) occurs when a zero-budget head job takes
 // the processor; the engine permits it.
 type Simulator struct {
-	eng      *engine.Engine
-	now      int64 // internal execution clock; trails the engine inside Run
-	tasks    map[string]*tstate
-	order    []*tstate // add order, for deterministic obs id assignment
-	ready    *heap.Heap[*job]
+	eng   *engine.Engine
+	now   int64 // internal execution clock; trails the engine inside Run
+	tasks map[string]*tstate
+	order []*tstate // add order, for deterministic obs id assignment
+	ready *heap.Heap[*job]
+	// Release timers live in the calendar wheel: Next finds the earliest
+	// armed release by bitmap probe and Release drains one bucket, so the
+	// timer path costs O(1) per event instead of O(log n) heap sifts.
+	// When a task's period exceeds calq.DefaultSpanCap (timers too sparse
+	// for a bounded wheel to beat a comparison structure), the simulator
+	// falls back — permanently, migrating armed timers — to the heap.
+	relWheel *calq.Wheel[*tstate]
+	relHeap  bool
 	releases *heap.Heap[*tstate]
 	running  *job
 	stats    Stats
@@ -149,6 +160,7 @@ type Simulator struct {
 func NewSimulator(opts ...engine.Option) *Simulator {
 	s := &Simulator{tasks: make(map[string]*tstate)}
 	s.ready = heap.New(jobLess)
+	s.relWheel = calq.NewWheel[*tstate](1)
 	s.releases = heap.New(func(a, b *tstate) bool {
 		if a.nextRelease != b.nextRelease {
 			return a.nextRelease < b.nextRelease
@@ -230,8 +242,35 @@ func (s *Simulator) Add(cfg Config) error {
 	s.order = append(s.order, ts)
 	s.registerObs(ts)
 	ts.relItem = heap.NewItem(ts)
-	s.releases.PushItem(ts.relItem)
+	ts.relWItem = calq.NewItem(ts)
+	if !s.relHeap {
+		if cfg.Task.Period > calq.DefaultSpanCap {
+			// Timers this sparse would mix rounds constantly; move every
+			// armed timer to the heap and stay there.
+			s.relHeap = true
+			for _, o := range s.order {
+				if o.relWItem.Queued() {
+					s.relWheel.Remove(o.relWItem)
+					s.releases.PushItem(o.relItem)
+				}
+			}
+		} else {
+			s.relWheel.EnsureSpan(cfg.Task.Period)
+			s.relWheel.Reserve(len(s.order))
+		}
+	}
+	s.armRelease(ts)
 	return nil
+}
+
+// armRelease queues the task's next release in whichever timer structure
+// is active.
+func (s *Simulator) armRelease(ts *tstate) {
+	if s.relHeap {
+		s.releases.PushItem(ts.relItem)
+	} else {
+		s.relWheel.Add(ts.relWItem, ts.nextRelease)
+	}
 }
 
 // Schedulable reports whether a set of (well-behaved, unserved) implicit-
@@ -302,7 +341,11 @@ func (s *Simulator) Account(t int64) {}
 // immediately); the engine permits the zero-length step.
 func (s *Simulator) Next(t int64) int64 {
 	nextRel := int64(math.MaxInt64)
-	if s.releases.Len() > 0 {
+	if !s.relHeap {
+		if nr, ok := s.relWheel.NextOccupied(s.now); ok {
+			nextRel = nr
+		}
+	} else if s.releases.Len() > 0 {
 		nextRel = s.releases.Peek().nextRelease
 	}
 	event, _ := s.pendingEvent()
@@ -345,54 +388,75 @@ func (s *Simulator) advance(to int64) {
 }
 
 // releaseDue releases every job whose time has come and re-arms the
-// release timers.
+// release timers. Wheel mode drains the single due bucket and sorts the
+// batch by name — reproducing the heap's (nextRelease, Name) pop order,
+// since every drained timer shares the instant s.now — so traces are
+// identical in either mode.
 func (s *Simulator) releaseDue() {
-	for s.releases.Len() > 0 && s.releases.Peek().nextRelease <= s.now {
-		ts := s.releases.Pop()
-		cost := ts.cfg.Task.Cost
-		if ts.cfg.ActualCost != nil {
-			cost = ts.cfg.ActualCost(ts.nextJob)
-			if cost <= 0 {
-				cost = 1
+	if !s.relHeap {
+		due := s.relWheel.Due(s.now)
+		for i := 1; i < len(due); i++ {
+			for j := i; j > 0 && due[j].cfg.Task.Name < due[j-1].cfg.Task.Name; j-- {
+				due[j], due[j-1] = due[j-1], due[j]
 			}
 		}
-		orig := ts.nextRelease + ts.cfg.Task.Period
-		j := &job{
-			ts:        ts,
-			index:     ts.nextJob,
-			release:   ts.nextRelease,
-			deadline:  orig,
-			orig:      orig,
-			remaining: cost,
+		for _, ts := range due {
+			s.releaseOne(ts)
 		}
-		j.item = heap.NewItem(j)
-		s.stats.Jobs++
-		if rec := s.rec; rec != nil {
-			rec.Emit(obs.Event{Slot: s.now, Kind: obs.EvRelease, Task: ts.obsID, Proc: -1, A: j.index, B: j.orig})
-		}
-		ts.nextJob++
-		ts.nextRelease += ts.cfg.Task.Period
-		s.releases.PushItem(ts.relItem)
-
-		if srv := ts.cfg.Server; srv != nil {
-			if ts.head != nil {
-				// Server busy: queue behind the head, FIFO.
-				ts.backlog = append(ts.backlog, j)
-				continue
-			}
-			// Server idle: if the leftover budget, consumed at the
-			// server bandwidth from now, would overrun the current
-			// server deadline (c_s ≥ (d_s − r)·Q/P), start a fresh
-			// period; otherwise reuse the current deadline and budget.
-			if ts.budget*srv.Period >= (ts.srvDeadline-s.now)*srv.Budget {
-				ts.srvDeadline = s.now + srv.Period
-				ts.budget = srv.Budget
-			}
-			j.deadline = ts.srvDeadline
-			ts.head = j
-		}
-		s.ready.PushItem(j.item)
+		return
 	}
+	for s.releases.Len() > 0 && s.releases.Peek().nextRelease <= s.now {
+		s.releaseOne(s.releases.Pop())
+	}
+}
+
+// releaseOne releases the job due from one task (its timer already
+// dequeued), re-arms the timer, and routes the job into the ready queue
+// directly or through the task's server.
+func (s *Simulator) releaseOne(ts *tstate) {
+	cost := ts.cfg.Task.Cost
+	if ts.cfg.ActualCost != nil {
+		cost = ts.cfg.ActualCost(ts.nextJob)
+		if cost <= 0 {
+			cost = 1
+		}
+	}
+	orig := ts.nextRelease + ts.cfg.Task.Period
+	j := &job{
+		ts:        ts,
+		index:     ts.nextJob,
+		release:   ts.nextRelease,
+		deadline:  orig,
+		orig:      orig,
+		remaining: cost,
+	}
+	j.item = heap.NewItem(j)
+	s.stats.Jobs++
+	if rec := s.rec; rec != nil {
+		rec.Emit(obs.Event{Slot: s.now, Kind: obs.EvRelease, Task: ts.obsID, Proc: -1, A: j.index, B: j.orig})
+	}
+	ts.nextJob++
+	ts.nextRelease += ts.cfg.Task.Period
+	s.armRelease(ts)
+
+	if srv := ts.cfg.Server; srv != nil {
+		if ts.head != nil {
+			// Server busy: queue behind the head, FIFO.
+			ts.backlog = append(ts.backlog, j)
+			return
+		}
+		// Server idle: if the leftover budget, consumed at the
+		// server bandwidth from now, would overrun the current
+		// server deadline (c_s ≥ (d_s − r)·Q/P), start a fresh
+		// period; otherwise reuse the current deadline and budget.
+		if ts.budget*srv.Period >= (ts.srvDeadline-s.now)*srv.Budget {
+			ts.srvDeadline = s.now + srv.Period
+			ts.budget = srv.Budget
+		}
+		j.deadline = ts.srvDeadline
+		ts.head = j
+	}
+	s.ready.PushItem(j.item)
 }
 
 // complete retires the running job and, for served tasks, promotes the

@@ -65,8 +65,10 @@ func runHotPath(pass *Pass) {
 
 func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
 	// First pass: find locals that reuse preallocated storage — assigned
-	// from a slice expression (buf[:0]) or a struct field — so appends to
-	// them are recognized as buffer reuse, not fresh allocation.
+	// from a slice expression (buf[:0]), a struct field, or an indexed
+	// element of one (the calendar-queue bucket pattern w.buckets[b]) —
+	// so appends to them are recognized as buffer reuse, not fresh
+	// allocation.
 	prealloc := map[types.Object]bool{}
 	record := func(lhs, rhs ast.Expr) {
 		id, ok := lhs.(*ast.Ident)
@@ -81,7 +83,7 @@ func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
 			return
 		}
 		switch r := ast.Unparen(rhs).(type) {
-		case *ast.SliceExpr, *ast.SelectorExpr:
+		case *ast.SliceExpr, *ast.SelectorExpr, *ast.IndexExpr:
 			prealloc[obj] = true
 		case *ast.Ident:
 			if other := pass.Info.Uses[r]; other != nil && prealloc[other] {
@@ -147,12 +149,16 @@ func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
 }
 
 // isPreallocTarget reports whether the append target reuses preallocated
-// storage: a struct field (s.buf, s.stats.Misses) or a local variable
-// recorded as derived from one.
+// storage: a struct field (s.buf, s.stats.Misses), an indexed element of
+// one (w.buckets[b], the calendar-queue bucket pattern — the bucket table
+// is allocated at construction and each bucket retains its backing array
+// across drains), or a local variable recorded as derived from one.
 func isPreallocTarget(pass *Pass, prealloc map[types.Object]bool, target ast.Expr) bool {
 	switch t := ast.Unparen(target).(type) {
 	case *ast.SelectorExpr:
 		return true
+	case *ast.IndexExpr:
+		return isPreallocTarget(pass, prealloc, t.X)
 	case *ast.Ident:
 		obj := pass.Info.Uses[t]
 		if obj == nil {

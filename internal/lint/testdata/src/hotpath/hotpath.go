@@ -93,6 +93,40 @@ func (s *sched) Unguarded(t int64) {
 	}
 }
 
+// wheel mirrors the calendar-queue shape of internal/calq: a table of
+// buckets allocated at construction, where the hot path appends to one
+// indexed bucket whose backing array is retained across drains.
+type wheel struct {
+	buckets [][]int
+	scratch []int
+}
+
+// BucketAdd is the calendar-queue-indexing case: appending to an indexed
+// struct-field bucket — directly or through a local derived from the
+// index expression — is buffer reuse, not fresh allocation.
+//
+//pfair:hotpath
+func (w *wheel) BucketAdd(b, v int) {
+	w.buckets[b] = append(w.buckets[b], v)
+	bs := w.buckets[b]
+	bs = append(bs, v)
+	w.buckets[b] = bs
+	keep := bs[:0]
+	keep = append(keep, v)
+	w.buckets[b] = keep
+}
+
+// BucketBad still trips the rule: a fresh local slice does not become
+// preallocated by being indexed into.
+//
+//pfair:hotpath
+func (w *wheel) BucketBad(b, v int) {
+	var fresh [][]int
+	fresh = append(fresh, nil)     // want `append to a non-preallocated slice in //pfair:hotpath function BucketBad`
+	fresh[0] = append(fresh[0], v) // want `append to a non-preallocated slice in //pfair:hotpath function BucketBad`
+	_ = fresh
+}
+
 // policy mirrors the engine.Policy shape: the engine's step loop drives
 // phases through an interface value.
 type policy interface {

@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 
+	"pfair/internal/calq"
 	"pfair/internal/engine"
 	"pfair/internal/heap"
 	"pfair/internal/rational"
@@ -132,9 +133,11 @@ type tstate struct {
 	t           *task.Task
 	nextRelease int64
 	nextJob     int64
-	// relItem is the task's persistent handle in the releases heap, so
-	// re-arming the release timer never allocates.
-	relItem *heap.Item[*tstate]
+	// relItem and relWItem are the task's persistent handles in the
+	// release structures — the fallback heap and the calendar wheel — so
+	// re-arming the release timer never allocates whichever is in use.
+	relItem  *heap.Item[*tstate]
+	relWItem *calq.Item[*tstate]
 }
 
 type job struct {
@@ -156,9 +159,15 @@ type job struct {
 // The Simulator is an engine.Policy: the engine visits exactly the event
 // instants (releases and completions) that Next computes.
 type Simulator struct {
-	eng      *engine.Engine
-	now      int64 // internal execution clock; trails the engine inside Run
-	ready    *heap.Heap[*job]
+	eng   *engine.Engine
+	now   int64 // internal execution clock; trails the engine inside Run
+	ready *heap.Heap[*job]
+	// Release timers live in the calendar wheel unless some period
+	// exceeds calq.DefaultSpanCap (timers too sparse for a bounded wheel),
+	// in which case the constructor picks the comparison heap instead —
+	// the task set is fixed up front, so the choice is made once.
+	relWheel *calq.Wheel[*tstate]
+	relHeap  bool
 	releases *heap.Heap[*tstate]
 	running  *job
 	stats    Stats
@@ -182,13 +191,35 @@ func NewSimulator(set task.Set, opts ...engine.Option) *Simulator {
 		}
 		return a.t.Name < b.t.Name
 	})
+	var maxPeriod int64
+	for _, t := range set {
+		if t.Period > maxPeriod {
+			maxPeriod = t.Period
+		}
+	}
+	s.relHeap = maxPeriod > calq.DefaultSpanCap
+	if !s.relHeap {
+		s.relWheel = calq.NewWheel[*tstate](maxPeriod)
+		s.relWheel.Reserve(len(set))
+	}
 	for _, t := range set {
 		ts := &tstate{t: t, nextJob: 1}
 		ts.relItem = heap.NewItem(ts)
-		s.releases.PushItem(ts.relItem)
+		ts.relWItem = calq.NewItem(ts)
+		s.armRelease(ts)
 	}
 	s.eng = engine.New(s, opts...)
 	return s
+}
+
+// armRelease queues the task's next release in whichever timer structure
+// the constructor selected.
+func (s *Simulator) armRelease(ts *tstate) {
+	if s.relHeap {
+		s.releases.PushItem(ts.relItem)
+	} else {
+		s.relWheel.Add(ts.relWItem, ts.nextRelease)
+	}
 }
 
 // Engine returns the engine this simulator runs on.
@@ -251,21 +282,46 @@ func (s *Simulator) Release(t int64) {
 	if event == t {
 		s.complete()
 	}
-	for s.releases.Len() > 0 && s.releases.Peek().nextRelease <= s.now {
-		ts := s.releases.Pop()
-		j := &job{
-			ts:        ts,
-			index:     ts.nextJob,
-			deadline:  ts.nextRelease + ts.t.Period,
-			remaining: ts.t.Cost,
+	s.releaseDue()
+}
+
+// releaseDue releases every job whose time has come and re-arms the
+// timers. Wheel mode drains the single due bucket and sorts the batch by
+// name, matching the heap's (nextRelease, Name) pop order — every
+// drained timer shares the instant s.now.
+func (s *Simulator) releaseDue() {
+	if !s.relHeap {
+		due := s.relWheel.Due(s.now)
+		for i := 1; i < len(due); i++ {
+			for j := i; j > 0 && due[j].t.Name < due[j-1].t.Name; j-- {
+				due[j], due[j-1] = due[j-1], due[j]
+			}
 		}
-		j.item = heap.NewItem(j)
-		s.ready.PushItem(j.item)
-		s.stats.Jobs++
-		ts.nextJob++
-		ts.nextRelease += ts.t.Period
-		s.releases.PushItem(ts.relItem)
+		for _, ts := range due {
+			s.releaseOne(ts)
+		}
+		return
 	}
+	for s.releases.Len() > 0 && s.releases.Peek().nextRelease <= s.now {
+		s.releaseOne(s.releases.Pop())
+	}
+}
+
+// releaseOne releases one task's due job (its timer already dequeued)
+// and re-arms the timer.
+func (s *Simulator) releaseOne(ts *tstate) {
+	j := &job{
+		ts:        ts,
+		index:     ts.nextJob,
+		deadline:  ts.nextRelease + ts.t.Period,
+		remaining: ts.t.Cost,
+	}
+	j.item = heap.NewItem(j)
+	s.ready.PushItem(j.item)
+	s.stats.Jobs++
+	ts.nextJob++
+	ts.nextRelease += ts.t.Period
+	s.armRelease(ts)
 }
 
 // Pick implements engine.Policy; the ready heap is already
@@ -283,7 +339,11 @@ func (s *Simulator) Account(t int64) {}
 // the running job's completion.
 func (s *Simulator) Next(t int64) int64 {
 	nextRel := int64(math.MaxInt64)
-	if s.releases.Len() > 0 {
+	if !s.relHeap {
+		if nr, ok := s.relWheel.NextOccupied(s.now); ok {
+			nextRel = nr
+		}
+	} else if s.releases.Len() > 0 {
 		nextRel = s.releases.Peek().nextRelease
 	}
 	if event := s.pendingEvent(); event < nextRel {

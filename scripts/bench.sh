@@ -9,11 +9,21 @@
 # measured timings and the stamp itself the output is byte-stable: same
 # benchmarks, same order, same formatting on every run.
 #
+# Every run also appends a dated entry to BENCH_core.trajectory.json, an
+# append-only JSON array recording the repo's performance history commit
+# by commit.
+#
+# A dirty working tree is refused: numbers that cannot be attributed to a
+# commit poison both the checked-in baseline and the trajectory. Set
+# BENCH_ALLOW_DIRTY=1 to override for local experiments (the entry is
+# still stamped dirty).
+#
 # Usage: scripts/bench.sh [output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_core.json}"
+traj="BENCH_core.trajectory.json"
 raw="$(mktemp -p . bench.XXXXXX.txt)"
 trap 'rm -f "$raw"' EXIT
 
@@ -21,6 +31,15 @@ commit="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
 dirty=false
 if ! git diff --quiet HEAD 2>/dev/null; then
 	dirty=true
+fi
+if [ "$dirty" = true ]; then
+	if [ "${BENCH_ALLOW_DIRTY:-}" = "1" ]; then
+		echo "bench.sh: WARNING: working tree is dirty; numbers are not attributable to commit $commit" >&2
+	else
+		echo "bench.sh: refusing to benchmark a dirty working tree (commit stamps would lie)." >&2
+		echo "bench.sh: commit or stash your changes, or set BENCH_ALLOW_DIRTY=1 to override." >&2
+		exit 1
+	fi
 fi
 goversion="$(go env GOVERSION)"
 # GOMAXPROCS defaults to the online CPU count unless the env overrides it.
@@ -38,6 +57,7 @@ BEGIN {
 }
 /^Benchmark/ {
 	name = $1
+	sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix: names are machine-independent
 	nsop = ""; allocs = ""
 	for (i = 2; i <= NF; i++) {
 		if ($(i) == "ns/op")     nsop   = $(i - 1)
@@ -52,3 +72,35 @@ END { print "\n  ]\n}" }
 ' "$raw" > "$out"
 
 echo "wrote $out"
+
+# Append this run to the trajectory: one compact dated entry per run, the
+# file as a whole a valid JSON array.
+date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+entry="$(awk -v date="$date" -v commit="$commit" -v dirty="$dirty" -v gover="$goversion" '
+BEGIN {
+	printf "{\"date\": \"%s\", \"commit\": \"%s\", \"dirty\": %s, \"go\": \"%s\", \"benchmarks\": [", date, commit, dirty, gover
+	first = 1
+}
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	nsop = ""; allocs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($(i) == "ns/op")     nsop   = $(i - 1)
+		if ($(i) == "allocs/op") allocs = $(i - 1)
+	}
+	if (nsop == "") next
+	if (!first) printf ", "
+	first = 0
+	printf "{\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, nsop, (allocs == "" ? "null" : allocs)
+}
+END { printf "]}" }
+' "$raw")"
+
+if [ -f "$traj" ]; then
+	prev="$(sed '$d' "$traj")" # drop the closing bracket
+	printf '%s,\n%s\n]\n' "$prev" "$entry" > "$traj"
+else
+	printf '[\n%s\n]\n' "$entry" > "$traj"
+fi
+echo "appended to $traj"

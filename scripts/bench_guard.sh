@@ -1,0 +1,73 @@
+#!/bin/sh
+# bench_guard.sh — CI regression gate for the scheduler hot path: rerun
+# the BENCH_core.json benchmark set with a fixed iteration count and fail
+# if any benchmark's ns/op regressed more than the threshold (default
+# 30%) against the checked-in baseline, or if its allocs/op grew at all
+# (the 0-alloc invariant is exact, not statistical).
+#
+# Fixed -benchtime=2000x iterations — rather than a wall-clock budget —
+# keep the measured work identical run to run, so the only variance left
+# is machine noise, which the generous threshold absorbs. The baseline is
+# a committed artifact: regenerate it with scripts/bench.sh (clean tree)
+# whenever a PR intentionally changes performance.
+#
+# Usage: scripts/bench_guard.sh [baseline.json]
+#   BENCH_GUARD_THRESHOLD  percent regression tolerated (default 30)
+set -eu
+
+cd "$(dirname "$0")/.."
+base="${1:-BENCH_core.json}"
+thresh="${BENCH_GUARD_THRESHOLD:-30}"
+
+if [ ! -f "$base" ]; then
+	echo "bench_guard.sh: baseline $base not found" >&2
+	exit 1
+fi
+
+raw="$(mktemp -p . bench_guard.XXXXXX.txt)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkFig2aPD2|BenchmarkFig2bPD2|BenchmarkFig1Windows' \
+	-benchmem -benchtime=2000x -count=1 . | tee "$raw"
+
+awk -v thresh="$thresh" '
+# Pass 1: the baseline JSON, one benchmark per line.
+FNR == NR {
+	if (match($0, /"name": "[^"]+"/)) {
+		name = substr($0, RSTART + 9, RLENGTH - 10)
+		ns = ""; al = ""
+		if (match($0, /"ns_per_op": [0-9.eE+-]+/))    ns = substr($0, RSTART + 13, RLENGTH - 13)
+		if (match($0, /"allocs_per_op": [0-9.eE+-]+/)) al = substr($0, RSTART + 17, RLENGTH - 17)
+		if (ns != "") { base_ns[name] = ns + 0; base_al[name] = al + 0 }
+	}
+	next
+}
+# Pass 2: the fresh run.
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+	ns = ""; al = ""
+	for (i = 2; i <= NF; i++) {
+		if ($(i) == "ns/op")     ns = $(i - 1)
+		if ($(i) == "allocs/op") al = $(i - 1)
+	}
+	if (ns == "" || !(name in base_ns)) next
+	checked++
+	limit = base_ns[name] * (1 + thresh / 100)
+	if (ns + 0 > limit) {
+		printf "REGRESSION %s: %.4g ns/op vs baseline %.4g (> +%s%%)\n", name, ns + 0, base_ns[name], thresh
+		bad++
+	} else {
+		printf "ok %s: %.4g ns/op vs baseline %.4g\n", name, ns + 0, base_ns[name]
+	}
+	if (al != "" && al + 0 > base_al[name]) {
+		printf "REGRESSION %s: %d allocs/op vs baseline %d\n", name, al + 0, base_al[name]
+		bad++
+	}
+}
+END {
+	if (checked == 0) { print "bench_guard: no benchmarks matched the baseline"; exit 1 }
+	printf "bench_guard: %d benchmarks checked, %d regressions (threshold +%s%% ns/op)\n", checked, bad + 0, thresh
+	if (bad > 0) exit 1
+}
+' "$base" "$raw"
