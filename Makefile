@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench bench-guard fuzz fuzz-short smoke engine-equiv check
+.PHONY: build vet lint test race bench bench-scale bench-guard bench-guard-scale fuzz fuzz-short smoke engine-equiv check
 
 build:
 	$(GO) build ./...
@@ -28,11 +28,22 @@ race:
 bench:
 	sh scripts/bench.sh BENCH_core.json
 
+# bench-scale runs the million-task scale benchmarks (sharded ready
+# queues, supertask hierarchy) at a fixed iteration count and writes
+# BENCH_scale.json with slots/s throughput alongside ns/op.
+bench-scale:
+	sh scripts/bench.sh BENCH_scale.json 'BenchmarkScale' 500x
+
 # bench-guard reruns the BENCH_core.json set with fixed iteration counts
 # and fails on a >30% ns/op regression — or any allocs/op growth —
 # against the checked-in baseline.
 bench-guard:
 	sh scripts/bench_guard.sh BENCH_core.json
+
+# bench-guard-scale is the same gate over the BENCH_scale.json baseline,
+# with the iteration count scripts/bench.sh used to generate it.
+bench-guard-scale:
+	sh scripts/bench_guard.sh BENCH_scale.json 'BenchmarkScale' 500x 2
 
 # fuzz runs the differential scheduling oracle: 150 task systems per kind
 # (1050 total) across every scheduler pairing, with shrunken reproducers
@@ -58,4 +69,4 @@ smoke:
 engine-equiv:
 	$(GO) test ./internal/engine -run 'TestGolden' -count=1
 
-check: build vet lint test race fuzz-short smoke engine-equiv bench-guard bench
+check: build vet lint test race fuzz-short smoke engine-equiv bench-guard bench-guard-scale bench

@@ -43,6 +43,7 @@ func main() {
 	measured := flag.Bool("measured", false, "fig3/fig4: measure scheduling costs on this machine first (the paper's methodology) instead of the calibrated default models")
 	gotrace := flag.String("gotrace", "", "write a runtime/trace of the run to this file (one region per figure)")
 	metrics := flag.Bool("metrics", false, "print per-figure wall-time and allocation summaries to stderr")
+	shards := flag.Int("shards", 0, "fig2: ready-queue shards per scheduler (0 or 1 = single queue; schedules are identical, only the measured cost moves)")
 	flag.Parse()
 
 	if *gotrace != "" {
@@ -89,6 +90,7 @@ func main() {
 	f2.Workers = *workers
 	f3.Workers = *workers
 	qs.Workers = *workers
+	f2.Shards = *shards
 
 	// Each figure sweep runs inside a runtime/trace region (visible in
 	// `go tool trace` when -gotrace is set) and, with -metrics, reports a

@@ -54,6 +54,7 @@ func main() {
 	m := flag.Int("m", 1, "number of processors")
 	algName := flag.String("alg", "pd2", "scheduling algorithm: pd2|pd|pf|epdf")
 	er := flag.Bool("er", false, "early-release (ERfair) eligibility")
+	shards := flag.Int("shards", 0, "ready-queue shards (0 or 1 = single queue; schedules are identical for every value)")
 	slots := flag.Int64("slots", 0, "slots to simulate (0 = two hyperperiods)")
 	windows := flag.Bool("windows", false, "print subtask windows per task")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto-loadable) to this file")
@@ -129,7 +130,7 @@ func main() {
 		}
 	}
 
-	s := core.NewScheduler(*m, alg, core.Options{EarlyRelease: *er})
+	s := core.NewScheduler(*m, alg, core.Options{EarlyRelease: *er, Shards: *shards})
 	rec := trace.NewRecorder()
 	s.OnSlot(rec.Record)
 
@@ -163,7 +164,9 @@ func main() {
 			fatal("cpuprofile: %v", err)
 		}
 	}
-	s.RunUntil(horizon)
+	if err := s.RunUntil(horizon); err != nil {
+		fatal("simulation: %v", err)
+	}
 	s.FinishMisses(horizon)
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()

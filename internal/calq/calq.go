@@ -162,10 +162,16 @@ func (w *Wheel[T]) Len() int { return w.n }
 
 // Reserve grows the drain scratch to hold n items, so Due stays
 // allocation-free as long as no more than n items are ever due at once
-// (one timer per task makes the task count a natural bound). Cold path:
+// (one timer per task makes the task count a natural bound). Growth is
+// geometric: admission calls Reserve once per join with n one larger
+// each time, and growing to exactly n would reallocate and copy on
+// every call — quadratic across a large admission burst. Cold path:
 // call at admission.
 func (w *Wheel[T]) Reserve(n int) {
 	if cap(w.due) < n {
+		if min := 2 * cap(w.due); n < min {
+			n = min
+		}
 		due := make([]T, 0, n)
 		w.due = append(due, w.due...)
 	}
@@ -586,6 +592,21 @@ func (q *MinQueue[T]) PopMin() T {
 	q.n--
 	q.lo = e.key
 	return e.Value
+}
+
+// PeekMin returns the minimum entry under (key, less) and its key
+// without removing it, or ok=false when the queue is empty. It performs
+// the same bucket probe as PopMin but no heap surgery, so sharded
+// consumers (internal/shard) can run a head tournament across queues and
+// pop only the winner.
+//
+//pfair:hotpath
+func (q *MinQueue[T]) PeekMin() (v T, key int64, ok bool) {
+	if q.n == 0 {
+		return v, 0, false
+	}
+	e := q.buckets[q.minBucket()]
+	return e.Value, e.key, true
 }
 
 // minBucket returns the index of the bucket holding the minimum-key

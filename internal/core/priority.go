@@ -29,12 +29,14 @@ const (
 	// regression test pins a feasible set it misses, motivating the
 	// tie-break machinery.
 	EPDF
-	// PD2NoBBit is PD² with the b-bit tie-break deliberately removed
-	// (deadline ties fall through to the group-deadline comparison). It is
+	// PD2NoBBit is PD² with the b-bit tie-break deliberately removed and
+	// the group-deadline comparison inverted (deadline ties resolve to
+	// the EARLIER group deadline, the opposite of PD²'s rule). It is
 	// intentionally WRONG — a fault-injection target proving that the
 	// differential fuzzing oracle (internal/fuzz) catches scheduler
-	// mutations with a small shrunken reproducer. Never use it to
-	// schedule real workloads.
+	// mutations with a small shrunken reproducer. Like every Algorithm
+	// it is a total order (see lessWhy), which the ready representations
+	// require. Never use it to schedule real workloads.
 	PD2NoBBit
 )
 
@@ -103,9 +105,19 @@ func lessWhy(alg Algorithm, a, b *prio) (bool, decidedBy) {
 	case EPDF:
 		// No tie-breaks.
 	case PD2NoBBit:
-		// Fault injection: PD² minus the b-bit comparison.
-		if a.bbit == 1 && b.bbit == 1 && a.group != b.group {
-			return a.group > b.group, byGroup
+		// Fault injection: PD² minus the b-bit comparison, with the
+		// group rule inverted (earlier group deadline first — the
+		// opposite of PD²'s rule) and applied unconditionally. The
+		// historical form kept PD²'s group direction but gated it on
+		// both b-bits being 1; gating on a field the order does not
+		// otherwise compare made the relation intransitive (a bbit-0
+		// entry could sit between two group-ordered bbit-1 entries by
+		// id, forming a cycle), and every ready representation — heap,
+		// bucketed queue, shard tournament — assumes a total order. The
+		// inversion keeps the mutant reliably catchable by the fuzz
+		// oracle now that the order is lexicographic.
+		if a.group != b.group {
+			return a.group < b.group, byGroup
 		}
 	case PD2:
 		if a.bbit != b.bbit {

@@ -9,6 +9,7 @@ import (
 	"pfair/internal/heap"
 	"pfair/internal/obs"
 	"pfair/internal/rational"
+	"pfair/internal/shard"
 	"pfair/internal/task"
 )
 
@@ -48,6 +49,16 @@ type Options struct {
 	// bound min(E−1, P−E) per job relies on affinity being on; the flag
 	// exists for the ablation benchmark.
 	NoAffinity bool
+	// Shards selects the fast-mode ready-queue layout: 0 or 1 keeps the
+	// single global bucketed queue, N > 1 partitions the eligible set
+	// into N per-CPU queues (internal/shard) whose heads the priority
+	// comparator arbitrates, with work-stealing accounting. The
+	// assignment stream is identical for every value — the shard tier's
+	// pick is the exact global (deadline, priority)-minimum — so the
+	// setting trades memory locality against tournament width without
+	// changing one scheduling decision. Observed runs (recorder or
+	// metrics attached) use the legacy heap regardless, as before.
+	Shards int
 }
 
 // Assignment records one processor allocation in one slot.
@@ -129,6 +140,14 @@ type tstate struct {
 	readyEntry *calq.Entry[*tstate]
 	pendItem   *calq.Item[*tstate]
 
+	// home is the task's home shard when sharding is enabled: the shard
+	// of the CPU it last ran on (re-homed at dispatch for cache
+	// affinity), id mod S before its first run. qShard records the shard
+	// its ready entry is actually queued in, which can lag home when the
+	// task was re-homed while eligible.
+	home   int
+	qShard int
+
 	// selSlot is the last slot in which this task was selected to run — a
 	// generation flag that turns the preemption scan's membership test
 	// over sel into an O(1) field comparison.
@@ -192,12 +211,17 @@ type Scheduler struct {
 	weight *rational.Acc
 
 	ready     *heap.Heap[*tstate]     // eligible subtasks (observed mode)
-	readyFast *calq.MinQueue[*tstate] // eligible subtasks (fast mode)
+	readyFast *calq.MinQueue[*tstate] // eligible subtasks (fast mode, Shards ≤ 1)
+	readySh   *shard.Queues[*tstate]  // eligible subtasks (fast mode, Shards > 1)
 	pending   *calq.Wheel[*tstate]    // future subtasks, by eligibility slot
 	// fast selects the eligible-set representation: the bucketed queue
-	// whenever no recorder or metrics block is attached, the legacy heap
-	// otherwise. Flipped (with migration) by updateMode.
-	fast      bool
+	// (single or sharded per Options.Shards) whenever no recorder or
+	// metrics block is attached, the legacy heap otherwise. Flipped
+	// (with migration) by updateMode.
+	fast bool
+	// shardN caches the shard count (0 when sharding is off) so the
+	// dispatch re-homing branch costs one compare.
+	shardN    int
 	maxPeriod int64
 
 	procPrev []*tstate // task run in the previous slot, per processor
@@ -271,10 +295,18 @@ func newSchedulerState(m int, alg Algorithm, opts Options) *Scheduler {
 	// The fast ready queue buckets by deadline; equal-deadline ties use
 	// the full priority order, read through s.alg at comparison time (the
 	// algorithm is mutable in tests). The order is total (it ends on the
-	// task id), so the pop sequence is independent of representation.
-	s.readyFast = calq.NewMinQueue[*tstate](minSpan, func(a, b *tstate) bool {
+	// task id), so the pop sequence is independent of representation —
+	// including the sharded one, whose head tournament picks the same
+	// global minimum.
+	lessFn := func(a, b *tstate) bool {
 		return less(s.alg, &a.pr, &b.pr)
-	})
+	}
+	if opts.Shards > 1 {
+		s.readySh = shard.New[*tstate](opts.Shards, minSpan, lessFn)
+		s.shardN = s.readySh.Shards()
+	} else {
+		s.readyFast = calq.NewMinQueue[*tstate](minSpan, lessFn)
+	}
 	s.pending = calq.NewWheel[*tstate](minSpan)
 	s.fast = true
 	return s
@@ -299,13 +331,22 @@ func (s *Scheduler) updateMode() {
 		for _, st := range s.order {
 			if st.readyItem.Index() >= 0 {
 				s.ready.Remove(st.readyItem)
-				s.readyFast.Add(st.readyEntry, st.deadline)
+				if sh := s.readySh; sh != nil {
+					st.qShard = st.home
+					sh.Add(st.readyEntry, st.deadline, st.home)
+				} else {
+					s.readyFast.Add(st.readyEntry, st.deadline)
+				}
 			}
 		}
 	} else {
 		for _, st := range s.order {
 			if st.readyEntry.Queued() {
-				s.readyFast.Remove(st.readyEntry)
+				if sh := s.readySh; sh != nil {
+					sh.Remove(st.readyEntry, st.qShard)
+				} else {
+					s.readyFast.Remove(st.readyEntry)
+				}
 				s.ready.PushItem(st.readyItem)
 			}
 		}
@@ -313,22 +354,34 @@ func (s *Scheduler) updateMode() {
 	s.fast = want
 }
 
-// readyPush queues st's current subtask as eligible.
+// readyPush queues st's current subtask as eligible — on the task's home
+// shard when sharding is on.
 //
 //pfair:hotpath
 func (s *Scheduler) readyPush(st *tstate) {
 	if s.fast {
-		s.readyFast.Add(st.readyEntry, st.deadline)
+		if sh := s.readySh; sh != nil {
+			st.qShard = st.home
+			sh.Add(st.readyEntry, st.deadline, st.home)
+		} else {
+			s.readyFast.Add(st.readyEntry, st.deadline)
+		}
 	} else {
 		s.ready.PushItem(st.readyItem)
 	}
 }
 
 // readyPop removes and returns the highest-priority eligible subtask.
+// cpu is the processor slot the pick is destined for, used only for the
+// shard tier's local-hit/steal accounting — the popped subtask is the
+// global priority minimum under every representation.
 //
 //pfair:hotpath
-func (s *Scheduler) readyPop() *tstate {
+func (s *Scheduler) readyPop(cpu int) *tstate {
 	if s.fast {
+		if sh := s.readySh; sh != nil {
+			return sh.PopMinFor(cpu)
+		}
 		return s.readyFast.PopMin()
 	}
 	return s.ready.Pop()
@@ -339,6 +392,9 @@ func (s *Scheduler) readyPop() *tstate {
 //pfair:hotpath
 func (s *Scheduler) readyLen() int {
 	if s.fast {
+		if sh := s.readySh; sh != nil {
+			return sh.Len()
+		}
 		return s.readyFast.Len()
 	}
 	return s.ready.Len()
@@ -348,11 +404,24 @@ func (s *Scheduler) readyLen() int {
 // holds it (no-op if neither does). Cold path: leave/rejoin flows.
 func (s *Scheduler) readyRemove(st *tstate) {
 	if st.readyEntry.Queued() {
-		s.readyFast.Remove(st.readyEntry)
+		if sh := s.readySh; sh != nil {
+			sh.Remove(st.readyEntry, st.qShard)
+		} else {
+			s.readyFast.Remove(st.readyEntry)
+		}
 	}
 	if st.readyItem.Index() >= 0 {
 		s.ready.Remove(st.readyItem)
 	}
+}
+
+// ShardStats returns the shard tier's work-stealing counters; ok is
+// false when sharding is off (Options.Shards ≤ 1).
+func (s *Scheduler) ShardStats() (shard.Stats, bool) {
+	if s.readySh == nil {
+		return shard.Stats{}, false
+	}
+	return s.readySh.Stats(), true
 }
 
 // Engine returns the engine this scheduler runs on.
@@ -446,6 +515,9 @@ func (s *Scheduler) admit(t *task.Task, model ReleaseModel, addWeight, check boo
 	st.readyItem = heap.NewItem(st)
 	st.readyEntry = calq.NewEntry(st)
 	st.pendItem = calq.NewItem(st)
+	if n := s.shardN; n > 0 {
+		st.home = st.id % n
+	}
 	s.nextID++
 	if p := t.Period; p > s.maxPeriod {
 		s.maxPeriod = p
@@ -454,7 +526,11 @@ func (s *Scheduler) admit(t *task.Task, model ReleaseModel, addWeight, check boo
 			span = calq.DefaultSpanCap
 		}
 		s.pending.EnsureSpan(span)
-		s.readyFast.EnsureSpan(span)
+		if sh := s.readySh; sh != nil {
+			sh.EnsureSpan(span)
+		} else {
+			s.readyFast.EnsureSpan(span)
+		}
 	}
 	if addWeight {
 		s.weight.Add(w)
@@ -598,25 +674,29 @@ func (s *Scheduler) Step() []Assignment {
 
 // Release is the engine release phase: move every subtask whose
 // eligibility has arrived from the pending wheel to the ready queue. The
-// wheel drain touches only slot t's bucket; the drained batch is then
-// ordered by (eligibility, id) — the legacy pending-heap pop order — so
-// release events and ready insertions are bit-identical to the heap
-// implementation. The core scheduler visits every slot (Next = t+1) and
-// pending entries are inserted with elig > now, so in steady state the
-// batch shares elig == t and this is an insertion sort by id over a
-// handful of entries.
+// wheel drain touches only slot t's bucket. When a recorder is attached,
+// the drained batch is first ordered by (eligibility, id) — the legacy
+// pending-heap pop order — so EvRelease events are emitted bit-identical
+// to the heap implementation. Without a recorder the sort is skipped:
+// every ready representation (heap, bucketed queue, shard tier) pops the
+// exact (priority)-minimum sequence under the total order regardless of
+// insertion order, so the batch's order is unobservable — and the sort
+// was a measurable share of the unobserved Fig2b hot path.
 //
 //pfair:hotpath
 func (s *Scheduler) Release(t int64) {
 	due := s.pending.Due(t)
-	for i := 1; i < len(due); i++ {
-		for j := i; j > 0 && dueBefore(due[j], due[j-1]); j-- {
-			due[j], due[j-1] = due[j-1], due[j]
+	rec := s.rec
+	if rec != nil {
+		for i := 1; i < len(due); i++ {
+			for j := i; j > 0 && dueBefore(due[j], due[j-1]); j-- {
+				due[j], due[j-1] = due[j-1], due[j]
+			}
 		}
 	}
 	for _, st := range due {
 		s.readyPush(st)
-		if rec := s.rec; rec != nil {
+		if rec != nil {
 			rec.Emit(obs.Event{Slot: t, Kind: obs.EvRelease, Task: st.obsID, Proc: -1, A: st.index, B: st.deadline})
 		}
 	}
@@ -640,7 +720,7 @@ func dueBefore(a, b *tstate) bool {
 func (s *Scheduler) Pick(t int64) {
 	sel := s.selBuf[:0]
 	for len(sel) < s.m && s.readyLen() > 0 {
-		st := s.readyPop()
+		st := s.readyPop(len(sel))
 		st.selSlot = t
 		if st.deadline <= t && !st.missed {
 			// The window has closed; the subtask runs tardily.
@@ -765,6 +845,12 @@ func (s *Scheduler) Dispatch(t int64) {
 		st.allocated++
 		st.lastProc = k
 		st.lastSlot = t
+		if n := s.shardN; n > 0 {
+			// Work-stealing affinity: re-home the task to the shard of
+			// the CPU it just ran on, so its next subtask queues where
+			// that CPU picks locally.
+			st.home = k % n
+		}
 		st.hasScheduled = true
 		st.lastSchedDead = st.deadline
 		st.lastSchedB = st.pr.bbit
@@ -823,9 +909,13 @@ func (s *Scheduler) Next(t int64) int64 { return t + 1 }
 // engine-level drivers can close out a run without knowing the policy.
 func (s *Scheduler) Finish(horizon int64) { s.FinishMisses(horizon) }
 
-// RunUntil steps the scheduler until Now() == horizon.
-func (s *Scheduler) RunUntil(horizon int64) {
-	s.eng.Run(horizon)
+// RunUntil steps the scheduler until Now() == horizon. The returned
+// error is non-nil only when the engine's livelock backstop trips
+// (*engine.LivelockError) — impossible for this slot-driven policy, whose
+// Next always advances, but surfaced so callers composing schedulers with
+// event-driven policies on one engine handle every driver uniformly.
+func (s *Scheduler) RunUntil(horizon int64) error {
+	return s.eng.Run(horizon)
 }
 
 // FinishMisses appends, to the recorded stats, a miss for every admitted

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pfair/internal/task"
+)
+
+// This file pins the shard tier's determinism contract at the scheduler
+// level: for any Options.Shards value the assignment stream is
+// bit-identical to the single-queue fast mode (and hence, via
+// equiv_test.go, to the legacy heap). The shard tier's pick is an exact
+// tournament over per-shard heads, so sharding affects only which queue
+// serves the pick — the accounting exposed by ShardStats — never the
+// schedule.
+
+// shardScheduleOf runs one sharded scheduler and returns the per-slot
+// assignment stream.
+func shardScheduleOf(t *testing.T, alg Algorithm, m, shards int, set task.Set, horizon int64) []string {
+	t.Helper()
+	s := NewScheduler(m, alg, Options{Shards: shards})
+	if !s.fast {
+		t.Fatal("unobserved scheduler not in fast mode")
+	}
+	if (shards > 1) != (s.readySh != nil) {
+		t.Fatalf("Shards=%d: readySh wired = %v", shards, s.readySh != nil)
+	}
+	var got []string
+	s.OnSlot(func(tt int64, assigned []Assignment) {
+		got = append(got, assignString(tt, assigned))
+	})
+	for _, tk := range set {
+		if err := s.Join(tk); err != nil {
+			t.Fatalf("join %v: %v", tk, err)
+		}
+	}
+	s.RunUntil(horizon)
+	return got
+}
+
+// TestShardedMatchesSingleQueue fuzzes task sets under every algorithm
+// and shard counts {1, 2, 4}, requiring each sharded stream to equal the
+// single-queue stream slot for slot.
+func TestShardedMatchesSingleQueue(t *testing.T) {
+	algs := []Algorithm{PD2, PD, PF, EPDF, PD2NoBBit}
+	for _, alg := range algs {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			r := rand.New(rand.NewSource(19 + int64(alg)))
+			for trial := 0; trial < 12; trial++ {
+				m := 1 + r.Intn(4)
+				set := randomFeasibleSet(r, m, 3+r.Intn(8), 20)
+				if len(set) == 0 {
+					continue
+				}
+				horizon := set.Hyperperiod()
+				if horizon > 1500 {
+					horizon = 1500
+				}
+				want := shardScheduleOf(t, alg, m, 1, set, horizon)
+				for _, shards := range []int{2, 4} {
+					got := shardScheduleOf(t, alg, m, shards, set, horizon)
+					if len(got) != len(want) {
+						t.Fatalf("trial %d (m=%d, shards=%d, set=%v): %d slots vs %d single-queue",
+							trial, m, shards, set, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("trial %d (m=%d, shards=%d, set=%v): slot %d diverges\nsharded: %s\nsingle:  %s",
+								trial, m, shards, set, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedMatchesSingleQueueDynamic repeats the comparison with
+// mid-run leaves and re-joins, which exercise removal out of the middle
+// of a shard (the qShard bookkeeping) and re-homing across admissions.
+func TestShardedMatchesSingleQueueDynamic(t *testing.T) {
+	run := func(t *testing.T, shards int) []string {
+		s := NewScheduler(3, PD2, Options{Shards: shards})
+		var got []string
+		s.OnSlot(func(tt int64, assigned []Assignment) {
+			got = append(got, assignString(tt, assigned))
+		})
+		join := func(name string, e, p int64) {
+			if err := s.Join(task.MustNew(name, e, p)); err != nil {
+				t.Fatalf("join %s: %v", name, err)
+			}
+		}
+		join("A", 2, 3)
+		join("B", 3, 7)
+		join("C", 1, 5)
+		join("D", 4, 9)
+		s.RunUntil(40)
+		if _, err := s.Leave("B"); err != nil {
+			t.Fatalf("leave B: %v", err)
+		}
+		s.RunUntil(80)
+		join("E", 5, 6)
+		if _, err := s.Reweight("A", 1, 4); err != nil {
+			t.Fatalf("reweight A: %v", err)
+		}
+		s.RunUntil(200)
+		return got
+	}
+	want := run(t, 1)
+	for _, shards := range []int{2, 3, 4, 8} {
+		got := run(t, shards)
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d slots vs %d single-queue", shards, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: slot %d diverges\nsharded: %s\nsingle:  %s", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestShardStatsAccounting checks the work-stealing counters move and
+// that affinity re-homing produces local hits once the system settles:
+// with every task re-homed to its last CPU's shard and the PD² pick
+// biased to keep tasks on their processors, steady state serves most
+// picks locally.
+func TestShardStatsAccounting(t *testing.T) {
+	s := NewScheduler(4, PD2, Options{Shards: 4})
+	if _, ok := s.ShardStats(); !ok {
+		t.Fatal("ShardStats must report ok with sharding on")
+	}
+	r := rand.New(rand.NewSource(23))
+	set := randomFeasibleSet(r, 4, 10, 20)
+	for _, tk := range set {
+		if err := s.Join(tk); err != nil {
+			t.Fatalf("join: %v", err)
+		}
+	}
+	s.RunUntil(2000)
+	st, ok := s.ShardStats()
+	if !ok {
+		t.Fatal("ShardStats not ok")
+	}
+	total := st.LocalHits + st.Steals
+	if total == 0 {
+		t.Fatal("no picks accounted")
+	}
+	if st.LocalHits == 0 {
+		t.Fatalf("no local hits in %d picks; affinity re-homing is not reaching the shard tier (%+v)", total, st)
+	}
+	if st.Underflows > st.Steals {
+		t.Fatalf("underflow steals exceed steals: %+v", st)
+	}
+
+	// Sharding off: the accessor must say so.
+	if _, ok := NewScheduler(2, PD2, Options{}).ShardStats(); ok {
+		t.Fatal("ShardStats must report !ok with sharding off")
+	}
+}

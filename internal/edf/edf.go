@@ -287,11 +287,18 @@ func (s *Simulator) Stats() Stats { return s.stats }
 func (s *Simulator) Now() int64 { return s.now }
 
 // Run advances the simulation to the horizon. Jobs still incomplete at the
-// horizon with deadlines at or before it are recorded as misses.
-func (s *Simulator) Run(horizon int64) {
-	s.eng.Run(horizon)
+// horizon with deadlines at or before it are recorded as misses. A
+// non-nil error (*engine.LivelockError) means the policy stopped
+// advancing time — the CBS zero-budget re-invocation path makes this
+// simulator a genuine livelock candidate — and the horizon accounting is
+// skipped because the run never reached it.
+func (s *Simulator) Run(horizon int64) error {
+	if err := s.eng.Run(horizon); err != nil {
+		return err
+	}
 	s.atHorizon(horizon)
 	s.finishMisses(horizon)
+	return nil
 }
 
 // pendingEvent returns the absolute time of the running job's next event —

@@ -38,7 +38,11 @@
 // arena.
 package engine
 
-import "pfair/internal/obs"
+import (
+	"fmt"
+
+	"pfair/internal/obs"
+)
 
 // Policy is the pluggable per-step scheduling policy. The engine invokes
 // the four phases in order at each instant t it visits:
@@ -102,6 +106,24 @@ type BoundaryHook interface {
 // is livelocked and failing fast beats spinning forever.
 const maxZeroAdvance = 1 << 20
 
+// LivelockError is the typed error the engine surfaces when a policy
+// exceeds maxZeroAdvance consecutive zero-advance steps. Before this
+// existed the backstop panicked inside Step, which drivers that wrap Run
+// (faults, experiments) swallowed or crashed on inconsistently; a typed
+// error lets every Run path fail loudly and lets callers distinguish a
+// livelocked policy from any other failure with errors.As.
+type LivelockError struct {
+	// At is the engine instant the policy refused to advance past.
+	At int64
+	// Steps is the total number of policy invocations when the bound
+	// tripped, including the zero-advance streak.
+	Steps int64
+}
+
+func (e *LivelockError) Error() string {
+	return fmt.Sprintf("engine: policy livelocked at t=%d (no time progress after %d zero-advance steps, %d total)", e.At, int64(maxZeroAdvance), e.Steps)
+}
+
 // Engine drives one policy over simulated time. It owns the clock, the
 // observability attachment, and nothing else — all scheduling state is
 // the policy's.
@@ -126,6 +148,7 @@ type Engine struct {
 	now     int64
 	steps   int64
 	zero    int64 // consecutive zero-advance steps, for the livelock bound
+	err     error // sticky failure (livelock); Step is a no-op once set
 }
 
 // Option configures an Engine at construction.
@@ -183,6 +206,7 @@ func (e *Engine) bind(pol Policy) {
 func (e *Engine) Reset(pol Policy) {
 	e.bind(pol)
 	e.now, e.steps, e.zero = 0, 0, 0
+	e.err = nil
 }
 
 // Now returns the engine clock: the instant the next Step will simulate.
@@ -190,6 +214,12 @@ func (e *Engine) Now() int64 { return e.now }
 
 // Steps returns the number of policy invocations so far.
 func (e *Engine) Steps() int64 { return e.steps }
+
+// Err returns the engine's sticky failure, or nil. It is set when the
+// livelock backstop trips (a *LivelockError); once set, Step is a no-op
+// and Run returns it immediately, so drivers that step the engine
+// directly can poll it after their loop.
+func (e *Engine) Err() error { return e.err }
 
 // Recorder returns the attached trace recorder, or nil.
 func (e *Engine) Recorder() *obs.Recorder { return e.rec }
@@ -210,6 +240,9 @@ func (e *Engine) Observe(rec *obs.Recorder, met *obs.SchedulerMetrics) {
 //
 //pfair:hotpath
 func (e *Engine) Step() {
+	if e.err != nil {
+		return
+	}
 	t := e.now
 	if l := e.leaver; l != nil {
 		l.ApplyLeaves(t)
@@ -234,13 +267,20 @@ func (e *Engine) Step() {
 	if next == t {
 		e.zero++
 		if e.zero > maxZeroAdvance {
-			//pfair:allowpanic policy contract violation: unbounded zero-advance streak means the policy livelocked
-			panic("engine: policy livelocked (no time progress)")
+			e.livelock(t)
+			return
 		}
 	} else {
 		e.zero = 0
 	}
 	e.now = next
+}
+
+// livelock records the sticky livelock failure. It lives outside Step so
+// that the error allocation — which happens at most once per engine
+// lifetime, on the failure path — stays out of the zero-alloc hot path.
+func (e *Engine) livelock(t int64) {
+	e.err = &LivelockError{At: t, Steps: e.steps}
 }
 
 // Run steps the engine until the clock reaches horizon. Instants at or
@@ -249,13 +289,21 @@ func (e *Engine) Step() {
 // exactly where this one stopped. Event-driven simulators that must
 // process events landing exactly on the horizon (edf, rm) do so in their
 // own wrappers after Run returns.
-func (e *Engine) Run(horizon int64) {
+//
+// Run returns a non-nil error — a *LivelockError — when the policy
+// exceeds the zero-advance bound; the error is sticky, so a subsequent
+// Run returns it again without stepping. Reset clears it.
+func (e *Engine) Run(horizon int64) error {
 	for e.now < horizon {
 		e.Step()
+		if e.err != nil {
+			return e.err
+		}
 	}
 	if e.now > horizon {
 		e.now = horizon
 	}
+	return e.err
 }
 
 // Finish invokes the policy's Finisher hook, if any. Call it once after

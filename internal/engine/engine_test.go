@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"testing"
 
 	"pfair/internal/obs"
@@ -163,14 +164,53 @@ func TestNilPolicyPanics(t *testing.T) {
 	New(nil)
 }
 
+// TestLivelockBackstop pins the loud-failure contract: a policy whose
+// Next never advances must make Run return a typed *LivelockError — not
+// spin forever, not panic, and above all not return as if the horizon had
+// been reached cleanly.
 func TestLivelockBackstop(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected livelock panic on unbounded zero-advance streak")
-		}
-	}()
 	p := &fakePolicy{next: func(t int64) int64 { return t }}
-	New(p).Run(1)
+	e := New(p)
+	err := e.Run(1)
+	if err == nil {
+		t.Fatal("expected livelock error on unbounded zero-advance streak, got clean return")
+	}
+	var ll *LivelockError
+	if !errors.As(err, &ll) {
+		t.Fatalf("Run error = %T (%v), want *LivelockError", err, err)
+	}
+	if ll.At != 0 {
+		t.Fatalf("LivelockError.At = %d, want 0 (the instant the policy refused to leave)", ll.At)
+	}
+	if ll.Steps != maxZeroAdvance+1 {
+		t.Fatalf("LivelockError.Steps = %d, want %d", ll.Steps, int64(maxZeroAdvance)+1)
+	}
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %d after livelock at t=0, want 0", e.Now())
+	}
+
+	// The error is sticky: Err() reports it, further Steps are no-ops,
+	// and a repeated Run returns it again without re-spinning.
+	if e.Err() != err {
+		t.Fatalf("Err() = %v, want the Run error", e.Err())
+	}
+	steps := e.Steps()
+	e.Step()
+	if e.Steps() != steps {
+		t.Fatal("Step after livelock must be a no-op")
+	}
+	if again := e.Run(1); again != err {
+		t.Fatalf("second Run = %v, want the same sticky error", again)
+	}
+
+	// Reset clears the failure along with the clock.
+	e.Reset(&fakePolicy{})
+	if e.Err() != nil {
+		t.Fatalf("Err() after Reset = %v, want nil", e.Err())
+	}
+	if err := e.Run(3); err != nil {
+		t.Fatalf("Run after Reset = %v, want clean run", err)
+	}
 }
 
 func TestResetKeepsAttachments(t *testing.T) {

@@ -93,7 +93,9 @@ func (d *Driver) Run(s Scenario, shed bool) (Outcome, error) {
 			return Outcome{}, err
 		}
 	}
-	sched.RunUntil(s.FailAt)
+	if err := sched.RunUntil(s.FailAt); err != nil {
+		return Outcome{}, err
+	}
 	out := Outcome{Reweighted: map[string][2]int64{}}
 	out.Survivors = sched.FailProcessors(s.Fail)
 
@@ -114,7 +116,9 @@ func (d *Driver) Run(s Scenario, shed bool) (Outcome, error) {
 			out.Reweighted[t.Name] = ep
 		}
 	}
-	sched.RunUntil(s.Horizon)
+	if err := sched.RunUntil(s.Horizon); err != nil {
+		return Outcome{}, err
+	}
 	sched.FinishMisses(s.Horizon)
 
 	critical := map[string]bool{}

@@ -228,9 +228,13 @@ func (s *Simulator) Engine() *engine.Engine { return s.eng }
 // Stats returns the counters accumulated so far.
 func (s *Simulator) Stats() Stats { return s.stats }
 
-// Run advances the simulation to the horizon.
-func (s *Simulator) Run(horizon int64) {
-	s.eng.Run(horizon)
+// Run advances the simulation to the horizon. A non-nil error
+// (*engine.LivelockError) means the policy stopped advancing time; the
+// horizon accounting is skipped because the run never reached it.
+func (s *Simulator) Run(horizon int64) error {
+	if err := s.eng.Run(horizon); err != nil {
+		return err
+	}
 	s.atHorizon(horizon)
 	// Account jobs cut off by the horizon.
 	record := func(j *job) {
@@ -243,6 +247,7 @@ func (s *Simulator) Run(horizon int64) {
 	for _, it := range s.ready.Items() {
 		record(it.Value)
 	}
+	return nil
 }
 
 // pendingEvent returns the running job's completion time, or MaxInt64

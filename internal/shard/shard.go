@@ -1,0 +1,200 @@
+// Package shard provides the per-CPU ready-queue tier of the scheduler's
+// hot path: the eligible set is partitioned into S shards — one bucketed
+// min-queue (internal/calq) per CPU — and the PD² comparator arbitrates
+// only among the S shard heads instead of one global structure.
+//
+// Placement follows cache affinity: a subtask's home shard is the shard
+// of the CPU it last ran on (the scheduler re-homes it at dispatch), so
+// in steady state each CPU's picks are served from its own queue. When a
+// CPU's pick is served from another CPU's shard — because its own queue
+// is empty (underflow) or holds no subtask as urgent as a neighbor's
+// head — the pick is a steal, and the victim is by construction the
+// neighbor whose head is most urgent under PD². In a loaded system that
+// is the shard with the deepest backlog of urgent work, which is what
+// classic most-loaded victim selection approximates by queue length.
+//
+// Determinism is the design constraint that shapes the stealing policy.
+// The per-pop winner is the unique global minimum under (key, less) with
+// a total less (the scheduler's priority order ends in a task-id
+// comparison): every shard head is its shard's (key, less)-minimum, so
+// the tournament minimum over heads is the global minimum over all
+// queued entries, and the pop sequence is bit-identical to a single
+// global queue's — for ANY shard count, including 1. Victim selection by
+// mutable runtime state (queue lengths, previous steals) would break
+// that reproducibility, so load only steers placement (home shards),
+// never selection. The scheduler's assignment stream is therefore
+// byte-reproducible across -shards values, which the differential fuzz
+// kind (internal/fuzz, KindShard) and the core equivalence tests pin.
+//
+// Like calq, the tier allocates nothing in steady state: entries are the
+// caller's persistent calq handles, and the only per-queue state beyond
+// the queues themselves is the cached head array refreshed by O(1)
+// bitmap probes.
+package shard
+
+import "pfair/internal/calq"
+
+// Stats counts how picks were served. Steals are not errors — they are
+// the mechanism that keeps the schedule identical to the single-queue
+// one while the common case stays shard-local.
+type Stats struct {
+	// LocalHits counts picks served from the picking CPU's own shard.
+	LocalHits int64
+	// Steals counts picks served from another CPU's shard.
+	Steals int64
+	// Underflows counts the subset of steals taken while the picking
+	// CPU's own shard was empty.
+	Underflows int64
+}
+
+// Queues is a set of S per-CPU ready queues with a tournament pick over
+// the cached shard heads. It is not safe for concurrent use; like every
+// structure in the slot hot path it belongs to exactly one engine.
+type Queues[T any] struct {
+	less func(a, b T) bool
+	qs   []*calq.MinQueue[T]
+
+	// Cached head (minimum entry) per shard, refreshed on mutation so a
+	// pick costs S−1 head comparisons and no queue probes beyond the
+	// mutated shard's.
+	headV  []T
+	headK  []int64
+	headOK []bool
+
+	n     int
+	stats Stats
+}
+
+// New returns S empty shards for keys spanning at most span, ties
+// ordered by less. less must be total for the determinism contract in
+// the package comment to hold. S is clamped below at 1.
+func New[T any](shards int, span int64, less func(a, b T) bool) *Queues[T] {
+	if shards < 1 {
+		shards = 1
+	}
+	s := &Queues[T]{
+		less:   less,
+		qs:     make([]*calq.MinQueue[T], shards),
+		headV:  make([]T, shards),
+		headK:  make([]int64, shards),
+		headOK: make([]bool, shards),
+	}
+	for i := range s.qs {
+		s.qs[i] = calq.NewMinQueue[T](span, less)
+	}
+	return s
+}
+
+// Shards returns S.
+func (s *Queues[T]) Shards() int { return len(s.qs) }
+
+// Len returns the total number of queued entries across all shards.
+func (s *Queues[T]) Len() int { return s.n }
+
+// ShardLen returns the number of entries queued in shard i.
+func (s *Queues[T]) ShardLen(i int) int { return s.qs[i].Len() }
+
+// Stats returns the pick-serving counters accumulated so far.
+func (s *Queues[T]) Stats() Stats { return s.stats }
+
+// EnsureSpan grows every shard so that span fits within half a
+// revolution. Cold path: admission time only.
+func (s *Queues[T]) EnsureSpan(span int64) {
+	for _, q := range s.qs {
+		q.EnsureSpan(span)
+	}
+}
+
+// refresh re-probes shard i's minimum into the head cache.
+//
+//pfair:hotpath
+func (s *Queues[T]) refresh(i int) {
+	s.headV[i], s.headK[i], s.headOK[i] = s.qs[i].PeekMin()
+}
+
+// Add queues the entry under key in the given shard (the caller's home
+// shard for the task — shard of the CPU it last ran on). The head cache
+// updates without a probe: an insertion can only lower its shard's head.
+//
+//pfair:hotpath
+func (s *Queues[T]) Add(e *calq.Entry[T], key int64, shard int) {
+	s.qs[shard].Add(e, key)
+	s.n++
+	if !s.headOK[shard] || key < s.headK[shard] ||
+		(key == s.headK[shard] && s.less(e.Value, s.headV[shard])) {
+		s.headV[shard], s.headK[shard], s.headOK[shard] = e.Value, key, true
+	}
+}
+
+// Remove dequeues the entry from the shard it was queued in. No-op if
+// the entry is not queued. Cold path: leave/rejoin flows.
+func (s *Queues[T]) Remove(e *calq.Entry[T], shard int) {
+	if !e.Queued() {
+		return
+	}
+	// Only a head removal can change the cached head; equality under a
+	// total order identifies the head entry without comparable T.
+	wasHead := s.headOK[shard] && e.Key() == s.headK[shard] &&
+		!s.less(e.Value, s.headV[shard]) && !s.less(s.headV[shard], e.Value)
+	s.qs[shard].Remove(e)
+	s.n--
+	if wasHead {
+		s.refresh(shard)
+	}
+}
+
+// headBefore reports whether shard i's head precedes shard j's under
+// (key, less). Both must be occupied.
+//
+//pfair:hotpath
+func (s *Queues[T]) headBefore(i, j int) bool {
+	if s.headK[i] != s.headK[j] {
+		return s.headK[i] < s.headK[j]
+	}
+	return s.less(s.headV[i], s.headV[j])
+}
+
+// PopMin removes and returns the global (key, less)-minimum entry via a
+// tournament over the shard heads, with the shard it was served from.
+// It panics if all shards are empty.
+//
+//pfair:hotpath
+func (s *Queues[T]) PopMin() (T, int) {
+	best := -1
+	for i := range s.qs {
+		if !s.headOK[i] {
+			continue
+		}
+		if best < 0 || s.headBefore(i, best) {
+			best = i
+		}
+	}
+	if best < 0 {
+		//pfair:allowpanic API misuse, per the doc comment; mirrors calq.PopMin
+		panic("shard: PopMin with all shards empty")
+	}
+	v := s.qs[best].PopMin()
+	s.refresh(best)
+	s.n--
+	return v, best
+}
+
+// PopMinFor is PopMin accounted against the picking CPU: a win served
+// from cpu's own shard is a local hit, anything else a steal (an
+// underflow steal when cpu's shard was empty). cpu is reduced mod S, so
+// callers can pass a processor index directly even when S < M.
+//
+//pfair:hotpath
+func (s *Queues[T]) PopMinFor(cpu int) T {
+	home := cpu % len(s.qs)
+	v, from := s.PopMin()
+	if from == home {
+		s.stats.LocalHits++
+	} else {
+		s.stats.Steals++
+		if !s.headOK[home] && s.qs[home].Len() == 0 {
+			s.stats.Underflows++
+		}
+	}
+	return v
+}

@@ -1,0 +1,179 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"pfair/internal/calq"
+)
+
+// elem is the test payload: id breaks key ties, making the order total
+// like the scheduler's priority order.
+type elem struct {
+	id  int
+	key int64
+}
+
+func elemLess(a, b *elem) bool { return a.id < b.id }
+
+// TestTournamentMatchesGlobalQueue is the package's core claim: for any
+// shard count and any placement of entries onto shards, the pop sequence
+// equals a single global min-queue's over the same entries.
+func TestTournamentMatchesGlobalQueue(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 4, 8} {
+		r := rand.New(rand.NewSource(int64(41 + shards)))
+		sq := New[*elem](shards, 256, elemLess)
+		gq := calq.NewMinQueue[*elem](256, elemLess)
+
+		const n = 500
+		sEntries := make([]*calq.Entry[*elem], n)
+		gEntries := make([]*calq.Entry[*elem], n)
+		home := make([]int, n)
+		queued := make([]bool, n)
+		for i := 0; i < n; i++ {
+			e := &elem{id: i}
+			sEntries[i] = calq.NewEntry(e)
+			gEntries[i] = calq.NewEntry(e)
+		}
+
+		add := func(i int) {
+			k := int64(r.Intn(200))
+			home[i] = r.Intn(shards)
+			sq.Add(sEntries[i], k, home[i])
+			gq.Add(gEntries[i], k)
+			queued[i] = true
+		}
+		for i := 0; i < n; i++ {
+			add(i)
+		}
+
+		// Interleave pops, removals from arbitrary positions, and
+		// re-insertions, comparing every pop.
+		live := n
+		for op := 0; live > 0 && op < 5000; op++ {
+			switch r.Intn(4) {
+			case 0: // remove a random entry from the middle
+				i := r.Intn(n)
+				if queued[i] {
+					sq.Remove(sEntries[i], home[i])
+					gq.Remove(gEntries[i])
+					queued[i] = false
+					live--
+				}
+			case 1: // re-insert a removed entry under a fresh key
+				i := r.Intn(n)
+				if !queued[i] {
+					add(i)
+					live++
+				}
+			default: // pop and compare
+				got, _ := sq.PopMin()
+				want := gq.PopMin()
+				if got != want {
+					t.Fatalf("shards=%d op=%d: sharded pop = %v, global pop = %v", shards, op, *got, *want)
+				}
+				queued[got.id] = false
+				live--
+			}
+			if sq.Len() != gq.Len() {
+				t.Fatalf("shards=%d op=%d: Len %d vs global %d", shards, op, sq.Len(), gq.Len())
+			}
+		}
+	}
+}
+
+// TestPopSequenceIdenticalAcrossShardCounts pins the determinism
+// contract directly: identical entries, arbitrary placements, identical
+// pop sequences for every S.
+func TestPopSequenceIdenticalAcrossShardCounts(t *testing.T) {
+	pops := func(shards int) []int {
+		r := rand.New(rand.NewSource(7)) // same keys for every S
+		q := New[*elem](shards, 128, elemLess)
+		for i := 0; i < 300; i++ {
+			q.Add(calq.NewEntry(&elem{id: i}), int64(r.Intn(90)), i%shards)
+		}
+		var ids []int
+		for q.Len() > 0 {
+			v, _ := q.PopMin()
+			ids = append(ids, v.id)
+		}
+		return ids
+	}
+	want := pops(1)
+	for _, s := range []int{2, 4, 7} {
+		got := pops(s)
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d pops, want %d", s, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: pop %d = id %d, single-queue pop = id %d", s, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestStealAccounting drives a two-shard tier through the three serving
+// cases: local hit, steal with local work queued, underflow steal.
+func TestStealAccounting(t *testing.T) {
+	q := New[*elem](2, 64, elemLess)
+	a := &elem{id: 0} // shard 0, most urgent
+	b := &elem{id: 1} // shard 1
+	q.Add(calq.NewEntry(a), 1, 0)
+	q.Add(calq.NewEntry(b), 2, 1)
+
+	if got := q.PopMinFor(0); got != a { // local hit for cpu 0
+		t.Fatalf("pop 1 = %v, want a", *got)
+	}
+	if st := q.Stats(); st.LocalHits != 1 || st.Steals != 0 {
+		t.Fatalf("after local hit: %+v", st)
+	}
+	if got := q.PopMinFor(0); got != b { // cpu 0's shard empty: underflow steal
+		t.Fatalf("pop 2 = %v, want b", *got)
+	}
+	if st := q.Stats(); st.LocalHits != 1 || st.Steals != 1 || st.Underflows != 1 {
+		t.Fatalf("after underflow steal: %+v", st)
+	}
+
+	// Steal with local work queued: shard 1 holds the urgent head while
+	// cpu 0 still has an entry of its own.
+	c := &elem{id: 2}
+	d := &elem{id: 3}
+	q.Add(calq.NewEntry(c), 9, 0)
+	q.Add(calq.NewEntry(d), 5, 1)
+	if got := q.PopMinFor(0); got != d {
+		t.Fatalf("pop 3 = %v, want d (the tournament winner)", *got)
+	}
+	st := q.Stats()
+	if st.Steals != 2 || st.Underflows != 1 {
+		t.Fatalf("after non-underflow steal: %+v", st)
+	}
+	// cpu index reduces mod S: cpu 4 on 2 shards is home shard 0.
+	if got := q.PopMinFor(4); got != c || q.Stats().LocalHits != 2 {
+		t.Fatalf("pop 4 = %v (stats %+v), want c as a local hit", *got, q.Stats())
+	}
+}
+
+// TestShardLenAndEnsureSpan covers the remaining surface.
+func TestShardLenAndEnsureSpan(t *testing.T) {
+	q := New[*elem](3, 32, elemLess)
+	if q.Shards() != 3 {
+		t.Fatalf("Shards() = %d", q.Shards())
+	}
+	q.EnsureSpan(1 << 10) // must not disturb emptiness
+	q.Add(calq.NewEntry(&elem{id: 0}), 5, 2)
+	q.Add(calq.NewEntry(&elem{id: 1}), 6, 2)
+	if q.ShardLen(2) != 2 || q.ShardLen(0) != 0 || q.Len() != 2 {
+		t.Fatalf("lens: %d %d %d", q.ShardLen(0), q.ShardLen(2), q.Len())
+	}
+	// Growing with queued entries rehashes them without losing order.
+	q.EnsureSpan(1 << 12)
+	if v, _ := q.PopMin(); v.id != 0 {
+		t.Fatalf("post-grow pop = %d, want 0", v.id)
+	}
+
+	// New clamps a nonsensical shard count to 1.
+	if one := New[*elem](0, 32, elemLess); one.Shards() != 1 {
+		t.Fatalf("New(0) shards = %d, want 1", one.Shards())
+	}
+}

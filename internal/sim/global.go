@@ -247,7 +247,10 @@ func RunGlobal(set task.Set, m int, pol Policy, horizon int64, opts ...engine.Op
 	g := newGlobalSim(set, m, pol)
 	eng := engine.New(g, opts...)
 	g.register(eng.Recorder())
-	eng.Run(horizon)
+	if err := eng.Run(horizon); err != nil {
+		//pfair:allowpanic livelock is a policy contract violation; this one-shot harness has no error channel, and silence would report a clean run that never happened
+		panic(err)
+	}
 	eng.Finish(horizon)
 	return g.stats
 }

@@ -323,7 +323,10 @@ func RunQuanta(tasks []VQTask, m int, quantum, horizon int64, mode QuantumMode, 
 	engOpts = append(engOpts, opts...)
 	eng := engine.New(v, engOpts...)
 	v.register(eng.Recorder())
-	eng.Run(horizon)
+	if err := eng.Run(horizon); err != nil {
+		//pfair:allowpanic livelock is a policy contract violation; this one-shot harness has no error channel, and silence would report a clean run that never happened
+		panic(err)
+	}
 	eng.Finish(horizon)
 	return v.res
 }

@@ -236,9 +236,10 @@ func (s *Scheduler) rotate(w *wstate) {
 	w.burst = w.t.Cost
 }
 
-// RunUntil steps to the horizon.
-func (s *Scheduler) RunUntil(horizon int64) {
-	s.eng.Run(horizon)
+// RunUntil steps to the horizon. The error is non-nil only when the
+// engine's livelock backstop trips (*engine.LivelockError).
+func (s *Scheduler) RunUntil(horizon int64) error {
+	return s.eng.Run(horizon)
 }
 
 // Stats returns the accumulated counters.

@@ -1,29 +1,40 @@
 #!/bin/sh
-# bench.sh — run the scheduler hot-path benchmarks and emit a
-# machine-readable BENCH_core.json, so CI (or a reviewer) can diff
-# performance across commits.
+# bench.sh — run a scheduler benchmark set and emit a machine-readable
+# JSON baseline, so CI (or a reviewer) can diff performance across
+# commits. The default set is the hot-path benchmarks (BENCH_core.json);
+# pass a different output and pattern for other sets, e.g. the scale run:
+#
+#	scripts/bench.sh BENCH_scale.json 'BenchmarkScale' 500x
 #
 # The file is an object: a "meta" block stamping the provenance of the
 # numbers (git commit, Go version, GOMAXPROCS) followed by a "benchmarks"
-# array with name, ns/op, and allocs/op per benchmark. Apart from the
-# measured timings and the stamp itself the output is byte-stable: same
+# array with name, ns/op, and allocs/op per benchmark — plus slots/s for
+# benchmarks that report that throughput metric. Apart from the measured
+# timings and the stamp itself the output is byte-stable: same
 # benchmarks, same order, same formatting on every run.
 #
-# Every run also appends a dated entry to BENCH_core.trajectory.json, an
+# Every run also appends a dated entry to <output>.trajectory.json, an
 # append-only JSON array recording the repo's performance history commit
-# by commit.
+# by commit. Re-running on the SAME commit replaces that commit's last
+# entry instead of appending a duplicate: regenerating a baseline while
+# iterating on a PR used to leave N near-identical trajectory entries
+# for one commit, which made the history lie about how often the tree
+# changed.
 #
 # A dirty working tree is refused: numbers that cannot be attributed to a
 # commit poison both the checked-in baseline and the trajectory. Set
 # BENCH_ALLOW_DIRTY=1 to override for local experiments (the entry is
-# still stamped dirty).
+# still stamped dirty; dirty entries are never deduplicated, since they
+# do not represent the commit they name).
 #
-# Usage: scripts/bench.sh [output.json]
+# Usage: scripts/bench.sh [output.json] [bench-regex] [benchtime]
 set -eu
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_core.json}"
-traj="BENCH_core.trajectory.json"
+pattern="${2:-BenchmarkFig2aPD2|BenchmarkFig2bPD2|BenchmarkFig1Windows}"
+benchtime="${3:-0.2s}"
+traj="${out%.json}.trajectory.json"
 raw="$(mktemp -p . bench.XXXXXX.txt)"
 trap 'rm -f "$raw"' EXIT
 
@@ -45,62 +56,92 @@ goversion="$(go env GOVERSION)"
 # GOMAXPROCS defaults to the online CPU count unless the env overrides it.
 maxprocs="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)}"
 
-go test -run '^$' -bench 'BenchmarkFig2aPD2|BenchmarkFig2bPD2|BenchmarkFig1Windows' \
-	-benchmem -benchtime=0.2s -count=1 . | tee "$raw"
+go test -run '^$' -bench "$pattern" \
+	-benchmem -benchtime="$benchtime" -count=1 . | tee "$raw"
 
-awk -v commit="$commit" -v dirty="$dirty" -v gover="$goversion" -v procs="$maxprocs" '
-BEGIN {
-	print "{"
-	printf "  \"meta\": {\"commit\": \"%s\", \"dirty\": %s, \"go\": \"%s\", \"gomaxprocs\": %s},\n", commit, dirty, gover, procs
-	print "  \"benchmarks\": ["
-	first = 1
-}
-/^Benchmark/ {
+# benchline_fields is shared awk source: parse one `BenchmarkX ...` line
+# into name/nsop/allocs/slots. Benchmarks that b.ReportMetric a slots/s
+# throughput get a slots_per_sec field; others omit it, keeping the core
+# baseline format unchanged.
+benchfields='
 	name = $1
 	sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix: names are machine-independent
-	nsop = ""; allocs = ""
+	nsop = ""; allocs = ""; slots = ""
 	for (i = 2; i <= NF; i++) {
 		if ($(i) == "ns/op")     nsop   = $(i - 1)
 		if ($(i) == "allocs/op") allocs = $(i - 1)
+		if ($(i) == "slots/s")   slots  = $(i - 1)
 	}
-	if (nsop == "") next
-	if (!first) print ","
-	first = 0
-	printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, nsop, (allocs == "" ? "null" : allocs)
+'
+benchjson='
+	printf "{\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s", name, nsop, (allocs == "" ? "null" : allocs)
+	if (slots != "") printf ", \"slots_per_sec\": %s", slots
+	printf "}"
+'
+
+awk -v commit="$commit" -v dirty="$dirty" -v gover="$goversion" -v procs="$maxprocs" "
+BEGIN {
+	print \"{\"
+	printf \"  \\\"meta\\\": {\\\"commit\\\": \\\"%s\\\", \\\"dirty\\\": %s, \\\"go\\\": \\\"%s\\\", \\\"gomaxprocs\\\": %s},\n\", commit, dirty, gover, procs
+	print \"  \\\"benchmarks\\\": [\"
+	first = 1
 }
-END { print "\n  ]\n}" }
-' "$raw" > "$out"
+/^Benchmark/ {
+	$benchfields
+	if (nsop == \"\") next
+	if (!first) print \",\"
+	first = 0
+	printf \"    \"
+	$benchjson
+}
+END { print \"\n  ]\n}\" }
+" "$raw" > "$out"
 
 echo "wrote $out"
 
 # Append this run to the trajectory: one compact dated entry per run, the
 # file as a whole a valid JSON array.
 date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
-entry="$(awk -v date="$date" -v commit="$commit" -v dirty="$dirty" -v gover="$goversion" '
+entry="$(awk -v date="$date" -v commit="$commit" -v dirty="$dirty" -v gover="$goversion" "
 BEGIN {
-	printf "{\"date\": \"%s\", \"commit\": \"%s\", \"dirty\": %s, \"go\": \"%s\", \"benchmarks\": [", date, commit, dirty, gover
+	printf \"{\\\"date\\\": \\\"%s\\\", \\\"commit\\\": \\\"%s\\\", \\\"dirty\\\": %s, \\\"go\\\": \\\"%s\\\", \\\"benchmarks\\\": [\", date, commit, dirty, gover
 	first = 1
 }
 /^Benchmark/ {
-	name = $1
-	sub(/-[0-9]+$/, "", name)
-	nsop = ""; allocs = ""
-	for (i = 2; i <= NF; i++) {
-		if ($(i) == "ns/op")     nsop   = $(i - 1)
-		if ($(i) == "allocs/op") allocs = $(i - 1)
-	}
-	if (nsop == "") next
-	if (!first) printf ", "
+	$benchfields
+	if (nsop == \"\") next
+	if (!first) printf \", \"
 	first = 0
-	printf "{\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, nsop, (allocs == "" ? "null" : allocs)
+	$benchjson
 }
-END { printf "]}" }
-' "$raw")"
+END { printf \"]}\" }
+" "$raw")"
 
 if [ -f "$traj" ]; then
-	prev="$(sed '$d' "$traj")" # drop the closing bracket
-	printf '%s,\n%s\n]\n' "$prev" "$entry" > "$traj"
+	# Same-commit dedup: if the file's LAST entry is a clean run of this
+	# commit, replace it rather than appending a near-duplicate. Only the
+	# last entry is considered — an interleaved run on another commit
+	# legitimately starts a new entry, preserving the ordering of events.
+	last="$(sed '$d' "$traj" | tail -n 1)"
+	case "$dirty,$last" in
+	false,*"\"commit\": \"$commit\""*"\"dirty\": false"*)
+		prev="$(sed '$d' "$traj" | sed '$d')" # drop closing bracket and the stale entry
+		if [ "$prev" = "[" ]; then
+			printf '[\n%s\n]\n' "$entry" > "$traj"
+		else
+			# prev still ends with the separator comma that preceded the
+			# stale entry, so a plain join re-forms a valid array.
+			printf '%s\n%s\n]\n' "$prev" "$entry" > "$traj"
+		fi
+		echo "replaced same-commit entry in $traj"
+		;;
+	*)
+		prevall="$(sed '$d' "$traj")" # drop the closing bracket
+		printf '%s,\n%s\n]\n' "$prevall" "$entry" > "$traj"
+		echo "appended to $traj"
+		;;
+	esac
 else
 	printf '[\n%s\n]\n' "$entry" > "$traj"
+	echo "appended to $traj"
 fi
-echo "appended to $traj"

@@ -13,12 +13,21 @@
 # scripts/bench.sh (clean tree) whenever a PR intentionally changes
 # performance.
 #
-# Usage: scripts/bench_guard.sh [baseline.json]
+# The scale baseline is guarded the same way with a smaller fixed count
+# (its per-op work is a full slot over a million tasks) and fewer
+# repeats, matching how scripts/bench.sh generated it:
+#
+#	scripts/bench_guard.sh BENCH_scale.json 'BenchmarkScale' 500x 2
+#
+# Usage: scripts/bench_guard.sh [baseline.json] [bench-regex] [benchtime] [count]
 #   BENCH_GUARD_THRESHOLD  percent regression tolerated (default 30)
 set -eu
 
 cd "$(dirname "$0")/.."
 base="${1:-BENCH_core.json}"
+pattern="${2:-BenchmarkFig2aPD2|BenchmarkFig2bPD2|BenchmarkFig1Windows}"
+benchtime="${3:-100000x}"
+count="${4:-3}"
 thresh="${BENCH_GUARD_THRESHOLD:-30}"
 
 if [ ! -f "$base" ]; then
@@ -29,8 +38,8 @@ fi
 raw="$(mktemp -p . bench_guard.XXXXXX.txt)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkFig2aPD2|BenchmarkFig2bPD2|BenchmarkFig1Windows' \
-	-benchmem -benchtime=100000x -count=3 . | tee "$raw"
+go test -run '^$' -bench "$pattern" \
+	-benchmem -benchtime="$benchtime" -count="$count" . | tee "$raw"
 
 awk -v thresh="$thresh" '
 # Pass 1: the baseline JSON, one benchmark per line.
