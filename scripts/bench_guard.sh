@@ -13,11 +13,23 @@
 # scripts/bench.sh (clean tree) whenever a PR intentionally changes
 # performance.
 #
-# The scale baseline is guarded the same way with a smaller fixed count
-# (its per-op work is a full slot over a million tasks) and fewer
-# repeats, matching how scripts/bench.sh generated it:
+# Baselines that record a slots_per_sec throughput (the scale set) are
+# additionally gated on it: the run's best slots/s must stay above
+# baseline/(1+threshold). The metric is derived from the same timings as
+# ns/op, so this adds no statistical power — it exists so the number
+# DESIGN.md tells readers to watch is the number CI actually enforces.
 #
-#	scripts/bench_guard.sh BENCH_scale.json 'BenchmarkScale' 500x 2
+# The scale baseline is guarded with a smaller fixed count (its per-op
+# work is a full slot over a million tasks), more repeats, and a wider
+# threshold. The scale benchmarks are bimodal on single-CPU boxes
+# (~2.5x between the fast and slow mode, see DESIGN.md §10); bench.sh
+# pins the slow mode as the baseline, extra repeats give the min a
+# chance to land in either mode, and the 100% threshold absorbs the
+# residual swing while still catching the order-of-magnitude accidents
+# this gate exists for (e.g. the quadratic calq.Wheel.Reserve admission
+# path the first scale run exposed):
+#
+#	BENCH_GUARD_THRESHOLD=100 scripts/bench_guard.sh BENCH_scale.json 'BenchmarkScale' 500x 4
 #
 # Usage: scripts/bench_guard.sh [baseline.json] [bench-regex] [benchtime] [count]
 #   BENCH_GUARD_THRESHOLD  percent regression tolerated (default 30)
@@ -46,26 +58,31 @@ awk -v thresh="$thresh" '
 FNR == NR {
 	if (match($0, /"name": "[^"]+"/)) {
 		name = substr($0, RSTART + 9, RLENGTH - 10)
-		ns = ""; al = ""
+		ns = ""; al = ""; sl = ""
 		if (match($0, /"ns_per_op": [0-9.eE+-]+/))    ns = substr($0, RSTART + 13, RLENGTH - 13)
 		if (match($0, /"allocs_per_op": [0-9.eE+-]+/)) al = substr($0, RSTART + 17, RLENGTH - 17)
+		if (match($0, /"slots_per_sec": [0-9.eE+-]+/)) sl = substr($0, RSTART + 17, RLENGTH - 17)
 		if (ns != "") { base_ns[name] = ns + 0; base_al[name] = al + 0 }
+		if (sl != "") base_sl[name] = sl + 0
 	}
 	next
 }
-# Pass 2: the fresh run; keep the best (minimum) of the -count repeats
-# per benchmark, and the worst allocs/op (that invariant is exact).
+# Pass 2: the fresh run; keep the best (minimum ns/op, maximum slots/s)
+# of the -count repeats per benchmark, and the worst allocs/op (that
+# invariant is exact).
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
-	ns = ""; al = ""
+	ns = ""; al = ""; sl = ""
 	for (i = 2; i <= NF; i++) {
 		if ($(i) == "ns/op")     ns = $(i - 1)
 		if ($(i) == "allocs/op") al = $(i - 1)
+		if ($(i) == "slots/s")   sl = $(i - 1)
 	}
 	if (ns == "" || !(name in base_ns)) next
 	if (!(name in run_ns) || ns + 0 < run_ns[name]) run_ns[name] = ns + 0
 	if (al != "" && (!(name in run_al) || al + 0 > run_al[name])) run_al[name] = al + 0
+	if (sl != "" && (!(name in run_sl) || sl + 0 > run_sl[name])) run_sl[name] = sl + 0
 	if (!(name in seen)) { order[++nnames] = name; seen[name] = 1 }
 }
 END {
@@ -82,6 +99,15 @@ END {
 		if ((name in run_al) && run_al[name] > base_al[name]) {
 			printf "REGRESSION %s: %d allocs/op vs baseline %d\n", name, run_al[name], base_al[name]
 			bad++
+		}
+		if ((name in base_sl) && (name in run_sl)) {
+			floor = base_sl[name] / (1 + thresh / 100)
+			if (run_sl[name] < floor) {
+				printf "REGRESSION %s: %.4g slots/s vs baseline %.4g (< baseline/(1+%s%%))\n", name, run_sl[name], base_sl[name], thresh
+				bad++
+			} else {
+				printf "ok %s: %.4g slots/s vs baseline %.4g\n", name, run_sl[name], base_sl[name]
+			}
 		}
 	}
 	if (checked == 0) { print "bench_guard: no benchmarks matched the baseline"; exit 1 }
