@@ -9,11 +9,14 @@ vet:
 	$(GO) vet ./...
 
 # lint runs pfairlint, the repo's own invariant analyzers (exact
-# arithmetic, determinism, zero-alloc hot path, no library panics,
-# checked fallible results). See DESIGN.md for the invariants and the
-# //pfair: annotation grammar.
+# arithmetic, determinism, zero-alloc hot path and its call-graph
+# closure, float taint flow, no library panics, checked fallible
+# results, annotation staleness). See DESIGN.md for the invariants and
+# the //pfair: annotation grammar. Set LINT_ONLY=name[,name...] to run
+# a subset of analyzers: `make lint LINT_ONLY=hotclosure,staleannot`.
+LINT_ONLY ?=
 lint:
-	$(GO) run ./cmd/pfairlint ./...
+	$(GO) run ./cmd/pfairlint $(if $(LINT_ONLY),-only $(LINT_ONLY)) ./...
 
 test:
 	$(GO) test ./...

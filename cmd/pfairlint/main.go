@@ -6,33 +6,73 @@
 //
 // Usage:
 //
-//	pfairlint [-only name[,name...]] [packages...]
+//	pfairlint [-only name[,name...]] [-json] [-list] [packages...]
 //
-// The five analyzers: ratfloat, determinism, hotpath, nopanic,
-// errcheckrat. See internal/lint for the invariant each enforces and
-// the //pfair: source annotations that grant justified exceptions.
+// The analyzers: ratfloat, determinism, hotpath, nopanic, errcheckrat
+// run per package; hotclosure, floatflow, and staleannot run over the
+// whole loaded program (hotclosure and floatflow follow the
+// interprocedural call graph built by internal/lint/callgraph). See
+// internal/lint for the invariant each enforces and the //pfair: source
+// annotations that grant justified exceptions.
+//
+// Human-readable diagnostics go to standard error, one per line, in
+// file:line:col order, so they never mix with machine output. With
+// -json the diagnostics are additionally encoded to standard output as
+// a JSON array of objects with the fields "file", "line", "col",
+// "analyzer", and "message" (an empty array when the program is clean).
+//
+// Exit codes:
+//
+//	0  no violations
+//	1  one or more violations reported
+//	2  usage error (unknown analyzer) or package load failure
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"pfair/internal/lint"
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-	list := flag.Bool("list", false, "list analyzers and exit")
-	flag.Parse()
+	os.Exit(run(".", os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonDiagnostic is the -json wire form of one diagnostic.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// run executes the linter with the given working directory, arguments,
+// and output streams, returning the process exit code. main is a thin
+// wrapper so tests can drive the full flag-parsing, loading, and
+// reporting path in-process.
+func run(dir string, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pfairlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	asJSON := fs.Bool("json", false, "also emit diagnostics as a JSON array on stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	analyzers := lint.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 	if *only != "" {
 		keep := map[string]bool{}
@@ -47,29 +87,53 @@ func main() {
 			}
 		}
 		if len(keep) > 0 {
-			for name := range keep {
-				fmt.Fprintf(os.Stderr, "pfairlint: unknown analyzer %q\n", name)
+			names := make([]string, 0, len(keep))
+			for name := range keep { //pfair:orderinvariant collected and sorted before printing
+				names = append(names, name)
 			}
-			os.Exit(2)
+			sort.Strings(names)
+			for _, name := range names {
+				fmt.Fprintf(stderr, "pfairlint: unknown analyzer %q\n", name)
+			}
+			return 2
 		}
 		analyzers = sel
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := lint.Load(".", patterns)
+	pkgs, err := lint.Load(dir, patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pfairlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "pfairlint:", err)
+		return 2
 	}
 	diags := lint.RunAnalyzers(pkgs, analyzers)
 	for _, d := range diags {
-		fmt.Println(d)
+		fmt.Fprintln(stderr, d)
+	}
+	if *asJSON {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "pfairlint:", err)
+			return 2
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "pfairlint: %d violation(s) in %d package(s) checked\n", len(diags), len(pkgs))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "pfairlint: %d violation(s) in %d package(s) checked\n", len(diags), len(pkgs))
+		return 1
 	}
+	return 0
 }

@@ -28,6 +28,7 @@ type jitterModel struct {
 	maxEarly  int64
 }
 
+//pfair:hotpath
 func (j jitterModel) Offset(i int64) int64 {
 	// Cumulative delay: walk the per-subtask late draws up to i. Each
 	// subtask's draw is deterministic in (seed, index).
@@ -41,6 +42,7 @@ func (j jitterModel) Offset(i int64) int64 {
 	return total
 }
 
+//pfair:hotpath
 func (j jitterModel) Earliness(i int64) int64 {
 	r := rand.New(rand.NewSource(^j.seed + i))
 	if r.Int63n(j.lateEvery) == 0 {

@@ -158,6 +158,8 @@ func NewWheel[T any](span int64) *Wheel[T] {
 func (w *Wheel[T]) Span() int64 { return w.mask + 1 }
 
 // Len returns the number of queued items.
+//
+//pfair:hotpath
 func (w *Wheel[T]) Len() int { return w.n }
 
 // Reserve grows the drain scratch to hold n items, so Due stays
@@ -405,6 +407,8 @@ func NewMinQueue[T any](span int64, less func(a, b T) bool) *MinQueue[T] {
 func (q *MinQueue[T]) Span() int64 { return q.mask + 1 }
 
 // Len returns the number of queued entries.
+//
+//pfair:hotpath
 func (q *MinQueue[T]) Len() int { return q.n }
 
 // EnsureSpan grows the queue (rehashing every entry) so that span fits

@@ -33,6 +33,8 @@ func NewSporadicModel(cost int64, gap func(job int64) int64) *SporadicModel {
 
 // Offset implements ReleaseModel: subtask i belongs to job ⌈i/e⌉ and
 // carries that job's cumulative delay.
+//
+//pfair:hotpath
 func (m *SporadicModel) Offset(i int64) int64 {
 	job := (i-1)/m.Cost + 1
 	for int64(len(m.memo)) < job {
@@ -55,6 +57,8 @@ func (m *SporadicModel) Offset(i int64) int64 {
 }
 
 // Earliness implements ReleaseModel (sporadic tasks are never early).
+//
+//pfair:hotpath
 func (m *SporadicModel) Earliness(int64) int64 { return 0 }
 
 // ScriptModel is a ReleaseModel driven by explicit per-subtask tables,
@@ -70,6 +74,8 @@ type ScriptModel struct {
 }
 
 // Offset implements ReleaseModel.
+//
+//pfair:hotpath
 func (m *ScriptModel) Offset(i int64) int64 {
 	best := int64(0)
 	for k, v := range m.Offsets { //pfair:orderinvariant max over all entries is commutative
@@ -81,6 +87,8 @@ func (m *ScriptModel) Offset(i int64) int64 {
 }
 
 // Earliness implements ReleaseModel.
+//
+//pfair:hotpath
 func (m *ScriptModel) Earliness(i int64) int64 {
 	return m.Early[i]
 }

@@ -138,12 +138,18 @@ func (pt *Pattern) Cost() int64 { return pt.e }
 func (pt *Pattern) Period() int64 { return pt.p }
 
 // Weight returns wt(T) = e/p.
+//
+//pfair:hotpath
 func (pt *Pattern) Weight() rational.Rat { return pt.weight }
 
 // Heavy reports whether wt(T) ≥ 1/2.
+//
+//pfair:hotpath
 func (pt *Pattern) Heavy() bool { return pt.heavy }
 
 // Release returns the pseudo-release r(Tᵢ) = ⌊(i−1)·p/e⌋ of subtask i ≥ 1.
+//
+//pfair:hotpath
 func (pt *Pattern) Release(i int64) int64 {
 	if pt.release != nil {
 		cycles := (i - 1) / pt.e
@@ -154,6 +160,8 @@ func (pt *Pattern) Release(i int64) int64 {
 
 // Deadline returns the pseudo-deadline d(Tᵢ) = ⌈i·p/e⌉ of subtask i ≥ 1.
 // Tᵢ must be scheduled in [Release(i), Deadline(i)).
+//
+//pfair:hotpath
 func (pt *Pattern) Deadline(i int64) int64 {
 	if pt.deadline != nil {
 		cycles := (i - 1) / pt.e
@@ -163,6 +171,8 @@ func (pt *Pattern) Deadline(i int64) int64 {
 }
 
 // WindowLength returns |w(Tᵢ)| = d(Tᵢ) − r(Tᵢ).
+//
+//pfair:hotpath
 func (pt *Pattern) WindowLength(i int64) int64 {
 	return pt.Deadline(i) - pt.Release(i)
 }
@@ -170,6 +180,8 @@ func (pt *Pattern) WindowLength(i int64) int64 {
 // BBit returns b(Tᵢ): 1 if Tᵢ's window overlaps Tᵢ₊₁'s window and 0
 // otherwise. Consecutive windows overlap by exactly one slot iff
 // r(Tᵢ₊₁) = d(Tᵢ) − 1, which holds iff i·p is not a multiple of e.
+//
+//pfair:hotpath
 func (pt *Pattern) BBit(i int64) int {
 	if pt.bbit != nil {
 		cycles := (i - 1) / pt.e
@@ -187,6 +199,8 @@ func (pt *Pattern) BBit(i int64) int {
 //
 // Group deadlines only matter for heavy tasks (weight ≥ 1/2, whose windows
 // have length two or three); for light tasks PD² defines D(Tᵢ) = 0.
+//
+//pfair:allowalloc lazily builds the per-period group-deadline memo table on first touch
 func (pt *Pattern) GroupDeadline(i int64) int64 {
 	if !pt.heavy {
 		return 0
@@ -234,6 +248,8 @@ func (pt *Pattern) GroupDeadlineClosed(i int64) int64 {
 // groupDeadlineSlow walks the subtask sequence to apply the definition
 // directly. For a heavy task every window has length 2 or 3, and a cascade
 // ends within one period, so the walk terminates within e+1 steps.
+//
+//pfair:hotpath
 func (pt *Pattern) groupDeadlineSlow(i int64) int64 {
 	di := pt.Deadline(i)
 	for k := i; ; k++ {
@@ -265,6 +281,8 @@ func (pt *Pattern) FirstOfJob(i int64) bool {
 
 // Lag returns lag(T, t) = wt(T)·t − allocated for a task that has received
 // the given number of quanta by time t, as an exact rational.
+//
+//pfair:hotpath
 func (pt *Pattern) Lag(t, allocated int64) rational.Rat {
 	return rational.New(pt.e*t-allocated*pt.p, pt.p)
 }

@@ -161,10 +161,13 @@ type SubtaskRef struct {
 // Less reports whether subtask a has strictly higher priority than b under
 // the given algorithm. It is the exported form of the scheduler's internal
 // comparison.
+//
+//pfair:hotpath
 func Less(alg Algorithm, a, b SubtaskRef) bool {
 	return less(alg, refPrio(a), refPrio(b))
 }
 
+//pfair:allowalloc exported comparison wrapper materializes a prio; the scheduler's internal path fills preallocated prios
 func refPrio(r SubtaskRef) *prio {
 	group := int64(0)
 	if r.Pat.Heavy() {
@@ -191,6 +194,8 @@ const pfMaxDepth = 1 << 14
 // pfCompare returns +1 if subtask i of pattern a has higher PF priority
 // than subtask j of pattern b, −1 for the converse, and 0 for a full tie.
 // Deadlines are compared in absolute time (shifted by the IS offsets).
+//
+//pfair:hotpath
 func pfCompare(a *Pattern, i, aoff int64, b *Pattern, j, boff int64, depth int) int {
 	for ; depth > 0; depth-- {
 		da, db := a.Deadline(i)+aoff, b.Deadline(j)+boff

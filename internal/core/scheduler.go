@@ -33,9 +33,13 @@ type ReleaseModel interface {
 type Periodic struct{}
 
 // Offset implements ReleaseModel.
+//
+//pfair:hotpath
 func (Periodic) Offset(int64) int64 { return 0 }
 
 // Earliness implements ReleaseModel.
+//
+//pfair:hotpath
 func (Periodic) Earliness(int64) int64 { return 0 }
 
 // Options configures a Scheduler.
@@ -478,6 +482,8 @@ func (s *Scheduler) JoinEarlyRelease(t *task.Task, model ReleaseModel, earlyRele
 
 // earlyReleaseOn reports whether st schedules eagerly: its own override if
 // set, else the scheduler-wide option.
+//
+//pfair:hotpath
 func (s *Scheduler) earlyReleaseOn(st *tstate) bool {
 	if st.earlyRelease != nil {
 		return *st.earlyRelease
@@ -548,6 +554,8 @@ func (s *Scheduler) admit(t *task.Task, model ReleaseModel, addWeight, check boo
 
 // offset returns the absolute window shift of subtask i: join time plus the
 // IS delay θ(i).
+//
+//pfair:hotpath
 func (st *tstate) offsetOf(i int64) int64 {
 	off := st.joinedAt
 	if st.model != nil {
@@ -583,6 +591,8 @@ func (st *tstate) advanceSubtask() {
 // position pos, offset by joinedAt + cyc: O(1) with no divisions. Tasks
 // with an IS release model or an untabulated (cost > patternTableMax)
 // pattern take the general formula path.
+//
+//pfair:hotpath
 func (s *Scheduler) refreshSubtask(st *tstate) {
 	i := st.index
 	pt := st.pat
@@ -903,6 +913,8 @@ func (s *Scheduler) Account(t int64) {
 }
 
 // Next implements engine.Policy: the Pfair scheduler is slot-driven.
+//
+//pfair:hotpath
 func (s *Scheduler) Next(t int64) int64 { return t + 1 }
 
 // Finish implements engine.Finisher by delegating to FinishMisses, so
@@ -964,11 +976,22 @@ func (s *Scheduler) Tasks() []string {
 
 // ApplyLeaves implements engine.Leaver: the engine invokes it at the top
 // of every slot to remove tasks whose departure time has arrived and
-// admit any Reweight replacements. Not intended for direct use.
+// admit any Reweight replacements. Not intended for direct use. The
+// steady-state cost is the empty-slice check; departure slots take the
+// slow path, which allocates (rejoin buffers, admission structures) by
+// design.
+//
+//pfair:hotpath
 func (s *Scheduler) ApplyLeaves(t int64) {
 	if len(s.leaves) == 0 {
 		return
 	}
+	//pfair:coldcall leave and rejoin processing runs only on departure slots, not in steady state
+	s.applyLeaves(t)
+}
+
+// applyLeaves processes due departures and rejoins at slot t.
+func (s *Scheduler) applyLeaves(t int64) {
 	kept := s.leaves[:0]
 	var rejoins []*tstate
 	for _, st := range s.leaves {

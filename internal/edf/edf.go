@@ -175,6 +175,7 @@ func NewSimulator(opts ...engine.Option) *Simulator {
 // Engine returns the engine this simulator runs on.
 func (s *Simulator) Engine() *engine.Engine { return s.eng }
 
+//pfair:hotpath
 func jobLess(a, b *job) bool {
 	if a.deadline != b.deadline {
 		return a.deadline < b.deadline
@@ -265,6 +266,8 @@ func (s *Simulator) Add(cfg Config) error {
 
 // armRelease queues the task's next release in whichever timer structure
 // is active.
+//
+//pfair:hotpath
 func (s *Simulator) armRelease(ts *tstate) {
 	if s.relHeap {
 		s.releases.PushItem(ts.relItem)
@@ -303,6 +306,8 @@ func (s *Simulator) Run(horizon int64) error {
 
 // pendingEvent returns the absolute time of the running job's next event —
 // completion or CBS budget exhaustion — or MaxInt64 when idle.
+//
+//pfair:hotpath
 func (s *Simulator) pendingEvent() (event int64, exhaust bool) {
 	event = math.MaxInt64
 	if s.running != nil {
@@ -319,6 +324,8 @@ func (s *Simulator) pendingEvent() (event int64, exhaust bool) {
 // Release is the engine release phase at event instant t: execute the
 // running job up to t, process a completion or budget exhaustion landing
 // exactly at t, then release every job due.
+//
+//pfair:hotpath
 func (s *Simulator) Release(t int64) {
 	event, exhaust := s.pendingEvent()
 	s.advance(t)
@@ -334,18 +341,26 @@ func (s *Simulator) Release(t int64) {
 
 // Pick implements engine.Policy; the ready heap is already
 // priority-ordered, so selection happens in Dispatch's peek.
+//
+//pfair:hotpath
 func (s *Simulator) Pick(t int64) {}
 
 // Dispatch implements engine.Policy: one scheduler invocation.
+//
+//pfair:hotpath
 func (s *Simulator) Dispatch(t int64) { s.dispatch() }
 
 // Account implements engine.Policy; EDF accounting happens inside the
 // event handlers.
+//
+//pfair:hotpath
 func (s *Simulator) Account(t int64) {}
 
 // Next returns the next event instant: the earliest pending release or
 // running-job event. It may equal t (a zero-budget head job exhausts
 // immediately); the engine permits the zero-length step.
+//
+//pfair:hotpath
 func (s *Simulator) Next(t int64) int64 {
 	nextRel := int64(math.MaxInt64)
 	if !s.relHeap {
@@ -383,6 +398,8 @@ func (s *Simulator) atHorizon(horizon int64) {
 }
 
 // advance moves time forward, executing the running job.
+//
+//pfair:hotpath
 func (s *Simulator) advance(to int64) {
 	if s.running != nil {
 		delta := to - s.now
@@ -399,6 +416,8 @@ func (s *Simulator) advance(to int64) {
 // batch by name — reproducing the heap's (nextRelease, Name) pop order,
 // since every drained timer shares the instant s.now — so traces are
 // identical in either mode.
+//
+//pfair:hotpath
 func (s *Simulator) releaseDue() {
 	if !s.relHeap {
 		due := s.relWheel.Due(s.now)
@@ -420,6 +439,8 @@ func (s *Simulator) releaseDue() {
 // releaseOne releases the job due from one task (its timer already
 // dequeued), re-arms the timer, and routes the job into the ready queue
 // directly or through the task's server.
+//
+//pfair:allowalloc releasing a job allocates the job record and its heap handle, one pair per period, off the per-slot path
 func (s *Simulator) releaseOne(ts *tstate) {
 	cost := ts.cfg.Task.Cost
 	if ts.cfg.ActualCost != nil {
@@ -468,6 +489,8 @@ func (s *Simulator) releaseOne(ts *tstate) {
 
 // complete retires the running job and, for served tasks, promotes the
 // next backlog job to server head.
+//
+//pfair:hotpath
 func (s *Simulator) complete() {
 	j := s.running
 	s.running = nil
@@ -498,6 +521,8 @@ func (s *Simulator) complete() {
 // the budget and postpone the server deadline by the server period. The
 // job keeps the processor unless a ready job now beats its demoted
 // deadline.
+//
+//pfair:hotpath
 func (s *Simulator) exhaustBudget() {
 	j := s.running
 	srv := j.ts.cfg.Server
@@ -509,6 +534,8 @@ func (s *Simulator) exhaustBudget() {
 
 // dispatch is the scheduler invocation: ensure the processor runs the
 // earliest-deadline job among the running and ready ones.
+//
+//pfair:hotpath
 func (s *Simulator) dispatch() {
 	var start time.Time
 	if s.measure {

@@ -210,6 +210,8 @@ func (e *Engine) Reset(pol Policy) {
 }
 
 // Now returns the engine clock: the instant the next Step will simulate.
+//
+//pfair:hotpath
 func (e *Engine) Now() int64 { return e.now }
 
 // Steps returns the number of policy invocations so far.
@@ -279,6 +281,8 @@ func (e *Engine) Step() {
 // livelock records the sticky livelock failure. It lives outside Step so
 // that the error allocation — which happens at most once per engine
 // lifetime, on the failure path — stays out of the zero-alloc hot path.
+//
+//pfair:allowalloc the sticky livelock error allocates at most once per engine lifetime, on the failure path
 func (e *Engine) livelock(t int64) {
 	e.err = &LivelockError{At: t, Steps: e.steps}
 }

@@ -132,6 +132,7 @@ func newLagTracker(set task.Set) *lagTracker {
 	return lt
 }
 
+//pfair:hotpath
 func (lt *lagTracker) onSlot(t int64, assigned []core.Assignment) {
 	for _, a := range assigned {
 		lt.alloc[a.Task]++
@@ -139,6 +140,7 @@ func (lt *lagTracker) onSlot(t int64, assigned []core.Assignment) {
 	lt.scan(t)
 }
 
+//pfair:hotpath
 func (lt *lagTracker) scan(t int64) {
 	for name, pat := range lt.pats { //pfair:orderinvariant max over all tasks is commutative
 		lag := pat.Lag(t+1, lt.alloc[name])

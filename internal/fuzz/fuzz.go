@@ -347,6 +347,8 @@ func genIS(rng *rand.Rand, c *Case) {
 type isModel struct{ deltas []int64 }
 
 // Offset implements core.ReleaseModel.
+//
+//pfair:hotpath
 func (m isModel) Offset(i int64) int64 {
 	k := i
 	if k > int64(len(m.deltas)) {
@@ -360,4 +362,6 @@ func (m isModel) Offset(i int64) int64 {
 }
 
 // Earliness implements core.ReleaseModel.
+//
+//pfair:hotpath
 func (isModel) Earliness(int64) int64 { return 0 }

@@ -27,6 +27,8 @@ type Item[T any] struct {
 
 // Index returns the item's current position in the heap, or -1 if it has
 // been removed.
+//
+//pfair:hotpath
 func (it *Item[T]) Index() int { return it.index }
 
 // Heap is a binary min-heap ordered by less. The zero value is not usable;
@@ -43,6 +45,8 @@ func New[T any](less func(a, b T) bool) *Heap[T] {
 }
 
 // Len returns the number of elements in the heap.
+//
+//pfair:hotpath
 func (h *Heap[T]) Len() int { return len(h.items) }
 
 // Push inserts v and returns its handle.
@@ -57,6 +61,8 @@ func (h *Heap[T]) Push(v T) *Item[T] {
 // same element in and out of heaps repeatedly (PushItem) and want its
 // handle allocated once rather than per insertion. The Pfair scheduler's
 // per-slot loop depends on this to stay allocation-free in steady state.
+//
+//pfair:allowalloc allocates the reusable handle; callers hoist the call to admission or setup
 func NewItem[T any](v T) *Item[T] { return &Item[T]{Value: v, index: -1} }
 
 // PushItem inserts an item previously returned by NewItem (or removed by
@@ -118,6 +124,7 @@ func (h *Heap[T]) Remove(it *Item[T]) {
 
 // Fix re-establishes heap order after the priority of it's value changed in
 // place. It panics if the item has been removed.
+//
 //pfair:hotpath
 func (h *Heap[T]) Fix(it *Item[T]) {
 	if it.index < 0 {
@@ -143,6 +150,7 @@ func (h *Heap[T]) swap(i, j int) {
 
 // up sifts the element at i toward the root; it reports whether the element
 // moved.
+//
 //pfair:hotpath
 func (h *Heap[T]) up(i int) bool {
 	moved := false

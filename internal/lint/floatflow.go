@@ -1,0 +1,427 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pfair/internal/lint/callgraph"
+)
+
+// FloatFlow tracks float64 heritage across function boundaries. RatFloat
+// is deliberately local: it flags float *operations* (arithmetic,
+// comparisons, conversions to float) file by file, so a float value that
+// is merely plumbed — returned from a helper, stored in a struct field,
+// passed as an argument — and then laundered into integer state escapes
+// it entirely: `n := int64(s.rate())` contains no float arithmetic, yet
+// an inexact value just entered the exact world. FloatFlow closes that
+// gap interprocedurally:
+//
+//   - every float-typed expression in a restricted package is a taint
+//     source;
+//   - taint propagates flow-insensitively through assignments,
+//     arithmetic, conversions, returns (per-function summaries), call
+//     arguments into restricted-package parameters (resolved through the
+//     call graph, including interface dispatch), struct fields, and
+//     package-level variables, to a whole-program fixed point;
+//   - sinks are reported in restricted packages: a conversion of a
+//     float-tainted value to a non-float type (the laundering point),
+//     and a call passing a tainted non-float argument into
+//     internal/rational (tainted exactness reaching the rational core,
+//     possibly far from where the float was laundered).
+//
+// //pfair:allowfloat <reason> is honored at the sink line: an annotated
+// laundering conversion is an audited boundary — its reason documents
+// why the value is exact or why inexactness is acceptable — so it
+// sanitizes the result (no downstream reports). The reporting packages
+// (floatReportingPackages) are trusted entirely: their non-float outputs
+// (taskgen's integer task sets) are exact by construction, so taint
+// neither originates nor propagates there.
+var FloatFlow = &Analyzer{
+	Name: "floatflow",
+	Doc: "interprocedural float taint: follow float64 values through calls, " +
+		"returns, and struct fields in the exact-arithmetic packages and flag " +
+		"where they launder into integer/rational state (suppress an audited " +
+		"boundary with //pfair:allowfloat <reason> at the sink)",
+	RunProgram: runFloatFlow,
+}
+
+// rationalPkgPath is the exact-arithmetic core; tainted values reaching
+// its API are the analyzer's second sink.
+const rationalPkgPath = "pfair/internal/rational"
+
+// floatFlow is the per-run state of one whole-program taint fixpoint.
+type floatFlow struct {
+	pass *ProgramPass
+	// restricted are the packages under analysis, in program order.
+	restricted []*Package
+	// tainted marks objects (locals, params, results, struct fields,
+	// package vars) that may carry float heritage. Field objects are
+	// shared program-wide through the type checker, so field taint in
+	// one package is visible in every other.
+	tainted map[types.Object]bool
+	// retTainted summarizes functions any of whose return values may be
+	// tainted.
+	retTainted map[*types.Func]bool
+	// sanitized marks conversion expressions covered by a reasoned
+	// //pfair:allowfloat: audited boundaries whose results are clean.
+	sanitized map[*ast.CallExpr]bool
+	changed   bool
+}
+
+func runFloatFlow(pass *ProgramPass) {
+	ff := &floatFlow{
+		pass:       pass,
+		tainted:    map[types.Object]bool{},
+		retTainted: map[*types.Func]bool{},
+		sanitized:  map[*ast.CallExpr]bool{},
+	}
+	for _, pkg := range pass.Pkgs {
+		if !hasPrefixAny(pkg.Path, floatReportingPackages...) {
+			ff.restricted = append(ff.restricted, pkg)
+		}
+	}
+	// Pre-mark sanitized conversions so the fixpoint never taints
+	// through an audited boundary.
+	for _, pkg := range ff.restricted {
+		p := pass.Pass(pkg)
+		for _, file := range pkg.Files {
+			file := file
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+					if found, hasReason := p.annotated(file, call.Pos(), "allowfloat"); found && hasReason {
+						ff.sanitized[call] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	// Fixed point: propagate until no object, field, or summary changes.
+	for {
+		ff.changed = false
+		for _, pkg := range ff.restricted {
+			for _, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+						ff.propagate(pkg, fd)
+					}
+				}
+			}
+		}
+		if !ff.changed {
+			break
+		}
+	}
+	ff.report()
+}
+
+// mark taints an object, noting the change for the fixpoint.
+func (ff *floatFlow) mark(obj types.Object) {
+	if obj == nil || ff.tainted[obj] {
+		return
+	}
+	ff.tainted[obj] = true
+	ff.changed = true
+}
+
+// obj resolves an identifier to its object (use or definition).
+func obj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// exprTainted reports whether e may carry float heritage.
+func (ff *floatFlow) exprTainted(pkg *Package, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	if tv, ok := pkg.Info.Types[e]; ok {
+		if tv.Value != nil {
+			// Constants are exact: the compiler evaluates them in
+			// arbitrary precision, so no runtime float is involved.
+			return false
+		}
+		if tv.Type != nil && isFloat(tv.Type) {
+			return true
+		}
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return ff.exprTainted(pkg, e.X)
+	case *ast.Ident:
+		return ff.tainted[obj(pkg.Info, e)]
+	case *ast.SelectorExpr:
+		// Field read or qualified identifier: tainted if the named
+		// object (field var, package var) is.
+		return ff.tainted[obj(pkg.Info, e.Sel)]
+	case *ast.IndexExpr:
+		// Coarse: an element of a tainted container is tainted.
+		return ff.exprTainted(pkg, e.X)
+	case *ast.StarExpr:
+		return ff.exprTainted(pkg, e.X)
+	case *ast.UnaryExpr:
+		return ff.exprTainted(pkg, e.X)
+	case *ast.TypeAssertExpr:
+		return ff.exprTainted(pkg, e.X)
+	case *ast.BinaryExpr:
+		if arithmeticOps[e.Op] || e.Op == token.REM {
+			return ff.exprTainted(pkg, e.X) || ff.exprTainted(pkg, e.Y)
+		}
+		return false
+	case *ast.CallExpr:
+		if tv, ok := pkg.Info.Types[e.Fun]; ok && tv.IsType() {
+			// Conversion: an audited boundary sanitizes; otherwise the
+			// result inherits the operand's taint.
+			if ff.sanitized[e] {
+				return false
+			}
+			return len(e.Args) == 1 && ff.exprTainted(pkg, e.Args[0])
+		}
+		for _, edge := range ff.pass.Graph.Callees(e) {
+			if ff.retTainted[edge.Callee.Func] {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// markTarget taints the object behind an assignment target.
+func (ff *floatFlow) markTarget(pkg *Package, lhs ast.Expr) {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		ff.mark(obj(pkg.Info, lhs))
+	case *ast.SelectorExpr:
+		ff.mark(obj(pkg.Info, lhs.Sel))
+	case *ast.IndexExpr:
+		ff.markTarget(pkg, lhs.X)
+	case *ast.StarExpr:
+		ff.markTarget(pkg, lhs.X)
+	}
+}
+
+// propagate runs the transfer rules over one function body.
+func (ff *floatFlow) propagate(pkg *Package, fd *ast.FuncDecl) {
+	fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					if ff.exprTainted(pkg, n.Rhs[i]) {
+						ff.markTarget(pkg, n.Lhs[i])
+					}
+				}
+			} else if len(n.Rhs) == 1 {
+				// Multi-value call: coarse — taint every target if any
+				// result may be tainted.
+				if ff.exprTainted(pkg, n.Rhs[0]) {
+					for _, lhs := range n.Lhs {
+						ff.markTarget(pkg, lhs)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					if ff.exprTainted(pkg, n.Values[i]) {
+						ff.mark(obj(pkg.Info, n.Names[i]))
+					}
+				}
+			} else if len(n.Values) == 1 && ff.exprTainted(pkg, n.Values[0]) {
+				for _, name := range n.Names {
+					ff.mark(obj(pkg.Info, name))
+				}
+			}
+		case *ast.ReturnStmt:
+			if fn == nil || ff.retTainted[fn] {
+				return true
+			}
+			for _, r := range n.Results {
+				if ff.exprTainted(pkg, r) && !isFloatExpr(pkg, r) {
+					// Only laundered (non-float) taint is worth a
+					// summary: float-typed returns are visible in the
+					// callee's signature and already count as sources
+					// at every call site.
+					ff.retTainted[fn] = true
+					ff.changed = true
+					break
+				}
+			}
+			// Naked returns with tainted named results.
+			if len(n.Results) == 0 && fd.Type.Results != nil {
+				for _, f := range fd.Type.Results.List {
+					for _, name := range f.Names {
+						if o := pkg.Info.Defs[name]; o != nil && ff.tainted[o] && !isFloat(o.Type()) {
+							ff.retTainted[fn] = true
+							ff.changed = true
+						}
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			ff.propagateComposite(pkg, n)
+		case *ast.CallExpr:
+			ff.propagateCall(pkg, n)
+		}
+		return true
+	})
+}
+
+// propagateComposite taints struct fields initialized from tainted
+// elements.
+func (ff *floatFlow) propagateComposite(pkg *Package, lit *ast.CompositeLit) {
+	tv, ok := pkg.Info.Types[lit]
+	if !ok {
+		return
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if ff.exprTainted(pkg, kv.Value) {
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					ff.mark(obj(pkg.Info, key))
+				}
+			}
+			continue
+		}
+		if i < st.NumFields() && ff.exprTainted(pkg, el) {
+			ff.mark(st.Field(i))
+		}
+	}
+}
+
+// propagateCall taints the parameters of restricted-package callees that
+// receive tainted arguments, through every resolved edge (including
+// interface dispatch).
+func (ff *floatFlow) propagateCall(pkg *Package, call *ast.CallExpr) {
+	edges := ff.pass.Graph.Callees(call)
+	if len(edges) == 0 {
+		return
+	}
+	for _, edge := range edges {
+		callee := edge.Callee
+		if callee.Decl == nil || callee.Pkg == nil || hasPrefixAny(callee.Pkg.Path, floatReportingPackages...) {
+			continue
+		}
+		params := paramObjects(callee)
+		for i, arg := range call.Args {
+			if !ff.exprTainted(pkg, arg) {
+				continue
+			}
+			if i < len(params) {
+				ff.mark(params[i])
+			} else if len(params) > 0 {
+				// Variadic overflow lands in the final parameter.
+				ff.mark(params[len(params)-1])
+			}
+		}
+	}
+}
+
+// paramObjects returns a declared function's parameter objects in order.
+func paramObjects(n *callgraph.Node) []types.Object {
+	var params []types.Object
+	if n.Decl.Type.Params == nil {
+		return nil
+	}
+	for _, f := range n.Decl.Type.Params.List {
+		if len(f.Names) == 0 {
+			params = append(params, nil) // unnamed parameter absorbs nothing
+			continue
+		}
+		for _, name := range f.Names {
+			params = append(params, n.Pkg.Info.Defs[name])
+		}
+	}
+	return params
+}
+
+// isFloatExpr reports whether e's static type is floating point.
+// Constant expressions are excluded: they are evaluated exactly at
+// compile time.
+func isFloatExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	return ok && tv.Value == nil && tv.Type != nil && isFloat(tv.Type)
+}
+
+// report walks the restricted packages once after the fixpoint and
+// emits the two sink diagnostics.
+func (ff *floatFlow) report() {
+	for _, pkg := range ff.restricted {
+		p := ff.pass.Pass(pkg)
+		for _, file := range pkg.Files {
+			file := file
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+					ff.reportConversion(p, pkg, file, call, tv.Type)
+					return true
+				}
+				ff.reportRationalSink(p, pkg, file, call)
+				return true
+			})
+		}
+	}
+}
+
+// reportConversion flags float→non-float conversions: the laundering
+// point where an inexact value enters integer state.
+func (ff *floatFlow) reportConversion(p *Pass, pkg *Package, file *ast.File, call *ast.CallExpr, target types.Type) {
+	if isFloat(target) || len(call.Args) != 1 {
+		return
+	}
+	if _, ok := target.Underlying().(*types.Basic); !ok {
+		return
+	}
+	if !ff.exprTainted(pkg, call.Args[0]) && !isFloatExpr(pkg, call.Args[0]) {
+		return
+	}
+	found, hasReason := p.annotated(file, call.Pos(), "allowfloat")
+	switch {
+	case !found:
+		p.Reportf(call.Pos(), "float-derived value laundered into %s; exactness is lost here — compute in internal/rational, or audit the boundary with //pfair:allowfloat <reason>", target)
+	case !hasReason:
+		p.Reportf(call.Pos(), "//pfair:allowfloat needs a reason")
+	}
+}
+
+// reportRationalSink flags calls into internal/rational carrying a
+// tainted non-float argument: float heritage reaching the exact core,
+// possibly far from the laundering conversion.
+func (ff *floatFlow) reportRationalSink(p *Pass, pkg *Package, file *ast.File, call *ast.CallExpr) {
+	if pkg.Path == rationalPkgPath {
+		return
+	}
+	fn := calleeFunc(pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != rationalPkgPath {
+		return
+	}
+	for _, arg := range call.Args {
+		if isFloatExpr(pkg, arg) || !ff.exprTainted(pkg, arg) {
+			continue
+		}
+		found, hasReason := p.annotated(file, call.Pos(), "allowfloat")
+		switch {
+		case !found:
+			p.Reportf(arg.Pos(), "float-tainted value reaches exact-rational call %s.%s; the float heritage upstream makes this value inexact — fix the flow, or audit it with //pfair:allowfloat <reason>", fn.Pkg().Name(), fn.Name())
+		case !hasReason:
+			p.Reportf(call.Pos(), "//pfair:allowfloat needs a reason")
+		}
+		return
+	}
+}

@@ -24,6 +24,10 @@ import (
 //     from one (the s.buf[:0] double-buffer pattern): appending to a
 //     fresh slice allocates its backing array in steady state.
 //
+// Allocation sources inside a builtin panic's argument are exempt: the
+// message formatting runs once, while the program dies, never in steady
+// state.
+//
 // Additionally, the observability contract of internal/obs is enforced:
 // any method call on an obs-typed value (Recorder.Emit, Counter.Inc,
 // SchedulerMetrics.Task, ...) inside a //pfair:hotpath function must be
@@ -69,36 +73,7 @@ func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
 	// element of one (the calendar-queue bucket pattern w.buckets[b]) —
 	// so appends to them are recognized as buffer reuse, not fresh
 	// allocation.
-	prealloc := map[types.Object]bool{}
-	record := func(lhs, rhs ast.Expr) {
-		id, ok := lhs.(*ast.Ident)
-		if !ok {
-			return
-		}
-		obj := pass.Info.Defs[id]
-		if obj == nil {
-			obj = pass.Info.Uses[id]
-		}
-		if obj == nil {
-			return
-		}
-		switch r := ast.Unparen(rhs).(type) {
-		case *ast.SliceExpr, *ast.SelectorExpr, *ast.IndexExpr:
-			prealloc[obj] = true
-		case *ast.Ident:
-			if other := pass.Info.Uses[r]; other != nil && prealloc[other] {
-				prealloc[obj] = true
-			}
-		}
-	}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
-			for i := range as.Lhs {
-				record(as.Lhs[i], as.Rhs[i])
-			}
-		}
-		return true
-	})
+	prealloc := preallocLocals(pass, fd)
 
 	if pass.Path != obsPkgPath {
 		checkObsGuards(pass, fd)
@@ -124,6 +99,10 @@ func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
 				}
 			}
 		case *ast.CallExpr:
+			if isPanicCall(pass.Info, n) {
+				// Failure path: formatting the panic message may allocate.
+				return false
+			}
 			if fn := calleeFunc(pass.Info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
 				pass.Reportf(n.Pos(), "fmt.%s in //pfair:hotpath function %s allocates (boxing into ...any)", fn.Name(), fd.Name.Name)
 				return true

@@ -3,7 +3,7 @@
 // trustworthy are enforced here, before the differential fuzzer
 // (internal/fuzz) would have to discover their violation dynamically.
 //
-// The five analyzers are:
+// The per-package analyzers are:
 //
 //   - ratfloat: no float arithmetic, comparison, or conversion on the
 //     packages that compute weights and lags; Rat.Float/Acc.Float are
@@ -16,6 +16,19 @@
 //     need an explicit justification.
 //   - errcheckrat: fallible rational/taskgen/partition results must not
 //     be silently discarded.
+//   - staleannot: every //pfair: annotation must still have its
+//     triggering construct; unknown directives are typos.
+//
+// Two more run over the whole loaded program and the call graph built
+// by internal/lint/callgraph:
+//
+//   - hotclosure: the transitive closure of calls from //pfair:hotpath
+//     roots must be annotated (hotpath or a reasoned allowalloc), and
+//     annotations no root reaches are stale; //pfair:coldcall <reason>
+//     cuts call sites the steady state never takes.
+//   - floatflow: float64 taint followed interprocedurally into integer
+//     and rational state; a reasoned //pfair:allowfloat at the sink is
+//     an audited, sanitizing boundary.
 //
 // The framework deliberately mirrors golang.org/x/tools/go/analysis
 // (Analyzer, Pass, Diagnostic) but is built on the standard library
@@ -24,11 +37,15 @@
 // visible and justified at the use site:
 //
 //	//pfair:hotpath                 mark a function allocation-critical
+//	//pfair:allowalloc <reason>     sanction a hot-closure function that
+//	                                allocates (amortized or tooling-only)
+//	//pfair:coldcall <reason>       cut a call site from the hot closure
 //	//pfair:allowpanic <reason>     permit a panic (invariant/misuse check)
 //	//pfair:orderinvariant <reason> permit a map iteration whose result
 //	                                does not depend on order
 //	//pfair:allowfloat <reason>     permit float use (reporting bridges,
-//	                                inherently irrational bounds)
+//	                                inherently irrational bounds, audited
+//	                                laundering boundaries)
 //	//pfair:allowtime <reason>      permit wall-clock reads (measurement
 //	                                paths gated off during simulation)
 //
@@ -45,9 +62,14 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"pfair/internal/lint/callgraph"
 )
 
-// An Analyzer describes one invariant checker.
+// An Analyzer describes one invariant checker. Exactly one of Run and
+// RunProgram is set: per-package analyzers see one package at a time,
+// interprocedural analyzers see the whole loaded program and its call
+// graph at once.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and on the command line.
 	Name string
@@ -55,6 +77,8 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass)
+	// RunProgram applies the analyzer to the whole program.
+	RunProgram func(*ProgramPass)
 }
 
 // A Pass is one analyzer's view of one type-checked package.
@@ -79,6 +103,54 @@ type Pass struct {
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A ProgramPass is one interprocedural analyzer's view of the whole
+// loaded program: every package plus the call graph built over them.
+type ProgramPass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Fset maps positions for every file in the program.
+	Fset *token.FileSet
+	// Pkgs are the loaded packages, in load order.
+	Pkgs []*Package
+	// Graph is the whole-program call graph (see internal/lint/callgraph
+	// for the dispatch approximations it makes).
+	Graph *callgraph.Graph
+
+	diags  *[]Diagnostic
+	passes map[*Package]*Pass
+}
+
+// Pass returns the per-package Pass for pkg, so program analyzers can
+// use the annotation helpers (annotated, notesFor) with pkg's files.
+func (p *ProgramPass) Pass(pkg *Package) *Pass {
+	if sub, ok := p.passes[pkg]; ok {
+		return sub
+	}
+	sub := &Pass{
+		Analyzer: p.Analyzer,
+		Fset:     p.Fset,
+		Files:    pkg.Files,
+		Path:     pkg.Path,
+		Pkg:      pkg.Pkg,
+		Info:     pkg.Info,
+		diags:    p.diags,
+	}
+	if p.passes == nil {
+		p.passes = map[*Package]*Pass{}
+	}
+	p.passes[pkg] = sub
+	return sub
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,

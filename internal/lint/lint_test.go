@@ -21,5 +21,8 @@ func TestAnalyzers(t *testing.T) {
 		{Analyzer: lint.HotPath, Pattern: "./testdata/src/hotpath"},
 		{Analyzer: lint.NoPanic, Pattern: "./testdata/src/nopanic"},
 		{Analyzer: lint.ErrCheckRat, Pattern: "./testdata/src/errcheckrat"},
+		{Analyzer: lint.HotClosure, Pattern: "./testdata/src/hotclosure"},
+		{Analyzer: lint.FloatFlow, Pattern: "./testdata/src/floatflow"},
+		{Analyzer: lint.StaleAnnot, Pattern: "./testdata/src/staleannot"},
 	})
 }

@@ -9,9 +9,17 @@
 // diagnostics — every `want` clause must be matched by a diagnostic on
 // its line, and every diagnostic must be claimed by a clause. Lines
 // without a comment are negative cases: code the analyzer must accept.
+//
+// The marker is recognized anywhere inside a comment, not only at its
+// start, so analyzers that anchor diagnostics at a comment itself (the
+// staleannot audit reports the rotten annotation's own line) can embed
+// the expectation in the flagged comment:
+//
+//	sum := 0 //pfair:allowpanic validated upstream // want `stale ...`
 package linttest
 
 import (
+	"fmt"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -75,8 +83,8 @@ type expectation struct {
 	used bool
 }
 
-// wantMarker introduces an expectation comment, and wantClause extracts
-// its backquoted regexps.
+// wantMarker introduces an expectation, anywhere inside a comment, and
+// wantClause extracts its backquoted regexps.
 const wantMarker = "// want "
 
 var wantClause = regexp.MustCompile("`([^`]*)`")
@@ -85,21 +93,35 @@ var wantClause = regexp.MustCompile("`([^`]*)`")
 // against the package's expectations.
 func check(t *testing.T, pkg *lint.Package, a *lint.Analyzer) {
 	t.Helper()
+	for _, problem := range diff(t, pkg, a) {
+		t.Error(problem)
+	}
+}
+
+// diff returns one problem string per disagreement between the
+// analyzer's diagnostics and the package's `want` expectations: an
+// unexpected diagnostic, an unmatched clause, or a suite with no
+// clauses at all (which would pass vacuously). check reports them;
+// the harness's own tests assert on them directly.
+func diff(t *testing.T, pkg *lint.Package, a *lint.Analyzer) []string {
+	t.Helper()
+	var problems []string
 	wants := expectations(t, pkg)
 	if len(wants) == 0 {
-		t.Fatalf("%s: testdata declares no `want` expectations; the suite would pass vacuously", pkg.Path)
+		return []string{pkg.Path + ": testdata declares no `want` expectations; the suite would pass vacuously"}
 	}
 	diags := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a})
 	for _, d := range diags {
 		if !claim(wants, d) {
-			t.Errorf("unexpected diagnostic: %s", d)
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
 		}
 	}
 	for _, w := range wants {
 		if !w.used {
-			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.re)
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matched %q", w.file, w.line, w.re))
 		}
 	}
+	return problems
 }
 
 // expectations parses every `// want` comment in the package.
@@ -109,11 +131,12 @@ func expectations(t *testing.T, pkg *lint.Package) []*expectation {
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, wantMarker) {
+				idx := strings.Index(c.Text, wantMarker)
+				if idx < 0 {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				clauses := wantClause.FindAllStringSubmatch(c.Text, -1)
+				clauses := wantClause.FindAllStringSubmatch(c.Text[idx:], -1)
 				if len(clauses) == 0 {
 					t.Errorf("%s:%d: `want` comment with no backquoted pattern", pos.Filename, pos.Line)
 					continue

@@ -1,0 +1,61 @@
+package linttest
+
+import (
+	"strings"
+	"testing"
+
+	"pfair/internal/lint"
+)
+
+// loadOne loads a single harness testdata package by pattern.
+func loadOne(t *testing.T, pattern string) *lint.Package {
+	t.Helper()
+	pkgs, err := lint.Load(".", []string{pattern})
+	if err != nil {
+		t.Fatalf("loading %s: %v", pattern, err)
+	}
+	pkg := findPackage(pkgs, pattern)
+	if pkg == nil {
+		t.Fatalf("no loaded package matches %q", pattern)
+	}
+	return pkg
+}
+
+// TestDiffCatchesDisagreements runs the harness against a package that
+// disagrees with its expectations in both directions: nopanic reports a
+// panic no `want` clause claims, and a clause expects a diagnostic that
+// never arrives (the stale-want case — the code a clause described was
+// fixed but the comment stayed). Both must surface as problems, or
+// suites rot silently.
+func TestDiffCatchesDisagreements(t *testing.T) {
+	pkg := loadOne(t, "./testdata/src/harness")
+	problems := diff(t, pkg, lint.NoPanic)
+	if len(problems) != 2 {
+		t.Fatalf("got %d problems, want 2:\n%s", len(problems), strings.Join(problems, "\n"))
+	}
+	var unexpected, unmatched bool
+	for _, p := range problems {
+		if strings.Contains(p, "unexpected diagnostic") && strings.Contains(p, "[nopanic]") {
+			unexpected = true
+		}
+		if strings.Contains(p, "no diagnostic matched") && strings.Contains(p, "never reported") {
+			unmatched = true
+		}
+	}
+	if !unexpected {
+		t.Errorf("missing unexpected-diagnostic problem:\n%s", strings.Join(problems, "\n"))
+	}
+	if !unmatched {
+		t.Errorf("missing stale-want problem:\n%s", strings.Join(problems, "\n"))
+	}
+}
+
+// TestDiffRejectsVacuousSuite checks that a testdata package with no
+// `want` comments fails rather than passing by matching nothing.
+func TestDiffRejectsVacuousSuite(t *testing.T) {
+	pkg := loadOne(t, "./testdata/src/vacuous")
+	problems := diff(t, pkg, lint.NoPanic)
+	if len(problems) != 1 || !strings.Contains(problems[0], "no `want` expectations") {
+		t.Fatalf("got %v, want a single vacuous-suite problem", problems)
+	}
+}

@@ -1,0 +1,13 @@
+// Package harness deliberately disagrees with its expectations in both
+// directions — a diagnostic no clause claims, and a clause no diagnostic
+// matches — so the linttest harness's own test can assert that stale
+// `want` comments and unexpected reports both fail a suite.
+package harness
+
+// boom trips nopanic with no claiming clause.
+func boom() {
+	panic("boom")
+}
+
+// fine is clean, yet expects a report that never comes.
+func fine() int { return 1 } // want `never reported`

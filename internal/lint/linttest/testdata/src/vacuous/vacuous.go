@@ -1,0 +1,5 @@
+// Package vacuous declares no `want` expectations at all: a suite like
+// this proves nothing, and the harness must say so instead of passing.
+package vacuous
+
+func fine() int { return 1 }

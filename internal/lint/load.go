@@ -12,6 +12,8 @@ import (
 	"io"
 	"os/exec"
 	"path/filepath"
+
+	"pfair/internal/lint/callgraph"
 )
 
 // A Package is one loaded, parsed, and type-checked package ready to be
@@ -164,12 +166,19 @@ func (li *loaderImporter) ImportFrom(path, srcDir string, mode types.ImportMode)
 	return ld.fallback.Import(path)
 }
 
-// RunAnalyzers applies every analyzer to every package and returns the
+// RunAnalyzers applies every analyzer to every package — per-package
+// analyzers to each package in turn, interprocedural analyzers once to
+// the whole program, sharing a single call graph — and returns the
 // combined diagnostics in deterministic (file, line, column) order.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
+	var program []*Analyzer
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			program = append(program, a)
+			continue
+		}
+		for _, pkg := range pkgs {
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -182,6 +191,35 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			a.Run(pass)
 		}
 	}
+	if len(program) > 0 {
+		graph := buildGraph(pkgs)
+		var fset *token.FileSet
+		if len(pkgs) > 0 {
+			fset = pkgs[0].Fset
+		}
+		for _, a := range program {
+			a.RunProgram(&ProgramPass{
+				Analyzer: a,
+				Fset:     fset,
+				Pkgs:     pkgs,
+				Graph:    graph,
+				diags:    &diags,
+			})
+		}
+	}
 	sortDiagnostics(diags)
 	return diags
+}
+
+// buildGraph constructs the shared call graph the interprocedural
+// analyzers consume.
+func buildGraph(pkgs []*Package) *callgraph.Graph {
+	if len(pkgs) == 0 {
+		return callgraph.Build(token.NewFileSet(), nil)
+	}
+	cps := make([]*callgraph.Package, len(pkgs))
+	for i, p := range pkgs {
+		cps[i] = &callgraph.Package{Path: p.Path, Files: p.Files, Pkg: p.Pkg, Info: p.Info}
+	}
+	return callgraph.Build(pkgs[0].Fset, cps)
 }

@@ -1,0 +1,81 @@
+// Package floatflow seeds interprocedural float heritage: laundering
+// conversions, tainted values reaching internal/rational through call
+// chains, struct fields, and interface dispatch, plus the audited and
+// exact shapes that must stay silent — sanitized boundaries, constant
+// arithmetic, and clean integer flows.
+package floatflow
+
+import "pfair/internal/rational"
+
+// rate launders its float parameter at the return: the conversion is
+// the first sink, and the summary taints every caller's target.
+func rate(x float64) int64 {
+	return int64(x * 2) // want `float-derived value laundered into int64`
+}
+
+// Weight carries rate's laundered result into the exact core: the
+// second sink, one call away from the conversion.
+func Weight() rational.Rat {
+	n := rate(3.5)
+	return rational.New(n, 10) // want `float-tainted value reaches exact-rational call rational.New`
+}
+
+// bound is an audited boundary: the reasoned annotation sanitizes the
+// conversion, so nothing downstream is tainted.
+func bound(x float64) int64 {
+	return int64(x) //pfair:allowfloat floor of an inherently irrational bound; callers treat it as a conservative estimate
+}
+
+// UseBound stays clean: bound's result is sanctioned exact.
+func UseBound() rational.Rat {
+	n := bound(2.0)
+	return rational.New(n, 1)
+}
+
+// unreasoned shows the rejected middle ground: the annotation is
+// present but does not say why, so it neither sanitizes nor passes.
+func unreasoned(x float64) int64 {
+	//pfair:allowfloat
+	return int64(x) // want `//pfair:allowfloat needs a reason`
+}
+
+// state launders into a struct field; the taint is visible wherever the
+// field is read.
+type state struct{ v int64 }
+
+func set(s *state, x float64) {
+	s.v = int64(x) // want `float-derived value laundered into int64`
+}
+
+// Get reads the tainted field into the exact core, far from set.
+func Get(s *state) rational.Rat {
+	return rational.New(s.v, 1) // want `float-tainted value reaches exact-rational call rational.New`
+}
+
+// sink dispatches dynamically: the tainted argument must follow the
+// interface edge into consume's parameter and out through acc.total.
+type sink interface{ consume(n int64) }
+
+type acc struct{ total int64 }
+
+func (a *acc) consume(n int64) { a.total = n }
+
+// Feed launders at the call site; the interface edge carries the taint
+// into every concrete consume.
+func Feed(s sink, x float64) {
+	s.consume(int64(x)) // want `float-derived value laundered into int64`
+}
+
+// Total surfaces the field taint that arrived through dispatch.
+func (a *acc) Total() rational.Rat {
+	return rational.New(a.total, 1) // want `float-tainted value reaches exact-rational call rational.New`
+}
+
+// Exact is the negative case: constant float arithmetic is evaluated in
+// arbitrary precision at compile time, so no runtime float exists and
+// nothing is tainted.
+func Exact() rational.Rat {
+	const half = 0.5
+	n := int64(half * 4)
+	return rational.New(n, 1)
+}

@@ -1,0 +1,75 @@
+// Package hotclosure seeds call-graph rot for the hotclosure analyzer:
+// an unannotated callee reachable from a hot root (the regression the
+// analyzer exists to catch), a stale annotation on a function no root
+// reaches any more, and the negative shapes that must stay silent —
+// annotated callees, sanctioned allocators, and cold-cut call sites.
+// Reachability is exercised through all three edge kinds: static calls,
+// interface dispatch, and calls of function-typed struct fields.
+package hotclosure
+
+// Step is a hot root: annotated and exported, so benchmarks and other
+// packages can drive it.
+//
+//pfair:hotpath
+func Step() {
+	refill()
+	record()
+	//pfair:coldcall admission runs once per task join, never in steady state
+	admit()
+	leak()
+}
+
+// refill is reachable and annotated: the happy path.
+//
+//pfair:hotpath
+func refill() {}
+
+// record allocates, but says so with a reason: sanctioned.
+//
+//pfair:allowalloc amortized row growth, one doubling per horizon
+func record() {
+	_ = make([]int, 1)
+}
+
+// admit is reachable only through the cold-cut call site in Step, so it
+// needs no annotation.
+func admit() {
+	_ = make([]int, 8)
+}
+
+// leak is the seeded regression: a new callee on the hot path that
+// nobody annotated.
+func leak() {} // want `leak is reachable from the //pfair:hotpath closure \(via Step → leak\) but carries no annotation`
+
+// orphan was hot once; no root reaches it now, so its annotation
+// enforces nothing.
+//
+//pfair:hotpath
+func orphan() { refill() } // want `orphan is annotated //pfair:hotpath but is no longer reachable from any hot-path root`
+
+// policy dispatches dynamically: the analyzer must follow the interface
+// edge to every concrete pick.
+type policy interface{ pick() int }
+
+type fixed struct{ v int }
+
+func (f fixed) pick() int { return f.v } // want `pick is reachable from the //pfair:hotpath closure \(via Drive → pick, interface call\) but carries no annotation`
+
+// Drive is a hot root calling through the interface.
+//
+//pfair:hotpath
+func Drive(p policy) int { return p.pick() }
+
+// table holds a function-typed field; Apply's call of it must resolve
+// to helper, the only function that flows in.
+type table struct{ fn func() }
+
+// New wires the table at setup time, off the hot path.
+func New() *table { return &table{fn: helper} }
+
+func helper() {} // want `helper is reachable from the //pfair:hotpath closure \(via Apply → helper, dynamic call\) but carries no annotation`
+
+// Apply is a hot root calling through the function value.
+//
+//pfair:hotpath
+func Apply(t *table) { t.fn() }

@@ -1,0 +1,76 @@
+// Package staleannot seeds every way a //pfair: annotation can rot: a
+// suppression whose construct is gone, a whole-function marker attached
+// to a statement, a function-level coldcall, and a misspelled
+// directive — next to the live forms of each that must stay silent.
+// staleannot anchors its diagnostics at the offending comment, so the
+// `want` clauses here ride inside the directive comments themselves
+// (linttest finds the marker anywhere in a comment).
+package staleannot
+
+import "time"
+
+// live panics, ranges a map, and reads the clock, each with its reason:
+// every annotation here has its construct.
+func live(m map[string]int) int {
+	if len(m) == 0 {
+		panic("empty") //pfair:allowpanic misuse check at the API boundary
+	}
+	sum := 0
+	for _, v := range m { //pfair:orderinvariant sum is commutative
+		sum += v
+	}
+	_ = time.Now() //pfair:allowtime measurement path, gated off in simulation
+	return sum
+}
+
+// stale kept its annotations while the constructs moved out.
+func stale(xs []int) int {
+	sum := 0               //pfair:allowpanic validated upstream // want `stale //pfair:allowpanic: no panic call on the annotated line`
+	for _, v := range xs { //pfair:orderinvariant sum is commutative // want `stale //pfair:orderinvariant: no map iteration on the annotated line`
+		sum += v
+	}
+	return sum //pfair:allowtime measurement path // want `stale //pfair:allowtime: no time.Now/time.Since call on the annotated line`
+}
+
+// misplaced puts a whole-function marker on a statement, where it marks
+// nothing.
+func misplaced() {
+	x := 1 //pfair:hotpath // want `//pfair:hotpath marks whole functions; attach it to the function's doc comment`
+	_ = x
+}
+
+// alloc still allocates, so its doc-comment marker is live.
+//
+//pfair:allowalloc grows the scratch table once per horizon
+func alloc() []int {
+	return make([]int, 4)
+}
+
+// clean no longer allocates; the marker outlived the make it excused.
+//
+//pfair:allowalloc grows the scratch table once per horizon // want `stale //pfair:allowalloc on clean: the function no longer allocates`
+func clean() int { return 0 }
+
+// wholeCold misuses coldcall as a function marker; it cuts call sites,
+// not declarations.
+//
+//pfair:coldcall admission only // want `//pfair:coldcall applies to call lines, not whole functions`
+func wholeCold() {}
+
+// staleCold cut a call that is no longer there.
+func staleCold() int {
+	//pfair:coldcall admission only // want `stale //pfair:coldcall: no call expression on the annotated line`
+	return 1
+}
+
+// liveCold keeps its call: silent.
+func liveCold() int {
+	//pfair:coldcall admission only
+	return len(make([]int, 1))
+}
+
+// typo suppresses nothing, silently — exactly what the audit exists to
+// catch.
+func typo() {
+	_ = recover() //pfair:allowpannic typo'd name // want `unknown directive //pfair:allowpannic`
+}

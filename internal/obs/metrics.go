@@ -75,6 +75,8 @@ func (g *Gauge) SetMax(v int64) {
 }
 
 // Value returns the current value.
+//
+//pfair:hotpath
 func (g *Gauge) Value() int64 { return g.v }
 
 // Histogram counts observations into fixed buckets. Bucket i counts

@@ -31,6 +31,8 @@ type Rat struct {
 }
 
 // New returns the rational num/den in lowest terms. It panics if den == 0.
+//
+//pfair:hotpath
 func New(num, den int64) Rat {
 	if den == 0 {
 		panic("rational: zero denominator")
@@ -55,12 +57,18 @@ func Zero() Rat { return Rat{0, 1} }
 func One() Rat { return Rat{1, 1} }
 
 // Num returns the numerator in lowest terms (sign carried here).
+//
+//pfair:hotpath
 func (r Rat) Num() int64 { return r.normalized().num }
 
 // Den returns the denominator in lowest terms (always positive).
+//
+//pfair:hotpath
 func (r Rat) Den() int64 { return r.normalized().den }
 
 // normalized maps the zero value Rat{} to the canonical 0/1.
+//
+//pfair:hotpath
 func (r Rat) normalized() Rat {
 	if r.den == 0 {
 		return Rat{0, 1}
@@ -125,6 +133,8 @@ func (r Rat) canon() Rat {
 }
 
 // Cmp returns −1, 0, or +1 according to whether r < s, r == s, or r > s.
+//
+//pfair:hotpath
 func (r Rat) Cmp(s Rat) int {
 	r, s = r.normalized(), s.normalized()
 	// Compare r.num·s.den with s.num·r.den using 128-bit products so the
@@ -145,6 +155,8 @@ func (r Rat) Cmp(s Rat) int {
 }
 
 // Less reports whether r < s.
+//
+//pfair:hotpath
 func (r Rat) Less(s Rat) bool { return r.Cmp(s) < 0 }
 
 // LessEq reports whether r ≤ s.
@@ -215,6 +227,8 @@ func Sum(rs []Rat) Rat {
 }
 
 // FloorDiv returns ⌊a/b⌋ for b > 0, exact for all int64 a.
+//
+//pfair:hotpath
 func FloorDiv(a, b int64) int64 {
 	if b <= 0 {
 		panic("rational: FloorDiv requires b > 0")
@@ -227,6 +241,8 @@ func FloorDiv(a, b int64) int64 {
 }
 
 // CeilDiv returns ⌈a/b⌉ for b > 0, exact for all int64 a.
+//
+//pfair:hotpath
 func CeilDiv(a, b int64) int64 {
 	if b <= 0 {
 		panic("rational: CeilDiv requires b > 0")
@@ -261,6 +277,7 @@ func LCMOK(a, b int64) (int64, bool) {
 	return mulOK(a/gcd(a, b), b)
 }
 
+//pfair:hotpath
 func abs(a int64) int64 {
 	if a < 0 {
 		return -a
@@ -268,6 +285,7 @@ func abs(a int64) int64 {
 	return a
 }
 
+//pfair:hotpath
 func gcd(a, b int64) int64 {
 	for b != 0 {
 		a, b = b, a%b
@@ -323,6 +341,8 @@ func bigFallback(r, s Rat, op func(z, x, y *big.Rat) *big.Rat) Rat {
 
 // mul128 returns the signed 128-bit product a·b as (hi, lo) in two's
 // complement, suitable for lexicographic comparison.
+//
+//pfair:hotpath
 func mul128(a, b int64) (hi int64, lo uint64) {
 	neg := false
 	ua, ub := uint64(a), uint64(b)

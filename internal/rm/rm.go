@@ -25,6 +25,7 @@ import (
 // LiuLaylandBound returns the classic utilization bound n·(2^{1/n} − 1) for
 // n tasks; any set with Σu below it is RM-schedulable. The bound tends to
 // ln 2 ≈ 0.693 as n grows.
+//
 //pfair:allowfloat n·(2^{1/n} − 1) is irrational; no exact rational representation exists
 func LiuLaylandBound(n int) float64 {
 	if n <= 0 {
@@ -214,6 +215,8 @@ func NewSimulator(set task.Set, opts ...engine.Option) *Simulator {
 
 // armRelease queues the task's next release in whichever timer structure
 // the constructor selected.
+//
+//pfair:hotpath
 func (s *Simulator) armRelease(ts *tstate) {
 	if s.relHeap {
 		s.releases.PushItem(ts.relItem)
@@ -252,6 +255,8 @@ func (s *Simulator) Run(horizon int64) error {
 
 // pendingEvent returns the running job's completion time, or MaxInt64
 // when the processor is idle.
+//
+//pfair:hotpath
 func (s *Simulator) pendingEvent() int64 {
 	if s.running != nil {
 		return s.now + s.running.remaining
@@ -260,6 +265,8 @@ func (s *Simulator) pendingEvent() int64 {
 }
 
 // advance executes the running job up to t.
+//
+//pfair:hotpath
 func (s *Simulator) advance(t int64) {
 	if s.running != nil {
 		s.running.remaining -= t - s.now
@@ -268,6 +275,8 @@ func (s *Simulator) advance(t int64) {
 }
 
 // complete retires the running job, recording a miss if it finished late.
+//
+//pfair:hotpath
 func (s *Simulator) complete() {
 	j := s.running
 	s.running = nil
@@ -281,6 +290,8 @@ func (s *Simulator) complete() {
 // Release is the engine release phase at event instant t: execute the
 // running job up to t, retire a completion landing exactly at t, then
 // release every job due.
+//
+//pfair:hotpath
 func (s *Simulator) Release(t int64) {
 	event := s.pendingEvent()
 	s.advance(t)
@@ -294,6 +305,8 @@ func (s *Simulator) Release(t int64) {
 // timers. Wheel mode drains the single due bucket and sorts the batch by
 // name, matching the heap's (nextRelease, Name) pop order — every
 // drained timer shares the instant s.now.
+//
+//pfair:hotpath
 func (s *Simulator) releaseDue() {
 	if !s.relHeap {
 		due := s.relWheel.Due(s.now)
@@ -314,6 +327,8 @@ func (s *Simulator) releaseDue() {
 
 // releaseOne releases one task's due job (its timer already dequeued)
 // and re-arms the timer.
+//
+//pfair:allowalloc releasing a job allocates the job record and its heap handle, one pair per period, off the per-slot path
 func (s *Simulator) releaseOne(ts *tstate) {
 	j := &job{
 		ts:        ts,
@@ -331,17 +346,25 @@ func (s *Simulator) releaseOne(ts *tstate) {
 
 // Pick implements engine.Policy; the ready heap is already
 // priority-ordered, so selection happens in Dispatch's peek.
+//
+//pfair:hotpath
 func (s *Simulator) Pick(t int64) {}
 
 // Dispatch implements engine.Policy: one scheduler invocation.
+//
+//pfair:hotpath
 func (s *Simulator) Dispatch(t int64) { s.dispatch() }
 
 // Account implements engine.Policy; RM accounting happens in the event
 // handlers.
+//
+//pfair:hotpath
 func (s *Simulator) Account(t int64) {}
 
 // Next returns the next event instant: the earliest pending release or
 // the running job's completion.
+//
+//pfair:hotpath
 func (s *Simulator) Next(t int64) int64 {
 	nextRel := int64(math.MaxInt64)
 	if !s.relHeap {
@@ -373,6 +396,7 @@ func (s *Simulator) atHorizon(horizon int64) {
 	}
 }
 
+//pfair:hotpath
 func (s *Simulator) dispatch() {
 	if s.ready.Len() == 0 {
 		return

@@ -89,6 +89,8 @@ func New[T any](shards int, span int64, less func(a, b T) bool) *Queues[T] {
 func (s *Queues[T]) Shards() int { return len(s.qs) }
 
 // Len returns the total number of queued entries across all shards.
+//
+//pfair:hotpath
 func (s *Queues[T]) Len() int { return s.n }
 
 // ShardLen returns the number of entries queued in shard i.

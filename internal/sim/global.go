@@ -133,9 +133,11 @@ func (g *globalSim) register(rec *obs.Recorder) {
 // Release brings the slot current: releases jobs due at t, then records
 // misses for queued jobs whose deadlines have passed.
 //
-// Deliberately not //pfair:hotpath: releasing a job inherently allocates
-// (the job object and its heap handle). The between-releases slot path is
-// pinned at 0 allocs/op dynamically by TestGlobalStepSteadyStateZeroAllocs.
+// Not //pfair:hotpath: releasing a job inherently allocates (the job
+// object and its heap handle). The between-releases slot path is pinned
+// at 0 allocs/op dynamically by TestGlobalStepSteadyStateZeroAllocs.
+//
+//pfair:allowalloc releasing a job allocates the job record and its heap handle, one pair per period, off the per-slot path
 func (g *globalSim) Release(t int64) {
 	for _, ts := range g.tasks {
 		for ts.nextRelease <= t {
@@ -212,9 +214,13 @@ func (g *globalSim) Dispatch(t int64) {
 }
 
 // Account implements engine.Policy; global EDF/RM keeps no per-slot gauges.
+//
+//pfair:hotpath
 func (g *globalSim) Account(t int64) {}
 
 // Next implements engine.Policy: the simulation is slot-driven.
+//
+//pfair:hotpath
 func (g *globalSim) Next(t int64) int64 { return t + 1 }
 
 // Finish implements engine.Finisher: jobs still pending with expired

@@ -71,15 +71,20 @@ type vqState struct {
 }
 
 // eligibleAt returns the earliest tick the current subtask may start.
+//
+//pfair:hotpath
 func (s *vqState) eligibleAt() int64 {
 	return s.pat.Release(s.idx) * s.q
 }
 
+//pfair:hotpath
 func (s *vqState) deadlineTicks() int64 {
 	return s.job * s.t.Period * s.q
 }
 
 // startJob initializes job j's demand.
+//
+//pfair:hotpath
 func (s *vqState) startJob(j int64) {
 	s.job = j
 	s.idx = (j-1)*s.t.Cost + 1
@@ -157,6 +162,8 @@ func (v *vqSim) register(rec *obs.Recorder) {
 
 // QuantumBoundary implements engine.BoundaryHook: it marks the current
 // instant as lying on the global quantum lattice.
+//
+//pfair:hotpath
 func (v *vqSim) QuantumBoundary(t int64) { v.boundary = true }
 
 // Release retires runs completing at t, freeing their processors.
@@ -174,6 +181,8 @@ func (v *vqSim) Release(t int64) {
 
 // Pick implements engine.Policy; selection is interleaved with placement
 // in Dispatch (each start changes which subtask is highest-priority next).
+//
+//pfair:hotpath
 func (v *vqSim) Pick(t int64) {}
 
 // Dispatch hands idle processors to eligible subtasks: repeatedly give
@@ -239,6 +248,8 @@ func (v *vqSim) Dispatch(t int64) {
 }
 
 // Account implements engine.Policy; the quantum study keeps no gauges.
+//
+//pfair:hotpath
 func (v *vqSim) Account(t int64) {}
 
 // Next advances to the next event: a processor freeing, or a future
@@ -331,6 +342,7 @@ func RunQuanta(tasks []VQTask, m int, quantum, horizon int64, mode QuantumMode, 
 	return v.res
 }
 
+//pfair:hotpath
 func alignUp(t, quantum int64) int64 {
 	r := t % quantum
 	if r == 0 {

@@ -176,9 +176,16 @@ type compState struct {
 	lastMissedJob int64
 }
 
-func (c *compState) headJob() int64        { return c.completed + 1 }
-func (c *compState) headRelease() int64    { return c.completed * c.t.Period }
-func (c *compState) headDeadline() int64   { return (c.completed + 1) * c.t.Period }
+//pfair:hotpath
+func (c *compState) headJob() int64 { return c.completed + 1 }
+
+//pfair:hotpath
+func (c *compState) headRelease() int64 { return c.completed * c.t.Period }
+
+//pfair:hotpath
+func (c *compState) headDeadline() int64 { return (c.completed + 1) * c.t.Period }
+
+//pfair:hotpath
 func (c *compState) released(t int64) bool { return c.headRelease() <= t }
 
 type sstate struct {

@@ -58,6 +58,8 @@ func NewRecorder() *Recorder {
 
 // Record is an OnSlot callback: each assignment paints the task's row with
 // the processor digit at the slot column.
+//
+//pfair:allowalloc the ASCII-art recorder grows per-task rows as the trace extends; diagnostic tooling, detached in measured runs
 func (r *Recorder) Record(t int64, assigned []core.Assignment) {
 	if t+1 > r.slots {
 		r.slots = t + 1

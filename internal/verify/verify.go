@@ -39,6 +39,8 @@ type Recorder struct {
 }
 
 // Record implements the core.Scheduler OnSlot signature.
+//
+//pfair:allowalloc the verification recorder copies every slot's assignments; test-time tooling, detached in measured runs
 func (r *Recorder) Record(t int64, assigned []core.Assignment) {
 	cp := make([]core.Assignment, len(assigned))
 	copy(cp, assigned)

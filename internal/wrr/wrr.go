@@ -54,8 +54,11 @@ type wstate struct {
 	lastMissedJob int64
 }
 
+//pfair:hotpath
 func (w *wstate) headDeadline() int64 { return (w.completed + 1) * w.t.Period }
-func (w *wstate) headRelease() int64  { return w.completed * w.t.Period }
+
+//pfair:hotpath
+func (w *wstate) headRelease() int64 { return w.completed * w.t.Period }
 
 // Scheduler is a slot-quantized global WRR scheduler on m processors,
 // run as an engine.Policy. The selection scratch is preallocated so the
@@ -116,6 +119,8 @@ func (s *Scheduler) Engine() *engine.Engine { return s.eng }
 
 // Release implements engine.Policy; WRR releases are implicit in the
 // head-job release check during selection.
+//
+//pfair:hotpath
 func (s *Scheduler) Release(t int64) {}
 
 // Pick is the engine selection phase: the first m queue entries with
@@ -216,6 +221,8 @@ func (s *Scheduler) Account(t int64) {
 }
 
 // Next implements engine.Policy: WRR is slot-driven.
+//
+//pfair:hotpath
 func (s *Scheduler) Next(t int64) int64 { return t + 1 }
 
 // Step schedules one slot.
