@@ -1,0 +1,25 @@
+package lint
+
+import (
+	"fmt"
+	"testing"
+
+	"pfair/internal/lint/callgraph"
+)
+
+func TestProbeTrackedIncomplete(t *testing.T) {
+	pkgs, err := Load("testdata/src/probe", []string{"."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cps := make([]*callgraph.Package, len(pkgs))
+	for i, p := range pkgs {
+		cps[i] = &callgraph.Package{Path: p.Path, Files: p.Files, Pkg: p.Pkg, Info: p.Info}
+	}
+	g := callgraph.Build(pkgs[0].Fset, cps)
+	for _, n := range g.DeclaredNodes() {
+		for _, e := range n.Out {
+			fmt.Printf("edge: %s -> %s (%s)\n", n.Name(), e.Callee.Name(), e.Kind)
+		}
+	}
+}

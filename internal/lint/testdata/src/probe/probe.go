@@ -1,0 +1,18 @@
+package probe
+
+type S struct{ fn func() }
+
+func known() { _ = make([]int, 8) }
+
+func unknownAlloc() { _ = make([]int, 8) }
+
+func lookup() (func(), error) { return unknownAlloc, nil }
+
+// Entry is a hot root.
+//
+//pfair:hotpath
+func Entry() {
+	s := S{fn: known}
+	s.fn, _ = lookup()
+	s.fn()
+}
