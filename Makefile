@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench bench-scale bench-guard bench-guard-scale fuzz fuzz-short smoke engine-equiv check
+.PHONY: build vet lint test race bench bench-scale bench-guard bench-guard-scale fuzz fuzz-short smoke taskstats engine-equiv check
 
 build:
 	$(GO) build ./...
@@ -66,10 +66,18 @@ fuzz-short:
 	$(GO) run ./cmd/fuzz -n 25 -seed 1
 
 # smoke exercises the observability layer end to end: pfairsim -trace on
-# the quickstart and EPDF-counterexample sets validated by tracecheck,
-# plus the observed hot-path allocation benchmark. See DESIGN.md §7.
+# the quickstart and EPDF-counterexample sets validated by tracecheck
+# and explained by pfairtrace, shard telemetry exposition, plus the
+# observed and profiled hot-path allocation benchmarks. See DESIGN.md
+# §7 and §12.
 smoke:
 	sh scripts/smoke.sh
+
+# taskstats runs the quickstart set with the per-task accounting table
+# and the sampled engine phase profile — the flight-recorder view of a
+# run (DESIGN.md §12).
+taskstats:
+	$(GO) run ./cmd/pfairsim -m 2 -alg pd2 -slots 240 -taskstats -phaseprof 4 A:2/3 B:2/3 C:2/3
 
 # engine-equiv runs the golden equivalence suite: every simulator policy
 # on the shared slot engine must reproduce, byte for byte, the schedules

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [flags] fig1|fig2a|fig2b|fig3|fig4|fig5|quantum|all
+//	experiments [flags] fig1|fig2a|fig2b|fig3|fig4|fig5|quantum|phases|all
 //
 // Flags:
 //
@@ -43,7 +43,8 @@ func main() {
 	measured := flag.Bool("measured", false, "fig3/fig4: measure scheduling costs on this machine first (the paper's methodology) instead of the calibrated default models")
 	gotrace := flag.String("gotrace", "", "write a runtime/trace of the run to this file (one region per figure)")
 	metrics := flag.Bool("metrics", false, "print per-figure wall-time and allocation summaries to stderr")
-	shards := flag.Int("shards", 0, "fig2: ready-queue shards per scheduler (0 or 1 = single queue; schedules are identical, only the measured cost moves)")
+	shards := flag.Int("shards", 0, "fig2/phases: ready-queue shards per scheduler (0 or 1 = single queue; schedules are identical, only the measured cost moves)")
+	every := flag.Int64("every", 0, "phases: profile one engine step in every N (0 = default)")
 	flag.Parse()
 
 	if *gotrace != "" {
@@ -120,7 +121,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "metrics:", err)
 		}
 	}
-	known := map[string]bool{"fig1": true, "fig2a": true, "fig2b": true, "fig3": true, "fig4": true, "fig5": true, "quantum": true, "response": true, "sync": true, "fairness": true, "all": true}
+	known := map[string]bool{"fig1": true, "fig2a": true, "fig2b": true, "fig3": true, "fig4": true, "fig5": true, "quantum": true, "response": true, "sync": true, "fairness": true, "phases": true, "all": true}
 	if !known[cmd] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", cmd)
 		flag.Usage()
@@ -195,5 +196,19 @@ func main() {
 	})
 	run("quantum", func() {
 		experiments.RenderQuantum(os.Stdout, experiments.QuantumSweep(qs))
+	})
+	run("phases", func() {
+		pc := experiments.DefaultPhasesConfig()
+		if *horizon > 0 {
+			pc.Horizon = *horizon
+		}
+		if *seed != 0 {
+			pc.Seed = *seed
+		}
+		if *every > 0 {
+			pc.Every = *every
+		}
+		pc.Shards = *shards
+		experiments.RenderPhases(os.Stdout, pc, experiments.Phases(pc))
 	})
 }

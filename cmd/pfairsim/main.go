@@ -22,6 +22,12 @@
 //	-timeline FILE  write a human-readable slot-by-slot event log
 //	                ("-" = stdout)
 //	-metrics        print a Prometheus-text metrics snapshot after the run
+//	-taskstats      print a per-task accounting table (dispatches,
+//	                preemptions, migrations, response times, tardiness,
+//	                exact lag extrema); implies the trace recorder, so the
+//	                run uses the event-narrating legacy ready queue
+//	-phaseprof K    profile engine phase costs on every K-th step and
+//	                print the per-phase table after the run (0 = off)
 //	-ring N         trace ring capacity in events (default 65536; the ring
 //	                keeps the most recent N when the run is longer)
 //	-slotus N       microseconds one slot spans in the exported trace
@@ -45,6 +51,7 @@ import (
 	"strings"
 
 	"pfair/internal/core"
+	"pfair/internal/engine"
 	"pfair/internal/obs"
 	"pfair/internal/task"
 	"pfair/internal/trace"
@@ -60,6 +67,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto-loadable) to this file")
 	timelinePath := flag.String("timeline", "", "write a human-readable event timeline to this file (- = stdout)")
 	metrics := flag.Bool("metrics", false, "print a Prometheus-text metrics snapshot after the run")
+	taskstats := flag.Bool("taskstats", false, "print a per-task accounting table after the run (implies the trace recorder)")
+	phaseprof := flag.Int64("phaseprof", 0, "profile engine phases on every K-th step and print the phase table (0 = off)")
 	ringCap := flag.Int("ring", obs.DefaultRingCapacity, "trace ring capacity in events")
 	slotMicros := flag.Int64("slotus", 1000, "microseconds per slot in the exported trace")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -130,16 +139,31 @@ func main() {
 		}
 	}
 
-	s := core.NewScheduler(*m, alg, core.Options{EarlyRelease: *er, Shards: *shards})
+	var engOpts []engine.Option
+	var prof *obs.PhaseProfiler
+	if *phaseprof > 0 {
+		prof = obs.NewPhaseProfiler(nil, *phaseprof)
+		engOpts = append(engOpts, engine.WithProfiler(prof))
+	}
+	s := core.NewScheduler(*m, alg, core.Options{EarlyRelease: *er, Shards: *shards}, engOpts...)
 	rec := trace.NewRecorder()
 	s.OnSlot(rec.Record)
 
 	// Attach the observability layer only when some consumer asked for it:
-	// unobserved runs keep the nil-recorder fast path.
+	// unobserved runs keep the nil-recorder fast path. -taskstats needs the
+	// event stream, so it implies the recorder (and hence the legacy,
+	// event-narrating ready queue).
 	var orec *obs.Recorder
 	var met *obs.SchedulerMetrics
-	if *tracePath != "" || *timelinePath != "" {
+	var acct *obs.Accounting
+	if *tracePath != "" || *timelinePath != "" || *taskstats {
 		orec = obs.NewRecorder(*ringCap)
+	}
+	if *taskstats {
+		// Attached before any event is emitted: the accounting table sees
+		// the full stream even when the ring wraps.
+		acct = obs.NewAccounting()
+		orec.SetAccounting(acct)
 	}
 	if *metrics {
 		met = obs.NewSchedulerMetrics(nil)
@@ -195,12 +219,34 @@ func main() {
 		fmt.Printf("  miss: %s subtask %d deadline %d scheduled %d\n", miss.Task, miss.Subtask, miss.Deadline, miss.ScheduledAt)
 	}
 
+	if *taskstats {
+		acct.Finalize(horizon)
+		fmt.Printf("\nper-task accounting (%d events consumed):\n", acct.Events())
+		if err := obs.WriteTaskTable(os.Stdout, acct.Snapshot()); err != nil {
+			fatal("taskstats: %v", err)
+		}
+	}
+	if prof != nil {
+		fmt.Printf("\nengine phase profile:\n")
+		if err := prof.WriteTable(os.Stdout); err != nil {
+			fatal("phaseprof: %v", err)
+		}
+	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			fatal("trace: %v", err)
 		}
-		opt := obs.ChromeTraceOptions{SlotMicros: *slotMicros, Procs: *m}
+		extra := map[string]any{"alg": alg.String(), "m": *m, "shards": *shards}
+		// Only meaningful when the shard tier actually served picks: a
+		// traced run uses the legacy ready queue (the recorder forces it),
+		// so the counters cover at most the pre-attach prefix.
+		if sst, ok := s.ShardStats(); ok && sst.LocalHits+sst.Steals > 0 {
+			extra["shardLocalHits"] = sst.LocalHits
+			extra["shardSteals"] = sst.Steals
+			extra["shardUnderflows"] = sst.Underflows
+		}
+		opt := obs.ChromeTraceOptions{SlotMicros: *slotMicros, Procs: *m, Extra: extra}
 		if err := obs.WriteChromeTrace(f, orec, opt); err != nil {
 			fatal("trace: %v", err)
 		}
@@ -228,8 +274,19 @@ func main() {
 	}
 	if *metrics {
 		fmt.Println()
+		met.ObserveRing(orec) // nil-safe: gauges stay 0 without a recorder
 		if err := met.Registry().WritePrometheus(os.Stdout); err != nil {
 			fatal("metrics: %v", err)
+		}
+		if acct != nil {
+			if err := acct.WritePrometheus(os.Stdout); err != nil {
+				fatal("metrics: %v", err)
+			}
+		}
+		if prof != nil {
+			if err := prof.Registry().WritePrometheus(os.Stdout); err != nil {
+				fatal("metrics: %v", err)
+			}
 		}
 	}
 	if *memprofile != "" {

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pfair/internal/core"
+	"pfair/internal/obs"
+	"pfair/internal/task"
+)
+
+// traceOf runs a scheduler over set and returns the Chrome trace JSON a
+// pfairsim -trace invocation would write, plus the scheduler for
+// cross-checking the report against ground truth.
+func traceOf(t *testing.T, alg core.Algorithm, m int, set task.Set, horizon int64, ringCap int) ([]byte, *core.Scheduler) {
+	t.Helper()
+	s := core.NewScheduler(m, alg, core.Options{})
+	rec := obs.NewRecorder(ringCap)
+	s.Observe(rec, nil)
+	for _, tk := range set {
+		if err := s.Join(tk); err != nil {
+			t.Fatalf("join %v: %v", tk, err)
+		}
+	}
+	s.RunUntil(horizon)
+	s.FinishMisses(horizon)
+	var buf bytes.Buffer
+	err := obs.WriteChromeTrace(&buf, rec, obs.ChromeTraceOptions{
+		Procs: m,
+		Extra: map[string]any{"alg": alg.String(), "m": m},
+	})
+	if err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	return buf.Bytes(), s
+}
+
+// epdfCounterexample is the pinned workload on which EPDF misses a
+// deadline (full utilization on 5 processors).
+func epdfCounterexample(t *testing.T) task.Set {
+	t.Helper()
+	return task.Set{
+		task.MustNew("T0", 4, 9), task.MustNew("T1", 3, 6), task.MustNew("T2", 1, 2),
+		task.MustNew("T3", 8, 9), task.MustNew("T4", 6, 10), task.MustNew("T5", 3, 6),
+		task.MustNew("T6", 9, 10), task.MustNew("T7", 2, 3),
+	}
+}
+
+// TestRoundTripAccounting checks the reconstructed report against the
+// scheduler that produced the trace: the trace must round-trip the
+// dispatch totals, migrations, and (absence of) misses exactly.
+func TestRoundTripAccounting(t *testing.T) {
+	set := task.Set{task.MustNew("A", 2, 3), task.MustNew("B", 2, 3), task.MustNew("C", 2, 3)}
+	data, s := traceOf(t, core.PD2, 2, set, 120, 1<<16)
+
+	td, err := parseTrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("parseTrace: %v", err)
+	}
+	rep, err := buildReport(td, 2)
+	if err != nil {
+		t.Fatalf("buildReport: %v", err)
+	}
+	st := s.Stats()
+
+	var dispatches, migrations int64
+	for _, ts := range rep.Tasks {
+		dispatches += ts.Dispatches
+		migrations += ts.Migrations
+	}
+	if dispatches != st.Allocations {
+		t.Errorf("report dispatches = %d, scheduler allocated %d", dispatches, st.Allocations)
+	}
+	if migrations != st.Migrations {
+		t.Errorf("report migrations = %d, scheduler counted %d", migrations, st.Migrations)
+	}
+	var matrixTotal int64
+	for _, row := range rep.Migrations {
+		for _, v := range row {
+			matrixTotal += v
+		}
+	}
+	if matrixTotal != st.Migrations {
+		t.Errorf("migration matrix sums to %d, scheduler counted %d", matrixTotal, st.Migrations)
+	}
+	if len(rep.Misses) != 0 {
+		t.Errorf("feasible PD² run reported %d misses", len(rep.Misses))
+	}
+	if rep.Procs != 2 {
+		t.Errorf("procs = %d, want 2", rep.Procs)
+	}
+	if rep.Ring.DroppedEvents != 0 {
+		t.Errorf("complete trace reported %d dropped events", rep.Ring.DroppedEvents)
+	}
+
+	var human bytes.Buffer
+	if err := renderHuman(&human, rep); err != nil {
+		t.Fatalf("renderHuman: %v", err)
+	}
+	for _, want := range []string{"per-task accounting", "migration matrix", "no deadline misses", "A", "trace is complete"} {
+		if !strings.Contains(human.String(), want) {
+			t.Errorf("human report missing %q", want)
+		}
+	}
+}
+
+// TestMissWindowNamesTask: on the EPDF counterexample the report must
+// name the missing task, include the surrounding events, and reconstruct
+// the deadline ties with b-bit/group-deadline narration.
+func TestMissWindowNamesTask(t *testing.T) {
+	set := epdfCounterexample(t)
+	data, s := traceOf(t, core.EPDF, 5, set, 180, 1<<16)
+	// Only misses detected during the run emit EvMiss; FinishMisses adds
+	// horizon-boundary entries (ScheduledAt −1) the trace cannot carry.
+	var traced []core.Miss
+	for _, m := range s.Stats().Misses {
+		if m.ScheduledAt >= 0 {
+			traced = append(traced, m)
+		}
+	}
+	if len(traced) == 0 {
+		t.Fatal("EPDF counterexample no longer misses; test needs a new workload")
+	}
+	wantTask := traced[0].Task
+
+	td, err := parseTrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("parseTrace: %v", err)
+	}
+	rep, err := buildReport(td, 2)
+	if err != nil {
+		t.Fatalf("buildReport: %v", err)
+	}
+	if len(rep.Misses) != len(traced) {
+		t.Fatalf("report has %d misses, scheduler detected %d during the run", len(rep.Misses), len(traced))
+	}
+	m := rep.Misses[0]
+	if m.Task != wantTask {
+		t.Errorf("miss window names %q, scheduler missed %q", m.Task, wantTask)
+	}
+	if len(m.Window) == 0 {
+		t.Error("miss window has no events")
+	}
+	if len(m.Ties) == 0 {
+		t.Fatal("miss window has no deadline-tie reconstruction")
+	}
+	foundBBit := false
+	for _, tie := range m.Ties {
+		for _, line := range tie.Tasks {
+			if strings.Contains(line, "b-bit") {
+				foundBBit = true
+			}
+		}
+	}
+	if !foundBBit {
+		t.Error("tie reconstruction carries no b-bit narration")
+	}
+
+	var human bytes.Buffer
+	if err := renderHuman(&human, rep); err != nil {
+		t.Fatalf("renderHuman: %v", err)
+	}
+	out := human.String()
+	for _, want := range []string{"DEADLINE MISS " + wantTask, "b-bit", "group deadline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("human report missing %q", want)
+		}
+	}
+}
+
+// TestRingWrapSurfaced: a trace whose ring wrapped must carry the drop
+// count through to the report and the human output must warn.
+func TestRingWrapSurfaced(t *testing.T) {
+	set := epdfCounterexample(t)
+	data, _ := traceOf(t, core.EPDF, 5, set, 180, 1<<8)
+
+	td, err := parseTrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("parseTrace: %v", err)
+	}
+	rep, err := buildReport(td, 2)
+	if err != nil {
+		t.Fatalf("buildReport: %v", err)
+	}
+	if rep.Ring.DroppedEvents == 0 {
+		t.Fatal("256-event ring over a 180-slot, 8-task run did not wrap; test premise broken")
+	}
+	if rep.Ring.TotalEvents != rep.Ring.RetainedEvents+rep.Ring.DroppedEvents {
+		t.Errorf("ring accounting inconsistent: total %d != retained %d + dropped %d",
+			rep.Ring.TotalEvents, rep.Ring.RetainedEvents, rep.Ring.DroppedEvents)
+	}
+	var human bytes.Buffer
+	if err := renderHuman(&human, rep); err != nil {
+		t.Fatalf("renderHuman: %v", err)
+	}
+	if !strings.Contains(human.String(), "WARNING: ring wrapped") {
+		t.Error("human report does not warn about the wrapped ring")
+	}
+}
+
+// TestRejectsNonTraces: garbage and schedule-free inputs must error, not
+// produce empty reports.
+func TestRejectsNonTraces(t *testing.T) {
+	if _, err := parseTrace(strings.NewReader("not json")); err == nil {
+		t.Error("parseTrace accepted garbage")
+	}
+	td, err := parseTrace(strings.NewReader(`{"traceEvents":[],"otherData":{"slotMicros":1000}}`))
+	if err != nil {
+		t.Fatalf("parseTrace on empty trace: %v", err)
+	}
+	if _, err := buildReport(td, 2); err == nil {
+		t.Error("buildReport accepted a trace with no schedule events")
+	}
+}

@@ -9,7 +9,14 @@
 //   - complete events (ph=X) carry a non-negative dur;
 //   - metadata events (ph=M) carry args.name;
 //   - X spans never overlap within one (pid, tid) lane — the invariant
-//     that makes the per-processor and per-task lanes renderable.
+//     that makes the per-processor and per-task lanes renderable;
+//   - instant events carry the args pfairtrace reconstructs from:
+//     release/deadline-miss need numeric subtask and deadline, migration
+//     needs numeric from and to;
+//   - otherData, when present, carries a positive slotMicros and ring
+//     accounting with totalEvents = retainedEvents + droppedEvents — the
+//     contract that lets a consumer tell a truncated trace from a
+//     complete one.
 //
 // Usage:
 //
@@ -56,14 +63,36 @@ func main() {
 	// The trace-event format is open: events may carry cat, s, cname, …
 	// beyond the fields we validate, so decode loosely.
 	var file struct {
-		TraceEvents     []event `json:"traceEvents"`
-		DisplayTimeUnit string  `json:"displayTimeUnit"`
+		TraceEvents     []event        `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData"`
 	}
 	if err := json.Unmarshal(raw, &file); err != nil {
 		fatal("%s: not a trace-event JSON object: %v", path, err)
 	}
 	if len(file.TraceEvents) == 0 {
 		fatal("%s: traceEvents is empty", path)
+	}
+	if file.OtherData != nil {
+		odNum := func(key string) (float64, bool) {
+			v, ok := file.OtherData[key].(float64)
+			return v, ok
+		}
+		if u, ok := odNum("slotMicros"); !ok || u <= 0 {
+			fatal("%s: otherData.slotMicros missing or not a positive number", path)
+		}
+		var ring [3]float64
+		for i, key := range []string{"totalEvents", "retainedEvents", "droppedEvents"} {
+			v, ok := odNum(key)
+			if !ok || v < 0 {
+				fatal("%s: otherData.%s missing or negative", path, key)
+			}
+			ring[i] = v
+		}
+		if ring[0] != ring[1]+ring[2] {
+			fatal("%s: otherData ring accounting inconsistent: totalEvents %v != retainedEvents %v + droppedEvents %v",
+				path, ring[0], ring[1], ring[2])
+		}
 	}
 
 	seen := map[string]int{}
@@ -90,7 +119,27 @@ func main() {
 			l := lane{*e.Pid, *e.Tid}
 			laneSpans[l] = append(laneSpans[l], [2]float64{*e.Ts, *e.Ts + *e.Dur})
 		case "i":
-			// Instant events; scope (s) is optional in the format.
+			// Instant events; scope (s) is optional in the format. The
+			// kinds pfairtrace reconstructs from must carry their numeric
+			// payload args.
+			var need []string
+			switch e.Name {
+			case "release", "deadline-miss":
+				need = []string{"subtask", "deadline"}
+			case "migration":
+				need = []string{"from", "to"}
+			}
+			if need != nil {
+				var args map[string]any
+				if err := json.Unmarshal(e.Args, &args); err != nil {
+					fatal("%s: %s instant without decodable args", where, e.Name)
+				}
+				for _, key := range need {
+					if _, ok := args[key].(float64); !ok {
+						fatal("%s: %s instant without numeric args.%s", where, e.Name, key)
+					}
+				}
+			}
 		case "M":
 			var args struct {
 				Name string `json:"name"`

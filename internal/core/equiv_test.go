@@ -14,9 +14,10 @@ import (
 // the calq-backed fast mode (pending wheel + deadline-bucketed ready
 // queue + incremental priority keys) produces bit-for-bit the schedule of
 // the legacy representation (pending wheel + binary ready heap), because
-// the priority order is total. Attaching metrics is the sanctioned way to
-// force legacy mode — updateMode keeps the heap whenever observability
-// is on so its comparator can narrate tie-breaks.
+// the priority order is total. Attaching a trace recorder is the
+// sanctioned way to force legacy mode — updateMode keeps the heap
+// whenever a recorder is on so its comparator can narrate tie-breaks as
+// events. Metrics-only runs stay fast: cmpFast counts without a heap.
 
 // assignString flattens one slot's assignment vector; processor order is
 // part of the schedule, so it is kept.
@@ -35,9 +36,9 @@ func scheduleOf(t *testing.T, alg Algorithm, m int, set task.Set, horizon int64,
 	t.Helper()
 	s := NewScheduler(m, alg, Options{})
 	if legacy {
-		s.Observe(nil, obs.NewSchedulerMetrics(nil))
+		s.Observe(obs.NewRecorder(1<<12), nil)
 		if s.fast {
-			t.Fatal("metrics attached but scheduler still in fast mode")
+			t.Fatal("recorder attached but scheduler still in fast mode")
 		}
 	} else if !s.fast {
 		t.Fatal("unobserved scheduler not in fast mode")
@@ -97,7 +98,7 @@ func TestFastModeMatchesLegacyDynamic(t *testing.T) {
 	run := func(t *testing.T, legacy bool) []string {
 		s := NewScheduler(2, PD2, Options{})
 		if legacy {
-			s.Observe(nil, obs.NewSchedulerMetrics(nil))
+			s.Observe(obs.NewRecorder(1<<12), nil)
 		}
 		var got []string
 		s.OnSlot(func(tt int64, assigned []Assignment) {

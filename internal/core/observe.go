@@ -34,15 +34,25 @@ func (s *Scheduler) Observe(rec *obs.Recorder, met *obs.SchedulerMetrics) {
 
 // adoptAttachments re-caches the engine's observability attachments,
 // registers every live task with them, and reselects the eligible-set
-// representation: observed runs use the legacy ready heap (whose
-// comparator emits the tie-break trace events), unobserved runs the
-// bucketed fast path. Queued subtasks migrate between the structures.
+// representation: recorder-traced runs use the legacy ready heap (whose
+// comparator emits the tie-break trace events), runs without a recorder —
+// including metrics-only ones — the bucketed fast path, whose comparator
+// counts through cmpFast and whose shard telemetry Account publishes.
+// Queued subtasks migrate between the structures.
 func (s *Scheduler) adoptAttachments() {
 	s.rec, s.met = s.eng.Recorder(), s.eng.Metrics()
 	for _, st := range s.order {
 		if !st.departed {
 			s.registerObs(st)
 		}
+	}
+	if s.met != nil && s.shardN > 0 {
+		s.met.EnsureShards(s.shardN)
+	}
+	if sh := s.readySh; sh != nil {
+		// Counter deltas start from the attach point: stealing that
+		// happened before anyone was listening stays unpublished.
+		s.shardSeen = sh.Stats()
 	}
 	s.updateMode()
 }
@@ -128,6 +138,29 @@ func (s *Scheduler) cmpReady(a, b *tstate) bool {
 		})
 	}
 	return res
+}
+
+// cmpFast is the fast-mode (bucketed and sharded queues) equal-deadline
+// comparator: the plain priority order when no metrics block is
+// attached, and the counting variant when one is — comparator
+// invocations and decided tie-breaks land in the metrics block exactly
+// as cmpReady's do on the legacy heap, but no events are emitted, so
+// fast mode needs no recorder. The returned order is identical either
+// way; only counters move.
+//
+//pfair:hotpath
+func (s *Scheduler) cmpFast(a, b *tstate) bool {
+	if met := s.met; met != nil {
+		met.HeapCmps.Inc()
+		res, why := lessWhy(s.alg, &a.pr, &b.pr)
+		if why == byBBit {
+			met.TieBreakB.Inc()
+		} else if why == byGroup {
+			met.TieBreakGroup.Inc()
+		}
+		return res
+	}
+	return less(s.alg, &a.pr, &b.pr)
 }
 
 // observeLags updates each live task's max-|lag| gauge after the slot

@@ -60,8 +60,11 @@ type Options struct {
 	// assignment stream is identical for every value — the shard tier's
 	// pick is the exact global (deadline, priority)-minimum — so the
 	// setting trades memory locality against tournament width without
-	// changing one scheduling decision. Observed runs (recorder or
-	// metrics attached) use the legacy heap regardless, as before.
+	// changing one scheduling decision. Runs with a trace recorder
+	// attached use the legacy heap regardless (its comparator narrates
+	// tie-break events); a metrics-only attachment keeps the fast
+	// (optionally sharded) path, whose comparator counts into the metrics
+	// block and whose shard stats Account publishes.
 	Shards int
 }
 
@@ -201,8 +204,10 @@ type tstate struct {
 // representations producing the identical pop order: a deadline-bucketed
 // min-queue (the fast path) and the legacy binary heap matching the
 // implementation whose overhead Section 4 measures. The heap is kept for
-// observed runs, whose tie-break trace events are emitted from inside
-// its comparator (see cmpReady); unobserved runs use the bucketed queue.
+// recorder-traced runs, whose tie-break trace events are emitted from
+// inside its comparator (see cmpReady); runs without a recorder —
+// including metrics-only ones, whose comparator counts through cmpFast —
+// use the bucketed queue.
 type Scheduler struct {
 	m    int
 	alg  Algorithm
@@ -219,14 +224,18 @@ type Scheduler struct {
 	readySh   *shard.Queues[*tstate]  // eligible subtasks (fast mode, Shards > 1)
 	pending   *calq.Wheel[*tstate]    // future subtasks, by eligibility slot
 	// fast selects the eligible-set representation: the bucketed queue
-	// (single or sharded per Options.Shards) whenever no recorder or
-	// metrics block is attached, the legacy heap otherwise. Flipped
-	// (with migration) by updateMode.
+	// (single or sharded per Options.Shards) whenever no recorder is
+	// attached — metrics-only runs stay fast so shard telemetry is
+	// observable — and the legacy heap when one is. Flipped (with
+	// migration) by updateMode.
 	fast bool
 	// shardN caches the shard count (0 when sharding is off) so the
 	// dispatch re-homing branch costs one compare.
 	shardN    int
 	maxPeriod int64
+	// shardSeen is the last shard.Stats snapshot folded into the metrics
+	// block, so Account can publish monotone counter deltas per slot.
+	shardSeen shard.Stats
 
 	procPrev []*tstate // task run in the previous slot, per processor
 	leaves   []*tstate // tasks with a pending departure
@@ -301,15 +310,13 @@ func newSchedulerState(m int, alg Algorithm, opts Options) *Scheduler {
 	// algorithm is mutable in tests). The order is total (it ends on the
 	// task id), so the pop sequence is independent of representation —
 	// including the sharded one, whose head tournament picks the same
-	// global minimum.
-	lessFn := func(a, b *tstate) bool {
-		return less(s.alg, &a.pr, &b.pr)
-	}
+	// global minimum. cmpFast counts comparator and tie-break metrics
+	// when a metrics block is attached without changing the order.
 	if opts.Shards > 1 {
-		s.readySh = shard.New[*tstate](opts.Shards, minSpan, lessFn)
+		s.readySh = shard.New[*tstate](opts.Shards, minSpan, s.cmpFast)
 		s.shardN = s.readySh.Shards()
 	} else {
-		s.readyFast = calq.NewMinQueue[*tstate](minSpan, lessFn)
+		s.readyFast = calq.NewMinQueue[*tstate](minSpan, s.cmpFast)
 	}
 	s.pending = calq.NewWheel[*tstate](minSpan)
 	s.fast = true
@@ -325,9 +332,15 @@ const minSpan = 32
 
 // updateMode reselects the eligible-set representation after the
 // observability attachments changed, migrating queued subtasks between
-// the two structures. Cold path: construction and Observe only.
+// the two structures. Fast mode requires only that no trace recorder is
+// attached: the tie-break *events* are emitted from inside the legacy
+// heap's comparator, but the tie-break *counters* (and everything else a
+// metrics block tracks) are maintained by cmpFast on the bucketed path
+// too, so metrics-only runs keep the fast — and, with Options.Shards,
+// sharded — representation whose telemetry they report. Cold path:
+// construction and Observe only.
 func (s *Scheduler) updateMode() {
-	want := s.rec == nil && s.met == nil
+	want := s.rec == nil
 	if want == s.fast {
 		return
 	}
@@ -904,6 +917,21 @@ func (s *Scheduler) Account(t int64) {
 		met.ReadyLen.Set(int64(s.readyLen()))
 		met.PendingLen.Set(int64(s.pending.Len()))
 		met.Occupancy.Observe(int64(len(s.assignBuf)))
+		if sh := s.readySh; sh != nil {
+			// Shard telemetry: publish the work-stealing counters as
+			// deltas against the last snapshot (the tier's totals are
+			// cumulative) and refresh each shard's occupancy gauge.
+			st := sh.Stats()
+			met.ShardLocalHits.Add(st.LocalHits - s.shardSeen.LocalHits)
+			met.ShardSteals.Add(st.Steals - s.shardSeen.Steals)
+			met.ShardUnderflows.Add(st.Underflows - s.shardSeen.Underflows)
+			s.shardSeen = st
+			for i := 0; i < s.shardN; i++ {
+				if g := met.Shard(i); g != nil {
+					g.Set(int64(sh.ShardLen(i)))
+				}
+			}
+		}
 	}
 	s.observeLags(t + 1)
 

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"pfair/internal/engine"
 	"pfair/internal/obs"
 	"pfair/internal/parallel"
 	"pfair/internal/taskgen"
@@ -105,6 +106,82 @@ func TestStepObservedZeroAllocs(t *testing.T) {
 	}
 	if s.Recorder().Total() == 0 {
 		t.Fatal("recorder attached but no events recorded")
+	}
+}
+
+// profiledScheduler builds a loaded scheduler with every observability
+// attachment live at once: a phase profiler sampling every 4th step, a
+// trace recorder with a per-task accounting table behind it, and a
+// metrics block. This is the worst-case instrumented configuration.
+func profiledScheduler(tb testing.TB) *Scheduler {
+	tb.Helper()
+	g := taskgen.New(42)
+	set, err := g.Set("T", 100, 1.9, taskgen.DefaultPeriodsSlots)
+	if err != nil {
+		tb.Fatalf("taskgen: %v", err)
+	}
+	prof := obs.NewPhaseProfiler(nil, 4)
+	s := NewScheduler(2, PD2, Options{}, engine.WithProfiler(prof))
+	for _, t := range set {
+		if err := s.Join(t); err != nil {
+			continue
+		}
+	}
+	if len(s.Tasks()) == 0 {
+		tb.Fatal("no tasks admitted")
+	}
+	rec := obs.NewRecorder(1 << 12)
+	rec.SetAccounting(obs.NewAccounting())
+	s.Observe(rec, obs.NewSchedulerMetrics(nil))
+	return s
+}
+
+// BenchmarkStepAllocsProfiled is BenchmarkStepAllocsObserved with the
+// engine phase profiler sampling every 4th step and a per-task
+// accounting table consuming the event stream. The profiler's histograms
+// and the accounting table's dense rows are preallocated during warm-up,
+// so even the fully instrumented hot path must stay 0 allocs/op.
+func BenchmarkStepAllocsProfiled(b *testing.B) {
+	s := profiledScheduler(b)
+	s.RunUntil(2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+	b.StopTimer()
+	if allocs := testing.AllocsPerRun(100, func() { s.Step() }); allocs != 0 {
+		b.Fatalf("profiled Step allocates %v/op in steady state, want 0", allocs)
+	}
+	if s.eng.Profiler().Samples.Value() == 0 {
+		b.Fatal("profiler attached but no samples taken")
+	}
+}
+
+// TestStepProfiledZeroAllocs is the test-mode twin of
+// BenchmarkStepAllocsProfiled for CI tier 1.
+func TestStepProfiledZeroAllocs(t *testing.T) {
+	s := profiledScheduler(t)
+	s.RunUntil(2000)
+	if allocs := testing.AllocsPerRun(500, func() { s.Step() }); allocs != 0 {
+		t.Fatalf("profiled Step allocates %v/op in steady state, want 0", allocs)
+	}
+	prof := s.eng.Profiler()
+	if prof.Samples.Value() == 0 {
+		t.Fatal("profiler attached but no samples taken")
+	}
+	// Every sample brackets all five phases exactly once.
+	for name, h := range map[string]*obs.Histogram{
+		"release": prof.Release, "pick": prof.Pick, "dispatch": prof.Dispatch,
+		"account": prof.Account, "next": prof.Next,
+	} {
+		if h.Count() != prof.Samples.Value() {
+			t.Errorf("phase %s has %d observations, want one per sample (%d)", name, h.Count(), prof.Samples.Value())
+		}
+	}
+	acct := s.Recorder().Accounting()
+	if acct == nil || acct.Events() == 0 {
+		t.Fatal("accounting table attached but consumed no events")
 	}
 }
 

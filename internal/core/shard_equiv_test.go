@@ -2,8 +2,10 @@ package core
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
+	"pfair/internal/obs"
 	"pfair/internal/task"
 )
 
@@ -158,5 +160,69 @@ func TestShardStatsAccounting(t *testing.T) {
 	// Sharding off: the accessor must say so.
 	if _, ok := NewScheduler(2, PD2, Options{}).ShardStats(); ok {
 		t.Fatal("ShardStats must report !ok with sharding off")
+	}
+}
+
+// TestShardTelemetryMetrics pins the shard→metrics wiring: a metrics-only
+// sharded scheduler stays in fast mode (metrics no longer force the
+// legacy heap), its steal/hit counters track ShardStats exactly, the
+// per-shard occupancy gauges are registered, and the whole bundle
+// reaches the Prometheus exposition.
+func TestShardTelemetryMetrics(t *testing.T) {
+	met := obs.NewSchedulerMetrics(nil)
+	s := NewScheduler(4, PD2, Options{Shards: 4})
+	s.Observe(nil, met)
+	if !s.fast {
+		t.Fatal("metrics-only scheduler fell back to legacy mode; want fast")
+	}
+	if s.readySh == nil {
+		t.Fatal("metrics-only scheduler lost its shard tier")
+	}
+	r := rand.New(rand.NewSource(23))
+	set := randomFeasibleSet(r, 4, 10, 20)
+	for _, tk := range set {
+		if err := s.Join(tk); err != nil {
+			t.Fatalf("join: %v", err)
+		}
+	}
+	s.RunUntil(2000)
+
+	st, ok := s.ShardStats()
+	if !ok {
+		t.Fatal("ShardStats not ok")
+	}
+	if got := met.ShardLocalHits.Value(); got != st.LocalHits {
+		t.Errorf("ShardLocalHits counter = %d, ShardStats says %d", got, st.LocalHits)
+	}
+	if got := met.ShardSteals.Value(); got != st.Steals {
+		t.Errorf("ShardSteals counter = %d, ShardStats says %d", got, st.Steals)
+	}
+	if got := met.ShardUnderflows.Value(); got != st.Underflows {
+		t.Errorf("ShardUnderflows counter = %d, ShardStats says %d", got, st.Underflows)
+	}
+	if st.LocalHits == 0 {
+		t.Fatal("no local hits accounted; workload too small to exercise telemetry")
+	}
+	// Tie-break counters must move in fast mode too: cmpFast counts what
+	// cmpReady would have narrated.
+	if met.HeapCmps.Value() == 0 {
+		t.Error("comparator counter never incremented in fast mode")
+	}
+
+	var sb strings.Builder
+	if err := met.Registry().WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"pfair_shard_local_hits_total",
+		"pfair_shard_steals_total",
+		"pfair_shard_underflows_total",
+		`pfair_shard_occupancy{shard="0"}`,
+		`pfair_shard_occupancy{shard="3"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Prometheus exposition missing %q", want)
+		}
 	}
 }

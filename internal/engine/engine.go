@@ -40,6 +40,7 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"pfair/internal/obs"
 )
@@ -144,6 +145,15 @@ type Engine struct {
 	rec *obs.Recorder
 	met *obs.SchedulerMetrics
 
+	// prof is the optional phase profiler (WithProfiler): every
+	// profEvery-th step runs the profiled twin of the phase sequence,
+	// bracketing each phase with a monotonic clock read. nil when
+	// detached; profEvery caches prof.Every() so the steady-state cost of
+	// an attached profiler is one nil check, one modulo, and one branch
+	// per step.
+	prof      *obs.PhaseProfiler
+	profEvery int64
+
 	quantum int64 // boundary lattice for BoundaryHook; 0 = no lattice
 	now     int64
 	steps   int64
@@ -164,6 +174,23 @@ func WithRecorder(rec *obs.Recorder) Option {
 // WithMetrics attaches a metrics block (nil = unobserved).
 func WithMetrics(met *obs.SchedulerMetrics) Option {
 	return func(e *Engine) { e.met = met }
+}
+
+// WithProfiler attaches a phase profiler (nil = detached): one step in
+// every p.Every() runs with each phase bracketed by monotonic clock
+// reads, recording the five durations into p's preallocated histograms.
+// Profiling observes wall-clock cost only — it never changes a
+// scheduling decision (the golden equivalence suite pins byte-identical
+// schedules with the profiler detached, and the phase sequence is the
+// same either way) — and the sampled path allocates nothing
+// (BenchmarkStepAllocsProfiled).
+func WithProfiler(p *obs.PhaseProfiler) Option {
+	return func(e *Engine) {
+		e.prof = p
+		if p != nil {
+			e.profEvery = p.Every()
+		}
+	}
 }
 
 // WithQuantum sets the quantum-boundary lattice: a policy implementing
@@ -229,6 +256,9 @@ func (e *Engine) Recorder() *obs.Recorder { return e.rec }
 // Metrics returns the attached metrics block, or nil.
 func (e *Engine) Metrics() *obs.SchedulerMetrics { return e.met }
 
+// Profiler returns the attached phase profiler, or nil.
+func (e *Engine) Profiler() *obs.PhaseProfiler { return e.prof }
+
 // Observe swaps the observability attachment (either may be nil).
 // Policies that cache the pointers must re-read them afterwards; the
 // simulators' own Observe/SetRecorder wrappers do exactly that.
@@ -255,13 +285,18 @@ func (e *Engine) Step() {
 	if b := e.boundary; b != nil && e.quantum > 0 && t%e.quantum == 0 {
 		b.QuantumBoundary(t)
 	}
-	p := e.pol
-	p.Release(t)
-	p.Pick(t)
-	p.Dispatch(t)
-	p.Account(t)
-	e.steps++
-	next := p.Next(t)
+	var next int64
+	if pr := e.prof; pr != nil && e.steps%e.profEvery == 0 {
+		next = e.stepProfiled(t, pr)
+	} else {
+		p := e.pol
+		p.Release(t)
+		p.Pick(t)
+		p.Dispatch(t)
+		p.Account(t)
+		e.steps++
+		next = p.Next(t)
+	}
 	if next < t {
 		//pfair:allowpanic policy contract violation: time cannot flow backwards
 		panic("engine: policy Next moved time backwards")
@@ -276,6 +311,41 @@ func (e *Engine) Step() {
 		e.zero = 0
 	}
 	e.now = next
+}
+
+// stepProfiled is the sampled twin of Step's phase sequence: identical
+// invocations in identical order (including the steps increment before
+// Next), with a monotonic clock read bracketing each phase and the five
+// durations recorded into the profiler's preallocated histograms.
+// time.Time values live on the stack and Histogram.Observe is an integer
+// update, so the sampled path allocates nothing.
+//
+//pfair:allowtime phase profiling measures host wall-clock cost, never simulated time; scheduling decisions are unaffected
+//
+//pfair:hotpath
+func (e *Engine) stepProfiled(t int64, pr *obs.PhaseProfiler) int64 {
+	p := e.pol
+	t0 := time.Now()
+	p.Release(t)
+	t1 := time.Now()
+	p.Pick(t)
+	t2 := time.Now()
+	p.Dispatch(t)
+	t3 := time.Now()
+	p.Account(t)
+	t4 := time.Now()
+	e.steps++
+	next := p.Next(t)
+	t5 := time.Now()
+	if pr != nil {
+		pr.Release.Observe(t1.Sub(t0).Nanoseconds())
+		pr.Pick.Observe(t2.Sub(t1).Nanoseconds())
+		pr.Dispatch.Observe(t3.Sub(t2).Nanoseconds())
+		pr.Account.Observe(t4.Sub(t3).Nanoseconds())
+		pr.Next.Observe(t5.Sub(t4).Nanoseconds())
+		pr.Samples.Inc()
+	}
+	return next
 }
 
 // livelock records the sticky livelock failure. It lives outside Step so

@@ -292,3 +292,66 @@ func TestStepZeroAllocs(t *testing.T) {
 		t.Fatalf("engine Step allocates %.1f allocs/op, want 0", avg)
 	}
 }
+
+// TestProfilerSamplingCadence: with every=3 the profiled twin runs on
+// steps 0, 3, 6, 9 — ⌈N/every⌉ samples over N steps — and each sampled
+// step contributes exactly one observation to every phase histogram.
+func TestProfilerSamplingCadence(t *testing.T) {
+	prof := obs.NewPhaseProfiler(nil, 3)
+	p := &fakePolicy{}
+	e := New(p, WithProfiler(prof))
+	if e.Profiler() != prof {
+		t.Fatal("Profiler() does not return the attached profiler")
+	}
+	if err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := prof.Samples.Value(); got != 4 {
+		t.Errorf("Samples = %d over 10 steps at every=3, want 4", got)
+	}
+	for _, h := range []*obs.Histogram{prof.Release, prof.Pick, prof.Dispatch, prof.Account, prof.Next} {
+		if h.Count() != prof.Samples.Value() {
+			t.Errorf("phase histogram has %d observations, want %d (one per sample)", h.Count(), prof.Samples.Value())
+		}
+	}
+}
+
+// TestProfiledStepPhaseOrder: the profiled twin must invoke the phases in
+// the same order, with the same arguments, and advance steps/now exactly
+// like the unprofiled path — the property the golden equivalence suite
+// pins end to end.
+func TestProfiledStepPhaseOrder(t *testing.T) {
+	p := &fakePolicy{}
+	e := New(p, WithProfiler(obs.NewPhaseProfiler(nil, 1)))
+	e.Step()
+	wantLog(t, p.log, []string{"release@0", "pick@0", "dispatch@0", "account@0"})
+	if e.Now() != 1 || e.Steps() != 1 {
+		t.Fatalf("Now()=%d Steps()=%d after one profiled step, want 1, 1", e.Now(), e.Steps())
+	}
+}
+
+func TestWithProfilerNilDetaches(t *testing.T) {
+	e := New(&fakePolicy{}, WithProfiler(obs.NewPhaseProfiler(nil, 1)))
+	e2 := New(&fakePolicy{}, WithProfiler(nil))
+	if e.Profiler() == nil {
+		t.Error("profiler not attached")
+	}
+	if e2.Profiler() != nil {
+		t.Error("WithProfiler(nil) must leave the engine detached")
+	}
+}
+
+// TestStepProfiledZeroAllocsEngine pins the sampled path itself (every=1:
+// every step profiled) at zero allocations.
+func TestStepProfiledZeroAllocsEngine(t *testing.T) {
+	prof := obs.NewPhaseProfiler(nil, 1)
+	e := New(nopPolicy{}, WithProfiler(prof))
+	e.Step() // warm up
+	allocs := testing.AllocsPerRun(1000, func() { e.Step() })
+	if allocs != 0 {
+		t.Fatalf("profiled Step allocates %v/op, want 0", allocs)
+	}
+	if prof.Samples.Value() < 1000 {
+		t.Fatalf("profiler did not sample: %d", prof.Samples.Value())
+	}
+}

@@ -32,6 +32,12 @@ type ChromeTraceOptions struct {
 	// Procs forces lanes for processors [0, Procs) even if some were
 	// never scheduled on; 0 infers lanes from the events.
 	Procs int
+	// Extra is merged into the file's top-level otherData object — run
+	// configuration (algorithm, processor count, shard stats) a consumer
+	// like cmd/pfairtrace reads back. The exporter's reserved keys
+	// (slotMicros, totalEvents, retainedEvents, droppedEvents) win over
+	// Extra on collision.
+	Extra map[string]any
 }
 
 // chromeEvent is one trace-event record. Fields follow the Trace Event
@@ -52,6 +58,11 @@ type chromeEvent struct {
 type chromeFile struct {
 	TraceEvents     []chromeEvent `json:"traceEvents"`
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	// OtherData is the trace-event format's free-form metadata object.
+	// The exporter records the slot scale and the ring accounting there —
+	// droppedEvents > 0 is how a consumer distinguishes a silently
+	// truncated (wrapped-ring) trace from a complete one.
+	OtherData map[string]any `json:"otherData"`
 }
 
 // run is one maximal span of consecutive slots a task spent on one
@@ -140,7 +151,7 @@ func WriteChromeTrace(w io.Writer, rec *Recorder, opt ChromeTraceOptions) error 
 			}
 			open[e.Task] = &run{task: e.Task, proc: e.Proc, start: e.Slot, end: e.Slot, firstSub: e.A, lastSub: e.A}
 		case EvRelease:
-			instant(e, "release", map[string]any{"subtask": e.A})
+			instant(e, "release", map[string]any{"subtask": e.A, "deadline": e.B})
 		case EvMiss:
 			instant(e, "deadline-miss", map[string]any{"subtask": e.A, "deadline": e.B})
 		case EvMigrate:
@@ -172,6 +183,15 @@ func WriteChromeTrace(w io.Writer, rec *Recorder, opt ChromeTraceOptions) error 
 		}
 	}
 
+	od := map[string]any{}
+	for k, v := range opt.Extra { //pfair:orderinvariant keys are copied into a map encoding/json marshals with sorted keys
+		od[k] = v
+	}
+	od["slotMicros"] = unit
+	od["totalEvents"] = rec.Total()
+	od["retainedEvents"] = len(events)
+	od["droppedEvents"] = rec.Dropped()
+
 	enc := json.NewEncoder(w)
-	return enc.Encode(chromeFile{TraceEvents: out, DisplayTimeUnit: "ms"})
+	return enc.Encode(chromeFile{TraceEvents: out, DisplayTimeUnit: "ms", OtherData: od})
 }

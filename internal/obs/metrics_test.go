@@ -111,6 +111,83 @@ func TestEscapeLabel(t *testing.T) {
 	}
 }
 
+// TestWritePrometheusEscapedLabels: a hostile label value registered via
+// EscapeLabel must appear escaped — never raw — in the exposition, so a
+// task named with quotes or newlines cannot corrupt the text format.
+func TestWritePrometheusEscapedLabels(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", `task="`+EscapeLabel("a\"b\\c\nd")+`"`, "").Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `x_total{task="a\"b\\c\nd"} 1`) {
+		t.Errorf("escaped series missing:\n%s", out)
+	}
+	// A raw newline inside a sample line would split it into two garbage
+	// lines; every line must carry either a # prefix or a sample.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" || (!strings.HasPrefix(line, "#") && !strings.Contains(line, " ")) {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+// TestWritePrometheusBucketsCumulative: bucket samples must be cumulative
+// and non-decreasing in le order, ending at the +Inf bucket == _count —
+// the Prometheus histogram contract scrapers rely on.
+func TestWritePrometheusBucketsCumulative(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "", "", []int64{1, 2, 4})
+	for _, v := range []int64{0, 1, 3, 3, 9} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// ≤1: {0,1} → 2; ≤2: 2; ≤4: +{3,3} → 4; +Inf: 5.
+	wantOrder := []string{
+		`lat_bucket{le="1"} 2`,
+		`lat_bucket{le="2"} 2`,
+		`lat_bucket{le="4"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		`lat_count 5`,
+	}
+	last := -1
+	for _, want := range wantOrder {
+		i := strings.Index(out, want)
+		if i < 0 {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+		if i < last {
+			t.Errorf("%q appears out of le order", want)
+		}
+		last = i
+	}
+}
+
+// TestWritePrometheusHelpOnce: HELP, like TYPE, appears exactly once per
+// family even when the family has many labeled series.
+func TestWritePrometheusHelpOnce(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("f_total", `task="A"`, "the help text").Inc()
+	reg.Counter("f_total", `task="B"`, "the help text").Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if n := strings.Count(out, "# HELP f_total"); n != 1 {
+		t.Errorf("HELP appears %d times, want 1:\n%s", n, out)
+	}
+	if n := strings.Count(out, "# TYPE f_total"); n != 1 {
+		t.Errorf("TYPE appears %d times, want 1:\n%s", n, out)
+	}
+}
+
 func TestExpvarFunc(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("c_total", "", "").Add(2)

@@ -121,6 +121,11 @@ type Recorder struct {
 	n    uint64 // total events ever emitted
 
 	names []string // task id → name, registration is cold-path
+
+	// acct, when attached, consumes every event in-line before it lands
+	// in the ring, so aggregates cover the whole run even after the ring
+	// wraps. Concrete pointer, nil-guarded, per the package rules.
+	acct *Accounting
 }
 
 // NewRecorder returns a recorder whose ring holds at least capacity
@@ -144,7 +149,30 @@ func NewRecorder(capacity int) *Recorder {
 func (r *Recorder) Emit(e Event) {
 	r.buf[r.n&r.mask] = e
 	r.n++
+	if a := r.acct; a != nil {
+		a.Apply(e)
+	}
 }
+
+// SetAccounting attaches (or, with nil, detaches) a per-task accounting
+/// table: every subsequent Emit forwards its event to acct.Apply, and
+// task registrations forward their names. Names already registered are
+// copied over; events already emitted are not replayed (attach before
+// the run — the table aggregates from attachment on). Cold path.
+func (r *Recorder) SetAccounting(acct *Accounting) {
+	r.acct = acct
+	if acct == nil {
+		return
+	}
+	for id, name := range r.names {
+		if name != "" {
+			acct.SetName(int32(id), name)
+		}
+	}
+}
+
+// Accounting returns the attached accounting table, or nil.
+func (r *Recorder) Accounting() *Accounting { return r.acct }
 
 // RegisterTask associates a task id (assigned by the scheduler) with a
 // display name, reporting whether the id was previously unknown (so
@@ -160,6 +188,9 @@ func (r *Recorder) RegisterTask(id int32, name string) bool {
 		r.names = append(r.names, "")
 	}
 	r.names[id] = name
+	if a := r.acct; a != nil {
+		a.SetName(id, name)
+	}
 	return fresh
 }
 

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// PhaseProfiler holds the preallocated per-phase duration histograms the
+// engine's sampled profiling path (engine.WithProfiler) records into. The
+// engine's five phases — Release, Pick, Dispatch, Account, Next — are the
+// cost decomposition behind the paper's overhead comparisons: Figure 2
+// measures the total per-slot cost, the profiler says where inside the
+// slot it goes (releases draining the calendar wheel, the pick
+// tournament, the dispatch commit, accounting, the clock advance).
+//
+// Profiling must not distort the thing it measures, so the same two rules
+// as the rest of this package apply: every instrument is preallocated
+// here (registration is the only allocating operation), and the engine
+// holds a concrete *PhaseProfiler pointer, nil when detached, guarded at
+// each use. Sampling every k-th step keeps the steady-state overhead to
+// one modulo and one branch per step; the sampled steps themselves pay
+// six monotonic clock reads. BenchmarkStepAllocsProfiled pins the
+// attached-and-sampling path at 0 allocs/op.
+//
+// Durations are recorded in nanoseconds as int64 — wall-clock phase cost
+// is a measurement about the host machine, not simulated time, so the
+// determinism rule does not apply to the recorded values (the engine's
+// clock reads carry //pfair:allowtime annotations); scheduling decisions
+// are never affected, which the golden equivalence suite pins.
+type PhaseProfiler struct {
+	// Release..Next are the per-phase wall-clock histograms, one
+	// observation per sampled step each.
+	Release  *Histogram
+	Pick     *Histogram
+	Dispatch *Histogram
+	Account  *Histogram
+	Next     *Histogram
+	// Samples counts sampled steps (each contributes one observation to
+	// every phase histogram).
+	Samples *Counter
+
+	every int64
+	reg   *Registry
+}
+
+// phaseBounds covers sub-microsecond phases up to milliseconds-per-phase
+// pathologies; beyond the last bound falls into the +Inf bucket.
+var phaseBounds = []int64{
+	128, 256, 512, 1024, 2048, 4096, 8192, 16384,
+	32768, 65536, 262144, 1048576,
+}
+
+// NewPhaseProfiler registers the five phase histograms (one family,
+// pfair_engine_phase_ns, labelled by phase) and the sample counter in
+// reg, sampling one step in every `every` (values < 1 clamp to 1 =
+// profile every step). Passing a nil registry creates a private one,
+// retrievable via Registry().
+func NewPhaseProfiler(reg *Registry, every int64) *PhaseProfiler {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	if every < 1 {
+		every = 1
+	}
+	h := func(phase string) *Histogram {
+		return reg.Histogram("pfair_engine_phase_ns",
+			`phase="`+phase+`"`,
+			"sampled wall-clock nanoseconds per engine phase", phaseBounds)
+	}
+	return &PhaseProfiler{
+		Release:  h("release"),
+		Pick:     h("pick"),
+		Dispatch: h("dispatch"),
+		Account:  h("account"),
+		Next:     h("next"),
+		Samples:  reg.Counter("pfair_engine_profile_samples_total", "", "engine steps whose phases were profiled"),
+		every:    every,
+		reg:      reg,
+	}
+}
+
+// Every returns the sampling interval in engine steps (≥ 1).
+func (p *PhaseProfiler) Every() int64 { return p.every }
+
+// Registry returns the registry holding the profiler's instruments.
+func (p *PhaseProfiler) Registry() *Registry { return p.reg }
+
+// quantileBound returns the upper bound of the first histogram bucket
+// whose cumulative count reaches q·count, as a printable string ("≤N" for
+// a finite bound, ">N" for the overflow bucket).
+//
+//pfair:allowfloat quantile rank arithmetic renders a human report of host wall-clock costs; no scheduling quantity flows from it
+func quantileBound(h *Histogram, q float64) string {
+	total := h.Count()
+	if total == 0 {
+		return "-"
+	}
+	bounds, cum := h.Buckets() // cum[i] counts observations ≤ bounds[i]
+	// The q-quantile rank is ⌈q·total⌉ observations.
+	need := int64(q * float64(total))
+	if float64(need) < q*float64(total) {
+		need++
+	}
+	if need < 1 {
+		need = 1
+	}
+	for i, c := range cum {
+		if c >= need {
+			if i < len(bounds) {
+				return "≤" + itoa(bounds[i])
+			}
+			break
+		}
+	}
+	return ">" + itoa(bounds[len(bounds)-1])
+}
+
+// WriteTable renders the per-phase cost decomposition as a human-readable
+// table: observation count, mean, and bucketed p50/p99 per phase, plus a
+// total row. Cold path; runs after the simulation.
+func (p *PhaseProfiler) WriteTable(w io.Writer) error {
+	rows := []struct {
+		name string
+		h    *Histogram
+	}{
+		{"release", p.Release}, {"pick", p.Pick}, {"dispatch", p.Dispatch},
+		{"account", p.Account}, {"next", p.Next},
+	}
+	if _, err := fmt.Fprintf(w, "%-10s %10s %12s %12s %12s\n", "phase", "samples", "mean ns", "p50 ns", "p99 ns"); err != nil {
+		return err
+	}
+	var totalSum, totalCount int64
+	for _, r := range rows {
+		n := r.h.Count()
+		mean := "-"
+		if n > 0 {
+			mean = itoa(r.h.Sum() / n)
+		}
+		totalSum += r.h.Sum()
+		totalCount = n // same per phase: one observation per sampled step
+		if _, err := fmt.Fprintf(w, "%-10s %10d %12s %12s %12s\n",
+			r.name, n, mean, quantileBound(r.h, 0.50), quantileBound(r.h, 0.99)); err != nil {
+			return err
+		}
+	}
+	mean := "-"
+	if totalCount > 0 {
+		mean = itoa(totalSum / totalCount)
+	}
+	_, err := fmt.Fprintf(w, "%-10s %10d %12s  (sum of phase means; sampled every %d steps)\n",
+		"slot", totalCount, mean, p.every)
+	return err
+}

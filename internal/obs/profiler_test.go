@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewPhaseProfilerRegistration(t *testing.T) {
+	reg := NewRegistry()
+	p := NewPhaseProfiler(reg, 8)
+	if p.Registry() != reg {
+		t.Error("Registry() does not return the registry passed in")
+	}
+	if p.Every() != 8 {
+		t.Errorf("Every() = %d, want 8", p.Every())
+	}
+	p.Pick.Observe(300)
+	p.Samples.Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE pfair_engine_phase_ns histogram",
+		`pfair_engine_phase_ns_bucket{phase="pick",le="512"} 1`,
+		`pfair_engine_phase_ns_count{phase="release"} 0`,
+		`pfair_engine_phase_ns_count{phase="dispatch"} 0`,
+		`pfair_engine_phase_ns_count{phase="account"} 0`,
+		`pfair_engine_phase_ns_count{phase="next"} 0`,
+		"pfair_engine_profile_samples_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNewPhaseProfilerDefaults(t *testing.T) {
+	p := NewPhaseProfiler(nil, 0)
+	if p.Registry() == nil {
+		t.Error("nil registry was not replaced with a private one")
+	}
+	if p.Every() != 1 {
+		t.Errorf("every=0 must clamp to 1, got %d", p.Every())
+	}
+}
+
+func TestPhaseProfilerWriteTable(t *testing.T) {
+	p := NewPhaseProfiler(nil, 4)
+	// 100 samples: 99 fast observations in the ≤256 bucket and one slow
+	// outlier per phase, so p50 and p99 land in different buckets.
+	for i := 0; i < 99; i++ {
+		for _, h := range []*Histogram{p.Release, p.Pick, p.Dispatch, p.Account, p.Next} {
+			h.Observe(200)
+		}
+	}
+	for _, h := range []*Histogram{p.Release, p.Pick, p.Dispatch, p.Account, p.Next} {
+		h.Observe(100000)
+	}
+	p.Samples.Add(100)
+
+	var b strings.Builder
+	if err := p.WriteTable(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, phase := range []string{"release", "pick", "dispatch", "account", "next", "slot"} {
+		if !strings.Contains(out, phase) {
+			t.Errorf("table missing row %q:\n%s", phase, out)
+		}
+	}
+	if !strings.Contains(out, "≤256") {
+		t.Errorf("p50 should land in the ≤256 bucket:\n%s", out)
+	}
+	// need(0.99·100) = 99 is reached by the ≤256 bucket's cumulative count.
+	if !strings.Contains(out, "sampled every 4 steps") {
+		t.Errorf("total row missing the sampling interval:\n%s", out)
+	}
+	// mean = (99·200 + 100000)/100 = 1198 per phase.
+	if !strings.Contains(out, "1198") {
+		t.Errorf("table missing the per-phase mean 1198:\n%s", out)
+	}
+}
+
+func TestQuantileBound(t *testing.T) {
+	p := NewPhaseProfiler(nil, 1)
+	h := p.Pick
+	if got := quantileBound(h, 0.5); got != "-" {
+		t.Errorf("empty histogram quantile = %q, want \"-\"", got)
+	}
+	h.Observe(100)     // ≤128
+	h.Observe(2000000) // beyond the last bound
+	if got := quantileBound(h, 0.5); got != "≤128" {
+		t.Errorf("p50 = %q, want ≤128", got)
+	}
+	if got := quantileBound(h, 0.99); got != ">1048576" {
+		t.Errorf("p99 = %q, want >1048576 (overflow bucket)", got)
+	}
+}

@@ -27,18 +27,36 @@ type SchedulerMetrics struct {
 	TieBreakB     *Counter
 	TieBreakGroup *Counter
 
+	// ShardLocalHits, ShardSteals, and ShardUnderflows mirror the shard
+	// tier's work-stealing counters (shard.Stats): picks served from the
+	// destination CPU's own shard, picks stolen from another shard, and
+	// steals whose richest victim was empty. All zero when sharding is
+	// off.
+	ShardLocalHits  *Counter
+	ShardSteals     *Counter
+	ShardUnderflows *Counter
+
 	// ReadyLen and PendingLen are the queue lengths after the most
 	// recent slot.
 	ReadyLen   *Gauge
 	PendingLen *Gauge
+
+	// TraceTotal and TraceDropped mirror the attached trace recorder's
+	// ring occupancy (events ever emitted / events lost to ring wrap),
+	// copied in by ObserveRing at exposition time. A wrapped ring means
+	// the exported trace is a suffix of the run, and these two series are
+	// how a consumer tells.
+	TraceTotal   *Gauge
+	TraceDropped *Gauge
 
 	// Occupancy distributes busy processors per slot; Tardiness
 	// distributes slots-late per deadline miss.
 	Occupancy *Histogram
 	Tardiness *Histogram
 
-	reg   *Registry
-	tasks []*TaskMetrics // indexed by scheduler task id
+	reg    *Registry
+	tasks  []*TaskMetrics // indexed by scheduler task id
+	shards []*Gauge       // per-shard occupancy gauges, indexed by shard
 }
 
 // TaskMetrics is the per-task instrument block.
@@ -81,8 +99,13 @@ func NewSchedulerMetrics(reg *Registry) *SchedulerMetrics {
 		HeapCmps:        reg.Counter("pfair_heap_comparisons_total", "", "priority comparator invocations across the ready and release queues"),
 		TieBreakB:       reg.Counter("pfair_tiebreak_bbit_total", "", "deadline ties decided by the b-bit rule"),
 		TieBreakGroup:   reg.Counter("pfair_tiebreak_group_total", "", "deadline ties decided by the group-deadline rule"),
+		ShardLocalHits:  reg.Counter("pfair_shard_local_hits_total", "", "ready-queue picks served from the destination CPU's own shard"),
+		ShardSteals:     reg.Counter("pfair_shard_steals_total", "", "ready-queue picks stolen from another CPU's shard"),
+		ShardUnderflows: reg.Counter("pfair_shard_underflows_total", "", "steals whose richest victim shard was empty"),
 		ReadyLen:        reg.Gauge("pfair_ready_queue_len", "", "ready-queue length after the last slot"),
 		PendingLen:      reg.Gauge("pfair_release_queue_len", "", "release-queue length after the last slot"),
+		TraceTotal:      reg.Gauge("pfair_trace_ring_total_events", "", "trace events ever emitted to the attached recorder"),
+		TraceDropped:    reg.Gauge("pfair_trace_ring_dropped_events", "", "trace events lost to ring wrap-around (>0 means the trace is a suffix of the run)"),
 		Occupancy:       reg.Histogram("pfair_slot_occupancy", "", "busy processors per slot", occupancyBounds),
 		Tardiness:       reg.Histogram("pfair_tardiness_slots", "", "slots late per deadline miss", tardinessBounds),
 		reg:             reg,
@@ -127,4 +150,37 @@ func (m *SchedulerMetrics) Task(id int32) *TaskMetrics {
 		return nil
 	}
 	return m.tasks[id]
+}
+
+// EnsureShards registers per-shard occupancy gauges for shards [0, n)
+// (idempotent, cold path). The scheduler calls it when sharding is on
+// and a metrics block attaches.
+func (m *SchedulerMetrics) EnsureShards(n int) {
+	for i := len(m.shards); i < n; i++ {
+		m.shards = append(m.shards,
+			m.reg.Gauge("pfair_shard_occupancy", `shard="`+itoa(int64(i))+`"`, "queued subtasks per ready-queue shard after the last slot"))
+	}
+}
+
+// Shard returns the occupancy gauge for shard i, or nil for shards never
+// passed to EnsureShards — the same nil-guarded hot-path contract as
+// Task.
+//
+//pfair:hotpath
+func (m *SchedulerMetrics) Shard(i int) *Gauge {
+	if i < 0 || i >= len(m.shards) {
+		return nil
+	}
+	return m.shards[i]
+}
+
+// ObserveRing copies rec's ring occupancy (total emitted, dropped to
+// wrap) into the TraceTotal/TraceDropped gauges. Cold path — call before
+// exposition; a nil recorder is a no-op.
+func (m *SchedulerMetrics) ObserveRing(rec *Recorder) {
+	if rec == nil {
+		return
+	}
+	m.TraceTotal.Set(int64(rec.Total()))
+	m.TraceDropped.Set(int64(rec.Dropped()))
 }

@@ -93,10 +93,16 @@ func (s *Queues[T]) Shards() int { return len(s.qs) }
 //pfair:hotpath
 func (s *Queues[T]) Len() int { return s.n }
 
-// ShardLen returns the number of entries queued in shard i.
+// ShardLen returns the number of entries queued in shard i. On the hot
+// path via the scheduler's per-slot occupancy gauges.
+//
+//pfair:hotpath
 func (s *Queues[T]) ShardLen(i int) int { return s.qs[i].Len() }
 
-// Stats returns the pick-serving counters accumulated so far.
+// Stats returns the pick-serving counters accumulated so far. On the hot
+// path via the scheduler's per-slot telemetry publication.
+//
+//pfair:hotpath
 func (s *Queues[T]) Stats() Stats { return s.stats }
 
 // EnsureSpan grows every shard so that span fits within half a

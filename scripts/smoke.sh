@@ -1,14 +1,19 @@
 #!/bin/sh
-# smoke.sh — end-to-end exercise of the observability layer (DESIGN.md §7),
-# run by CI's smoke job and `make smoke`:
+# smoke.sh — end-to-end exercise of the observability layer (DESIGN.md §7
+# and §12), run by CI's smoke job and `make smoke`:
 #
 #   1. pfairsim traces the PD² quickstart set and tracecheck validates the
 #      Chrome trace-event JSON (field shapes, non-overlapping lanes, and
-#      the release/schedule/migration/join events the README promises).
+#      the release/schedule/migration/join events the README promises);
+#      pfairtrace must then reconstruct a non-empty accounting report
+#      from the artifact.
 #   2. pfairsim traces the pinned EPDF counterexample, whose schedule must
-#      contain deadline-miss events.
-#   3. BenchmarkStepAllocsObserved re-pins the scheduler hot path at
-#      0 allocs/op with a live recorder and metrics attached.
+#      contain deadline-miss events; pfairtrace must name the missing
+#      task and reconstruct the PD² tie-break analysis in the miss window.
+#   3. A sharded metrics-only run must publish live pfair_shard_* series.
+#   4. BenchmarkStepAllocsObserved and BenchmarkStepAllocsProfiled re-pin
+#      the scheduler hot path at 0 allocs/op with a live recorder,
+#      metrics, and sampling phase profiler attached.
 #
 # Usage: scripts/smoke.sh
 set -eu
@@ -17,34 +22,78 @@ cd "$(dirname "$0")/.."
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-echo "# smoke 1/3: PD² quickstart trace"
+echo "# smoke 1/4: PD² quickstart trace + forensic report"
 go run ./cmd/pfairsim -m 2 -alg pd2 -slots 24 \
-	-trace "$tmp/pd2.trace.json" -metrics A:2/3 B:2/3 C:2/3 > "$tmp/pd2.out"
+	-trace "$tmp/pd2.trace.json" -metrics -taskstats -phaseprof 4 \
+	A:2/3 B:2/3 C:2/3 > "$tmp/pd2.out"
 go run ./cmd/tracecheck -spans -require release,migration,join \
 	"$tmp/pd2.trace.json"
 grep -q '^pfair_migrations_total' "$tmp/pd2.out" || {
 	echo "smoke: pfairsim -metrics printed no pfair_migrations_total" >&2
 	exit 1
 }
+grep -q '^pfair_acct_dispatches_total' "$tmp/pd2.out" || {
+	echo "smoke: pfairsim -taskstats -metrics printed no pfair_acct_dispatches_total" >&2
+	exit 1
+}
+grep -q '^pfair_engine_phase_ns_count' "$tmp/pd2.out" || {
+	echo "smoke: pfairsim -phaseprof -metrics printed no pfair_engine_phase_ns" >&2
+	exit 1
+}
+go run ./cmd/pfairtrace "$tmp/pd2.trace.json" > "$tmp/pd2.report"
+grep -q 'per-task accounting' "$tmp/pd2.report" || {
+	echo "smoke: pfairtrace produced no accounting table" >&2
+	exit 1
+}
+grep -q 'trace is complete' "$tmp/pd2.report" || {
+	echo "smoke: pfairtrace did not confirm ring completeness" >&2
+	exit 1
+}
+go run ./cmd/pfairtrace -json "$tmp/pd2.trace.json" > "$tmp/pd2.report.json"
+grep -q '"tasks"' "$tmp/pd2.report.json" || {
+	echo "smoke: pfairtrace -json report has no tasks array" >&2
+	exit 1
+}
 
-echo "# smoke 2/3: EPDF counterexample must trace deadline misses"
+echo "# smoke 2/4: EPDF counterexample traces misses; pfairtrace explains them"
 go run ./cmd/pfairsim -m 5 -alg epdf -slots 180 \
 	-trace "$tmp/epdf.trace.json" \
 	T0:4/9 T1:3/6 T2:1/2 T3:8/9 T4:6/10 T5:3/6 T6:9/10 T7:2/3 > /dev/null
 go run ./cmd/tracecheck -spans -require release,deadline-miss \
 	"$tmp/epdf.trace.json"
+go run ./cmd/pfairtrace -k 3 "$tmp/epdf.trace.json" > "$tmp/epdf.report"
+grep -q 'DEADLINE MISS T7' "$tmp/epdf.report" || {
+	echo "smoke: pfairtrace did not name T7 as the missing task" >&2
+	exit 1
+}
+grep -q 'b-bit' "$tmp/epdf.report" || {
+	echo "smoke: pfairtrace miss window has no b-bit tie reconstruction" >&2
+	exit 1
+}
 
-echo "# smoke 3/3: observed hot path stays at 0 allocs/op"
-go test -run '^$' -bench 'BenchmarkStepAllocsObserved' -benchmem \
+echo "# smoke 3/4: sharded metrics-only run publishes shard telemetry"
+go run ./cmd/pfairsim -m 4 -shards 4 -slots 500 -metrics \
+	A:3/7 B:5/9 C:2/5 D:7/8 E:1/3 F:4/9 > "$tmp/shard.out"
+grep -q '^pfair_shard_local_hits_total' "$tmp/shard.out" || {
+	echo "smoke: sharded -metrics run printed no pfair_shard_local_hits_total" >&2
+	exit 1
+}
+grep -q 'pfair_shard_occupancy{shard="0"}' "$tmp/shard.out" || {
+	echo "smoke: sharded -metrics run printed no per-shard occupancy" >&2
+	exit 1
+}
+
+echo "# smoke 4/4: observed and profiled hot paths stay at 0 allocs/op"
+go test -run '^$' -bench 'BenchmarkStepAllocs(Observed|Profiled)$' -benchmem \
 	-benchtime=0.2s -count=1 ./internal/core | tee "$tmp/bench.out"
-awk '/^BenchmarkStepAllocsObserved/ {
+awk '/^BenchmarkStepAllocs/ {
 	for (i = 2; i <= NF; i++) if ($(i) == "allocs/op" && $(i-1) != "0") {
-		print "smoke: observed hot path allocates (" $(i-1) " allocs/op)" > "/dev/stderr"
+		print "smoke: " $1 " allocates (" $(i-1) " allocs/op)" > "/dev/stderr"
 		exit 1
 	}
-	found = 1
+	found++
 }
-END { if (!found) { print "smoke: benchmark did not run" > "/dev/stderr"; exit 1 } }
+END { if (found < 2) { print "smoke: expected both alloc benchmarks to run" > "/dev/stderr"; exit 1 } }
 ' "$tmp/bench.out"
 
 echo "smoke OK"
