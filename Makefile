@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench bench-scale bench-guard bench-guard-scale fuzz fuzz-short smoke taskstats engine-equiv check
+.PHONY: build vet lint test race bench bench-scale bench-guard bench-guard-scale fuzz fuzz-short smoke taskstats engine-equiv dyn-equiv check
 
 build:
 	$(GO) build ./...
@@ -56,7 +56,7 @@ bench-guard-scale:
 	BENCH_GUARD_THRESHOLD=$${BENCH_GUARD_THRESHOLD:-100} sh scripts/bench_guard.sh BENCH_scale.json 'BenchmarkScale' 500x 4
 
 # fuzz runs the differential scheduling oracle: 150 task systems per kind
-# (1050 total) across every scheduler pairing, with shrunken reproducers
+# (1350 total) across every scheduler pairing, with shrunken reproducers
 # and replay keys on failure. See EXPERIMENTS.md for replaying seeds.
 fuzz:
 	$(GO) run ./cmd/fuzz -n 150 -seed 1
@@ -87,4 +87,11 @@ taskstats:
 engine-equiv:
 	$(GO) test ./internal/engine -run 'TestGolden' -count=1
 
-check: build vet lint test race fuzz-short smoke engine-equiv bench-guard bench-guard-scale bench
+# dyn-equiv runs the admission-plane equivalence suite: for every policy
+# (PD² core, EDF, RM, WRR, supertask) the unified Submit entry point and
+# the legacy per-policy entry points must produce identical schedules,
+# stats, and ledgers over the same churn script (DESIGN.md §13).
+dyn-equiv:
+	$(GO) test ./internal/engine -run 'TestDynEquiv' -count=1
+
+check: build vet lint test race fuzz-short smoke engine-equiv dyn-equiv bench-guard bench-guard-scale bench

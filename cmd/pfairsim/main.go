@@ -76,6 +76,24 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address and block after the run")
 	flag.Parse()
 
+	seen := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { seen[f.Name] = true })
+	if err := validateFlags(flagConfig{
+		m:            *m,
+		shards:       *shards,
+		slots:        *slots,
+		phaseprof:    *phaseprof,
+		ringCap:      *ringCap,
+		slotMicros:   *slotMicros,
+		ringSet:      seen["ring"],
+		slotusSet:    seen["slotus"],
+		tracePath:    *tracePath,
+		timelinePath: *timelinePath,
+		taskstats:    *taskstats,
+	}); err != nil {
+		fatal("%v", err)
+	}
+
 	var alg core.Algorithm
 	switch strings.ToLower(*algName) {
 	case "pd2":
@@ -306,6 +324,55 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pprof server listening on %s; Ctrl-C to exit\n", *pprofAddr)
 		select {}
 	}
+}
+
+// flagConfig carries the flag values validateFlags audits, plus which
+// observability flags were set explicitly (flag.Visit), so a flag that
+// only modifies another flag's output can be rejected when that output
+// was never requested.
+type flagConfig struct {
+	m            int
+	shards       int
+	slots        int64
+	phaseprof    int64
+	ringCap      int
+	slotMicros   int64
+	ringSet      bool
+	slotusSet    bool
+	tracePath    string
+	timelinePath string
+	taskstats    bool
+}
+
+// validateFlags rejects invalid flag values and inert flag combinations
+// up front, with one-line errors — before any simulation state exists,
+// so a typo cannot surface as a late panic or a silently ignored option.
+func validateFlags(c flagConfig) error {
+	if c.m < 1 {
+		return fmt.Errorf("-m %d: need at least one processor", c.m)
+	}
+	if c.shards < 0 {
+		return fmt.Errorf("-shards %d: shard count cannot be negative (0 or 1 = single queue)", c.shards)
+	}
+	if c.slots < 0 {
+		return fmt.Errorf("-slots %d: slot count cannot be negative (0 = two hyperperiods)", c.slots)
+	}
+	if c.phaseprof < 0 {
+		return fmt.Errorf("-phaseprof %d: sampling interval cannot be negative (0 = off)", c.phaseprof)
+	}
+	if c.ringCap < 1 {
+		return fmt.Errorf("-ring %d: the trace ring needs at least one event of capacity", c.ringCap)
+	}
+	if c.slotMicros < 1 {
+		return fmt.Errorf("-slotus %d: a slot must span at least one microsecond in the exported trace", c.slotMicros)
+	}
+	if c.slotusSet && c.tracePath == "" {
+		return fmt.Errorf("-slotus only affects the exported Chrome trace; pass -trace FILE as well")
+	}
+	if c.ringSet && c.tracePath == "" && c.timelinePath == "" && !c.taskstats {
+		return fmt.Errorf("-ring sizes the trace event ring; pass -trace, -timeline, or -taskstats as well")
+	}
+	return nil
 }
 
 // parseTask parses "name:cost/period".

@@ -16,3 +16,43 @@ func TestParseTask(t *testing.T) {
 		}
 	}
 }
+
+func TestValidateFlags(t *testing.T) {
+	// ok is a baseline every case below perturbs: the defaults of main's
+	// flag declarations.
+	ok := flagConfig{m: 1, ringCap: 65536, slotMicros: 1000}
+	if err := validateFlags(ok); err != nil {
+		t.Fatalf("default flags rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*flagConfig)
+	}{
+		{"zero processors", func(c *flagConfig) { c.m = 0 }},
+		{"negative shards", func(c *flagConfig) { c.shards = -1 }},
+		{"negative slots", func(c *flagConfig) { c.slots = -10 }},
+		{"negative phaseprof", func(c *flagConfig) { c.phaseprof = -4 }},
+		{"zero ring", func(c *flagConfig) { c.ringCap = 0 }},
+		{"zero slotus", func(c *flagConfig) { c.slotMicros = 0 }},
+		{"slotus without trace", func(c *flagConfig) { c.slotusSet = true }},
+		{"ring without consumer", func(c *flagConfig) { c.ringSet = true }},
+	}
+	for _, tc := range cases {
+		c := ok
+		tc.mut(&c)
+		if err := validateFlags(c); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// The inert-combination checks clear once the output is requested.
+	c := ok
+	c.slotusSet, c.tracePath = true, "out.json"
+	if err := validateFlags(c); err != nil {
+		t.Errorf("-slotus with -trace rejected: %v", err)
+	}
+	c = ok
+	c.ringSet, c.taskstats = true, true
+	if err := validateFlags(c); err != nil {
+		t.Errorf("-ring with -taskstats rejected: %v", err)
+	}
+}

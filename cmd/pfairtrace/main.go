@@ -209,6 +209,8 @@ func parseTrace(r io.Reader) (*traceData, error) {
 				ev.Kind, ev.A, ev.B = obs.EvJoin, num(e.Args, "cost"), num(e.Args, "period")
 			case "leave":
 				ev.Kind, ev.A = obs.EvLeave, num(e.Args, "allocated")
+			case "reweight":
+				ev.Kind, ev.A, ev.B = obs.EvReweight, num(e.Args, "cost"), num(e.Args, "period")
 			case "lag-extremum":
 				ev.Kind, ev.A, ev.B = obs.EvLagExtremum, num(e.Args, "num"), num(e.Args, "den")
 			default:
@@ -244,10 +246,10 @@ func parseTrace(r io.Reader) (*traceData, error) {
 	// tie-breaks precede the dispatch, dispatch effects precede the
 	// post-slot bookkeeping.
 	rank := map[obs.EventKind]int{
-		obs.EvJoin: 0, obs.EvRelease: 1,
-		obs.EvTieBreakB: 2, obs.EvTieBreakGroup: 2,
-		obs.EvSchedule: 3, obs.EvPreempt: 4, obs.EvMigrate: 5,
-		obs.EvMiss: 6, obs.EvLagExtremum: 7, obs.EvLeave: 8,
+		obs.EvJoin: 0, obs.EvReweight: 1, obs.EvRelease: 2,
+		obs.EvTieBreakB: 3, obs.EvTieBreakGroup: 3,
+		obs.EvSchedule: 4, obs.EvPreempt: 5, obs.EvMigrate: 6,
+		obs.EvMiss: 7, obs.EvLagExtremum: 8, obs.EvLeave: 9,
 	}
 	sort.SliceStable(td.events, func(i, j int) bool {
 		a, b := td.events[i], td.events[j]
@@ -298,6 +300,17 @@ type MissWindow struct {
 	Ties     []TieNote `json:"ties,omitempty"`
 }
 
+// ChurnReport summarizes the trace's dynamic-task activity — the
+// admission plane's join/leave/reweight transactions as they landed.
+// Construction-time admissions count as joins but are not narrated;
+// Timeline lists only mid-run churn, the part worth a forensic look.
+type ChurnReport struct {
+	Joins     int      `json:"joins"`
+	Leaves    int      `json:"leaves"`
+	Reweights int      `json:"reweights"`
+	Timeline  []string `json:"timeline,omitempty"`
+}
+
 // Report is pfairtrace's output schema.
 type Report struct {
 	Meta       map[string]any  `json:"meta,omitempty"`
@@ -307,7 +320,33 @@ type Report struct {
 	Tasks      []obs.TaskStats `json:"tasks"`
 	Migrations [][]int64       `json:"migrationMatrix"`
 	Shard      *ShardReport    `json:"shard,omitempty"`
+	Churn      *ChurnReport    `json:"churn,omitempty"`
 	Misses     []MissWindow    `json:"misses"`
+}
+
+// churnReport collects the admission-plane activity, or nil when the
+// trace shows only a static construction-time set.
+func churnReport(td *traceData) *ChurnReport {
+	c := &ChurnReport{}
+	for _, e := range td.events {
+		switch e.Kind {
+		case obs.EvJoin:
+			c.Joins++
+			if e.Slot > 0 {
+				c.Timeline = append(c.Timeline, narrate(td, e))
+			}
+		case obs.EvLeave:
+			c.Leaves++
+			c.Timeline = append(c.Timeline, narrate(td, e))
+		case obs.EvReweight:
+			c.Reweights++
+			c.Timeline = append(c.Timeline, narrate(td, e))
+		}
+	}
+	if len(c.Timeline) == 0 {
+		return nil
+	}
+	return c
 }
 
 // buildReport replays the reconstructed stream through the same
@@ -367,10 +406,14 @@ func buildReport(td *traceData, k int64) (*Report, error) {
 	// lazily from the cost/period the join events carry.
 	pats := map[int32]*core.Pattern{}
 	for _, e := range td.events {
-		if e.Kind == obs.EvJoin && e.A > 0 && e.B > 0 {
+		// A reweight updates the pattern in place (the in-place policies
+		// emit no fresh join); core's leave-and-rejoin emits the new
+		// incarnation's join first, so the overwrite is idempotent there.
+		if (e.Kind == obs.EvJoin || e.Kind == obs.EvReweight) && e.A > 0 && e.B > 0 {
 			pats[e.Task] = core.NewPattern(e.A, e.B)
 		}
 	}
+	rep.Churn = churnReport(td)
 	for _, e := range td.events {
 		if e.Kind != obs.EvMiss {
 			continue
@@ -459,6 +502,8 @@ func narrate(td *traceData, e obs.Event) string {
 		return fmt.Sprintf("slot %4d: join          %s cost %d period %d", e.Slot, name, e.A, e.B)
 	case obs.EvLeave:
 		return fmt.Sprintf("slot %4d: leave         %s after %d quanta", e.Slot, name, e.A)
+	case obs.EvReweight:
+		return fmt.Sprintf("slot %4d: reweight      %s to cost %d period %d", e.Slot, name, e.A, e.B)
 	case obs.EvRelease:
 		return fmt.Sprintf("slot %4d: release       %s subtask %d (deadline %d)", e.Slot, name, e.A, e.B)
 	case obs.EvSchedule:
@@ -517,6 +562,14 @@ func renderHuman(w io.Writer, rep *Report) error {
 		total := rep.Shard.LocalHits + rep.Shard.Steals
 		fmt.Fprintf(w, "\nshard affinity: %d picks, %d local (%s), %d stolen, %d underflow steals\n",
 			total, rep.Shard.LocalHits, pct(rep.Shard.LocalHits, total), rep.Shard.Steals, rep.Shard.Underflows)
+	}
+
+	if rep.Churn != nil {
+		fmt.Fprintf(w, "\ndynamic-task churn: %d joins, %d leaves, %d reweights\n",
+			rep.Churn.Joins, rep.Churn.Leaves, rep.Churn.Reweights)
+		for _, line := range rep.Churn.Timeline {
+			fmt.Fprintln(w, " ", line)
+		}
 	}
 
 	if len(rep.Misses) == 0 {

@@ -169,6 +169,77 @@ func TestMissWindowNamesTask(t *testing.T) {
 	}
 }
 
+// TestChurnRoundTrip: a run with mid-run join, reweight, and leave must
+// surface its admission-plane activity in the report — counts, a
+// narrated timeline, and the reweighted task's pattern picked up for
+// forensics — and the human output must carry the churn section.
+func TestChurnRoundTrip(t *testing.T) {
+	s := core.NewScheduler(2, core.PD2, core.Options{})
+	rec := obs.NewRecorder(1 << 16)
+	s.Observe(rec, nil)
+	for _, tk := range []*task.Task{task.MustNew("A", 1, 2), task.MustNew("B", 1, 3)} {
+		if err := s.Join(tk); err != nil {
+			t.Fatalf("join %v: %v", tk, err)
+		}
+	}
+	s.RunUntil(24)
+	if err := s.Join(task.MustNew("C", 1, 4)); err != nil {
+		t.Fatalf("mid-run join: %v", err)
+	}
+	if _, err := s.Reweight("B", 1, 2); err != nil {
+		t.Fatalf("reweight: %v", err)
+	}
+	s.RunUntil(48)
+	if _, err := s.Leave("C"); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	s.RunUntil(96)
+	s.FinishMisses(96)
+
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, rec, obs.ChromeTraceOptions{Procs: 2}); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	td, err := parseTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parseTrace: %v", err)
+	}
+	rep, err := buildReport(td, 2)
+	if err != nil {
+		t.Fatalf("buildReport: %v", err)
+	}
+	if rep.Churn == nil {
+		t.Fatal("report has no churn section despite mid-run operations")
+	}
+	// Core reweight is leave-and-rejoin: B's new incarnation adds one
+	// join and one leave beyond the explicit operations.
+	if rep.Churn.Reweights != 1 {
+		t.Errorf("churn reweights = %d, want 1", rep.Churn.Reweights)
+	}
+	if rep.Churn.Joins < 3 || rep.Churn.Leaves < 1 {
+		t.Errorf("churn joins/leaves = %d/%d, want at least 3/1", rep.Churn.Joins, rep.Churn.Leaves)
+	}
+	var sawReweight bool
+	for _, line := range rep.Churn.Timeline {
+		if strings.Contains(line, "reweight") && strings.Contains(line, "B") {
+			sawReweight = true
+		}
+	}
+	if !sawReweight {
+		t.Errorf("churn timeline does not narrate B's reweight: %q", rep.Churn.Timeline)
+	}
+
+	var human bytes.Buffer
+	if err := renderHuman(&human, rep); err != nil {
+		t.Fatalf("renderHuman: %v", err)
+	}
+	for _, want := range []string{"dynamic-task churn", "reweight"} {
+		if !strings.Contains(human.String(), want) {
+			t.Errorf("human report missing %q", want)
+		}
+	}
+}
+
 // TestRingWrapSurfaced: a trace whose ring wrapped must carry the drop
 // count through to the report and the human output must warn.
 func TestRingWrapSurfaced(t *testing.T) {

@@ -5,16 +5,24 @@
 // partitioning every such event could force a full repartition; under PD²
 // each event is a constant-time admission test, and no deadline is ever
 // missed while Σ wt ≤ M.
+//
+// Every operation goes through the unified admission plane: build a
+// pfair.Request with Join/Leave/Reweight and hand it to Scheduler.Submit.
+// The returned Decision says when the transaction took effect and what
+// the system weight became — and the same Request values would drive the
+// EDF, RM, WRR, or supertask simulators unchanged.
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"pfair"
 )
 
-func main() {
+func run(w io.Writer) error {
 	s := pfair.NewScheduler(2, pfair.PD2, pfair.Options{})
 
 	// Initial scene: renderer at weight 2/5, physics at 1/3, audio 1/5.
@@ -23,68 +31,56 @@ func main() {
 		pfair.MustNewTask("physics", 1, 3),
 		pfair.MustNewTask("audio", 1, 5),
 	} {
-		if err := s.Join(t); err != nil {
-			log.Fatalf("join %v: %v", t, err)
+		if _, err := s.Submit(pfair.Join(t)); err != nil {
+			return fmt.Errorf("join %v: %w", t, err)
 		}
 	}
 
-	type event struct {
-		at     int64
-		action func() string
-	}
-	events := []event{
-		{100, func() string { // the user enters a complex room
-			at, err := s.Reweight("render", 4, 5)
-			if err != nil {
-				log.Fatal(err)
-			}
-			return fmt.Sprintf("render reweighted to 4/5, effective at t=%d", at)
-		}},
-		{300, func() string { // a capture tool joins
-			if err := s.Join(pfair.MustNewTask("capture", 1, 4)); err != nil {
-				log.Fatal(err)
-			}
-			return "capture joined at weight 1/4"
-		}},
-		{500, func() string { // scene simplifies
-			at, err := s.Reweight("render", 1, 5)
-			if err != nil {
-				log.Fatal(err)
-			}
-			return fmt.Sprintf("render reweighted to 1/5, effective at t=%d", at)
-		}},
-		{700, func() string { // capture finishes
-			at, err := s.Leave("capture")
-			if err != nil {
-				log.Fatal(err)
-			}
-			return fmt.Sprintf("capture leaving, departs at t=%d (safe leave rule)", at)
-		}},
-		{800, func() string { // a heavyweight ML upscaler joins
-			if err := s.Join(pfair.MustNewTask("upscale", 3, 4)); err != nil {
-				log.Fatal(err)
-			}
-			return "upscale joined at weight 3/4"
-		}},
+	// The runtime script: each entry is one admission-plane transaction,
+	// submitted when the scheduler clock reaches its slot.
+	script := []struct {
+		at  int64
+		why string
+		req pfair.Request
+	}{
+		{100, "user enters a complex room", pfair.Reweight("render", 4, 5)},
+		{300, "capture tool joins", pfair.Join(pfair.MustNewTask("capture", 1, 4))},
+		{500, "scene simplifies", pfair.Reweight("render", 1, 5)},
+		{700, "capture finishes", pfair.Leave("capture")},
+		{800, "ML upscaler joins", pfair.Join(pfair.MustNewTask("upscale", 3, 4))},
 	}
 
 	const horizon = 1500
 	next := 0
 	for s.Now() < horizon {
-		for next < len(events) && events[next].at == s.Now() {
-			fmt.Printf("t=%4d  %s\n", s.Now(), events[next].action())
+		for next < len(script) && script[next].at == s.Now() {
+			ev := script[next]
+			d, err := s.Submit(ev.req)
+			if err != nil {
+				return fmt.Errorf("t=%d %s: %w", s.Now(), ev.why, err)
+			}
+			fmt.Fprintf(w, "t=%4d  %-28s %s\n", s.Now(), ev.why+":", d)
 			next++
 		}
 		s.Step()
 	}
 	s.FinishMisses(horizon)
 
-	fmt.Printf("\nFinal tasks: %v\n", s.Tasks())
-	fmt.Printf("Total weight now: %s\n", s.TotalWeight())
+	fmt.Fprintf(w, "\nFinal tasks: %v\n", s.Tasks())
+	fmt.Fprintf(w, "Total weight now: %s\n", s.TotalWeight())
+	fmt.Fprintf(w, "Admission ledger: %d transactions, %d rejected\n",
+		len(s.AdmissionLog()), s.AdmissionRejects())
 	st := s.Stats()
-	fmt.Printf("Over %d slots: %d allocations, %d misses.\n", horizon, st.Allocations, len(st.Misses))
+	fmt.Fprintf(w, "Over %d slots: %d allocations, %d misses.\n", horizon, st.Allocations, len(st.Misses))
 	if len(st.Misses) != 0 {
-		log.Fatalf("dynamic events caused misses: %+v", st.Misses[0])
+		return fmt.Errorf("dynamic events caused misses: %+v", st.Misses[0])
 	}
-	fmt.Println("Every join, leave, and reweight was absorbed with zero deadline misses.")
+	fmt.Fprintln(w, "Every join, leave, and reweight was absorbed with zero deadline misses.")
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+// golden pins the example's full output. The schedule is deterministic
+// (exact rational arithmetic, fixed tie-breaks), so any drift here means
+// the admission plane changed observable behavior — regenerate only
+// after confirming the change is intentional (see DESIGN.md §13).
+const golden = `t= 100  user enters a complex room:  reweight render @100
+t= 300  capture tool joins:          join capture @300
+t= 500  scene simplifies:            reweight render @501
+t= 700  capture finishes:            leave capture @700
+t= 800  ML upscaler joins:           join upscale @800
+
+Final tasks: [physics audio render upscale]
+Total weight now: 89/60
+Admission ledger: 8 transactions, 0 rejected
+Over 1500 slots: 1986 allocations, 0 misses.
+Every join, leave, and reweight was absorbed with zero deadline misses.
+`
+
+func TestGoldenOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if buf.String() != golden {
+		t.Errorf("output drifted from golden:\n--- got ---\n%s--- want ---\n%s", buf.String(), golden)
+	}
+}

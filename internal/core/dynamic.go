@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"pfair/internal/admission"
 	"pfair/internal/task"
 )
 
@@ -51,18 +52,27 @@ func (s *Scheduler) earliestLeave(st *tstate) int64 {
 // Leave schedules the named task's departure at its earliest safe time and
 // returns that time. The task continues to compete (and receive its share)
 // until then; from the returned slot on it no longer exists in the system.
+// Leave is a thin shim over the admission plane (Submit).
 func (s *Scheduler) Leave(name string) (int64, error) {
+	d, err := s.Submit(admission.Leave(name))
+	return d.EffectiveAt, err
+}
+
+// leave is the plane's OpLeave/OpFinish apply: it schedules the
+// departure and reports whether the task was already leaving (the call
+// is idempotent; repeats return the pending slot without re-ledgering).
+func (s *Scheduler) leave(name string) (at int64, already bool, err error) {
 	st, ok := s.tasks[name]
 	if !ok {
-		return 0, fmt.Errorf("core: no task %q", name)
+		return 0, false, fmt.Errorf("core: no task %q", name)
 	}
 	if st.leaving {
-		return st.leaveAt, nil
+		return st.leaveAt, true, nil
 	}
 	st.leaving = true
 	st.leaveAt = s.earliestLeave(st)
 	s.leaves = append(s.leaves, st)
-	return st.leaveAt, nil
+	return st.leaveAt, false, nil
 }
 
 // Reweight changes a task's rate by having it leave at its earliest safe
@@ -79,6 +89,14 @@ func (s *Scheduler) Leave(name string) (int64, error) {
 // a weight only helps; this is how Section 5.4's overload recovery sheds
 // load from non-critical tasks.
 func (s *Scheduler) Reweight(name string, newCost, newPeriod int64) (int64, error) {
+	d, err := s.Submit(admission.Reweight(name, newCost, newPeriod))
+	return d.EffectiveAt, err
+}
+
+// reweight is the plane's OpReweight apply: §5.3's leave-and-join, with
+// the upward case admission-checked and capacity-reserved at request
+// time.
+func (s *Scheduler) reweight(name string, newCost, newPeriod int64) (int64, error) {
 	st, ok := s.tasks[name]
 	if !ok {
 		return 0, fmt.Errorf("core: no task %q", name)
@@ -104,7 +122,7 @@ func (s *Scheduler) Reweight(name string, newCost, newPeriod int64) (int64, erro
 			return 0, fmt.Errorf("core: reweighting %s to %d/%d would violate Σwt ≤ %d", name, newCost, newPeriod, s.m)
 		}
 	}
-	at, err := s.Leave(name)
+	at, _, err := s.leave(name)
 	if err != nil {
 		return 0, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"pfair/internal/admission"
 	"pfair/internal/calq"
 	"pfair/internal/engine"
 	"pfair/internal/heap"
@@ -250,6 +251,12 @@ type Scheduler struct {
 	met     *obs.SchedulerMetrics
 	obsNext int32
 
+	// plane is the admission-plane ledger and event/metric fanout every
+	// dynamic operation flows through (see admission.go / internal/
+	// admission). Created with the scheduler; its observability
+	// attachment tracks the engine's via adoptAttachments.
+	plane *admission.Plane
+
 	selBuf    []*tstate
 	assignBuf []Assignment
 	// procNext and taken are the assignment scratch for the current slot,
@@ -300,6 +307,7 @@ func newSchedulerState(m int, alg Algorithm, opts Options) *Scheduler {
 		opts:     opts,
 		tasks:    make(map[string]*tstate),
 		weight:   rational.NewAcc(),
+		plane:    admission.NewPlane(),
 		procPrev: make([]*tstate, m),
 		procNext: make([]*tstate, m),
 		taken:    make([]bool, m),
@@ -464,12 +472,22 @@ func (s *Scheduler) Stats() Stats { return s.stats }
 // Join admits a task at the current time. Per Section 2, a task may join
 // whenever the feasibility condition Σ wt(T) ≤ M (Equation (2)) continues
 // to hold. The task's first subtask is released at the current slot (plus
-// any model offset).
+// any model offset). Join is a thin shim over the admission plane
+// (Submit); the produced schedule is byte-identical to the pre-plane
+// entry point.
 func (s *Scheduler) Join(t *task.Task) error { return s.JoinModel(t, nil) }
 
-// JoinModel admits a task with an explicit IS release model.
+// JoinModel admits a task with an explicit IS release model, through the
+// admission plane.
 func (s *Scheduler) JoinModel(t *task.Task, model ReleaseModel) error {
-	return s.admit(t, model, true, true)
+	var req admission.Request
+	if model != nil {
+		req = admission.JoinModel(t, model)
+	} else {
+		req = admission.Join(t)
+	}
+	_, err := s.Submit(req)
+	return err
 }
 
 // JoinEarlyRelease admits a task with a per-task early-release override,
@@ -480,8 +498,9 @@ func (s *Scheduler) JoinModel(t *task.Task, model ReleaseModel) error {
 // only widens eligibility, never the windows.
 func (s *Scheduler) JoinEarlyRelease(t *task.Task, model ReleaseModel, earlyRelease bool) error {
 	if err := s.admit(t, model, true, true); err != nil {
-		return err
+		return s.plane.Reject(admission.OpJoin, err)
 	}
+	s.plane.Commit(admission.Decision{Op: admission.OpJoin, Name: t.Name, EffectiveAt: s.eng.Now()})
 	er := earlyRelease
 	s.tasks[t.Name].earlyRelease = &er
 	s.refreshSubtask(s.tasks[t.Name])
@@ -1036,9 +1055,7 @@ func (s *Scheduler) applyLeaves(t int64) {
 		}
 		delete(s.tasks, st.task.Name)
 		st.departed = true
-		if rec := s.rec; rec != nil {
-			rec.Emit(obs.Event{Slot: t, Kind: obs.EvLeave, Task: st.obsID, Proc: -1, A: st.allocated})
-		}
+		s.plane.EmitLeave(t, st.obsID, st.allocated)
 		if st.rejoin != nil {
 			rejoins = append(rejoins, st)
 		}
@@ -1046,7 +1063,10 @@ func (s *Scheduler) applyLeaves(t int64) {
 	s.leaves = kept
 	// Sort rejoins for determinism, then admit. Re-joins bypass the
 	// admission check: they were validated (and, if upward, reserved)
-	// when the Reweight was requested.
+	// when the Reweight was requested. They are not re-ledgered either —
+	// the Reweight Decision that scheduled them already is — but the
+	// boundary their new weight lands on is narrated with an EvReweight
+	// carrying the new incarnation's id, following its EvJoin.
 	sort.Slice(rejoins, func(i, j int) bool { return rejoins[i].rejoin.Name < rejoins[j].rejoin.Name })
 	for _, st := range rejoins {
 		if err := s.admit(st.rejoin, nil, !st.rejoinReserved, false); err != nil {
@@ -1055,5 +1075,7 @@ func (s *Scheduler) applyLeaves(t int64) {
 			//pfair:allowpanic invariant: the departed task owned the name and the parameters were validated at request time
 			panic(fmt.Sprintf("core: reweight re-join failed: %v", err))
 		}
+		nst := s.tasks[st.rejoin.Name]
+		s.plane.EmitReweight(t, nst.obsID, st.rejoin.Cost, st.rejoin.Period)
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"time"
 
+	"pfair/internal/admission"
 	"pfair/internal/calq"
 	"pfair/internal/engine"
 	"pfair/internal/heap"
@@ -96,6 +97,8 @@ type tstate struct {
 	obsID       int32 // dense trace id, −1 until a recorder is attached
 	nextRelease int64
 	nextJob     int64 // 1-based index of the next job to release
+	executed    int64 // time units this task's jobs have run, for EvLeave
+	left        bool  // departed via Submit; retained in order for obs ids
 
 	// CBS server state (Abeni & Buttazzo): a single deadline and budget
 	// shared by all of the task's jobs, which are served FIFO. Only the
@@ -153,6 +156,10 @@ type Simulator struct {
 	stats    Stats
 	measure  bool
 	rec      *obs.Recorder
+	// plane is the admission-plane ledger behind Submit: it records the
+	// accepted Decisions, counts rejects, and narrates churn to whatever
+	// recorder/metrics are attached.
+	plane *admission.Plane
 }
 
 // NewSimulator returns an empty simulator at time 0. Engine options attach
@@ -167,8 +174,10 @@ func NewSimulator(opts ...engine.Option) *Simulator {
 		}
 		return a.cfg.Task.Name < b.cfg.Task.Name
 	})
+	s.plane = admission.NewPlane()
 	s.eng = engine.New(s, opts...)
 	s.rec = s.eng.Recorder()
+	s.plane.Observe(s.rec, s.eng.Metrics())
 	return s
 }
 
@@ -198,8 +207,11 @@ func (s *Simulator) MeasureOverhead(on bool) { s.measure = on }
 func (s *Simulator) SetRecorder(rec *obs.Recorder) {
 	s.eng.Observe(rec, s.eng.Metrics())
 	s.rec = rec
+	s.plane.Observe(rec, s.eng.Metrics())
 	for _, ts := range s.order {
-		s.registerObs(ts)
+		if !ts.left {
+			s.registerObs(ts)
+		}
 	}
 }
 
@@ -219,12 +231,17 @@ func (s *Simulator) registerObs(ts *tstate) {
 		}
 	}
 	if s.rec.RegisterTask(ts.obsID, ts.cfg.Task.Name) {
-		s.rec.Emit(obs.Event{Slot: s.now, Kind: obs.EvJoin, Task: ts.obsID, Proc: -1, A: ts.cfg.Task.Cost, B: ts.cfg.Task.Period})
+		// Routed through the admission plane so every policy narrates
+		// churn identically; the event bytes are unchanged.
+		s.plane.EmitJoin(s.now, ts.obsID, ts.cfg.Task.Cost, ts.cfg.Task.Period)
 	}
 }
 
-// Add admits a task (synchronous first release at time 0). It must be
-// called before Run.
+// Add admits a task with its first release at the current engine instant
+// — time 0 when called before Run (the historical contract), the current
+// instant when reached mid-run through Submit. Add itself performs no
+// feasibility check (the overload experiments rely on admitting
+// infeasible sets); Submit layers the exact bandwidth test on top.
 func (s *Simulator) Add(cfg Config) error {
 	if err := cfg.Task.Validate(); err != nil {
 		return err
@@ -235,7 +252,7 @@ func (s *Simulator) Add(cfg Config) error {
 	if srv := cfg.Server; srv != nil && (srv.Budget <= 0 || srv.Period < srv.Budget) {
 		return fmt.Errorf("edf: invalid CBS %+v for %s", *srv, cfg.Task.Name)
 	}
-	ts := &tstate{cfg: cfg, obsID: -1, nextRelease: 0, nextJob: 1}
+	ts := &tstate{cfg: cfg, obsID: -1, nextRelease: s.eng.Now(), nextJob: 1}
 	if cfg.Server != nil {
 		ts.budget = cfg.Server.Budget
 	}
@@ -404,6 +421,7 @@ func (s *Simulator) advance(to int64) {
 	if s.running != nil {
 		delta := to - s.now
 		s.running.remaining -= delta
+		s.running.ts.executed += delta
 		if s.running.ts.cfg.Server != nil {
 			s.running.ts.budget -= delta
 		}

@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"time"
 
+	"pfair/internal/admission"
 	"pfair/internal/obs"
 )
 
@@ -93,6 +94,21 @@ type Finisher interface {
 	Finish(horizon int64)
 }
 
+// Dynamic is the optional capability of policies that accept mid-run
+// task churn through the admission plane (internal/admission): Submit
+// validates the request, applies the policy's feasibility test, and —
+// on acceptance — arranges for the operation to take effect at a slot
+// boundary, returning the Decision recording when. Like the other
+// hooks it is resolved once at bind time; drivers reach it through
+// Engine.Submit (or Engine.Dynamic) without knowing the policy.
+//
+// Submit must be called between engine steps (the engine is
+// single-threaded; every instant between steps is a quantum boundary),
+// never from inside a phase method.
+type Dynamic interface {
+	Submit(req admission.Request) (admission.Decision, error)
+}
+
 // BoundaryHook is an optional hook invoked before Release whenever the
 // engine's clock lands on a quantum boundary (a multiple of the size
 // configured with WithQuantum). The variable-quantum simulator uses it to
@@ -136,6 +152,7 @@ type Engine struct {
 	joiner   Joiner
 	finisher Finisher
 	boundary BoundaryHook
+	dyn      Dynamic
 
 	// rec and met are the shared observability attachment point. They are
 	// concrete pointers, nil when unobserved; policies cache them at bind
@@ -224,6 +241,7 @@ func (e *Engine) bind(pol Policy) {
 	e.joiner, _ = pol.(Joiner)
 	e.finisher, _ = pol.(Finisher)
 	e.boundary, _ = pol.(BoundaryHook)
+	e.dyn, _ = pol.(Dynamic)
 }
 
 // Reset rebinds the engine to a (possibly new) policy and rewinds the
@@ -249,6 +267,21 @@ func (e *Engine) Steps() int64 { return e.steps }
 // and Run returns it immediately, so drivers that step the engine
 // directly can poll it after their loop.
 func (e *Engine) Err() error { return e.err }
+
+// Dynamic returns the bound policy's admission-plane capability, or nil
+// when the policy does not accept mid-run churn.
+func (e *Engine) Dynamic() Dynamic { return e.dyn }
+
+// Submit forwards a dynamic-task request to the bound policy's
+// admission plane. Policies without the Dynamic capability reject every
+// request with a diagnostic error rather than panicking, so generic
+// drivers can probe.
+func (e *Engine) Submit(req admission.Request) (admission.Decision, error) {
+	if e.dyn == nil {
+		return admission.Decision{}, fmt.Errorf("engine: policy %T does not accept dynamic task operations", e.pol)
+	}
+	return e.dyn.Submit(req)
+}
 
 // Recorder returns the attached trace recorder, or nil.
 func (e *Engine) Recorder() *obs.Recorder { return e.rec }
@@ -321,7 +354,6 @@ func (e *Engine) Step() {
 // update, so the sampled path allocates nothing.
 //
 //pfair:allowtime phase profiling measures host wall-clock cost, never simulated time; scheduling decisions are unaffected
-//
 //pfair:hotpath
 func (e *Engine) stepProfiled(t int64, pr *obs.PhaseProfiler) int64 {
 	p := e.pol

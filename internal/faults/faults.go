@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"pfair/internal/admission"
 	"pfair/internal/core"
 	"pfair/internal/engine"
 	"pfair/internal/rational"
@@ -89,7 +90,7 @@ func (d *Driver) Run(s Scenario, shed bool) (Outcome, error) {
 		sched = core.NewSchedulerOn(d.eng, s.M, core.PD2, core.Options{})
 	}
 	for _, t := range s.Tasks {
-		if err := sched.Join(t); err != nil {
+		if _, err := sched.Submit(admission.Join(t)); err != nil {
 			return Outcome{}, err
 		}
 	}
@@ -101,23 +102,29 @@ func (d *Driver) Run(s Scenario, shed bool) (Outcome, error) {
 
 	if shed {
 		plan := shedPlan(s.Tasks, out.Survivors)
-		// Reweight in the declared task order, not map order: each
-		// Reweight lands at the scheduler's current slot, and the
-		// paper's reweighting rules make the resulting windows depend
-		// on the order of application.
+		// Reweight through the admission plane in the declared task
+		// order, not map order: each reweight lands at the scheduler's
+		// current slot, and the paper's reweighting rules make the
+		// resulting windows depend on the order of application.
 		for _, t := range s.Tasks {
 			ep, ok := plan[t.Name]
 			if !ok {
 				continue
 			}
-			if _, err := sched.Reweight(t.Name, ep[0], ep[1]); err != nil {
-				return Outcome{}, fmt.Errorf("faults: reweighting %s: %w", t.Name, err)
+			if _, err := sched.Submit(admission.Reweight(t.Name, ep[0], ep[1])); err != nil {
+				// Return the partial outcome alongside the error: the
+				// reweights already applied (and the processor failure)
+				// have happened, and a caller recovering from a refused
+				// shed needs to know how far the plan got.
+				return out, fmt.Errorf("faults: reweighting %s: %w", t.Name, err)
 			}
 			out.Reweighted[t.Name] = ep
 		}
 	}
 	if err := sched.RunUntil(s.Horizon); err != nil {
-		return Outcome{}, err
+		// Same contract on a livelocked finish: the outcome so far (the
+		// survivors and every applied reweight) accompanies the error.
+		return out, err
 	}
 	sched.FinishMisses(s.Horizon)
 

@@ -45,6 +45,8 @@ func CheckCase(c Case, mutant core.Algorithm) Outcome {
 		return checkIS(c, mutant)
 	case KindShard:
 		return checkShard(c, mutant)
+	case KindDynPlane:
+		return checkDynPlane(c, mutant)
 	}
 	return Outcome{Violations: []string{fmt.Sprintf("unknown kind %v", c.Kind)}}
 }

@@ -1,0 +1,329 @@
+package fuzz
+
+import (
+	"pfair/internal/admission"
+	"pfair/internal/core"
+	"pfair/internal/edf"
+	"pfair/internal/rm"
+	"pfair/internal/supertask"
+	"pfair/internal/task"
+	"pfair/internal/verify"
+	"pfair/internal/wrr"
+)
+
+// This file checks KindDynPlane: one churn script replayed against every
+// admission-plane implementation. The legs are independent — each policy
+// applies its own feasibility gate, so accept/reject sequences differ
+// across policies by design — but within each leg the plane's contract
+// must hold: core's legacy entry points and Submit are byte-identical,
+// gated admissions never cost an admitted task a deadline where the
+// policy guarantees one, and the ledger counts exactly the accepted and
+// refused requests.
+
+// dynScript expands the case into per-slot admission requests. Within a
+// slot the order is joins, then reweights, then leaves, each in declared
+// task order, so every leg submits the identical sequence.
+func dynScript(c Case) map[int64][]admission.Request {
+	script := map[int64][]admission.Request{}
+	for _, t := range c.Set {
+		at := c.Joins[t.Name] // absent = 0, the synchronous base
+		script[at] = append(script[at], admission.Join(t))
+	}
+	for _, t := range c.Set {
+		if rw, ok := c.Reweights[t.Name]; ok {
+			script[rw[0]] = append(script[rw[0]], admission.Reweight(t.Name, rw[1], rw[2]))
+		}
+	}
+	for _, t := range c.Set {
+		if at, ok := c.Leaves[t.Name]; ok {
+			script[at] = append(script[at], admission.Leave(t.Name))
+		}
+	}
+	return script
+}
+
+// checkDynPlane runs the case's churn script through every plane.
+func checkDynPlane(c Case, mutant core.Algorithm) Outcome {
+	var v violations
+	checkCoreDynPlane(c, mutant, &v)
+	checkEDFDynPlane(c, &v)
+	checkRMDynPlane(c, &v)
+	checkWRRDynPlane(c, &v)
+	checkSupertaskDynPlane(c, mutant, &v)
+	return Outcome{Violations: v.list}
+}
+
+// dynRun captures one core run of the script for differential comparison.
+type dynRun struct {
+	slots   []verify.Slot
+	accepts []bool
+	// leaves counts accepted OpLeave requests: core answers an idempotent
+	// repeat of a pending leave (e.g. after a reweight, which is
+	// leave-and-rejoin under the hood) without re-ledgering it, so the
+	// ledger may fall short of the accepted count by up to this many.
+	leaves  int
+	misses  int
+	ledger  int
+	rejects int64
+}
+
+// runCoreDynPlane drives PD² (or its mutant) over the script through
+// either the legacy entry points (Join/Reweight/Leave) or Submit.
+func runCoreDynPlane(c Case, mutant core.Algorithm, legacy bool) dynRun {
+	s := core.NewScheduler(c.M, mutant, core.Options{})
+	rec := &verify.Recorder{}
+	s.OnSlot(rec.Record)
+	script := dynScript(c)
+	var r dynRun
+	for slot := int64(0); slot < c.Horizon; slot++ {
+		for _, req := range script[slot] {
+			var err error
+			switch {
+			case !legacy:
+				_, err = s.Submit(req)
+			case req.Op == admission.OpJoin:
+				err = s.Join(req.Task)
+			case req.Op == admission.OpReweight:
+				_, err = s.Reweight(req.Name, req.NewCost, req.NewPeriod)
+			default:
+				_, err = s.Leave(req.Name)
+			}
+			r.accepts = append(r.accepts, err == nil)
+			if err == nil && req.Op == admission.OpLeave {
+				r.leaves++
+			}
+		}
+		s.Step()
+	}
+	s.FinishMisses(c.Horizon)
+	r.slots = rec.Slots
+	r.misses = len(s.Stats().Misses)
+	r.ledger = len(s.AdmissionLog())
+	r.rejects = s.AdmissionRejects()
+	return r
+}
+
+// checkCoreDynPlane: the legacy entry points are shims over Submit, so
+// the two runs must agree on everything — accept/reject per request,
+// the assignment stream slot for slot, miss-freedom (every operation is
+// feasibility-gated, so the system is never infeasible), and the
+// ledger/reject counts, which must also reconcile with the observed
+// accept sequence.
+func checkCoreDynPlane(c Case, mutant core.Algorithm, v *violations) {
+	legacy := runCoreDynPlane(c, mutant, true)
+	plane := runCoreDynPlane(c, mutant, false)
+	if len(legacy.accepts) != len(plane.accepts) {
+		v.addf("dynplane/core: legacy issued %d requests, Submit %d", len(legacy.accepts), len(plane.accepts))
+		return
+	}
+	for i := range legacy.accepts {
+		if legacy.accepts[i] != plane.accepts[i] {
+			v.addf("dynplane/core: request %d: legacy accept=%v, Submit accept=%v", i, legacy.accepts[i], plane.accepts[i])
+			return
+		}
+	}
+	if len(legacy.slots) != len(plane.slots) {
+		v.addf("dynplane/core: legacy recorded %d slots, Submit %d", len(legacy.slots), len(plane.slots))
+		return
+	}
+	for i := range legacy.slots {
+		if !slotsEqual(legacy.slots[i], plane.slots[i]) {
+			v.addf("dynplane/core: schedules diverge at slot %d: legacy %v vs Submit %v",
+				legacy.slots[i].Time, legacy.slots[i].Assigned, plane.slots[i].Assigned)
+			break
+		}
+	}
+	if legacy.ledger != plane.ledger || legacy.rejects != plane.rejects {
+		v.addf("dynplane/core: ledger parity broken: legacy %d commits/%d rejects, Submit %d/%d",
+			legacy.ledger, legacy.rejects, plane.ledger, plane.rejects)
+	}
+	for _, r := range []struct {
+		name string
+		run  dynRun
+	}{{"legacy", legacy}, {"Submit", plane}} {
+		if r.run.misses > 0 {
+			v.addf("dynplane/core: %d misses via %s under gated churn", r.run.misses, r.name)
+		}
+		accepted := 0
+		for _, ok := range r.run.accepts {
+			if ok {
+				accepted++
+			}
+		}
+		if r.run.ledger > accepted || r.run.ledger < accepted-r.run.leaves {
+			v.addf("dynplane/core: %s ledger has %d transactions, %d requests were accepted (%d of them leaves)",
+				r.name, r.run.ledger, accepted, r.run.leaves)
+		}
+		if want := int64(len(r.run.accepts) - accepted); r.run.rejects != want {
+			v.addf("dynplane/core: %s ledgered %d rejects, %d requests were refused", r.name, r.run.rejects, want)
+		}
+	}
+}
+
+// runScriptPlane replays the script against one policy's Submit,
+// advancing its clock to each operation slot first, and cross-checks the
+// plane ledger against the observed accept/reject counts. It returns
+// false if advancing livelocked (already reported).
+func runScriptPlane(c Case, label string, v *violations, advance func(slot int64) error,
+	submit func(req admission.Request) error, log func() (int, int64)) bool {
+	script := dynScript(c)
+	accepted, rejected := 0, 0
+	for slot := int64(0); slot < c.Horizon; slot++ {
+		reqs := script[slot]
+		if len(reqs) == 0 {
+			continue
+		}
+		if err := advance(slot); err != nil {
+			v.addf("dynplane/%s: advancing to slot %d: %v", label, slot, err)
+			return false
+		}
+		for _, req := range reqs {
+			if submit(req) == nil {
+				accepted++
+			} else {
+				rejected++
+			}
+		}
+	}
+	ledger, rejects := log()
+	if ledger != accepted {
+		v.addf("dynplane/%s: ledger has %d transactions, %d requests were accepted", label, ledger, accepted)
+	}
+	if rejects != int64(rejected) {
+		v.addf("dynplane/%s: ledgered %d rejects, %d requests were refused", label, rejects, rejected)
+	}
+	return true
+}
+
+// checkEDFDynPlane: plane-admitted churn keeps Σ bandwidth ≤ 1 at every
+// instant, departures only remove demand, and EDF is optimal on one
+// processor for any release offsets — so no admitted job may miss.
+func checkEDFDynPlane(c Case, v *violations) {
+	sim := edf.NewSimulator()
+	ok := runScriptPlane(c, "edf", v,
+		func(slot int64) error { return sim.Engine().Run(slot) },
+		func(req admission.Request) error { _, err := sim.Submit(req); return err },
+		func() (int, int64) { return len(sim.AdmissionLog()), sim.AdmissionRejects() })
+	if !ok {
+		return
+	}
+	if err := sim.Run(c.Horizon); err != nil {
+		v.addf("dynplane/edf: %v", err)
+		return
+	}
+	if misses := sim.Stats().Misses; len(misses) > 0 {
+		v.addf("dynplane/edf: %d misses under plane-gated churn (Σ bandwidth ≤ 1 throughout), first %+v",
+			len(misses), misses[0])
+	}
+}
+
+// checkRMDynPlane: the hyperbolic gate admits against the critical
+// instant, which upper-bounds the interference of any actual phasing —
+// so mid-run joins with synchronous first releases, and leaves that only
+// remove interference, may never cost an admitted task a deadline.
+func checkRMDynPlane(c Case, v *violations) {
+	sim := rm.NewSimulator(nil)
+	ok := runScriptPlane(c, "rm", v,
+		func(slot int64) error { return sim.Engine().Run(slot) },
+		func(req admission.Request) error { _, err := sim.Submit(req); return err },
+		func() (int, int64) { return len(sim.AdmissionLog()), sim.AdmissionRejects() })
+	if !ok {
+		return
+	}
+	if err := sim.Run(c.Horizon); err != nil {
+		v.addf("dynplane/rm: %v", err)
+		return
+	}
+	if misses := sim.Stats().Misses; len(misses) > 0 {
+		v.addf("dynplane/rm: %d misses under hyperbolic-gated churn, first %+v", len(misses), misses[0])
+	}
+}
+
+// checkWRRDynPlane: WRR guarantees no deadlines, so the leg checks the
+// plane contract itself — capacity-gated admission, ledger consistency,
+// and a run that completes every slot without the engine tripping.
+func checkWRRDynPlane(c Case, v *violations) {
+	s, err := wrr.NewScheduler(c.M, nil)
+	if err != nil {
+		v.addf("dynplane/wrr: %v", err)
+		return
+	}
+	ok := runScriptPlane(c, "wrr", v,
+		func(slot int64) error { return s.RunUntil(slot) },
+		func(req admission.Request) error { _, err := s.Submit(req); return err },
+		func() (int, int64) { return len(s.AdmissionLog()), s.AdmissionRejects() })
+	if !ok {
+		return
+	}
+	if err := s.RunUntil(c.Horizon); err != nil {
+		v.addf("dynplane/wrr: %v", err)
+		return
+	}
+	if got := s.Stats().Slots; got != c.Horizon {
+		v.addf("dynplane/wrr: ran %d slots, want %d", got, c.Horizon)
+	}
+}
+
+// checkSupertaskDynPlane bundles the case's late joiners into one
+// supertask and admits it through the system's plane: the base tasks
+// join at slot 0, the bundle joins (with the Holman–Anderson inflated
+// weight) at the earliest scripted join slot, and departs at the latest
+// scripted leave. Everything the plane admits is Equation (2)-feasible,
+// so the global Pfair schedule must stay miss-free; component misses are
+// the §5.5 trade-off and are not violations.
+func checkSupertaskDynPlane(c Case, mutant core.Algorithm, v *violations) {
+	var comps task.Set
+	joinAt, leaveAt := int64(-1), int64(-1)
+	for _, t := range c.Set {
+		at := c.Joins[t.Name]
+		if at == 0 {
+			continue
+		}
+		comps = append(comps, t)
+		if joinAt < 0 || at < joinAt {
+			joinAt = at
+		}
+		if la, ok := c.Leaves[t.Name]; ok && la > leaveAt {
+			leaveAt = la
+		}
+	}
+	if len(comps) == 0 {
+		return
+	}
+	st := &supertask.Supertask{Name: "S0", Components: comps}
+	req, err := supertask.JoinRequest(st, true)
+	if err != nil {
+		return // the bundle exceeds one processor; not a supertask case
+	}
+	sys := supertask.NewSystem(c.M, mutant)
+	accepted, rejected := 0, 0
+	submit := func(r admission.Request) {
+		if _, err := sys.Submit(r); err == nil {
+			accepted++
+		} else {
+			rejected++
+		}
+	}
+	for _, t := range c.Set {
+		if c.Joins[t.Name] == 0 {
+			submit(admission.Join(t))
+		}
+	}
+	sys.Run(joinAt)
+	submit(req)
+	if leaveAt > joinAt {
+		sys.Run(leaveAt)
+		submit(admission.Leave("S0"))
+	}
+	res := sys.Run(c.Horizon)
+	if n := len(res.Scheduler.Misses); n > 0 {
+		v.addf("dynplane/supertask: %d global misses under a plane-admitted bundle, first %+v",
+			n, res.Scheduler.Misses[0])
+	}
+	if got := len(sys.AdmissionLog()); got != accepted {
+		v.addf("dynplane/supertask: ledger has %d transactions, %d requests were accepted", got, accepted)
+	}
+	if got := sys.AdmissionRejects(); got != int64(rejected) {
+		v.addf("dynplane/supertask: ledgered %d rejects, %d requests were refused", got, rejected)
+	}
+}

@@ -32,6 +32,13 @@
 //     tournament under a total priority order, so the assignment stream
 //     must be identical slot for slot at every shard count — any
 //     divergence is a representation bug, caught at the first slot.
+//   - KindDynPlane: one churn script — joins, reweights, and leaves —
+//     replayed against every admission-plane implementation. Core's
+//     legacy entry points and Submit must produce identical schedules
+//     and identical accept/reject sequences; the edf, rm, and wrr
+//     planes must honor their own feasibility gates (no admitted task
+//     misses where the gate guarantees it), and every plane's ledger
+//     must count exactly its accepted and refused requests.
 //
 // Every case is reconstructible from (kind, seed, trial) via GenCase —
 // the replay key a failure report prints. When a case fails, Shrink
@@ -62,10 +69,11 @@ const (
 	KindDynamic
 	KindIS
 	KindShard
+	KindDynPlane
 	numKinds
 )
 
-var kindNames = [...]string{"fullutil", "epdf", "edf", "rm", "partition", "dynamic", "is", "shard"}
+var kindNames = [...]string{"fullutil", "epdf", "edf", "rm", "partition", "dynamic", "is", "shard", "dynplane"}
 
 func (k Kind) String() string {
 	if k >= 0 && int(k) < len(kindNames) {
@@ -112,9 +120,14 @@ type Case struct {
 
 	// Joins and Leaves give, per task name, the slot at which the task
 	// joins (absent = 0) and the slot at which its departure is requested
-	// (absent = never). KindDynamic only.
+	// (absent = never). KindDynamic and KindDynPlane.
 	Joins  map[string]int64
 	Leaves map[string]int64
+
+	// Reweights gives, per task name, a [slot, newCost, newPeriod]
+	// triple: at that slot the task requests new parameters through the
+	// admission plane. KindDynPlane only.
+	Reweights map[string][3]int64
 
 	// Delays holds per-task IS inter-subtask delay tables. KindIS only.
 	Delays map[string][]int64
@@ -170,6 +183,8 @@ func GenCase(kind Kind, seed, trial int64) Case {
 		genDynamic(rng, &c)
 	case KindIS:
 		genIS(rng, &c)
+	case KindDynPlane:
+		genDynPlane(rng, &c)
 	default:
 		//pfair:allowpanic exhaustive switch over Kind; a new kind must be wired here
 		panic(fmt.Sprintf("fuzz: GenCase(%v)", kind))
@@ -296,6 +311,59 @@ func genDynamic(rng *rand.Rand, c *Case) {
 		c.Joins[name] = 1 + rng.Int63n(c.Horizon/2)
 	}
 	for _, t := range c.Set {
+		if rng.Float64() < 0.4 {
+			at := c.Horizon/4 + rng.Int63n(c.Horizon/2)
+			if at > c.Joins[t.Name] {
+				c.Leaves[t.Name] = at
+			}
+		}
+	}
+}
+
+// genDynPlane builds a uniprocessor churn script — joins, reweights,
+// and leaves — that every admission-plane implementation replays
+// (M = 1 is the one capacity all four policies share: Pfair's
+// Equation (2), EDF's Σ bandwidth ≤ 1, RM's hyperbolic bound, and
+// WRR's Σ wt ≤ m all gate against a single processor). The base set
+// leaves slack so most operations are admitted; joiner weights range
+// up to a full processor so the reject path fires too, and reweights
+// may land before a task's join or after its leave, exercising the
+// unknown-task rejections.
+func genDynPlane(rng *rand.Rand, c *Case) {
+	c.M = 1
+	c.Horizon = 120 + rng.Int63n(120)
+	c.Joins = map[string]int64{}
+	c.Leaves = map[string]int64{}
+	c.Reweights = map[string][3]int64{}
+
+	n0 := 2 + rng.Intn(2)
+	total := 0.35 + 0.2*rng.Float64()
+	g := taskgen.New(rng.Int63())
+	base, err := g.Set("B", n0, total, periodMenu)
+	if err != nil {
+		//pfair:allowpanic generator parameters are in-range by construction
+		panic(fmt.Sprintf("fuzz: genDynPlane: %v", err))
+	}
+	c.Set = base
+
+	nj := 1 + rng.Intn(2)
+	for j := 0; j < nj; j++ {
+		p := periodMenu[rng.Intn(len(periodMenu))]
+		e := 1 + rng.Int63n(p) // up to weight one: some joiners must be refused
+		name := fmt.Sprintf("J%d", j)
+		c.Set = append(c.Set, task.MustNew(name, e, p))
+		c.Joins[name] = 1 + rng.Int63n(c.Horizon/2)
+	}
+	for _, t := range c.Set {
+		if rng.Float64() < 0.35 {
+			p := periodMenu[rng.Intn(len(periodMenu))]
+			e := 1 + rng.Int63n((p+1)/2)
+			at := c.Joins[t.Name] + 1 + rng.Int63n(c.Horizon/2)
+			if at >= c.Horizon {
+				at = c.Horizon - 1
+			}
+			c.Reweights[t.Name] = [3]int64{at, e, p}
+		}
 		if rng.Float64() < 0.4 {
 			at := c.Horizon/4 + rng.Int63n(c.Horizon/2)
 			if at > c.Joins[t.Name] {

@@ -149,9 +149,9 @@ func TestParseReplayRoundTrip(t *testing.T) {
 	}
 }
 
-// TestReweightNoMisses pins the reweight path the random dynamic kind
-// does not script: a mid-run rate change (leave-and-rejoin under the
-// hood) must not cost any task a deadline.
+// TestReweightNoMisses pins the reweight path deterministically (the
+// random dynplane kind scripts it too): a mid-run rate change
+// (leave-and-rejoin under the hood) must not cost any task a deadline.
 func TestReweightNoMisses(t *testing.T) {
 	s := core.NewScheduler(2, core.PD2, core.Options{})
 	set := task.Set{task.MustNew("A", 1, 2), task.MustNew("B", 2, 3), task.MustNew("C", 1, 4)}

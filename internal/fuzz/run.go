@@ -118,6 +118,9 @@ func (c *Case) Describe() string {
 		if at, ok := c.Leaves[t.Name]; ok {
 			fmt.Fprintf(&b, "@leave%d", at)
 		}
+		if rw, ok := c.Reweights[t.Name]; ok {
+			fmt.Fprintf(&b, "@rw%d(%d/%d)", rw[0], rw[1], rw[2])
+		}
 	}
 	b.WriteString("]")
 	return b.String()

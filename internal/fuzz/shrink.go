@@ -143,7 +143,7 @@ func shrinkStep(c Case, mutant core.Algorithm) (Case, bool) {
 
 func usesProcessors(k Kind) bool {
 	switch k {
-	case KindFullUtil, KindEPDF, KindDynamic, KindIS, KindShard:
+	case KindFullUtil, KindEPDF, KindDynamic, KindIS, KindShard, KindDynPlane:
 		return true
 	}
 	return false
@@ -155,6 +155,7 @@ func dropTask(c Case, i int) Case {
 	cand.Set = append(append(task.Set{}, c.Set[:i]...), c.Set[i+1:]...)
 	cand.Joins = dropKey(c.Joins, name)
 	cand.Leaves = dropKey(c.Leaves, name)
+	cand.Reweights = dropKey(c.Reweights, name)
 	if c.Delays != nil {
 		d := make(map[string][]int64, len(c.Delays))
 		for k, v := range c.Delays { //pfair:orderinvariant rebuilds a map; insertion order does not affect map equality
@@ -167,11 +168,11 @@ func dropTask(c Case, i int) Case {
 	return cand
 }
 
-func dropKey(m map[string]int64, name string) map[string]int64 {
+func dropKey[V any](m map[string]V, name string) map[string]V {
 	if m == nil {
 		return nil
 	}
-	out := make(map[string]int64, len(m))
+	out := make(map[string]V, len(m))
 	for k, v := range m { //pfair:orderinvariant rebuilds a map; insertion order does not affect map equality
 		if k != name {
 			out[k] = v

@@ -60,6 +60,43 @@ func (f fixed) pick() int { return f.v } // want `pick is reachable from the //p
 //pfair:hotpath
 func Drive(p policy) int { return p.pick() }
 
+// plane seeds the admission-plane seam from internal/core: the hot
+// step drains a pending-departure list only on slots that have one,
+// behind a cold-cut method call; Submit is the plane's cold entry
+// point — it mutates the same state but no hot root reaches it, so it
+// must stay silent without any annotation.
+type plane struct{ pending []int }
+
+// StepPlane is the hot root with the emptiness guard.
+//
+//pfair:hotpath
+func (p *plane) StepPlane() {
+	if len(p.pending) == 0 {
+		return
+	}
+	//pfair:coldcall departure slots only, never in steady state
+	p.applyLeaves()
+}
+
+// applyLeaves allocates freely: reachable only through the cold cut.
+func (p *plane) applyLeaves() {
+	p.pending = append(p.pending[:0], make([]int, 4)...)
+}
+
+// Submit mutates the pending list from the cold side; shared state
+// does not make it hot.
+func (p *plane) Submit(v int) { p.pending = append(p.pending, v) }
+
+// commitLedger is the seeded admission regression: an apply helper
+// that grew a call from the hot step without a cold cut or annotation.
+func (p *plane) commitLedger() {} // want `commitLedger is reachable from the //pfair:hotpath closure \(via StepHot → commitLedger\) but carries no annotation`
+
+// StepHot is a second hot root that forgot the cold cut on its ledger
+// write — the exact rot the admission refactor must not introduce.
+//
+//pfair:hotpath
+func (p *plane) StepHot() { p.commitLedger() }
+
 // table holds a function-typed field; Apply's call of it must resolve
 // to helper, the only function that flows in.
 type table struct{ fn func() }

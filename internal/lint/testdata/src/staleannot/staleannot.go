@@ -69,6 +69,30 @@ func liveCold() int {
 	return len(make([]int, 1))
 }
 
+// ledger seeds the admission plane's method shapes. Commit appends
+// into a struct field — amortized growth the analyzer treats as
+// preallocated storage, so a marker there would itself be stale;
+// Commit stays unannotated and silent. Snapshot copies the log into
+// fresh memory, a real allocation with a live marker. Rejects kept a
+// marker after the copy it excused moved into Snapshot.
+type ledger struct {
+	log     []int
+	rejects int
+}
+
+// Commit appends into the field: amortized, no marker needed.
+func (l *ledger) Commit(d int) { l.log = append(l.log, d) }
+
+// Snapshot hands out a copy so callers cannot alias the ledger.
+//
+//pfair:allowalloc copies the decision log, cold query path
+func (l *ledger) Snapshot() []int { return append([]int(nil), l.log...) }
+
+// Rejects is a plain counter read now.
+//
+//pfair:allowalloc copies the decision log // want `stale //pfair:allowalloc on Rejects: the function no longer allocates`
+func (l *ledger) Rejects() int { return l.rejects }
+
 // typo suppresses nothing, silently — exactly what the audit exists to
 // catch.
 func typo() {

@@ -36,6 +36,15 @@ type TaskStats struct {
 	Left      bool  `json:"left,omitempty"`
 	LeaveSlot int64 `json:"leaveSlot,omitempty"`
 
+	// Reweights counts EvReweight events applied to this id — weight
+	// changes that took effect under the same identity. (Policies that
+	// reweight by leave-and-join under a fresh id, like core, book the
+	// change on the new incarnation's row.) Weights lists the weight
+	// history: the parameters at join followed by one entry per applied
+	// reweight, in effect order.
+	Reweights int64          `json:"reweights,omitempty"`
+	Weights   []WeightChange `json:"weights,omitempty"`
+
 	// Dispatches counts quanta received; PerCPU splits the count by the
 	// processor that executed them (index = CPU). LastCPU is the CPU of
 	// the most recent dispatch, −1 before the first.
@@ -80,6 +89,14 @@ type TaskStats struct {
 	LagDen    int64 `json:"lagDen"`
 }
 
+// WeightChange is one entry of a task's weight history: the parameters
+// that took effect at Slot (the join itself, or an applied reweight).
+type WeightChange struct {
+	Slot   int64 `json:"slot"`
+	Cost   int64 `json:"cost"`
+	Period int64 `json:"period"`
+}
+
 // MeanResponseTimes returns the task's mean response time as the exact
 // pair (RespSum, RespCount); callers divide at display time, per the
 // repository's no-stored-ratios rule.
@@ -95,7 +112,11 @@ type taskAcct struct {
 	// pendSub == 0 means none (subtask indices are 1-based).
 	pendSub int64
 	pendRel int64
-	known   bool // an event mentioned this id
+	// dispBase is the dispatch count when the current lag reference
+	// began: zero from the join, reset by an in-place EvReweight so the
+	// fluid reference restarts at the new rate.
+	dispBase int64
+	known    bool // an event mentioned this id
 }
 
 // Accounting aggregates a scheduler event stream into per-task rows.
@@ -166,6 +187,14 @@ func (a *Accounting) ensure(id int32) *taskAcct {
 	return en
 }
 
+// recordWeight appends one weight-history entry (amortized growth into
+// the entry's own slice, once per join or reweight).
+//
+//pfair:hotpath
+func (en *taskAcct) recordWeight(slot, cost, period int64) {
+	en.Weights = append(en.Weights, WeightChange{Slot: slot, Cost: cost, Period: period})
+}
+
 // lagCandidate folds the signed lag numerator at slot boundary τ into
 // en's extrema, given the dispatch count at τ.
 //
@@ -174,7 +203,7 @@ func (en *taskAcct) lagCandidate(tau, dispatched int64) {
 	if en.Period <= 0 {
 		return
 	}
-	num := en.Cost*(tau-en.JoinSlot) - dispatched*en.Period
+	num := en.Cost*(tau-en.JoinSlot) - (dispatched-en.dispBase)*en.Period
 	if num > en.LagMaxNum {
 		en.LagMaxNum = num
 	}
@@ -205,6 +234,21 @@ func (a *Accounting) Apply(e Event) {
 		en.LagDen = e.B
 		// Lag is zero at join; the extrema start there.
 		en.LagMaxNum, en.LagMinNum = 0, 0
+		en.recordWeight(e.Slot, e.A, e.B)
+	case EvReweight:
+		en := a.ensure(e.Task)
+		// An in-place weight change: close the old fluid reference at
+		// this boundary, then restart it at the new rate — lag is zero
+		// again at the instant the change lands, and the extrema restart
+		// with it (they are numerators over the new LagDen).
+		en.lagCandidate(e.Slot, en.Dispatches)
+		en.Reweights++
+		en.Cost, en.Period = e.A, e.B
+		en.JoinSlot = e.Slot
+		en.LagDen = e.B
+		en.dispBase = en.Dispatches
+		en.LagMaxNum, en.LagMinNum = 0, 0
+		en.recordWeight(e.Slot, e.A, e.B)
 	case EvRelease:
 		en := a.ensure(e.Task)
 		en.Releases++
@@ -298,6 +342,7 @@ func (a *Accounting) Snapshot() []TaskStats {
 		}
 		ts := en.TaskStats
 		ts.PerCPU = append([]int64(nil), en.PerCPU...)
+		ts.Weights = append([]WeightChange(nil), en.Weights...)
 		if ts.Name == "" {
 			ts.Name = "task#" + itoa(int64(ts.ID))
 		}
@@ -335,6 +380,7 @@ func (a *Accounting) WritePrometheus(w io.Writer) error {
 		{"pfair_acct_migrations_total", "dispatches on a different CPU than the previous one, per task", KindCounter, func(ts *TaskStats) int64 { return ts.Migrations }},
 		{"pfair_acct_deadline_misses_total", "deadline misses, per task", KindCounter, func(ts *TaskStats) int64 { return ts.Misses }},
 		{"pfair_acct_tiebreak_wins_total", "deadline ties won by the b-bit or group-deadline rule, per task", KindCounter, func(ts *TaskStats) int64 { return ts.TieBreakWins }},
+		{"pfair_acct_reweights_total", "weight changes applied in place, per task", KindCounter, func(ts *TaskStats) int64 { return ts.Reweights }},
 		{"pfair_acct_response_slots_sum", "sum of measured subtask response times, in slots", KindCounter, func(ts *TaskStats) int64 { return ts.RespSum }},
 		{"pfair_acct_response_slots_count", "subtask response times measured", KindCounter, func(ts *TaskStats) int64 { return ts.RespCount }},
 		{"pfair_acct_response_max_slots", "largest subtask response time, in slots", KindGauge, func(ts *TaskStats) int64 { return ts.RespMax }},

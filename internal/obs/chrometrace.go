@@ -19,8 +19,8 @@ import (
 // Chrome trace-event constants. pid selects the top-level group
 // ("process") a lane belongs to; tid the lane within it.
 const (
-	chromePidProcs = 0 // per-processor lanes
-	chromePidTasks = 1 // per-task lanes
+	chromePidProcs = 0       // per-processor lanes
+	chromePidTasks = 1       // per-task lanes
 	schedulerTid   = 1 << 20 // decision lane inside the processor group
 )
 
@@ -164,6 +164,8 @@ func WriteChromeTrace(w io.Writer, rec *Recorder, opt ChromeTraceOptions) error 
 			instant(e, "leave", map[string]any{"allocated": e.A})
 		case EvLagExtremum:
 			instant(e, "lag-extremum", map[string]any{"num": e.A, "den": e.B})
+		case EvReweight:
+			instant(e, "reweight", map[string]any{"cost": e.A, "period": e.B})
 		case EvTieBreakB, EvTieBreakGroup:
 			out = append(out, chromeEvent{
 				Name: e.Kind.String(), Phase: "i", Scope: "t", Cat: "decision",

@@ -64,6 +64,12 @@ const (
 	// EvLagExtremum: Task reached a new maximum |lag| of A/B (numerator
 	// A over denominator B = the task's period).
 	EvLagExtremum
+	// EvReweight: Task's weight change took effect at Slot. A = the new
+	// cost, B = the new period. Emitted by the admission plane at the
+	// boundary the change lands on; for policies that model reweighting
+	// as leave-and-join under a fresh id (core), it carries the new
+	// incarnation's id and follows its EvJoin at the same slot.
+	EvReweight
 
 	numEventKinds = iota
 )
@@ -81,6 +87,7 @@ var eventKindNames = [numEventKinds]string{
 	EvTieBreakB:     "tiebreak-bbit",
 	EvTieBreakGroup: "tiebreak-group",
 	EvLagExtremum:   "lag-extremum",
+	EvReweight:      "reweight",
 }
 
 func (k EventKind) String() string {
@@ -155,7 +162,7 @@ func (r *Recorder) Emit(e Event) {
 }
 
 // SetAccounting attaches (or, with nil, detaches) a per-task accounting
-/// table: every subsequent Emit forwards its event to acct.Apply, and
+// / table: every subsequent Emit forwards its event to acct.Apply, and
 // task registrations forward their names. Names already registered are
 // copied over; events already emitted are not replayed (attach before
 // the run — the table aggregates from attachment on). Cold path.

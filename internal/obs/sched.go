@@ -27,6 +27,16 @@ type SchedulerMetrics struct {
 	TieBreakB     *Counter
 	TieBreakGroup *Counter
 
+	// Joins, Leaves, and Reweights count transactions the admission
+	// plane accepted (Plane.Commit), by operation — OpFinish folds into
+	// Leaves; AdmissionRejects counts the refused ones (Plane.Reject).
+	// All are cold-path: they move only when a dynamic operation is
+	// submitted, never per slot.
+	Joins            *Counter
+	Leaves           *Counter
+	Reweights        *Counter
+	AdmissionRejects *Counter
+
 	// ShardLocalHits, ShardSteals, and ShardUnderflows mirror the shard
 	// tier's work-stealing counters (shard.Stats): picks served from the
 	// destination CPU's own shard, picks stolen from another shard, and
@@ -90,25 +100,29 @@ func NewSchedulerMetrics(reg *Registry) *SchedulerMetrics {
 		reg = NewRegistry()
 	}
 	return &SchedulerMetrics{
-		Slots:           reg.Counter("pfair_slots_total", "", "scheduler invocations (one per slot)"),
-		Allocations:     reg.Counter("pfair_allocations_total", "", "quanta handed to tasks"),
-		ContextSwitches: reg.Counter("pfair_context_switches_total", "", "slot boundaries where a processor changed task"),
-		Migrations:      reg.Counter("pfair_migrations_total", "", "allocations on a different processor than the task's previous one"),
-		Preemptions:     reg.Counter("pfair_preemptions_total", "", "tasks descheduled mid-job at a slot boundary"),
-		Misses:          reg.Counter("pfair_deadline_misses_total", "", "subtask deadline violations detected"),
-		HeapCmps:        reg.Counter("pfair_heap_comparisons_total", "", "priority comparator invocations across the ready and release queues"),
-		TieBreakB:       reg.Counter("pfair_tiebreak_bbit_total", "", "deadline ties decided by the b-bit rule"),
-		TieBreakGroup:   reg.Counter("pfair_tiebreak_group_total", "", "deadline ties decided by the group-deadline rule"),
-		ShardLocalHits:  reg.Counter("pfair_shard_local_hits_total", "", "ready-queue picks served from the destination CPU's own shard"),
-		ShardSteals:     reg.Counter("pfair_shard_steals_total", "", "ready-queue picks stolen from another CPU's shard"),
-		ShardUnderflows: reg.Counter("pfair_shard_underflows_total", "", "steals whose richest victim shard was empty"),
-		ReadyLen:        reg.Gauge("pfair_ready_queue_len", "", "ready-queue length after the last slot"),
-		PendingLen:      reg.Gauge("pfair_release_queue_len", "", "release-queue length after the last slot"),
-		TraceTotal:      reg.Gauge("pfair_trace_ring_total_events", "", "trace events ever emitted to the attached recorder"),
-		TraceDropped:    reg.Gauge("pfair_trace_ring_dropped_events", "", "trace events lost to ring wrap-around (>0 means the trace is a suffix of the run)"),
-		Occupancy:       reg.Histogram("pfair_slot_occupancy", "", "busy processors per slot", occupancyBounds),
-		Tardiness:       reg.Histogram("pfair_tardiness_slots", "", "slots late per deadline miss", tardinessBounds),
-		reg:             reg,
+		Slots:            reg.Counter("pfair_slots_total", "", "scheduler invocations (one per slot)"),
+		Allocations:      reg.Counter("pfair_allocations_total", "", "quanta handed to tasks"),
+		ContextSwitches:  reg.Counter("pfair_context_switches_total", "", "slot boundaries where a processor changed task"),
+		Migrations:       reg.Counter("pfair_migrations_total", "", "allocations on a different processor than the task's previous one"),
+		Preemptions:      reg.Counter("pfair_preemptions_total", "", "tasks descheduled mid-job at a slot boundary"),
+		Misses:           reg.Counter("pfair_deadline_misses_total", "", "subtask deadline violations detected"),
+		HeapCmps:         reg.Counter("pfair_heap_comparisons_total", "", "priority comparator invocations across the ready and release queues"),
+		TieBreakB:        reg.Counter("pfair_tiebreak_bbit_total", "", "deadline ties decided by the b-bit rule"),
+		TieBreakGroup:    reg.Counter("pfair_tiebreak_group_total", "", "deadline ties decided by the group-deadline rule"),
+		Joins:            reg.Counter("pfair_admission_joins_total", "", "task joins accepted by the admission plane"),
+		Leaves:           reg.Counter("pfair_admission_leaves_total", "", "task leaves (and finishes) accepted by the admission plane"),
+		Reweights:        reg.Counter("pfair_admission_reweights_total", "", "task reweights accepted by the admission plane"),
+		AdmissionRejects: reg.Counter("pfair_admission_rejects_total", "", "dynamic-task requests the admission plane refused"),
+		ShardLocalHits:   reg.Counter("pfair_shard_local_hits_total", "", "ready-queue picks served from the destination CPU's own shard"),
+		ShardSteals:      reg.Counter("pfair_shard_steals_total", "", "ready-queue picks stolen from another CPU's shard"),
+		ShardUnderflows:  reg.Counter("pfair_shard_underflows_total", "", "steals whose richest victim shard was empty"),
+		ReadyLen:         reg.Gauge("pfair_ready_queue_len", "", "ready-queue length after the last slot"),
+		PendingLen:       reg.Gauge("pfair_release_queue_len", "", "release-queue length after the last slot"),
+		TraceTotal:       reg.Gauge("pfair_trace_ring_total_events", "", "trace events ever emitted to the attached recorder"),
+		TraceDropped:     reg.Gauge("pfair_trace_ring_dropped_events", "", "trace events lost to ring wrap-around (>0 means the trace is a suffix of the run)"),
+		Occupancy:        reg.Histogram("pfair_slot_occupancy", "", "busy processors per slot", occupancyBounds),
+		Tardiness:        reg.Histogram("pfair_tardiness_slots", "", "slots late per deadline miss", tardinessBounds),
+		reg:              reg,
 	}
 }
 

@@ -47,6 +47,8 @@ func WriteTimeline(w io.Writer, rec *Recorder) error {
 			_, err = fmt.Fprintf(w, "[%6d] tiebreak-g %s over %s (deadline %d)\n", e.Slot, name, rec.TaskName(int32(e.A)), e.B)
 		case EvLagExtremum:
 			_, err = fmt.Fprintf(w, "[%6d] lag-max    %s |lag| = %d/%d\n", e.Slot, name, e.A, e.B)
+		case EvReweight:
+			_, err = fmt.Fprintf(w, "[%6d] reweight   %s → %d/%d\n", e.Slot, name, e.A, e.B)
 		default:
 			_, err = fmt.Fprintf(w, "[%6d] %s task=%d proc=%d a=%d b=%d\n", e.Slot, e.Kind, e.Task, e.Proc, e.A, e.B)
 		}

@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 
+	"pfair/internal/admission"
 	"pfair/internal/calq"
 	"pfair/internal/engine"
 	"pfair/internal/heap"
@@ -162,6 +163,7 @@ type job struct {
 type Simulator struct {
 	eng   *engine.Engine
 	now   int64 // internal execution clock; trails the engine inside Run
+	tasks map[string]*tstate
 	ready *heap.Heap[*job]
 	// Release timers live in the calendar wheel unless some period
 	// exceeds calq.DefaultSpanCap (timers too sparse for a bounded wheel),
@@ -172,11 +174,14 @@ type Simulator struct {
 	releases *heap.Heap[*tstate]
 	running  *job
 	stats    Stats
+	// plane is the admission-plane ledger behind Submit. RM has no trace
+	// integration, so the plane carries decisions and metrics only.
+	plane *admission.Plane
 }
 
 // NewSimulator returns an empty simulator at time 0.
 func NewSimulator(set task.Set, opts ...engine.Option) *Simulator {
-	s := &Simulator{}
+	s := &Simulator{tasks: make(map[string]*tstate, len(set))}
 	s.ready = heap.New(func(a, b *job) bool {
 		if a.ts.t.Period != b.ts.t.Period {
 			return a.ts.t.Period < b.ts.t.Period
@@ -207,9 +212,12 @@ func NewSimulator(set task.Set, opts ...engine.Option) *Simulator {
 		ts := &tstate{t: t, nextJob: 1}
 		ts.relItem = heap.NewItem(ts)
 		ts.relWItem = calq.NewItem(ts)
+		s.tasks[t.Name] = ts
 		s.armRelease(ts)
 	}
+	s.plane = admission.NewPlane()
 	s.eng = engine.New(s, opts...)
+	s.plane.Observe(nil, s.eng.Metrics())
 	return s
 }
 

@@ -167,8 +167,12 @@ type Result struct {
 }
 
 type compState struct {
-	t         *task.Task
-	obsID     int32 // dense trace id from the scheduler's allocator; −1 until registered
+	t     *task.Task
+	obsID int32 // dense trace id from the scheduler's allocator; −1 until registered
+	// off is the slot the component's periodic lattice starts at: 0 for
+	// supertasks added before the run (the historical synchronous case),
+	// the admission slot for supertasks joining mid-run.
+	off       int64
 	completed int64 // fully finished jobs
 	rem       int64 // remaining quanta of the head job (completed+1)
 	// lastMissedJob is the highest job index already recorded as missed;
@@ -180,10 +184,10 @@ type compState struct {
 func (c *compState) headJob() int64 { return c.completed + 1 }
 
 //pfair:hotpath
-func (c *compState) headRelease() int64 { return c.completed * c.t.Period }
+func (c *compState) headRelease() int64 { return c.off + c.completed*c.t.Period }
 
 //pfair:hotpath
-func (c *compState) headDeadline() int64 { return (c.completed + 1) * c.t.Period }
+func (c *compState) headDeadline() int64 { return c.off + (c.completed+1)*c.t.Period }
 
 //pfair:hotpath
 func (c *compState) released(t int64) bool { return c.headRelease() <= t }
@@ -191,6 +195,10 @@ func (c *compState) released(t int64) bool { return c.headRelease() <= t }
 type sstate struct {
 	st    *Supertask
 	comps []*compState
+	// leaveAt is the slot the supertask's departure takes effect, or −1
+	// while it is live. From that slot on, afterSlot stops charging
+	// component deadline misses: the bundle departed with its supertask.
+	leaveAt int64
 }
 
 // System couples a global PD² (or other Pfair) scheduler with supertask
@@ -264,9 +272,11 @@ func (sys *System) AddSupertask(st *Supertask, reweighted bool) error {
 	if err := sys.sched.Join(repr); err != nil {
 		return err
 	}
-	ss := &sstate{st: st}
+	ss := &sstate{st: st, leaveAt: -1}
 	for _, c := range st.Components {
-		ss.comps = append(ss.comps, &compState{t: c, obsID: -1, rem: c.Cost})
+		// The lattice anchors at the admission slot — 0 for pre-run adds,
+		// the current slot for supertasks joining mid-run.
+		ss.comps = append(ss.comps, &compState{t: c, obsID: -1, rem: c.Cost, off: sys.sched.Now()})
 	}
 	sys.supers[st.Name] = ss
 	// Keep ordered sorted by name so the ComponentMisses sequence is a
@@ -323,6 +333,9 @@ func (sys *System) afterSlot(t int64, assigned []core.Assignment) {
 		}
 	}
 	for _, ss := range sys.ordered {
+		if ss.leaveAt >= 0 && t >= ss.leaveAt {
+			continue
+		}
 		for _, c := range ss.comps {
 			if c.rem > 0 && c.headDeadline() <= t+1 && c.headJob() > c.lastMissedJob {
 				c.lastMissedJob = c.headJob()

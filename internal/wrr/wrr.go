@@ -17,6 +17,7 @@ package wrr
 import (
 	"fmt"
 
+	"pfair/internal/admission"
 	"pfair/internal/engine"
 	"pfair/internal/obs"
 	"pfair/internal/task"
@@ -42,6 +43,13 @@ type wstate struct {
 	id int32 // dense observability id (queue position at construction)
 	// burst is the remaining quanta of the task's current turn.
 	burst int64
+	// off is the slot the task's periodic lattice starts at: 0 for
+	// construction-time tasks (the historical synchronous case), the join
+	// slot for tasks admitted mid-run, the reweight slot after an in-place
+	// reweight (the new lattice restarts there).
+	off int64
+	// alloc counts quanta ever allocated to the task, for EvLeave.
+	alloc int64
 	// Job bookkeeping against the periodic deadline lattice.
 	completed int64 // fully finished jobs
 	rem       int64 // remaining quanta of the head job
@@ -55,10 +63,10 @@ type wstate struct {
 }
 
 //pfair:hotpath
-func (w *wstate) headDeadline() int64 { return (w.completed + 1) * w.t.Period }
+func (w *wstate) headDeadline() int64 { return w.off + (w.completed+1)*w.t.Period }
 
 //pfair:hotpath
-func (w *wstate) headRelease() int64 { return w.completed * w.t.Period }
+func (w *wstate) headRelease() int64 { return w.off + w.completed*w.t.Period }
 
 // Scheduler is a slot-quantized global WRR scheduler on m processors,
 // run as an engine.Policy. The selection scratch is preallocated so the
@@ -77,6 +85,11 @@ type Scheduler struct {
 	// unobserved hot path costs one predictable branch each.
 	rec *obs.Recorder
 	met *obs.SchedulerMetrics
+
+	// plane is the admission-plane ledger behind Submit; nextID hands out
+	// observability ids for tasks joining after construction.
+	plane  *admission.Plane
+	nextID int32
 }
 
 // OnSlot registers a callback invoked after every slot with the names of
@@ -99,12 +112,18 @@ func NewScheduler(m int, set task.Set, opts ...engine.Option) (*Scheduler, error
 	for i, t := range set {
 		s.queue = append(s.queue, &wstate{t: t, id: int32(i), burst: t.Cost, rem: t.Cost, lastRun: -2})
 	}
+	s.nextID = int32(len(set))
+	s.plane = admission.NewPlane()
 	s.eng = engine.New(s, opts...)
 	s.rec, s.met = s.eng.Recorder(), s.eng.Metrics()
+	s.plane.Observe(s.rec, s.met)
 	for _, w := range s.queue {
 		if rec := s.rec; rec != nil {
 			if rec.RegisterTask(w.id, w.t.Name) {
-				rec.Emit(obs.Event{Slot: 0, Kind: obs.EvJoin, Task: w.id, Proc: -1, A: w.t.Cost, B: w.t.Period})
+				// Routed through the admission plane so every policy
+				// narrates churn identically; the event bytes are
+				// unchanged.
+				s.plane.EmitJoin(0, w.id, w.t.Cost, w.t.Period)
 			}
 		}
 		if met := s.met; met != nil {
@@ -156,6 +175,7 @@ func (s *Scheduler) Dispatch(t int64) {
 		w.lastRun = t
 		w.rem--
 		w.burst--
+		w.alloc++
 		s.stats.Allocations++
 		if rec := s.rec; rec != nil {
 			rec.Emit(obs.Event{Slot: t, Kind: obs.EvSchedule, Task: w.id, Proc: int32(k), A: w.completed + 1})

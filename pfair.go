@@ -27,6 +27,7 @@
 package pfair
 
 import (
+	"pfair/internal/admission"
 	"pfair/internal/core"
 	"pfair/internal/rational"
 	"pfair/internal/task"
@@ -94,3 +95,30 @@ type Pattern = core.Pattern
 // NewPattern returns the window pattern for a task with the given cost and
 // period.
 func NewPattern(cost, period int64) *Pattern { return core.NewPattern(cost, period) }
+
+// Request describes one dynamic-task operation — a join, leave, or
+// reweight — for the unified admission plane. Build one with Join,
+// Leave, or Reweight and pass it to Scheduler.Submit; the same Request
+// values drive the EDF, RM, WRR, and supertask simulators' Submit
+// methods, so churn scripts are portable across policies.
+type Request = admission.Request
+
+// Decision records the admission plane's verdict on a Request: the slot
+// the transaction took effect (joins are immediate, leaves and upward
+// reweights wait for the Section 2 safe slot) and the resulting system
+// weight.
+type Decision = admission.Decision
+
+// Join builds a Request admitting t at the current slot, subject to the
+// policy's feasibility test (Equation (2) for the Pfair core).
+func Join(t *Task) Request { return admission.Join(t) }
+
+// Leave builds a Request removing the named task at its next safe slot.
+func Leave(name string) Request { return admission.Leave(name) }
+
+// Reweight builds a Request changing the named task's weight to
+// newCost/newPeriod — leave-and-rejoin under the hood, with capacity
+// reserved across the transition for upward reweights (Section 5.3).
+func Reweight(name string, newCost, newPeriod int64) Request {
+	return admission.Reweight(name, newCost, newPeriod)
+}
